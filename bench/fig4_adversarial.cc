@@ -1,0 +1,64 @@
+// Fig. 4 reproduction: effect of adversarial training without additional
+// data. Trains F, C, L, H and their Adv counterparts (speed-only input)
+// and prints MAPE over {whole period, normal, abrupt acceleration, abrupt
+// deceleration} — the four bars of each Fig. 4 panel.
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/profile.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace apots;
+
+  std::filesystem::create_directories("bench_out");
+  eval::EvalProfile profile = eval::EvalProfile::FromEnv();
+  std::printf("=== Fig. 4: effect of adversarial training (profile: %s) "
+              "===\n\n",
+              profile.LevelName().c_str());
+  eval::Experiment experiment(profile);
+
+  TablePrinter table({"model", "whole", "normal", "abrupt acc",
+                      "abrupt dec", "train[s]"});
+  auto writer = CsvWriter::Open(
+      "bench_out/fig4.csv",
+      {"model", "whole_mape", "normal_mape", "acc_mape", "dec_mape"});
+
+  for (core::PredictorType type :
+       {core::PredictorType::kFc, core::PredictorType::kCnn,
+        core::PredictorType::kLstm, core::PredictorType::kHybrid}) {
+    for (bool adversarial : {false, true}) {
+      eval::ModelSpec spec;
+      spec.predictor = type;
+      spec.adversarial = adversarial;
+      spec.features = data::FeatureConfig::SpeedOnly();
+      const eval::EvalRow row = experiment.RunModel(spec);
+      table.AddRow({row.label, FormatMetric(row.whole.mape),
+                    FormatMetric(row.normal.mape),
+                    FormatMetric(row.abrupt_acc.mape),
+                    FormatMetric(row.abrupt_dec.mape),
+                    FormatMetric(row.train_seconds)});
+      if (writer.ok()) {
+        (void)writer.value().WriteRow(std::vector<std::string>{
+            row.label, StrFormat("%.4f", row.whole.mape),
+            StrFormat("%.4f", row.normal.mape),
+            StrFormat("%.4f", row.abrupt_acc.mape),
+            StrFormat("%.4f", row.abrupt_dec.mape)});
+      }
+    }
+    table.AddSeparator();
+  }
+  table.Print();
+  if (writer.ok()) (void)writer.value().Close();
+  std::printf("\nPaper reference (their data): adversarial training lowers "
+              "MAPE for every predictor,\nwith the largest gains for F "
+              "(21.43 -> 18.82 whole; 44.37 -> 7.94 abrupt acc;\n79.84 -> "
+              "26.83 abrupt dec). Expect the same direction here, with "
+              "smaller margins\nat reduced CPU scale (see EXPERIMENTS.md).\n");
+  return 0;
+}

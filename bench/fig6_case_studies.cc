@@ -1,0 +1,123 @@
+// Fig. 6 reproduction: prediction traces of the eight models (F, C, L, H
+// and APOTS F, APOTS C, APOTS L, APOTS H) on the four real-situation
+// windows — morning rush, evening rush, rainy day, accident recovery.
+// Prints the per-window MAE leaderboard and writes the full predicted
+// series per scenario to bench_out/fig6_<scenario>.csv.
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "core/apots_model.h"
+#include "eval/experiment.h"
+#include "eval/profile.h"
+#include "eval/scenarios.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace apots;
+
+  std::filesystem::create_directories("bench_out");
+  eval::EvalProfile profile = eval::EvalProfile::FromEnv();
+  std::printf("=== Fig. 6: case-study predictions (profile: %s) ===\n\n",
+              profile.LevelName().c_str());
+  eval::Experiment experiment(profile);
+  const auto& dataset = experiment.dataset();
+  const int road = experiment.target_road();
+
+  // Train the eight models: plain X (speed only, no adversarial) and
+  // APOTS X (both additional-data blocks + adversarial).
+  struct Entry {
+    std::string label;
+    std::unique_ptr<core::ApotsModel> model;
+  };
+  std::vector<Entry> entries;
+  for (core::PredictorType type :
+       {core::PredictorType::kFc, core::PredictorType::kCnn,
+        core::PredictorType::kLstm, core::PredictorType::kHybrid}) {
+    for (bool apots_mode : {false, true}) {
+      eval::ModelSpec spec;
+      spec.predictor = type;
+      spec.adversarial = apots_mode;
+      spec.features = apots_mode ? data::FeatureConfig::Both()
+                                 : data::FeatureConfig::SpeedOnly();
+      Entry entry;
+      entry.label = (apots_mode ? std::string("APOTS ") : std::string()) +
+                    core::PredictorTypeName(type);
+      entry.model = std::make_unique<core::ApotsModel>(
+          &dataset, experiment.MakeConfig(spec));
+      entry.model->Train(experiment.train_anchors());
+      std::printf("trained %s\n", entry.label.c_str());
+      entries.push_back(std::move(entry));
+    }
+  }
+  std::printf("\n");
+
+  for (const eval::ScenarioWindow& window :
+       eval::FindScenarioWindows(dataset, road)) {
+    if (!window.found) {
+      std::printf("--- %s: not present in this dataset seed ---\n\n",
+                  window.name.c_str());
+      continue;
+    }
+    std::vector<long> anchors;
+    for (long t = window.start; t < window.start + window.length; ++t) {
+      if (t - profile.alpha >= 0 &&
+          t + profile.beta < dataset.num_intervals()) {
+        anchors.push_back(t);
+      }
+    }
+    std::vector<double> truths(anchors.size());
+    for (size_t i = 0; i < anchors.size(); ++i) {
+      truths[i] = dataset.Speed(road, anchors[i] + profile.beta);
+    }
+
+    std::vector<std::string> header = {"interval", "hour", "real"};
+    for (const Entry& entry : entries) header.push_back(entry.label);
+    auto writer =
+        CsvWriter::Open("bench_out/fig6_" + window.name + ".csv", header);
+
+    std::vector<std::vector<double>> all_predictions;
+    TablePrinter table({"model", "window MAE", "window MAPE[%]"});
+    for (Entry& entry : entries) {
+      std::vector<double> predictions = entry.model->PredictKmh(anchors);
+      double abs_sum = 0.0, pct_sum = 0.0;
+      for (size_t i = 0; i < anchors.size(); ++i) {
+        abs_sum += std::fabs(predictions[i] - truths[i]);
+        pct_sum += std::fabs(predictions[i] - truths[i]) /
+                   std::max(1.0, truths[i]) * 100.0;
+      }
+      table.AddRow({entry.label,
+                    FormatMetric(abs_sum / anchors.size()),
+                    FormatMetric(pct_sum / anchors.size())});
+      all_predictions.push_back(std::move(predictions));
+    }
+    std::printf("--- %s (%zu instants) ---\n", window.name.c_str(),
+                anchors.size());
+    table.Print();
+    if (writer.ok()) {
+      for (size_t i = 0; i < anchors.size(); ++i) {
+        std::vector<std::string> fields = {
+            StrFormat("%ld", anchors[i]),
+            StrFormat("%.3f",
+                      dataset.FractionalHour(anchors[i] + profile.beta)),
+            StrFormat("%.2f", truths[i])};
+        for (const auto& predictions : all_predictions) {
+          fields.push_back(StrFormat("%.2f", predictions[i]));
+        }
+        (void)writer.value().WriteRow(fields);
+      }
+      (void)writer.value().Close();
+      std::printf("(series written to bench_out/fig6_%s.csv)\n\n",
+                  window.name.c_str());
+    }
+  }
+  std::printf("Paper reference: the APOTS variants track the abrupt drops "
+              "and recoveries closely in\nall four situations while the "
+              "plain predictors lag or overshoot.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Engineering microbenchmarks for the tensor/nn substrate (google-
+// benchmark): matmul variants, im2col, and forward/backward of each layer
+// family at the quick-profile sizes used by the experiment benches.
+
+#include <benchmark/benchmark.h>
+
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/lstm.h"
+#include "nn/loss.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace {
+
+using apots::Rng;
+using apots::tensor::Tensor;
+namespace ops = apots::tensor;
+
+Tensor RandomTensor(std::vector<size_t> shape, uint64_t seed) {
+  Tensor t(std::move(shape));
+  Rng rng(seed);
+  ops::FillUniform(&t, &rng, -1.0f, 1.0f);
+  return t;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Tensor a = RandomTensor({n, n}, 1);
+  const Tensor b = RandomTensor({n, n}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulTransposeA(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Tensor a = RandomTensor({n, n}, 1);
+  const Tensor b = RandomTensor({n, n}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatmulTransposeA(a, b));
+  }
+}
+BENCHMARK(BM_MatmulTransposeA)->Arg(64)->Arg(128);
+
+void BM_Im2Col(benchmark::State& state) {
+  const Tensor image = RandomTensor({8, 13, 12}, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Im2Col(image, 3, 3, 1));
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_DenseForwardBackward(benchmark::State& state) {
+  const size_t batch = 64;
+  const size_t in = 156, out = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  apots::nn::Dense layer(in, out, &rng);
+  const Tensor input = RandomTensor({batch, in}, 5);
+  const Tensor grad = RandomTensor({batch, out}, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.Forward(input, true));
+    benchmark::DoNotOptimize(layer.Backward(grad));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_DenseForwardBackward)->Arg(64)->Arg(512);
+
+void BM_Conv2dForwardBackward(benchmark::State& state) {
+  const size_t batch = 16;
+  const size_t channels = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  apots::nn::Conv2d layer(1, channels, 3, 3, 1, &rng);
+  const Tensor input = RandomTensor({batch, 1, 13, 12}, 8);
+  const Tensor grad = RandomTensor({batch, channels, 13, 12}, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.Forward(input, true));
+    benchmark::DoNotOptimize(layer.Backward(grad));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_Conv2dForwardBackward)->Arg(16)->Arg(64);
+
+void BM_LstmForwardBackward(benchmark::State& state) {
+  const size_t batch = 16;
+  const size_t hidden = static_cast<size_t>(state.range(0));
+  Rng rng(10);
+  apots::nn::Lstm layer(13, hidden, /*return_sequences=*/false, &rng);
+  const Tensor input = RandomTensor({batch, 12, 13}, 11);
+  const Tensor grad = RandomTensor({batch, hidden}, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.Forward(input, true));
+    benchmark::DoNotOptimize(layer.Backward(grad));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LstmForwardBackward)->Arg(64)->Arg(128);
+
+void BM_MseLoss(benchmark::State& state) {
+  const Tensor pred = RandomTensor({512, 1}, 13);
+  const Tensor target = RandomTensor({512, 1}, 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apots::nn::MseLoss(pred, target));
+  }
+}
+BENCHMARK(BM_MseLoss);
+
+void BM_BceLoss(benchmark::State& state) {
+  const Tensor logits = RandomTensor({512, 1}, 15);
+  Tensor target({512, 1});
+  for (size_t i = 0; i < 512; ++i) target[i] = (i % 2) ? 1.0f : 0.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apots::nn::BceWithLogitsLoss(logits, target));
+  }
+}
+BENCHMARK(BM_BceLoss);
+
+}  // namespace
+
+BENCHMARK_MAIN();

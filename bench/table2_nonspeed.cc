@@ -1,0 +1,81 @@
+// Table II reproduction: ablation of the non-speed factors (Event,
+// Weather, Time) for APOTS H. Each arm adds a subset of factors on top of
+// the target+adjacent speed input under adversarial training; gains are
+// relative to the S (no non-speed data) arm, as in the paper.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "eval/experiment.h"
+#include "eval/profile.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace apots;
+
+  std::filesystem::create_directories("bench_out");
+  eval::EvalProfile profile = eval::EvalProfile::FromEnv();
+  std::printf("=== Table II: non-speed factors for APOTS H (profile: %s) "
+              "===\n\n",
+              profile.LevelName().c_str());
+  eval::Experiment experiment(profile);
+
+  struct Arm {
+    const char* name;
+    bool event;
+    bool weather;
+    bool time;
+  };
+  const Arm arms[] = {
+      {"S", false, false, false},   {"SE", true, false, false},
+      {"SW", false, true, false},   {"ST", false, false, true},
+      {"SEW", true, true, false},   {"SET", true, false, true},
+      {"SWT", false, true, true},   {"SEWT", true, true, true},
+  };
+
+  auto writer = CsvWriter::Open("bench_out/table2.csv",
+                                {"variant", "arm", "mape", "gain_pct"});
+  // Two passes: the paper-faithful one (APOTS H, adversarial on) and a
+  // variance-reduced one (same predictor, no adversarial term) — at
+  // scaled widths the adversarial-H seed noise is of the same order as
+  // the factor effects, so the second pass is where the factor ordering
+  // is readable.
+  for (const bool adversarial : {true, false}) {
+    std::printf("--- %s ---\n",
+                adversarial ? "APOTS H (adversarial, as in the paper)"
+                            : "H only (no adversarial, variance-reduced)");
+    TablePrinter table({"arm", "MAPE", "gain vs S", "train[s]"});
+    double s_mape = 0.0;
+    for (const Arm& arm : arms) {
+      eval::ModelSpec spec;
+      spec.predictor = core::PredictorType::kHybrid;
+      spec.adversarial = adversarial;
+      spec.features = data::FeatureConfig::AdjacentOnly();
+      spec.features.use_event = arm.event;
+      spec.features.use_weather = arm.weather;
+      spec.features.use_time = arm.time;
+      const eval::EvalRow row = experiment.RunModel(spec);
+      if (std::string(arm.name) == "S") s_mape = row.whole.mape;
+      const double gain = metrics::GainPercent(row.whole.mape, s_mape);
+      table.AddRow({arm.name, FormatMetric(row.whole.mape),
+                    std::string(arm.name) == "S" ? "-" : FormatGain(gain),
+                    FormatMetric(row.train_seconds)});
+      if (writer.ok()) {
+        (void)writer.value().WriteRow(std::vector<std::string>{
+            adversarial ? "apots_h" : "h_plain", arm.name,
+            StrFormat("%.4f", row.whole.mape), StrFormat("%.4f", gain)});
+      }
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  if (writer.ok()) (void)writer.value().Close();
+  std::printf("\nPaper reference: Time has the greatest impact (20.12%% "
+              "gain), then Weather (3.73%%),\nwhile Event alone shows "
+              "little effect; SEWT is best (16.60 -> 12.80 MAPE).\n"
+              "Note: the paper's S row includes the adjacent-speed matrix "
+              "(the H predictor consumes\nEq. 6), so ours does too.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// End-to-end training-throughput benchmark: samples/second of one MSE
+// minibatch step per predictor family at the quick-profile scale, plus the
+// cost of one full adversarial round. Useful for sizing the experiment
+// profiles.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/adversarial_trainer.h"
+#include "core/apots_model.h"
+#include "data/windowing.h"
+#include "traffic/dataset_generator.h"
+
+namespace {
+
+using namespace apots;
+
+struct Env {
+  traffic::TrafficDataset dataset;
+  std::vector<long> anchors;
+
+  Env() : dataset(traffic::GenerateDataset(traffic::DatasetSpec::Small(3))) {
+    auto split = data::MakeSplit(dataset, 12, 3, 0.2,
+                                 data::SplitStrategy::kBlockedByDay, 11);
+    anchors.assign(split.train.begin(),
+                   split.train.begin() +
+                       std::min<size_t>(512, split.train.size()));
+  }
+};
+
+Env& GetEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+core::ApotsConfig ConfigFor(core::PredictorType type, bool adversarial) {
+  core::ApotsConfig config;
+  config.predictor = core::PredictorHparams::Scaled(type, 8);
+  config.discriminator = core::DiscriminatorHparams::Scaled(2);
+  config.features = data::FeatureConfig::Both();
+  config.features.num_adjacent = 1;  // the Small dataset has 3 roads
+  config.features.beta = 3;
+  config.training.adversarial = adversarial;
+  config.training.epochs = 1;
+  config.training.batch_size = 64;
+  config.training.adv_period = 4;
+  config.training.adv_warmup_rounds = 0;
+  config.seed = 99;
+  return config;
+}
+
+void BM_TrainEpoch(benchmark::State& state, core::PredictorType type,
+                   bool adversarial) {
+  Env& env = GetEnv();
+  core::ApotsModel model(&env.dataset, ConfigFor(type, adversarial));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Train(env.anchors));
+  }
+  state.SetItemsProcessed(state.iterations() * env.anchors.size());
+}
+
+void BM_TrainFc(benchmark::State& state) {
+  BM_TrainEpoch(state, core::PredictorType::kFc, false);
+}
+void BM_TrainFcAdv(benchmark::State& state) {
+  BM_TrainEpoch(state, core::PredictorType::kFc, true);
+}
+void BM_TrainCnn(benchmark::State& state) {
+  BM_TrainEpoch(state, core::PredictorType::kCnn, false);
+}
+void BM_TrainLstm(benchmark::State& state) {
+  BM_TrainEpoch(state, core::PredictorType::kLstm, false);
+}
+void BM_TrainHybrid(benchmark::State& state) {
+  BM_TrainEpoch(state, core::PredictorType::kHybrid, false);
+}
+void BM_TrainHybridAdv(benchmark::State& state) {
+  BM_TrainEpoch(state, core::PredictorType::kHybrid, true);
+}
+
+BENCHMARK(BM_TrainFc)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainFcAdv)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainCnn)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainLstm)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainHybrid)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainHybridAdv)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

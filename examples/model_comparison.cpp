@@ -1,0 +1,59 @@
+// Model comparison: train all four predictor families (F, L, C, H) with
+// and without APOTS (adversarial + additional data) on one dataset and
+// print a leaderboard next to the statistical baselines — a miniature of
+// the paper's Table III.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/profile.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace apots;
+
+  eval::EvalProfile profile =
+      eval::EvalProfile::ForLevel(eval::ProfileLevel::kSmoke);
+  profile.epochs = 3;
+  eval::Experiment experiment(profile);
+
+  std::vector<eval::EvalRow> rows;
+  for (core::PredictorType type :
+       {core::PredictorType::kFc, core::PredictorType::kLstm,
+        core::PredictorType::kCnn, core::PredictorType::kHybrid}) {
+    eval::ModelSpec plain;
+    plain.predictor = type;
+    plain.features = data::FeatureConfig::SpeedOnly();
+    rows.push_back(experiment.RunModel(plain));
+
+    eval::ModelSpec apots_spec;
+    apots_spec.predictor = type;
+    apots_spec.adversarial = true;
+    apots_spec.features = data::FeatureConfig::Both();
+    rows.push_back(experiment.RunModel(apots_spec));
+  }
+  rows.push_back(experiment.RunProphet());
+  rows.push_back(experiment.RunHistoricalAverage());
+  rows.push_back(experiment.RunArModel());
+
+  std::sort(rows.begin(), rows.end(),
+            [](const eval::EvalRow& a, const eval::EvalRow& b) {
+              return a.whole.mape < b.whole.mape;
+            });
+
+  TablePrinter table(
+      {"rank", "model", "MAE", "RMSE", "MAPE[%]", "weights", "train[s]"});
+  int rank = 1;
+  for (const auto& row : rows) {
+    table.AddRow({StrFormat("%d", rank++), row.label,
+                  FormatMetric(row.whole.mae), FormatMetric(row.whole.rmse),
+                  FormatMetric(row.whole.mape),
+                  StrFormat("%zu", row.num_weights),
+                  FormatMetric(row.train_seconds)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "baseline/ar_model.h"
+
+#include "baseline/linreg.h"
+#include "util/logging.h"
+
+namespace apots::baseline {
+
+using apots::traffic::TrafficDataset;
+
+ArModel::ArModel(int order, double ridge_lambda)
+    : order_(order), lambda_(ridge_lambda) {
+  APOTS_CHECK_GT(order, 0);
+}
+
+bool ArModel::fitted() const { return !weights_.empty(); }
+
+apots::Status ArModel::Fit(const TrafficDataset& dataset, int road,
+                           const std::vector<long>& train_anchors,
+                           int beta) {
+  if (train_anchors.empty()) {
+    return apots::Status::InvalidArgument("no training anchors");
+  }
+  road_ = road;
+  const size_t p = static_cast<size_t>(order_) + 1;  // lags + intercept
+  const size_t n = train_anchors.size();
+  std::vector<double> design(n * p);
+  std::vector<double> target(n);
+  for (size_t i = 0; i < n; ++i) {
+    const long anchor = train_anchors[i];
+    APOTS_CHECK_GE(anchor - order_, 0);
+    double* row = design.data() + i * p;
+    for (int lag = 0; lag < order_; ++lag) {
+      row[lag] = dataset.Speed(road, anchor - order_ + lag);
+    }
+    row[order_] = 1.0;
+    target[i] = dataset.Speed(road, anchor + beta);
+  }
+  RidgeRegression regression(lambda_);
+  APOTS_RETURN_IF_ERROR(regression.Fit(design, n, p, target));
+  weights_ = regression.weights();
+  return apots::Status::Ok();
+}
+
+double ArModel::PredictOne(const TrafficDataset& dataset,
+                           long anchor) const {
+  APOTS_CHECK(fitted());
+  APOTS_CHECK_GE(anchor - order_, 0);
+  double acc = weights_[static_cast<size_t>(order_)];
+  for (int lag = 0; lag < order_; ++lag) {
+    acc += weights_[static_cast<size_t>(lag)] *
+           dataset.Speed(road_, anchor - order_ + lag);
+  }
+  return acc;
+}
+
+std::vector<double> ArModel::PredictAtAnchors(
+    const TrafficDataset& dataset, const std::vector<long>& anchors) const {
+  std::vector<double> out(anchors.size());
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    out[i] = PredictOne(dataset, anchors[i]);
+  }
+  return out;
+}
+
+}  // namespace apots::baseline

@@ -1,0 +1,43 @@
+#ifndef APOTS_BASELINE_AR_MODEL_H_
+#define APOTS_BASELINE_AR_MODEL_H_
+
+#include <vector>
+
+#include "traffic/traffic_dataset.h"
+#include "util/status.h"
+
+namespace apots::baseline {
+
+/// Autoregressive baseline: predicts s_{t+beta} from the last `order`
+/// speeds by ridge-fit linear regression (the classical time-series
+/// approach in the paper's related-work lineage, ARIMA's AR core). Unlike
+/// Prophet it *does* see the recent window, so it tracks slow dynamics but
+/// still lags on abrupt changes.
+class ArModel {
+ public:
+  explicit ArModel(int order = 12, double ridge_lambda = 1e-3);
+
+  /// `train_anchors` follow the APOTS anchor convention: inputs are
+  /// [t - order, t - 1], target is t + beta.
+  apots::Status Fit(const apots::traffic::TrafficDataset& dataset, int road,
+                    const std::vector<long>& train_anchors, int beta);
+
+  double PredictOne(const apots::traffic::TrafficDataset& dataset,
+                    long anchor) const;
+
+  std::vector<double> PredictAtAnchors(
+      const apots::traffic::TrafficDataset& dataset,
+      const std::vector<long>& anchors) const;
+
+  bool fitted() const;
+
+ private:
+  int order_;
+  double lambda_;
+  int road_ = 0;
+  std::vector<double> weights_;  ///< order lags + intercept
+};
+
+}  // namespace apots::baseline
+
+#endif  // APOTS_BASELINE_AR_MODEL_H_

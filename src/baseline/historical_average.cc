@@ -1,0 +1,68 @@
+#include "baseline/historical_average.h"
+
+#include "util/logging.h"
+
+namespace apots::baseline {
+
+using apots::traffic::DayInfo;
+using apots::traffic::TrafficDataset;
+
+namespace {
+
+int BucketOf(const DayInfo& day) {
+  return (day.is_weekend || day.is_holiday) ? 1 : 0;
+}
+
+}  // namespace
+
+apots::Status HistoricalAverage::Fit(
+    const TrafficDataset& dataset, int road,
+    const std::vector<long>& train_intervals) {
+  if (train_intervals.empty()) {
+    return apots::Status::InvalidArgument("no training intervals");
+  }
+  intervals_per_day_ = dataset.intervals_per_day();
+  bucket_mean_.assign(2 * static_cast<size_t>(intervals_per_day_), 0.0);
+  bucket_count_.assign(2 * static_cast<size_t>(intervals_per_day_), 0);
+  double total = 0.0;
+  for (long t : train_intervals) {
+    const int slot = static_cast<int>(t % intervals_per_day_);
+    const int bucket = BucketOf(dataset.Day(t));
+    const size_t idx =
+        static_cast<size_t>(bucket) * intervals_per_day_ + slot;
+    bucket_mean_[idx] += dataset.Speed(road, t);
+    ++bucket_count_[idx];
+    total += dataset.Speed(road, t);
+  }
+  global_mean_ = total / static_cast<double>(train_intervals.size());
+  for (size_t i = 0; i < bucket_mean_.size(); ++i) {
+    if (bucket_count_[i] > 0) {
+      bucket_mean_[i] /= static_cast<double>(bucket_count_[i]);
+    } else {
+      bucket_mean_[i] = global_mean_;
+    }
+  }
+  fitted_ = true;
+  return apots::Status::Ok();
+}
+
+double HistoricalAverage::Predict(const TrafficDataset& dataset,
+                                  long t) const {
+  APOTS_CHECK(fitted_);
+  const int slot = static_cast<int>(t % intervals_per_day_);
+  const int bucket = BucketOf(dataset.Day(t));
+  return bucket_mean_[static_cast<size_t>(bucket) * intervals_per_day_ +
+                      slot];
+}
+
+std::vector<double> HistoricalAverage::PredictAtAnchors(
+    const TrafficDataset& dataset, const std::vector<long>& anchors,
+    int beta) const {
+  std::vector<double> out(anchors.size());
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    out[i] = Predict(dataset, anchors[i] + beta);
+  }
+  return out;
+}
+
+}  // namespace apots::baseline

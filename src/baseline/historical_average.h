@@ -1,0 +1,42 @@
+#ifndef APOTS_BASELINE_HISTORICAL_AVERAGE_H_
+#define APOTS_BASELINE_HISTORICAL_AVERAGE_H_
+
+#include <vector>
+
+#include "traffic/traffic_dataset.h"
+#include "util/status.h"
+
+namespace apots::baseline {
+
+/// Time-of-day / day-kind historical mean: the classical ITS baseline.
+/// Predicts the training-set average speed for the same interval-of-day,
+/// separately for workdays and weekend-or-holiday days. Falls back to the
+/// global mean when a bucket is empty.
+class HistoricalAverage {
+ public:
+  HistoricalAverage() = default;
+
+  apots::Status Fit(const apots::traffic::TrafficDataset& dataset, int road,
+                    const std::vector<long>& train_intervals);
+
+  double Predict(const apots::traffic::TrafficDataset& dataset,
+                 long t) const;
+
+  std::vector<double> PredictAtAnchors(
+      const apots::traffic::TrafficDataset& dataset,
+      const std::vector<long>& anchors, int beta) const;
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  bool fitted_ = false;
+  int intervals_per_day_ = 0;
+  double global_mean_ = 0.0;
+  // [2][intervals_per_day]: bucket 0 = workday, 1 = weekend/holiday.
+  std::vector<double> bucket_mean_;
+  std::vector<long> bucket_count_;
+};
+
+}  // namespace apots::baseline
+
+#endif  // APOTS_BASELINE_HISTORICAL_AVERAGE_H_

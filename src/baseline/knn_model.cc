@@ -1,0 +1,97 @@
+#include "baseline/knn_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace apots::baseline {
+
+using apots::traffic::TrafficDataset;
+
+KnnModel::KnnModel(int order, int k) : order_(order), k_(k) {
+  APOTS_CHECK_GT(order, 0);
+  APOTS_CHECK_GT(k, 0);
+}
+
+apots::Status KnnModel::Fit(const TrafficDataset& dataset, int road,
+                            const std::vector<long>& train_anchors,
+                            int beta) {
+  if (train_anchors.empty()) {
+    return apots::Status::InvalidArgument("no training anchors");
+  }
+  road_ = road;
+  windows_.clear();
+  targets_.clear();
+  windows_.reserve(train_anchors.size() * static_cast<size_t>(order_));
+  targets_.reserve(train_anchors.size());
+  for (long anchor : train_anchors) {
+    if (anchor - order_ < 0 ||
+        anchor + beta >= dataset.num_intervals()) {
+      return apots::Status::OutOfRange("anchor window outside dataset");
+    }
+    for (int lag = 0; lag < order_; ++lag) {
+      windows_.push_back(dataset.Speed(road, anchor - order_ + lag));
+    }
+    targets_.push_back(dataset.Speed(road, anchor + beta));
+  }
+  return apots::Status::Ok();
+}
+
+double KnnModel::PredictOne(const TrafficDataset& dataset,
+                            long anchor) const {
+  APOTS_CHECK(fitted());
+  APOTS_CHECK_GE(anchor - order_, 0);
+  std::vector<float> query(static_cast<size_t>(order_));
+  for (int lag = 0; lag < order_; ++lag) {
+    query[static_cast<size_t>(lag)] =
+        dataset.Speed(road_, anchor - order_ + lag);
+  }
+  // Track the k best (distance, target) pairs with a simple max-heap in a
+  // vector — k is small.
+  struct Neighbor {
+    double distance_sq;
+    float target;
+    bool operator<(const Neighbor& other) const {
+      return distance_sq < other.distance_sq;
+    }
+  };
+  std::vector<Neighbor> best;
+  best.reserve(static_cast<size_t>(k_) + 1);
+  const size_t n = targets_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const float* window = windows_.data() + i * static_cast<size_t>(order_);
+    double dist = 0.0;
+    for (int lag = 0; lag < order_; ++lag) {
+      const double diff = window[lag] - query[static_cast<size_t>(lag)];
+      dist += diff * diff;
+    }
+    if (best.size() < static_cast<size_t>(k_)) {
+      best.push_back({dist, targets_[i]});
+      std::push_heap(best.begin(), best.end());
+    } else if (dist < best.front().distance_sq) {
+      std::pop_heap(best.begin(), best.end());
+      best.back() = {dist, targets_[i]};
+      std::push_heap(best.begin(), best.end());
+    }
+  }
+  // Inverse-distance weighting with a small floor for exact matches.
+  double weight_sum = 0.0, value_sum = 0.0;
+  for (const Neighbor& neighbor : best) {
+    const double weight = 1.0 / (std::sqrt(neighbor.distance_sq) + 1e-3);
+    weight_sum += weight;
+    value_sum += weight * neighbor.target;
+  }
+  return value_sum / weight_sum;
+}
+
+std::vector<double> KnnModel::PredictAtAnchors(
+    const TrafficDataset& dataset, const std::vector<long>& anchors) const {
+  std::vector<double> out(anchors.size());
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    out[i] = PredictOne(dataset, anchors[i]);
+  }
+  return out;
+}
+
+}  // namespace apots::baseline

@@ -1,0 +1,46 @@
+#ifndef APOTS_BASELINE_KNN_MODEL_H_
+#define APOTS_BASELINE_KNN_MODEL_H_
+
+#include <vector>
+
+#include "traffic/traffic_dataset.h"
+#include "util/status.h"
+
+namespace apots::baseline {
+
+/// k-nearest-neighbour speed predictor in the spirit of the ST-KNN line of
+/// work the paper cites: the query is the target road's last `order`
+/// speeds; neighbours are training windows with the smallest Euclidean
+/// distance; the prediction is the distance-weighted mean of the
+/// neighbours' beta-ahead continuations. Brute-force search — fine at this
+/// corpus size and it keeps the baseline dependency-free.
+class KnnModel {
+ public:
+  explicit KnnModel(int order = 12, int k = 15);
+
+  /// Stores the training windows (anchor convention as elsewhere: inputs
+  /// [t-order, t-1], target t+beta).
+  apots::Status Fit(const apots::traffic::TrafficDataset& dataset, int road,
+                    const std::vector<long>& train_anchors, int beta);
+
+  double PredictOne(const apots::traffic::TrafficDataset& dataset,
+                    long anchor) const;
+
+  std::vector<double> PredictAtAnchors(
+      const apots::traffic::TrafficDataset& dataset,
+      const std::vector<long>& anchors) const;
+
+  bool fitted() const { return !targets_.empty(); }
+  int k() const { return k_; }
+
+ private:
+  int order_;
+  int k_;
+  int road_ = 0;
+  std::vector<float> windows_;   ///< [n, order] row-major
+  std::vector<float> targets_;   ///< [n]
+};
+
+}  // namespace apots::baseline
+
+#endif  // APOTS_BASELINE_KNN_MODEL_H_

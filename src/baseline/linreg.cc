@@ -1,0 +1,82 @@
+#include "baseline/linreg.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace apots::baseline {
+
+bool CholeskySolve(std::vector<double>* a, size_t p, std::vector<double>* b) {
+  APOTS_CHECK_EQ(a->size(), p * p);
+  APOTS_CHECK_EQ(b->size(), p);
+  std::vector<double>& A = *a;
+  // Factor A = L L^T, storing L in the lower triangle.
+  for (size_t j = 0; j < p; ++j) {
+    double diag = A[j * p + j];
+    for (size_t k = 0; k < j; ++k) diag -= A[j * p + k] * A[j * p + k];
+    if (diag <= 0.0) return false;
+    const double ljj = std::sqrt(diag);
+    A[j * p + j] = ljj;
+    for (size_t i = j + 1; i < p; ++i) {
+      double value = A[i * p + j];
+      for (size_t k = 0; k < j; ++k) value -= A[i * p + k] * A[j * p + k];
+      A[i * p + j] = value / ljj;
+    }
+  }
+  // Forward solve L z = b.
+  std::vector<double>& x = *b;
+  for (size_t i = 0; i < p; ++i) {
+    double value = x[i];
+    for (size_t k = 0; k < i; ++k) value -= A[i * p + k] * x[k];
+    x[i] = value / A[i * p + i];
+  }
+  // Back solve L^T w = z.
+  for (size_t i = p; i-- > 0;) {
+    double value = x[i];
+    for (size_t k = i + 1; k < p; ++k) value -= A[k * p + i] * x[k];
+    x[i] = value / A[i * p + i];
+  }
+  return true;
+}
+
+apots::Status RidgeRegression::Fit(const std::vector<double>& x, size_t n,
+                                   size_t p, const std::vector<double>& y) {
+  if (x.size() != n * p) {
+    return apots::Status::InvalidArgument("X size does not match n*p");
+  }
+  if (y.size() != n) {
+    return apots::Status::InvalidArgument("y size does not match n");
+  }
+  if (n == 0 || p == 0) {
+    return apots::Status::InvalidArgument("empty design matrix");
+  }
+  // Gram matrix X^T X + lambda I and moment vector X^T y.
+  std::vector<double> gram(p * p, 0.0);
+  std::vector<double> moment(p, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = x.data() + i * p;
+    for (size_t j = 0; j < p; ++j) {
+      moment[j] += row[j] * y[i];
+      for (size_t k = j; k < p; ++k) gram[j * p + k] += row[j] * row[k];
+    }
+  }
+  for (size_t j = 0; j < p; ++j) {
+    for (size_t k = 0; k < j; ++k) gram[j * p + k] = gram[k * p + j];
+    gram[j * p + j] += lambda_;
+  }
+  if (!CholeskySolve(&gram, p, &moment)) {
+    return apots::Status::Internal(
+        "Gram matrix not positive definite; increase lambda");
+  }
+  weights_ = std::move(moment);
+  return apots::Status::Ok();
+}
+
+double RidgeRegression::Predict(const double* row) const {
+  APOTS_CHECK(fitted());
+  double acc = 0.0;
+  for (size_t j = 0; j < weights_.size(); ++j) acc += row[j] * weights_[j];
+  return acc;
+}
+
+}  // namespace apots::baseline

@@ -1,0 +1,42 @@
+#ifndef APOTS_BASELINE_LINREG_H_
+#define APOTS_BASELINE_LINREG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace apots::baseline {
+
+/// Ridge regression by normal equations: solves
+///   (X^T X + lambda I) w = X^T y
+/// with a Cholesky factorization. `X` is row-major [n, p]; the intercept,
+/// if wanted, must be an explicit all-ones column. Ridge on the intercept
+/// column is harmless at the lambdas used here.
+class RidgeRegression {
+ public:
+  explicit RidgeRegression(double lambda = 1e-3) : lambda_(lambda) {}
+
+  /// Fits the weights; fails when the regularized Gram matrix is not
+  /// positive definite (lambda <= 0 with collinear features).
+  apots::Status Fit(const std::vector<double>& x, size_t n, size_t p,
+                    const std::vector<double>& y);
+
+  /// Predicted value for one feature row (length p).
+  double Predict(const double* row) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  bool fitted() const { return !weights_.empty(); }
+
+ private:
+  double lambda_;
+  std::vector<double> weights_;
+};
+
+/// In-place Cholesky solve of A x = b for symmetric positive-definite A
+/// ([p, p], row-major). Returns false when A is not positive definite.
+bool CholeskySolve(std::vector<double>* a, size_t p, std::vector<double>* b);
+
+}  // namespace apots::baseline
+
+#endif  // APOTS_BASELINE_LINREG_H_

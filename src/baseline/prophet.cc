@@ -1,0 +1,110 @@
+#include "baseline/prophet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace apots::baseline {
+
+using apots::traffic::DayInfo;
+using apots::traffic::TrafficDataset;
+
+Prophet::Prophet(ProphetConfig config) : config_(config) {
+  APOTS_CHECK_GE(config_.trend_changepoints, 0);
+  APOTS_CHECK_GE(config_.daily_harmonics, 0);
+  APOTS_CHECK_GE(config_.weekly_harmonics, 0);
+}
+
+size_t Prophet::NumFeatures() const {
+  // intercept + linear trend + changepoint hinges + daily Fourier pairs +
+  // weekly Fourier pairs + holiday window indicators
+  // (lower .. upper inclusive).
+  const size_t holiday_terms = static_cast<size_t>(
+      config_.holiday_lower_window + config_.holiday_upper_window + 1);
+  return 2 + static_cast<size_t>(config_.trend_changepoints) +
+         2 * static_cast<size_t>(config_.daily_harmonics) +
+         2 * static_cast<size_t>(config_.weekly_harmonics) + holiday_terms;
+}
+
+void Prophet::FeatureRow(const TrafficDataset& dataset, long t,
+                         double* row) const {
+  size_t k = 0;
+  const double scaled_t =
+      static_cast<double>(t) / static_cast<double>(total_intervals_);
+  row[k++] = 1.0;       // intercept
+  row[k++] = scaled_t;  // linear trend
+  // Piecewise-linear trend: hinge features max(0, t - c_i) at evenly
+  // spaced changepoints (Prophet's changepoint grid over history).
+  for (int i = 0; i < config_.trend_changepoints; ++i) {
+    const double knot =
+        static_cast<double>(i + 1) / (config_.trend_changepoints + 1);
+    row[k++] = std::max(0.0, scaled_t - knot);
+  }
+  // Daily seasonality.
+  const double day_phase = dataset.FractionalHour(t) / 24.0;
+  for (int h = 1; h <= config_.daily_harmonics; ++h) {
+    row[k++] = std::sin(2.0 * M_PI * h * day_phase);
+    row[k++] = std::cos(2.0 * M_PI * h * day_phase);
+  }
+  // Weekly seasonality.
+  const DayInfo day = dataset.Day(t);
+  const double week_phase =
+      (static_cast<double>(day.weekday) + day_phase) / 7.0;
+  for (int h = 1; h <= config_.weekly_harmonics; ++h) {
+    row[k++] = std::sin(2.0 * M_PI * h * week_phase);
+    row[k++] = std::cos(2.0 * M_PI * h * week_phase);
+  }
+  // Holiday effects with lower/upper windows: one indicator per offset in
+  // [-lower, +upper]; offset d is active when day_index + d is a holiday
+  // ... i.e. when this day sits d days before/after a holiday.
+  const int day_index = day.day_index;
+  const auto& calendar = dataset.calendar();
+  for (int offset = -config_.holiday_lower_window;
+       offset <= config_.holiday_upper_window; ++offset) {
+    const int probe = day_index + offset;
+    bool active = false;
+    if (probe >= 0 && probe < calendar.num_days()) {
+      active = calendar.Day(probe).is_holiday;
+    }
+    row[k++] = active ? 1.0 : 0.0;
+  }
+  APOTS_CHECK_EQ(k, NumFeatures());
+}
+
+apots::Status Prophet::Fit(const TrafficDataset& dataset, int road,
+                           const std::vector<long>& train_intervals) {
+  if (train_intervals.empty()) {
+    return apots::Status::InvalidArgument("no training intervals");
+  }
+  total_intervals_ = std::max<long>(1, dataset.num_intervals());
+  const size_t p = NumFeatures();
+  const size_t n = train_intervals.size();
+  std::vector<double> design(n * p);
+  std::vector<double> target(n);
+  for (size_t i = 0; i < n; ++i) {
+    FeatureRow(dataset, train_intervals[i], design.data() + i * p);
+    target[i] = dataset.Speed(road, train_intervals[i]);
+  }
+  regression_ = RidgeRegression(config_.ridge_lambda);
+  return regression_.Fit(design, n, p, target);
+}
+
+double Prophet::Predict(const TrafficDataset& dataset, long t) const {
+  APOTS_CHECK(fitted());
+  std::vector<double> row(NumFeatures());
+  FeatureRow(dataset, t, row.data());
+  return regression_.Predict(row.data());
+}
+
+std::vector<double> Prophet::PredictAtAnchors(
+    const TrafficDataset& dataset, const std::vector<long>& anchors,
+    int beta) const {
+  std::vector<double> out(anchors.size());
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    out[i] = Predict(dataset, anchors[i] + beta);
+  }
+  return out;
+}
+
+}  // namespace apots::baseline

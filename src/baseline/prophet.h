@@ -1,0 +1,63 @@
+#ifndef APOTS_BASELINE_PROPHET_H_
+#define APOTS_BASELINE_PROPHET_H_
+
+#include <vector>
+
+#include "baseline/linreg.h"
+#include "traffic/traffic_dataset.h"
+#include "util/status.h"
+
+namespace apots::baseline {
+
+/// Configuration of the Prophet-style additive model. Mirrors the knobs
+/// the paper mentions: holiday upper/lower windows of 1 day and default
+/// regularization scales.
+struct ProphetConfig {
+  int trend_changepoints = 10;     ///< piecewise-linear trend knots
+  int daily_harmonics = 10;        ///< Fourier order of the daily season
+  int weekly_harmonics = 3;        ///< Fourier order of the weekly season
+  int holiday_lower_window = 1;    ///< days before a holiday with own effect
+  int holiday_upper_window = 1;    ///< days after a holiday with own effect
+  double ridge_lambda = 1.0;       ///< MAP point-fit regularization
+};
+
+/// A from-scratch reimplementation of the additive core of Facebook
+/// Prophet: y(t) = trend(t) + daily seasonality + weekly seasonality +
+/// holiday effects, fit as a ridge regression (Prophet's MAP point
+/// estimate). Like the paper's baseline it conditions only on the clock
+/// and calendar — not on recent speeds — which is exactly why it cannot
+/// track abrupt changes.
+class Prophet {
+ public:
+  explicit Prophet(ProphetConfig config = ProphetConfig());
+
+  /// Fits on the target road's speeds at the training intervals.
+  apots::Status Fit(const apots::traffic::TrafficDataset& dataset, int road,
+                    const std::vector<long>& train_intervals);
+
+  /// Predicted speed (km/h) at interval `t`.
+  double Predict(const apots::traffic::TrafficDataset& dataset,
+                 long t) const;
+
+  /// Batch of predictions at `anchors + beta` (the instants APOTS models
+  /// predict), aligned with ApotsModel::PredictKmh.
+  std::vector<double> PredictAtAnchors(
+      const apots::traffic::TrafficDataset& dataset,
+      const std::vector<long>& anchors, int beta) const;
+
+  bool fitted() const { return regression_.fitted(); }
+  size_t NumFeatures() const;
+
+ private:
+  /// Builds the design row for interval `t` into `row`.
+  void FeatureRow(const apots::traffic::TrafficDataset& dataset, long t,
+                  double* row) const;
+
+  ProphetConfig config_;
+  RidgeRegression regression_;
+  long total_intervals_ = 1;  ///< for trend normalization
+};
+
+}  // namespace apots::baseline
+
+#endif  // APOTS_BASELINE_PROPHET_H_

@@ -1,0 +1,255 @@
+#include "core/adversarial_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/loss.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace apots::core {
+
+using apots::data::FeatureAssembler;
+using apots::nn::LossResult;
+using apots::tensor::Tensor;
+
+AdversarialTrainer::AdversarialTrainer(Predictor* predictor,
+                                       Discriminator* discriminator,
+                                       const FeatureAssembler* assembler,
+                                       TrainConfig config)
+    : predictor_(predictor),
+      discriminator_(discriminator),
+      assembler_(assembler),
+      config_(config),
+      predictor_opt_(config.learning_rate),
+      discriminator_opt_(config.d_learning_rate),
+      rng_(config.seed) {
+  APOTS_CHECK(predictor != nullptr);
+  APOTS_CHECK(assembler != nullptr);
+  if (config_.adversarial) {
+    APOTS_CHECK(discriminator != nullptr)
+        << "adversarial training requires a discriminator";
+  }
+  if (config_.adv_period <= 0) config_.adv_period = 1;
+}
+
+bool AdversarialTrainer::AdversarialEligible(long anchor) const {
+  // Sub-anchors run from anchor - alpha + 1 to anchor; the earliest one
+  // needs alpha intervals of history.
+  const int alpha = assembler_->alpha();
+  return anchor - alpha + 1 - alpha >= 0;
+}
+
+Tensor AdversarialTrainer::PredictedSequences(
+    const std::vector<long>& anchors, bool training) {
+  const int alpha = assembler_->alpha();
+  // Stack all sub-anchors into one predictor batch of size N * alpha; the
+  // reshape back to [N, alpha] yields one predicted sequence per anchor.
+  std::vector<long> sub_anchors;
+  sub_anchors.reserve(anchors.size() * static_cast<size_t>(alpha));
+  for (long anchor : anchors) {
+    APOTS_CHECK(AdversarialEligible(anchor));
+    for (int i = 0; i < alpha; ++i) {
+      sub_anchors.push_back(anchor - alpha + 1 + i);
+    }
+  }
+  const Tensor inputs = assembler_->BatchMatrix(sub_anchors);
+  Tensor outputs = predictor_->Forward(inputs, training);  // [N*alpha, 1]
+  return outputs.Reshape({anchors.size(), static_cast<size_t>(alpha)});
+}
+
+double AdversarialTrainer::MseStep(const std::vector<long>& batch) {
+  const Tensor inputs = assembler_->BatchMatrix(batch);
+  const Tensor targets = assembler_->BatchTargets(batch);
+  const Tensor outputs = predictor_->Forward(inputs, /*training=*/true);
+  const LossResult loss = apots::nn::MseLoss(outputs, targets);
+  predictor_->Backward(loss.grad);
+  auto params = predictor_->Parameters();
+  apots::nn::ClipGradNorm(params, config_.grad_clip);
+  predictor_opt_.StepAndZero(params);
+  return loss.value;
+}
+
+void AdversarialTrainer::AdversarialRound(const std::vector<long>& anchors,
+                                          EpochStats* stats,
+                                          int* round_count) {
+  if (anchors.empty()) return;
+  const size_t n = anchors.size();
+  // Shared conditioning context (E_{t-alpha:t-1} of Eq. 4, without the
+  // target road's own speed history — see FeatureAssembler::BatchContext).
+  const Tensor context = assembler_->BatchContext(anchors);
+
+  // --- Discriminator step (maximize J_D, Eq. 2) ---
+  const Tensor real_seq = assembler_->BatchRealSequences(anchors);
+  // Fake sequences: plain forward; no predictor gradient needed here.
+  const Tensor fake_seq = PredictedSequences(anchors, /*training=*/false);
+
+  Tensor real_logits =
+      discriminator_->Forward(real_seq, context, /*training=*/true);
+  const LossResult real_loss = apots::nn::BceWithLogitsLoss(
+      real_logits, Tensor::Full({n, 1}, 1.0f));
+  discriminator_->Backward(real_loss.grad);
+
+  Tensor fake_logits =
+      discriminator_->Forward(fake_seq, context, /*training=*/true);
+  const LossResult fake_loss = apots::nn::BceWithLogitsLoss(
+      fake_logits, Tensor::Full({n, 1}, 0.0f));
+  discriminator_->Backward(fake_loss.grad);
+
+  auto d_params = discriminator_->Parameters();
+  apots::nn::ClipGradNorm(d_params, config_.grad_clip);
+  discriminator_opt_.StepAndZero(d_params);
+
+  // D accuracy diagnostics (logit > 0 <=> "real").
+  size_t real_correct = 0, fake_correct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (real_logits[i] > 0.0f) ++real_correct;
+    if (fake_logits[i] <= 0.0f) ++fake_correct;
+  }
+
+  // --- Generator (predictor) adversarial step: the second term of J_P
+  // (Eq. 1), non-saturating form. ---
+  // --- Generator (predictor) adversarial gradient: the second term of
+  // J_P (Eq. 1), non-saturating form. The gradient is only ACCUMULATED
+  // here; the caller's next MSE minibatch adds the first term of J_P and
+  // takes one combined optimizer step — keeping the two terms at their
+  // configured ratio under Adam's scale-invariant updates.
+  double gen_loss_value = 0.0;
+  if (total_adv_rounds_++ >= config_.adv_warmup_rounds) {
+    const Tensor fake_seq_live =
+        PredictedSequences(anchors, /*training=*/true);
+    Tensor live_logits =
+        discriminator_->Forward(fake_seq_live, context, /*training=*/true);
+    const LossResult gen_loss =
+        apots::nn::AdversarialGeneratorLoss(live_logits);
+    gen_loss_value = gen_loss.value;
+    Tensor grad_seq = discriminator_->Backward(gen_loss.grad);
+    // Normalize the conduit gradient to a fixed norm so the MSE:adv ratio
+    // is exactly adv_weight regardless of D's internal scale, then route
+    // it through the stacked predictor batch.
+    const double norm = [&grad_seq] {
+      double acc = 0.0;
+      for (size_t i = 0; i < grad_seq.size(); ++i) {
+        acc += static_cast<double>(grad_seq[i]) * grad_seq[i];
+      }
+      return std::sqrt(acc);
+    }();
+    const size_t alpha = static_cast<size_t>(assembler_->alpha());
+    if (config_.adv_future_only) {
+      // Ablation: keep only the last beta positions (targets outside the
+      // anchor's observable window).
+      const size_t beta = static_cast<size_t>(assembler_->beta());
+      const size_t first_future = beta >= alpha ? 0 : alpha - beta;
+      float* g = grad_seq.data();
+      for (size_t row = 0; row < n; ++row) {
+        for (size_t col = 0; col < first_future; ++col) {
+          g[row * alpha + col] = 0.0f;
+        }
+      }
+    }
+    if (norm > 1e-12) {
+      grad_seq = apots::tensor::Scale(
+          grad_seq, static_cast<float>(config_.adv_weight / norm));
+    }
+    // The discriminator was only a conduit here: drop its gradients.
+    apots::nn::ZeroAllGrads(discriminator_->Parameters());
+    predictor_->Backward(grad_seq.Reshape({n * alpha, 1}));
+    // No optimizer step: gradients stay accumulated for the caller.
+  }
+
+  stats->loss_d += 0.5 * (real_loss.value + fake_loss.value);
+  stats->adv_loss_p += gen_loss_value;
+  stats->d_real_accuracy += static_cast<double>(real_correct) / n;
+  stats->d_fake_accuracy += static_cast<double>(fake_correct) / n;
+  ++*round_count;
+}
+
+EpochStats AdversarialTrainer::RunEpoch(
+    const std::vector<long>& train_anchors) {
+  APOTS_CHECK(!train_anchors.empty());
+  apots::Stopwatch watch;
+  EpochStats stats;
+
+  std::vector<size_t> order(train_anchors.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng_.Shuffle(&order);
+
+  // Adversarial-eligible anchors (enough history for the full sequence).
+  std::vector<long> eligible;
+  if (config_.adversarial) {
+    for (long a : train_anchors) {
+      if (AdversarialEligible(a)) eligible.push_back(a);
+    }
+  }
+
+  int batch_count = 0;
+  int adv_rounds = 0;
+  double mse_sum = 0.0;
+  std::vector<long> batch;
+  batch.reserve(config_.batch_size);
+  for (size_t i = 0; i < order.size(); ++i) {
+    batch.push_back(train_anchors[order[i]]);
+    if (batch.size() < config_.batch_size && i + 1 < order.size()) continue;
+    mse_sum += MseStep(batch);
+    ++batch_count;
+    batch.clear();
+
+    if (config_.adversarial && !eligible.empty() &&
+        batch_count % config_.adv_period == 0) {
+      // Sample the round's sequences from the eligible pool.
+      std::vector<long> round;
+      const size_t round_size =
+          std::min(config_.adv_batch_size, eligible.size());
+      for (size_t k = 0; k < round_size; ++k) {
+        round.push_back(
+            eligible[static_cast<size_t>(rng_.UniformInt(eligible.size()))]);
+      }
+      AdversarialRound(round, &stats, &adv_rounds);
+    }
+  }
+
+  stats.mse_loss = batch_count > 0 ? mse_sum / batch_count : 0.0;
+  if (adv_rounds > 0) {
+    stats.adv_loss_p /= adv_rounds;
+    stats.loss_d /= adv_rounds;
+    stats.d_real_accuracy /= adv_rounds;
+    stats.d_fake_accuracy /= adv_rounds;
+  }
+  stats.seconds = watch.ElapsedSeconds();
+  return stats;
+}
+
+EpochStats AdversarialTrainer::Train(const std::vector<long>& train_anchors) {
+  EpochStats last;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    last = RunEpoch(train_anchors);
+    if (config_.verbose) {
+      APOTS_LOG(Info) << "epoch " << epoch + 1 << "/" << config_.epochs
+                      << " mse=" << last.mse_loss
+                      << " adv_p=" << last.adv_loss_p
+                      << " d=" << last.loss_d << " ("
+                      << last.seconds << "s)";
+    }
+  }
+  return last;
+}
+
+Tensor AdversarialTrainer::Predict(const std::vector<long>& anchors) {
+  // Chunked inference keeps peak memory bounded on large test sets.
+  constexpr size_t kChunk = 512;
+  Tensor out({anchors.size(), 1});
+  for (size_t start = 0; start < anchors.size(); start += kChunk) {
+    const size_t end = std::min(anchors.size(), start + kChunk);
+    const std::vector<long> chunk(anchors.begin() + start,
+                                  anchors.begin() + end);
+    const Tensor inputs = assembler_->BatchMatrix(chunk);
+    const Tensor outputs = predictor_->Forward(inputs, /*training=*/false);
+    std::copy(outputs.data(), outputs.data() + (end - start),
+              out.data() + start);
+  }
+  return out;
+}
+
+}  // namespace apots::core

@@ -1,0 +1,113 @@
+#ifndef APOTS_CORE_ADVERSARIAL_TRAINER_H_
+#define APOTS_CORE_ADVERSARIAL_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/discriminator.h"
+#include "core/predictor.h"
+#include "data/features.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace apots::core {
+
+/// Training-loop knobs. The defaults encode the paper's recipe: Adam at
+/// lr 0.001 (Table I), and the footnote's alpha:1 ratio between the MSE
+/// loss (per speed value) and the adversarial loss (per length-alpha
+/// sequence) — realized here by interleaving one adversarial step after
+/// every `adv_period` (= alpha) MSE minibatches.
+struct TrainConfig {
+  int epochs = 10;
+  size_t batch_size = 64;
+  float learning_rate = 0.001f;
+  bool adversarial = false;
+  /// Minibatches of plain MSE training per adversarial round. The paper's
+  /// ratio alpha:1 (Section III footnote); 0 means "every batch".
+  int adv_period = 12;
+  /// Sequences per adversarial round (each costs alpha predictor passes).
+  size_t adv_batch_size = 16;
+  /// Extra multiplier on the generator's adversarial gradient.
+  float adv_weight = 1.0f;
+  /// Discriminator learning rate; D converges best slightly faster than P
+  /// (it only sees a fraction of the minibatches).
+  float d_learning_rate = 0.002f;
+  /// Adversarial rounds that update only D before the predictor starts
+  /// taking generator steps — a fresh D emits noise gradients.
+  int adv_warmup_rounds = 20;
+  /// When true, the generator's adversarial gradient is applied only to
+  /// the last `beta` sequence positions — the entries whose target speeds
+  /// fall outside the anchor's observable window. Off by default: every
+  /// position of the sequence is a beta-ahead prediction and carries
+  /// distribution signal; the option exists for ablation.
+  bool adv_future_only = false;
+  double grad_clip = 5.0;
+  uint64_t seed = 1;
+  bool verbose = false;
+};
+
+/// Per-epoch diagnostics.
+struct EpochStats {
+  double mse_loss = 0.0;        ///< mean MSE over minibatches
+  double adv_loss_p = 0.0;      ///< mean generator adversarial loss
+  double loss_d = 0.0;          ///< mean discriminator loss
+  double d_real_accuracy = 0.0; ///< fraction of real sequences D got right
+  double d_fake_accuracy = 0.0; ///< fraction of fake sequences D got right
+  double seconds = 0.0;
+};
+
+/// Orchestrates APOTS training: minimizes J_P (Eq. 1 / Eq. 4) over the
+/// predictor while maximizing J_D (Eq. 2) over the discriminator. When
+/// `config.adversarial` is false this reduces to plain MSE training and
+/// the discriminator may be null.
+class AdversarialTrainer {
+ public:
+  /// `predictor` and `discriminator` are borrowed; `discriminator` may be
+  /// null iff `config.adversarial` is false. The assembler provides
+  /// samples, targets, real sequences and D's conditioning context.
+  AdversarialTrainer(Predictor* predictor, Discriminator* discriminator,
+                     const apots::data::FeatureAssembler* assembler,
+                     TrainConfig config);
+
+  /// Runs one epoch over a shuffled copy of `train_anchors`.
+  EpochStats RunEpoch(const std::vector<long>& train_anchors);
+
+  /// Runs `config.epochs` epochs; returns the last epoch's stats.
+  EpochStats Train(const std::vector<long>& train_anchors);
+
+  /// Predictions for `anchors` as a [N, 1] tensor (scaled space).
+  Tensor Predict(const std::vector<long>& anchors);
+
+  /// The predicted sequence S-hat_{t-a+b+1 : t+b} for each anchor
+  /// ([N, alpha]); each column is one predictor invocation. `training`
+  /// selects whether the predictor caches for backward.
+  Tensor PredictedSequences(const std::vector<long>& anchors, bool training);
+
+  /// True when `anchor`'s full adversarial window (alpha sub-anchors, each
+  /// with its own alpha-length input) fits in the dataset.
+  bool AdversarialEligible(long anchor) const;
+
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  /// One MSE minibatch step; returns the batch loss.
+  double MseStep(const std::vector<long>& batch);
+
+  /// One adversarial round (D update then P generator update) on
+  /// `anchors`; accumulates into `stats`.
+  void AdversarialRound(const std::vector<long>& anchors, EpochStats* stats,
+                        int* round_count);
+
+  Predictor* predictor_;           // not owned
+  int total_adv_rounds_ = 0;       ///< lifetime rounds, for the D warm-up
+  Discriminator* discriminator_;   // not owned, may be null
+  const apots::data::FeatureAssembler* assembler_;  // not owned
+  TrainConfig config_;
+  apots::nn::Adam predictor_opt_;
+  apots::nn::Adam discriminator_opt_;
+  apots::Rng rng_;
+};
+
+}  // namespace apots::core
+
+#endif  // APOTS_CORE_ADVERSARIAL_TRAINER_H_

@@ -1,0 +1,93 @@
+#include "core/apots_model.h"
+
+#include "nn/serialize.h"
+#include "util/string_util.h"
+
+namespace apots::core {
+
+using apots::data::FeatureAssembler;
+using apots::traffic::TrafficDataset;
+
+std::string ApotsConfig::Tag() const {
+  std::string tag;
+  if (training.adversarial) tag += "Adv ";
+  tag += PredictorTypeName(predictor.type);
+  const bool add_data = features.use_adjacent || features.use_event ||
+                        features.use_weather || features.use_time;
+  if (add_data) tag += "+add";
+  return tag;
+}
+
+ApotsModel::ApotsModel(const TrafficDataset* dataset, ApotsConfig config)
+    : dataset_(dataset),
+      config_(std::move(config)),
+      assembler_(dataset, config_.features),
+      rng_(config_.seed) {
+  assembler_.Fit();
+  predictor_ = MakePredictor(config_.predictor,
+                             static_cast<size_t>(assembler_.NumRows()),
+                             static_cast<size_t>(assembler_.alpha()), &rng_);
+  if (config_.training.adversarial) {
+    const size_t context_width = static_cast<size_t>(assembler_.FlatWidth());
+    discriminator_ = std::make_unique<Discriminator>(
+        config_.discriminator, static_cast<size_t>(assembler_.alpha()),
+        context_width, &rng_);
+  }
+  TrainConfig train_config = config_.training;
+  train_config.seed = rng_.NextUint64();
+  // The paper's alpha:1 MSE-to-adversarial ratio.
+  if (train_config.adv_period <= 0) {
+    train_config.adv_period = assembler_.alpha();
+  }
+  trainer_ = std::make_unique<AdversarialTrainer>(
+      predictor_.get(), discriminator_.get(), &assembler_, train_config);
+}
+
+EpochStats ApotsModel::Train(const std::vector<long>& train_anchors) {
+  return trainer_->Train(train_anchors);
+}
+
+std::vector<double> ApotsModel::PredictKmh(const std::vector<long>& anchors) {
+  const Tensor scaled = trainer_->Predict(anchors);
+  std::vector<double> out(anchors.size());
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    out[i] = assembler_.UnscaleSpeed(scaled[i]);
+  }
+  return out;
+}
+
+std::vector<double> ApotsModel::TrueKmh(
+    const std::vector<long>& anchors) const {
+  std::vector<double> out(anchors.size());
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    out[i] = dataset_->Speed(assembler_.target_road(),
+                             anchors[i] + assembler_.beta());
+  }
+  return out;
+}
+
+Status ApotsModel::Save(const std::string& path) {
+  std::vector<apots::nn::Parameter*> params = predictor_->Parameters();
+  if (discriminator_ != nullptr) {
+    for (auto* p : discriminator_->Parameters()) params.push_back(p);
+  }
+  return apots::nn::SaveParameters(params, path);
+}
+
+Status ApotsModel::Load(const std::string& path) {
+  std::vector<apots::nn::Parameter*> params = predictor_->Parameters();
+  if (discriminator_ != nullptr) {
+    for (auto* p : discriminator_->Parameters()) params.push_back(p);
+  }
+  return apots::nn::LoadParameters(params, path);
+}
+
+size_t ApotsModel::NumWeights() {
+  size_t n = apots::nn::CountWeights(predictor_->Parameters());
+  if (discriminator_ != nullptr) {
+    n += apots::nn::CountWeights(discriminator_->Parameters());
+  }
+  return n;
+}
+
+}  // namespace apots::core

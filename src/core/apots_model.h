@@ -1,0 +1,81 @@
+#ifndef APOTS_CORE_APOTS_MODEL_H_
+#define APOTS_CORE_APOTS_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adversarial_trainer.h"
+#include "core/discriminator.h"
+#include "core/predictor.h"
+#include "data/features.h"
+#include "traffic/traffic_dataset.h"
+#include "util/status.h"
+
+namespace apots::core {
+
+/// Everything needed to instantiate one APOTS configuration: a predictor
+/// family (F/L/C/H), whether adversarial training is on, and which input
+/// blocks are active — one cell of the paper's Table III grid.
+struct ApotsConfig {
+  PredictorHparams predictor;
+  DiscriminatorHparams discriminator;
+  apots::data::FeatureConfig features;
+  TrainConfig training;
+  uint64_t seed = 42;
+
+  /// Short tag like "APOTS H" / "H" / "Adv F" used in reports.
+  std::string Tag() const;
+};
+
+/// The public facade of the library: owns the feature assembler, the
+/// predictor, and (when adversarial) the discriminator; trains on anchor
+/// sets from data::MakeSplit and predicts speeds in km/h.
+///
+/// Typical use:
+///   TrafficDataset dataset = traffic::GenerateDataset(spec);
+///   auto split = data::MakeSplit(dataset, 12, 1, 0.2,
+///                                data::SplitStrategy::kBlockedByDay, 7);
+///   ApotsConfig config = ...;
+///   ApotsModel model(&dataset, config);
+///   model.Train(split.train);
+///   std::vector<double> pred = model.PredictKmh(split.test);
+class ApotsModel {
+ public:
+  /// `dataset` is borrowed and must outlive the model.
+  ApotsModel(const apots::traffic::TrafficDataset* dataset,
+             ApotsConfig config);
+
+  /// Runs the configured number of epochs; returns the final epoch stats.
+  EpochStats Train(const std::vector<long>& train_anchors);
+
+  /// Predicted speeds in km/h for the anchors' prediction instants.
+  std::vector<double> PredictKmh(const std::vector<long>& anchors);
+
+  /// Ground-truth speeds in km/h at the anchors' prediction instants.
+  std::vector<double> TrueKmh(const std::vector<long>& anchors) const;
+
+  /// Saves / restores all trainable weights.
+  Status Save(const std::string& path);
+  Status Load(const std::string& path);
+
+  const ApotsConfig& config() const { return config_; }
+  const apots::data::FeatureAssembler& assembler() const {
+    return assembler_;
+  }
+  Predictor& predictor() { return *predictor_; }
+  size_t NumWeights();
+
+ private:
+  const apots::traffic::TrafficDataset* dataset_;  // not owned
+  ApotsConfig config_;
+  apots::data::FeatureAssembler assembler_;
+  apots::Rng rng_;
+  std::unique_ptr<Predictor> predictor_;
+  std::unique_ptr<Discriminator> discriminator_;
+  std::unique_ptr<AdversarialTrainer> trainer_;
+};
+
+}  // namespace apots::core
+
+#endif  // APOTS_CORE_APOTS_MODEL_H_

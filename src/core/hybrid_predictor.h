@@ -1,0 +1,38 @@
+#ifndef APOTS_CORE_HYBRID_PREDICTOR_H_
+#define APOTS_CORE_HYBRID_PREDICTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/predictor.h"
+#include "nn/sequential.h"
+
+namespace apots::core {
+
+/// The H predictor (CNN + LSTM, LC-RNN style): the conv trunk extracts
+/// spatio-temporal features from the speed-matrix image while preserving
+/// the time axis ("same" padding), the channel/row dimensions are folded
+/// into per-timestep features, and the stacked LSTM consumes the result as
+/// an alpha-step sequence.
+class HybridPredictor : public Predictor {
+ public:
+  HybridPredictor(const PredictorHparams& hparams, size_t num_rows,
+                  size_t alpha, apots::Rng* rng);
+
+  Tensor Forward(const Tensor& batch, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+  PredictorType type() const override { return PredictorType::kHybrid; }
+  std::string Name() const override;
+
+ private:
+  size_t num_rows_;
+  size_t alpha_;
+  size_t conv_channels_;
+  apots::nn::Sequential conv_;
+  apots::nn::Sequential lstm_head_;
+};
+
+}  // namespace apots::core
+
+#endif  // APOTS_CORE_HYBRID_PREDICTOR_H_

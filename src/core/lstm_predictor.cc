@@ -1,0 +1,52 @@
+#include "core/lstm_predictor.h"
+
+#include "nn/dense.h"
+#include "nn/lstm.h"
+#include "tensor/tensor_ops.h"
+#include "util/string_util.h"
+
+namespace apots::core {
+
+void BuildLstmHead(const PredictorHparams& hparams, size_t input_features,
+                   apots::nn::Sequential* net, apots::Rng* rng) {
+  APOTS_CHECK(!hparams.lstm_hidden.empty());
+  size_t features = input_features;
+  for (size_t i = 0; i < hparams.lstm_hidden.size(); ++i) {
+    const bool last = i + 1 == hparams.lstm_hidden.size();
+    net->Emplace<apots::nn::Lstm>(features, hparams.lstm_hidden[i],
+                                  /*return_sequences=*/!last, rng);
+    features = hparams.lstm_hidden[i];
+  }
+  net->Emplace<apots::nn::Dense>(features, 1, rng,
+                                 apots::nn::Init::kXavierUniform);
+}
+
+LstmPredictor::LstmPredictor(const PredictorHparams& hparams,
+                             size_t num_rows, size_t alpha, apots::Rng* rng)
+    : num_rows_(num_rows), alpha_(alpha) {
+  BuildLstmHead(hparams, num_rows, &net_, rng);
+}
+
+Tensor LstmPredictor::Forward(const Tensor& batch, bool training) {
+  APOTS_CHECK_EQ(batch.rank(), 3u);
+  APOTS_CHECK_EQ(batch.dim(1), num_rows_);
+  APOTS_CHECK_EQ(batch.dim(2), alpha_);
+  // [N, rows, alpha] -> [N, alpha, rows]: one feature vector per step.
+  const Tensor sequence = apots::tensor::Transpose12(batch);
+  return net_.Forward(sequence, training);
+}
+
+Tensor LstmPredictor::Backward(const Tensor& grad_output) {
+  Tensor grad_sequence = net_.Backward(grad_output);
+  return apots::tensor::Transpose12(grad_sequence);
+}
+
+std::vector<Parameter*> LstmPredictor::Parameters() {
+  return net_.Parameters();
+}
+
+std::string LstmPredictor::Name() const {
+  return apots::StrFormat("LstmPredictor(%zux%zu)", num_rows_, alpha_);
+}
+
+}  // namespace apots::core

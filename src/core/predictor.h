@@ -1,0 +1,76 @@
+#ifndef APOTS_CORE_PREDICTOR_H_
+#define APOTS_CORE_PREDICTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace apots::core {
+
+using apots::nn::Parameter;
+using apots::tensor::Tensor;
+
+/// The four predictor families evaluated in the paper (Section IV-B).
+enum class PredictorType {
+  kFc,      ///< F: fully connected
+  kLstm,    ///< L: stacked LSTM
+  kCnn,     ///< C: convolutional network on the speed matrix (Eq. 6)
+  kHybrid,  ///< H: CNN feature extractor + LSTM head (LC-RNN style)
+};
+
+const char* PredictorTypeName(PredictorType type);   ///< "F", "L", "C", "H"
+const char* PredictorTypeLabel(PredictorType type);  ///< "FC", "LSTM", ...
+
+/// Architecture hyper-parameters (Table I). `Paper()` returns the grid the
+/// paper reports; `Scaled(divisor)` shrinks every width by `divisor`
+/// (minimum 4 units) for CPU-friendly runs with the same shape ratios.
+struct PredictorHparams {
+  PredictorType type = PredictorType::kFc;
+  std::vector<size_t> fc_hidden = {512, 128, 256, 64};
+  std::vector<size_t> lstm_hidden = {512, 512};
+  std::vector<size_t> cnn_channels = {128, 32, 64};
+  /// Kernel sizes per conv layer: Table I lists 3x3, 1x1, 3x3.
+  std::vector<size_t> cnn_kernels = {3, 1, 3};
+  float learning_rate = 0.001f;
+
+  static PredictorHparams Paper(PredictorType type);
+  static PredictorHparams Scaled(PredictorType type, size_t divisor);
+};
+
+/// A traffic-speed predictor P: maps a batch of canonical feature matrices
+/// [batch, rows, alpha] to scaled speed predictions [batch, 1].
+/// Implementations own their layers; Backward must follow a Forward with
+/// `training == true`.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  Predictor(const Predictor&) = delete;
+  Predictor& operator=(const Predictor&) = delete;
+
+  virtual Tensor Forward(const Tensor& batch, bool training) = 0;
+
+  /// `grad_output` is [batch, 1]; returns the gradient w.r.t. the input
+  /// batch (usually discarded) and accumulates parameter gradients.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  virtual std::vector<Parameter*> Parameters() = 0;
+  virtual PredictorType type() const = 0;
+  virtual std::string Name() const = 0;
+
+ protected:
+  Predictor() = default;
+};
+
+/// Factory: builds the predictor for `hparams` over inputs with
+/// `num_rows` feature rows and window length `alpha`.
+std::unique_ptr<Predictor> MakePredictor(const PredictorHparams& hparams,
+                                         size_t num_rows, size_t alpha,
+                                         apots::Rng* rng);
+
+}  // namespace apots::core
+
+#endif  // APOTS_CORE_PREDICTOR_H_

@@ -1,0 +1,206 @@
+#include "data/features.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace apots::data {
+
+using apots::tensor::Tensor;
+using apots::traffic::DayInfo;
+using apots::traffic::TrafficDataset;
+
+FeatureConfig FeatureConfig::SpeedOnly(int alpha, int beta) {
+  FeatureConfig config;
+  config.alpha = alpha;
+  config.beta = beta;
+  config.use_adjacent = false;
+  config.use_event = false;
+  config.use_weather = false;
+  config.use_time = false;
+  return config;
+}
+
+FeatureConfig FeatureConfig::AdjacentOnly(int alpha, int beta) {
+  FeatureConfig config = SpeedOnly(alpha, beta);
+  config.use_adjacent = true;
+  return config;
+}
+
+FeatureConfig FeatureConfig::NonSpeedOnly(int alpha, int beta) {
+  FeatureConfig config = SpeedOnly(alpha, beta);
+  config.use_event = true;
+  config.use_weather = true;
+  config.use_time = true;
+  return config;
+}
+
+FeatureConfig FeatureConfig::Both(int alpha, int beta) {
+  FeatureConfig config;
+  config.alpha = alpha;
+  config.beta = beta;
+  return config;
+}
+
+FeatureAssembler::FeatureAssembler(const TrafficDataset* dataset,
+                                   FeatureConfig config)
+    : dataset_(dataset), config_(config) {
+  APOTS_CHECK(dataset != nullptr);
+  APOTS_CHECK_GT(config.alpha, 0);
+  APOTS_CHECK_GE(config.beta, 0);
+  APOTS_CHECK_GE(config.num_adjacent, 0);
+  APOTS_CHECK_GE(dataset->num_roads(), 2 * config.num_adjacent + 1);
+  target_road_ = dataset->num_roads() / 2;
+  APOTS_CHECK_GE(target_road_ - config.num_adjacent, 0);
+  APOTS_CHECK_LT(target_road_ + config.num_adjacent, dataset->num_roads());
+}
+
+void FeatureAssembler::Fit() {
+  // Speed: physical bounds keep the scaling identical across roads and
+  // independent of which days land in the training split.
+  speed_scaler_.SetRange(0.0f, 110.0f);
+  const long total = dataset_->num_intervals();
+  std::vector<float> temps(static_cast<size_t>(total));
+  std::vector<float> rains(static_cast<size_t>(total));
+  for (long t = 0; t < total; ++t) {
+    temps[static_cast<size_t>(t)] = dataset_->Weather(t).temperature_c;
+    rains[static_cast<size_t>(t)] = dataset_->Weather(t).precipitation_mm;
+  }
+  // All context features live in [0, 1] like the speeds; mixed scales
+  // (e.g. z-scored temperature against 0-1 speed rows) measurably hurt
+  // the FC predictor.
+  temperature_scaler_.Fit(temps);
+  const float max_rain =
+      *std::max_element(rains.begin(), rains.end());
+  precipitation_scaler_.SetRange(0.0f, std::max(1.0f, max_rain));
+}
+
+int FeatureAssembler::NumRows() const {
+  // 2m+1 speed rows + event + temperature + precipitation + hour + 4 day
+  // type rows.
+  return 2 * config_.num_adjacent + 1 + 8;
+}
+
+Tensor FeatureAssembler::SampleMatrix(long anchor) const {
+  APOTS_CHECK(speed_scaler_.fitted());
+  const int alpha = config_.alpha;
+  const int m = config_.num_adjacent;
+  APOTS_CHECK_GE(anchor - alpha, 0);
+  APOTS_CHECK_LT(anchor + config_.beta, dataset_->num_intervals());
+
+  Tensor matrix({static_cast<size_t>(NumRows()),
+                 static_cast<size_t>(alpha)});
+  // Speed rows: roads target-m .. target+m, zeroed (except the target)
+  // when adjacent data is disabled.
+  for (int offset = -m; offset <= m; ++offset) {
+    const int row = offset + m;
+    const bool active = offset == 0 || config_.use_adjacent;
+    if (!active) continue;
+    const int road = target_road_ + offset;
+    for (int i = 0; i < alpha; ++i) {
+      const long t = anchor - alpha + i;
+      matrix.At(static_cast<size_t>(row), static_cast<size_t>(i)) =
+          speed_scaler_.Transform(dataset_->Speed(road, t));
+    }
+  }
+  const int base = 2 * m + 1;
+  for (int i = 0; i < alpha; ++i) {
+    const long t = anchor - alpha + i;
+    if (config_.use_event) {
+      matrix.At(base + 0, static_cast<size_t>(i)) =
+          dataset_->EventFlag(target_road_, t);
+    }
+    if (config_.use_weather) {
+      matrix.At(base + 1, static_cast<size_t>(i)) =
+          temperature_scaler_.Transform(dataset_->Weather(t).temperature_c);
+      matrix.At(base + 2, static_cast<size_t>(i)) =
+          precipitation_scaler_.Transform(
+              dataset_->Weather(t).precipitation_mm);
+    }
+    if (config_.use_time) {
+      matrix.At(base + 3, static_cast<size_t>(i)) =
+          static_cast<float>(dataset_->FractionalHour(t) / 24.0);
+    }
+  }
+  if (config_.use_time) {
+    // Day type of the anchor day, broadcast across the window (the paper
+    // notes the day type is constant within a sequence).
+    const DayInfo day = dataset_->Day(anchor);
+    const std::array<float, 4> type = day.TypeVector();
+    for (int k = 0; k < 4; ++k) {
+      for (int i = 0; i < alpha; ++i) {
+        matrix.At(base + 4 + k, static_cast<size_t>(i)) = type[k];
+      }
+    }
+  }
+  return matrix;
+}
+
+Tensor FeatureAssembler::BatchMatrix(const std::vector<long>& anchors) const {
+  const size_t rows = static_cast<size_t>(NumRows());
+  const size_t alpha = static_cast<size_t>(config_.alpha);
+  Tensor batch({anchors.size(), rows, alpha});
+  for (size_t n = 0; n < anchors.size(); ++n) {
+    const Tensor sample = SampleMatrix(anchors[n]);
+    std::copy(sample.data(), sample.data() + rows * alpha,
+              batch.data() + n * rows * alpha);
+  }
+  return batch;
+}
+
+float FeatureAssembler::Target(long anchor) const {
+  APOTS_CHECK_LT(anchor + config_.beta, dataset_->num_intervals());
+  return speed_scaler_.Transform(
+      dataset_->Speed(target_road_, anchor + config_.beta));
+}
+
+Tensor FeatureAssembler::BatchTargets(
+    const std::vector<long>& anchors) const {
+  Tensor targets({anchors.size(), 1});
+  for (size_t n = 0; n < anchors.size(); ++n) {
+    targets[n] = Target(anchors[n]);
+  }
+  return targets;
+}
+
+Tensor FeatureAssembler::RealSequence(long anchor) const {
+  // S_{t-alpha+beta+1 : t+beta}: the alpha real speeds ending at the
+  // prediction time (Section III-A).
+  const int alpha = config_.alpha;
+  Tensor sequence({static_cast<size_t>(alpha)});
+  for (int i = 0; i < alpha; ++i) {
+    const long t = anchor - alpha + config_.beta + 1 + i;
+    APOTS_CHECK_GE(t, 0);
+    sequence[static_cast<size_t>(i)] =
+        speed_scaler_.Transform(dataset_->Speed(target_road_, t));
+  }
+  return sequence;
+}
+
+Tensor FeatureAssembler::BatchRealSequences(
+    const std::vector<long>& anchors) const {
+  const size_t alpha = static_cast<size_t>(config_.alpha);
+  Tensor batch({anchors.size(), alpha});
+  for (size_t n = 0; n < anchors.size(); ++n) {
+    const Tensor seq = RealSequence(anchors[n]);
+    std::copy(seq.data(), seq.data() + alpha, batch.data() + n * alpha);
+  }
+  return batch;
+}
+
+Tensor FeatureAssembler::BatchContext(
+    const std::vector<long>& anchors) const {
+  const size_t rows = static_cast<size_t>(NumRows());
+  const size_t alpha = static_cast<size_t>(config_.alpha);
+  Tensor batch = BatchMatrix(anchors);
+  // Zero the target road's row (index num_adjacent within the speed
+  // block).
+  const size_t target_row = static_cast<size_t>(config_.num_adjacent);
+  for (size_t n = 0; n < anchors.size(); ++n) {
+    float* row = batch.data() + (n * rows + target_row) * alpha;
+    std::fill(row, row + alpha, 0.0f);
+  }
+  return batch.Reshape({anchors.size(), rows * alpha});
+}
+
+}  // namespace apots::data

@@ -1,0 +1,120 @@
+#ifndef APOTS_DATA_FEATURES_H_
+#define APOTS_DATA_FEATURES_H_
+
+#include <vector>
+
+#include "data/scaler.h"
+#include "tensor/tensor.h"
+#include "traffic/traffic_dataset.h"
+
+namespace apots::data {
+
+/// Which input blocks are active. Inactive blocks are written as zeros
+/// rather than removed — the fixed-input-size protocol of the paper's
+/// Fig. 5 ("the size of the input to a predictor was fixed ...; the rest
+/// was filled with 0"), which also keeps every predictor architecture
+/// identical across ablations.
+struct FeatureConfig {
+  int alpha = 12;  ///< input window length (speeds)
+  int beta = 1;    ///< prediction horizon in intervals
+
+  /// m: number of upstream and of downstream roads around the target. The
+  /// dataset must have at least 2m+1 roads; the target is the middle one.
+  int num_adjacent = 2;
+
+  bool use_adjacent = true;  ///< adjacent-speed rows (other than target)
+  bool use_event = true;     ///< accident/construction flag row
+  bool use_weather = true;   ///< temperature + precipitation rows
+  bool use_time = true;      ///< hour row + day-type rows
+
+  /// Convenience presets matching the paper's ablation arms.
+  static FeatureConfig SpeedOnly(int alpha = 12, int beta = 1);
+  static FeatureConfig AdjacentOnly(int alpha = 12, int beta = 1);
+  static FeatureConfig NonSpeedOnly(int alpha = 12, int beta = 1);
+  static FeatureConfig Both(int alpha = 12, int beta = 1);
+};
+
+/// Assembles model-ready samples from a TrafficDataset.
+///
+/// Canonical sample layout: a [rows, alpha] matrix with
+///   rows 0 .. 2m        adjacent-road scaled speeds (target in middle)
+///   row  2m+1           event flag of the target road
+///   row  2m+2           scaled temperature
+///   row  2m+3           scaled precipitation
+///   row  2m+4           hour of day / 24
+///   rows 2m+5 .. 2m+8   day type (weekday/holiday/before/after),
+///                       broadcast across the alpha columns
+/// FC flattens it, the CNN reads it as a 1-channel image, the LSTM reads
+/// the transpose as an alpha-step sequence of per-interval features.
+class FeatureAssembler {
+ public:
+  /// Scalers must be fit by the caller (on training data); `Fit` does the
+  /// standard fit from a set of training anchors.
+  FeatureAssembler(const apots::traffic::TrafficDataset* dataset,
+                   FeatureConfig config);
+
+  /// Fits the speed / temperature / precipitation scalers on the raw
+  /// series (physical bounds for speed, data range for weather).
+  void Fit();
+
+  int alpha() const { return config_.alpha; }
+  int beta() const { return config_.beta; }
+  const FeatureConfig& config() const { return config_; }
+
+  /// Index of the target road in the dataset.
+  int target_road() const { return target_road_; }
+
+  /// Rows of the canonical sample matrix.
+  int NumRows() const;
+
+  /// Flat feature width (= NumRows() * alpha).
+  int FlatWidth() const { return NumRows() * config_.alpha; }
+
+  /// Builds the [NumRows, alpha] matrix for anchor `t` (present time).
+  apots::tensor::Tensor SampleMatrix(long anchor) const;
+
+  /// Builds a batch [N, NumRows, alpha] for a set of anchors.
+  apots::tensor::Tensor BatchMatrix(const std::vector<long>& anchors) const;
+
+  /// Scaled target value s_{t+beta} of the target road.
+  float Target(long anchor) const;
+
+  /// Batch of scaled targets as an [N, 1] tensor.
+  apots::tensor::Tensor BatchTargets(const std::vector<long>& anchors) const;
+
+  /// The real scaled speed sequence S_{t-alpha+beta+1 : t+beta} of the
+  /// target road — what the discriminator sees as "real" (length alpha).
+  apots::tensor::Tensor RealSequence(long anchor) const;
+
+  /// Batch version: [N, alpha].
+  apots::tensor::Tensor BatchRealSequences(
+      const std::vector<long>& anchors) const;
+
+  /// Flattened conditioning context for the discriminator (Eq. 4):
+  /// the sample matrix with the target road's speed row zeroed out. The
+  /// real sequence overlaps the target road's observed history, so leaving
+  /// that row in would let D win by a trivial equality check instead of
+  /// judging trajectory realism — the degenerate-discrimination problem
+  /// the paper discusses in Section III-A. Shape [N, NumRows * alpha].
+  apots::tensor::Tensor BatchContext(const std::vector<long>& anchors) const;
+
+  /// Scaled speed <-> km/h conversions for reporting.
+  float ScaleSpeed(float kmh) const { return speed_scaler_.Transform(kmh); }
+  float UnscaleSpeed(float scaled) const {
+    return speed_scaler_.Inverse(scaled);
+  }
+
+  const apots::traffic::TrafficDataset& dataset() const { return *dataset_; }
+
+ private:
+  const apots::traffic::TrafficDataset* dataset_;  // not owned
+  FeatureConfig config_;
+  int target_road_;
+  MinMaxScaler speed_scaler_;
+  MinMaxScaler temperature_scaler_;
+  MinMaxScaler precipitation_scaler_;
+};
+
+}  // namespace apots::data
+
+#endif  // APOTS_DATA_FEATURES_H_

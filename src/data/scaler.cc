@@ -1,0 +1,64 @@
+#include "data/scaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace apots::data {
+
+void MinMaxScaler::Fit(const float* values, size_t count) {
+  APOTS_CHECK_GT(count, 0u);
+  float lo = values[0];
+  float hi = values[0];
+  for (size_t i = 1; i < count; ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  SetRange(lo, hi);
+}
+
+void MinMaxScaler::SetRange(float min_value, float max_value) {
+  APOTS_CHECK_LT(min_value, max_value);
+  min_ = min_value;
+  max_ = max_value;
+  fitted_ = true;
+}
+
+float MinMaxScaler::Transform(float value) const {
+  APOTS_DCHECK(fitted_);
+  return (value - min_) / (max_ - min_);
+}
+
+float MinMaxScaler::Inverse(float scaled) const {
+  APOTS_DCHECK(fitted_);
+  return scaled * (max_ - min_) + min_;
+}
+
+void StandardScaler::Fit(const float* values, size_t count) {
+  APOTS_CHECK_GT(count, 0u);
+  double sum = 0.0;
+  for (size_t i = 0; i < count; ++i) sum += values[i];
+  const double mean = sum / static_cast<double>(count);
+  double var = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    const double d = values[i] - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(count);
+  mean_ = static_cast<float>(mean);
+  stddev_ = static_cast<float>(std::sqrt(std::max(var, 1e-12)));
+  fitted_ = true;
+}
+
+float StandardScaler::Transform(float value) const {
+  APOTS_DCHECK(fitted_);
+  return (value - mean_) / stddev_;
+}
+
+float StandardScaler::Inverse(float scaled) const {
+  APOTS_DCHECK(fitted_);
+  return scaled * stddev_ + mean_;
+}
+
+}  // namespace apots::data

@@ -1,0 +1,90 @@
+#include "eval/profile.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace apots::eval {
+
+int EvalProfile::EpochsFor(apots::core::PredictorType type) const {
+  if (level == ProfileLevel::kPaper) return epochs;  // GPU-scale budget
+  switch (type) {
+    case apots::core::PredictorType::kFc:
+      return epochs * 6;
+    case apots::core::PredictorType::kCnn:
+      return epochs * 2;
+    case apots::core::PredictorType::kLstm:
+    case apots::core::PredictorType::kHybrid:
+      return epochs;
+  }
+  return epochs;
+}
+
+std::string EvalProfile::LevelName() const {
+  switch (level) {
+    case ProfileLevel::kSmoke:
+      return "smoke";
+    case ProfileLevel::kQuick:
+      return "quick";
+    case ProfileLevel::kPaper:
+      return "paper";
+  }
+  return "?";
+}
+
+EvalProfile EvalProfile::ForLevel(ProfileLevel level) {
+  EvalProfile profile;
+  profile.level = level;
+  switch (level) {
+    case ProfileLevel::kSmoke:
+      profile.dataset = apots::traffic::DatasetSpec::Small(/*seed=*/7);
+      profile.width_divisor = 32;
+      profile.epochs = 3;
+      profile.batch_size = 32;
+      profile.max_train_anchors = 600;
+      profile.max_test_anchors = 600;
+      break;
+    case ProfileLevel::kQuick:
+      // Full 122-day corridor, subsampled anchors, 1/16-width networks.
+      profile.dataset = apots::traffic::DatasetSpec();
+      profile.width_divisor = 8;
+      profile.epochs = 8;
+      profile.adv_period = 5;
+      profile.adv_batch_size = 16;
+      profile.max_train_anchors = 2000;
+      profile.max_test_anchors = 4000;
+      break;
+    case ProfileLevel::kPaper:
+      profile.dataset = apots::traffic::DatasetSpec();
+      profile.width_divisor = 1;
+      profile.epochs = 10;
+      profile.adv_period = 12;  // the paper's alpha:1 ratio
+      profile.learning_rate = 0.001f;  // Table I
+      profile.max_train_anchors = 0;
+      profile.max_test_anchors = 0;
+      break;
+  }
+  return profile;
+}
+
+EvalProfile EvalProfile::FromEnv() {
+  const char* env = std::getenv("APOTS_EVAL_PROFILE");
+  ProfileLevel level = ProfileLevel::kQuick;
+  if (env != nullptr) {
+    const std::string name = ToLower(env);
+    if (name == "smoke") {
+      level = ProfileLevel::kSmoke;
+    } else if (name == "quick") {
+      level = ProfileLevel::kQuick;
+    } else if (name == "paper") {
+      level = ProfileLevel::kPaper;
+    } else {
+      APOTS_LOG(Warning) << "unknown APOTS_EVAL_PROFILE '" << name
+                         << "', using quick";
+    }
+  }
+  return ForLevel(level);
+}
+
+}  // namespace apots::eval

@@ -1,0 +1,112 @@
+#include "eval/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace apots::eval {
+
+using apots::traffic::IncidentKind;
+using apots::traffic::TrafficDataset;
+
+namespace {
+
+// Deepest speed drop across daily [from_hour, to_hour) windows restricted
+// to days matching `want_workday`.
+ScenarioWindow DeepestDailyDrop(const TrafficDataset& dataset, int road,
+                                double from_hour, double to_hour,
+                                bool want_workday, const std::string& name) {
+  const int ipd = dataset.intervals_per_day();
+  const long from = static_cast<long>(from_hour / 24.0 * ipd);
+  const long to = static_cast<long>(to_hour / 24.0 * ipd);
+  ScenarioWindow window;
+  window.name = name;
+  window.length = to - from;
+  double best_range = 0.0;
+  for (int day = 0; day < dataset.num_days(); ++day) {
+    const auto info = dataset.calendar().Day(day);
+    const bool workday = !info.is_weekend && !info.is_holiday;
+    if (workday != want_workday) continue;
+    const long start = static_cast<long>(day) * ipd + from;
+    const long end = static_cast<long>(day) * ipd + to;
+    if (end >= dataset.num_intervals()) continue;
+    double lo = 1e9, hi = 0.0;
+    for (long t = start; t < end; ++t) {
+      lo = std::min(lo, static_cast<double>(dataset.Speed(road, t)));
+      hi = std::max(hi, static_cast<double>(dataset.Speed(road, t)));
+    }
+    if (hi - lo > best_range) {
+      best_range = hi - lo;
+      window.start = start;
+      window.found = true;
+    }
+  }
+  return window;
+}
+
+}  // namespace
+
+std::vector<ScenarioWindow> FindScenarioWindows(const TrafficDataset& dataset,
+                                                int road) {
+  std::vector<ScenarioWindow> windows;
+  windows.push_back(DeepestDailyDrop(dataset, road, 6.5, 9.5, true,
+                                     "rush_hour_morning"));
+  windows.push_back(DeepestDailyDrop(dataset, road, 17.0, 21.0, true,
+                                     "rush_hour_evening"));
+
+  // Rainy day: the off-peak (10:00-16:00) window with the highest product
+  // of rainfall and speed depression.
+  {
+    const int ipd = dataset.intervals_per_day();
+    const long from = static_cast<long>(10.0 / 24.0 * ipd);
+    const long to = static_cast<long>(16.0 / 24.0 * ipd);
+    ScenarioWindow window;
+    window.name = "rainy_day";
+    window.length = to - from;
+    double best_score = 0.0;
+    for (int day = 0; day < dataset.num_days(); ++day) {
+      const long start = static_cast<long>(day) * ipd + from;
+      const long end = static_cast<long>(day) * ipd + to;
+      if (end >= dataset.num_intervals()) continue;
+      double rain_sum = 0.0, min_speed = 1e9;
+      for (long t = start; t < end; ++t) {
+        rain_sum += dataset.Weather(t).precipitation_mm;
+        min_speed = std::min(min_speed,
+                             static_cast<double>(dataset.Speed(road, t)));
+      }
+      const double depression = std::max(0.0, 90.0 - min_speed);
+      const double score = rain_sum * depression;
+      if (score > best_score) {
+        best_score = score;
+        window.start = start;
+        window.found = rain_sum > 0.0;
+      }
+    }
+    windows.push_back(window);
+  }
+
+  // Accident recovery: the most severe accident on the target road, from
+  // 30 minutes before the crash to 30 minutes after full recovery.
+  {
+    ScenarioWindow window;
+    window.name = "accident_recovery";
+    double best_severity = 0.0;
+    for (const auto& inc : dataset.incident_log()) {
+      if (inc.road != road || inc.kind != IncidentKind::kAccident) continue;
+      const long start = inc.start_interval - 6;
+      const long end = inc.start_interval + inc.duration + inc.recovery + 6;
+      if (start < 0 || end >= dataset.num_intervals()) continue;
+      if (inc.severity > best_severity) {
+        best_severity = inc.severity;
+        window.start = start;
+        window.length = end - start;
+        window.found = true;
+      }
+    }
+    windows.push_back(window);
+  }
+  return windows;
+}
+
+}  // namespace apots::eval

@@ -1,0 +1,32 @@
+#ifndef APOTS_EVAL_SCENARIOS_H_
+#define APOTS_EVAL_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "traffic/traffic_dataset.h"
+
+namespace apots::eval {
+
+/// A time window on the target road illustrating one of the paper's
+/// Fig. 1 / Fig. 6 situations.
+struct ScenarioWindow {
+  std::string name;
+  long start = 0;   ///< first interval of the window
+  long length = 0;  ///< window length in intervals
+  bool found = false;
+};
+
+/// Finds the four case-study windows of Figs. 1/6 in a dataset:
+///   - morning rush (deepest 06:30-09:30 weekday drop),
+///   - evening rush (deepest 17:00-21:00 weekday drop),
+///   - rainy day (strongest rain-correlated off-peak slowdown),
+///   - accident recovery (most severe accident on the target road).
+/// Windows that cannot be located (e.g. no accident hit the target road)
+/// come back with found == false.
+std::vector<ScenarioWindow> FindScenarioWindows(
+    const apots::traffic::TrafficDataset& dataset, int road);
+
+}  // namespace apots::eval
+
+#endif  // APOTS_EVAL_SCENARIOS_H_

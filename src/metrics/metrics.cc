@@ -1,0 +1,51 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace apots::metrics {
+
+std::string MetricSet::ToString() const {
+  return apots::StrFormat("MAE=%.2f RMSE=%.2f MAPE=%.2f%% (n=%zu)", mae,
+                          rmse, mape, count);
+}
+
+MetricSet Compute(const std::vector<double>& predictions,
+                  const std::vector<double>& truths, double mape_floor_kmh) {
+  std::vector<bool> mask(predictions.size(), true);
+  return ComputeMasked(predictions, truths, mask, mape_floor_kmh);
+}
+
+MetricSet ComputeMasked(const std::vector<double>& predictions,
+                        const std::vector<double>& truths,
+                        const std::vector<bool>& mask,
+                        double mape_floor_kmh) {
+  APOTS_CHECK_EQ(predictions.size(), truths.size());
+  APOTS_CHECK_EQ(predictions.size(), mask.size());
+  MetricSet out;
+  double abs_sum = 0.0, sq_sum = 0.0, pct_sum = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (!mask[i]) continue;
+    const double err = predictions[i] - truths[i];
+    abs_sum += std::fabs(err);
+    sq_sum += err * err;
+    const double denom = std::max(std::fabs(truths[i]), mape_floor_kmh);
+    pct_sum += std::fabs(err) / denom * 100.0;
+    ++out.count;
+  }
+  if (out.count == 0) return out;
+  const double n = static_cast<double>(out.count);
+  out.mae = abs_sum / n;
+  out.rmse = std::sqrt(sq_sum / n);
+  out.mape = pct_sum / n;
+  return out;
+}
+
+double GainPercent(double error_new, double error_baseline) {
+  if (error_baseline == 0.0) return 0.0;
+  return (error_baseline - error_new) / error_baseline * 100.0;
+}
+
+}  // namespace apots::metrics

@@ -1,0 +1,44 @@
+#ifndef APOTS_METRICS_METRICS_H_
+#define APOTS_METRICS_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace apots::metrics {
+
+/// The paper's three accuracy metrics over a set of (prediction, truth)
+/// pairs in km/h.
+struct MetricSet {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double mape = 0.0;  ///< percent
+  size_t count = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes MAE / RMSE / MAPE. MAPE terms with |truth| below
+/// `mape_floor_kmh` are computed against the floor to avoid division
+/// blow-ups on near-zero speeds (speeds here are >= 5 km/h by
+/// construction, so the floor rarely binds).
+MetricSet Compute(const std::vector<double>& predictions,
+                  const std::vector<double>& truths,
+                  double mape_floor_kmh = 1.0);
+
+/// Computes metrics over the subset selected by `mask[i] == true`.
+MetricSet ComputeMasked(const std::vector<double>& predictions,
+                        const std::vector<double>& truths,
+                        const std::vector<bool>& mask,
+                        double mape_floor_kmh = 1.0);
+
+/// Gain of `a` over baseline `b` per the paper's Eq. 9:
+/// (E_a - E_b) / E_b * 100, reported as a positive improvement when the
+/// error decreased. Here we return the improvement percentage
+/// (b - a) / b * 100 so "higher is better", matching how the paper's
+/// tables read.
+double GainPercent(double error_new, double error_baseline);
+
+}  // namespace apots::metrics
+
+#endif  // APOTS_METRICS_METRICS_H_

@@ -1,0 +1,64 @@
+#include "metrics/segmentation.h"
+
+#include "util/logging.h"
+
+namespace apots::metrics {
+
+using apots::traffic::TrafficDataset;
+
+Segment ClassifyInstant(const TrafficDataset& dataset, int road, long t,
+                        double theta) {
+  APOTS_CHECK_GT(t, 0);
+  const double prev = dataset.Speed(road, t - 1);
+  const double curr = dataset.Speed(road, t);
+  if (prev <= 0.0) return Segment::kNormal;
+  const double change = (prev - curr) / prev;
+  if (change >= theta) return Segment::kAbruptDeceleration;
+  if (change <= -theta) return Segment::kAbruptAcceleration;
+  return Segment::kNormal;
+}
+
+std::vector<Segment> ClassifyAnchors(const TrafficDataset& dataset, int road,
+                                     const std::vector<long>& anchors,
+                                     int beta, double theta) {
+  std::vector<Segment> segments;
+  segments.reserve(anchors.size());
+  for (long anchor : anchors) {
+    segments.push_back(
+        ClassifyInstant(dataset, road, anchor + beta, theta));
+  }
+  return segments;
+}
+
+std::vector<bool> SegmentMask(const std::vector<Segment>& segments,
+                              Segment segment) {
+  std::vector<bool> mask(segments.size());
+  for (size_t i = 0; i < segments.size(); ++i) {
+    mask[i] = segments[i] == segment;
+  }
+  return mask;
+}
+
+std::vector<bool> AllMask(size_t count) {
+  return std::vector<bool>(count, true);
+}
+
+SegmentCounts CountSegments(const std::vector<Segment>& segments) {
+  SegmentCounts counts;
+  for (Segment s : segments) {
+    switch (s) {
+      case Segment::kNormal:
+        ++counts.normal;
+        break;
+      case Segment::kAbruptDeceleration:
+        ++counts.abrupt_dec;
+        break;
+      case Segment::kAbruptAcceleration:
+        ++counts.abrupt_acc;
+        break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace apots::metrics

@@ -1,0 +1,46 @@
+#ifndef APOTS_METRICS_SEGMENTATION_H_
+#define APOTS_METRICS_SEGMENTATION_H_
+
+#include <vector>
+
+#include "traffic/traffic_dataset.h"
+
+namespace apots::metrics {
+
+/// Classification of a prediction instant by the paper's abrupt-change
+/// criterion (Eqs. 7-8 with theta = +-0.3 by default): compare the real
+/// speed at the prediction time with the real speed one interval earlier.
+enum class Segment {
+  kNormal,
+  kAbruptDeceleration,  ///< (s_{t-1} - s_t) / s_{t-1} >= theta
+  kAbruptAcceleration,  ///< (s_{t-1} - s_t) / s_{t-1} <= -theta
+};
+
+/// Classifies the instant `t` on `road` of `dataset`.
+Segment ClassifyInstant(const apots::traffic::TrafficDataset& dataset,
+                        int road, long t, double theta = 0.3);
+
+/// Classifies the prediction instants `anchor + beta` for a set of sample
+/// anchors on the target road.
+std::vector<Segment> ClassifyAnchors(
+    const apots::traffic::TrafficDataset& dataset, int road,
+    const std::vector<long>& anchors, int beta, double theta = 0.3);
+
+/// Boolean mask selecting the anchors in `segments` equal to `segment`.
+std::vector<bool> SegmentMask(const std::vector<Segment>& segments,
+                              Segment segment);
+
+/// Mask selecting every anchor (the "whole period" row of Fig. 4).
+std::vector<bool> AllMask(size_t count);
+
+/// Counts per segment (diagnostic).
+struct SegmentCounts {
+  size_t normal = 0;
+  size_t abrupt_dec = 0;
+  size_t abrupt_acc = 0;
+};
+SegmentCounts CountSegments(const std::vector<Segment>& segments);
+
+}  // namespace apots::metrics
+
+#endif  // APOTS_METRICS_SEGMENTATION_H_

@@ -1,0 +1,111 @@
+#include "metrics/stats.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace apots::metrics {
+
+double Mean(const std::vector<double>& values) {
+  APOTS_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double SampleStddev(const std::vector<double>& values) {
+  APOTS_CHECK_GT(values.size(), 1u);
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+namespace {
+
+double LogBeta(double a, double b) {
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+// Continued fraction for the incomplete beta function (modified Lentz).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 1e-14;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  APOTS_CHECK_GT(a, 0.0);
+  APOTS_CHECK_GT(b, 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double log_front =
+      a * std::log(x) + b * std::log(1.0 - x) - LogBeta(a, b);
+  const double front = std::exp(log_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, size_t df) {
+  APOTS_CHECK_GT(df, 0u);
+  const double v = static_cast<double>(df);
+  const double x = v / (v + t * t);
+  const double tail = 0.5 * RegularizedIncompleteBeta(v / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  APOTS_CHECK_EQ(a.size(), b.size());
+  APOTS_CHECK_GT(a.size(), 1u);
+  std::vector<double> diff(a.size());
+  for (size_t i = 0; i < a.size(); ++i) diff[i] = a[i] - b[i];
+  const double mean = Mean(diff);
+  const double stddev = SampleStddev(diff);
+  TTestResult result;
+  result.df = a.size() - 1;
+  if (stddev == 0.0) {
+    result.t = mean == 0.0 ? 0.0 : (mean > 0.0 ? 1e9 : -1e9);
+    result.p_two_sided = mean == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+  result.t = mean / (stddev / std::sqrt(static_cast<double>(a.size())));
+  const double cdf = StudentTCdf(std::fabs(result.t), result.df);
+  result.p_two_sided = 2.0 * (1.0 - cdf);
+  return result;
+}
+
+}  // namespace apots::metrics

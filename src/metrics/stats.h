@@ -1,0 +1,39 @@
+#ifndef APOTS_METRICS_STATS_H_
+#define APOTS_METRICS_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace apots::metrics {
+
+/// Sample mean of `values`.
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample standard deviation (n-1 denominator).
+double SampleStddev(const std::vector<double>& values);
+
+/// Result of a paired t-test.
+struct TTestResult {
+  double t = 0.0;
+  size_t df = 0;
+  double p_two_sided = 1.0;
+};
+
+/// Paired two-sided t-test between equally sized samples `a` and `b`
+/// (H0: mean difference is zero). This reproduces the paper's
+/// "t(7)=3.04, p<0.05"-style significance checks across the 8 predictor
+/// configurations.
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// CDF of Student's t-distribution with `df` degrees of freedom,
+/// implemented via the regularized incomplete beta function.
+double StudentTCdf(double t, size_t df);
+
+/// Regularized incomplete beta function I_x(a, b) via the Lentz continued
+/// fraction (Numerical-Recipes-style formulation).
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+}  // namespace apots::metrics
+
+#endif  // APOTS_METRICS_STATS_H_

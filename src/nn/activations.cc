@@ -1,0 +1,99 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace apots::nn {
+
+float SigmoidScalar(float x) {
+  // Numerically stable piecewise form.
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+float TanhScalar(float x) { return std::tanh(x); }
+
+Tensor Relu::Forward(const Tensor& input, bool training) {
+  cached_input_ = input;
+  Tensor out = input;
+  float* p = out.data();
+  for (size_t i = 0; i < out.size(); ++i) p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+  return out;
+}
+
+Tensor Relu::Backward(const Tensor& grad_output) {
+  APOTS_CHECK(grad_output.SameShape(cached_input_));
+  Tensor grad = grad_output;
+  float* pg = grad.data();
+  const float* px = cached_input_.data();
+  for (size_t i = 0; i < grad.size(); ++i) {
+    if (px[i] <= 0.0f) pg[i] = 0.0f;
+  }
+  return grad;
+}
+
+Tensor LeakyRelu::Forward(const Tensor& input, bool training) {
+  cached_input_ = input;
+  Tensor out = input;
+  float* p = out.data();
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (p[i] < 0.0f) p[i] *= slope_;
+  }
+  return out;
+}
+
+Tensor LeakyRelu::Backward(const Tensor& grad_output) {
+  APOTS_CHECK(grad_output.SameShape(cached_input_));
+  Tensor grad = grad_output;
+  float* pg = grad.data();
+  const float* px = cached_input_.data();
+  for (size_t i = 0; i < grad.size(); ++i) {
+    if (px[i] < 0.0f) pg[i] *= slope_;
+  }
+  return grad;
+}
+
+std::string LeakyRelu::Name() const {
+  return apots::StrFormat("LeakyRelu(%.2f)", static_cast<double>(slope_));
+}
+
+Tensor Sigmoid::Forward(const Tensor& input, bool training) {
+  Tensor out = input;
+  float* p = out.data();
+  for (size_t i = 0; i < out.size(); ++i) p[i] = SigmoidScalar(p[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::Backward(const Tensor& grad_output) {
+  APOTS_CHECK(grad_output.SameShape(cached_output_));
+  Tensor grad = grad_output;
+  float* pg = grad.data();
+  const float* py = cached_output_.data();
+  for (size_t i = 0; i < grad.size(); ++i) pg[i] *= py[i] * (1.0f - py[i]);
+  return grad;
+}
+
+Tensor Tanh::Forward(const Tensor& input, bool training) {
+  Tensor out = input;
+  float* p = out.data();
+  for (size_t i = 0; i < out.size(); ++i) p[i] = std::tanh(p[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_output) {
+  APOTS_CHECK(grad_output.SameShape(cached_output_));
+  Tensor grad = grad_output;
+  float* pg = grad.data();
+  const float* py = cached_output_.data();
+  for (size_t i = 0; i < grad.size(); ++i) pg[i] *= 1.0f - py[i] * py[i];
+  return grad;
+}
+
+}  // namespace apots::nn

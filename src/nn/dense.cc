@@ -1,0 +1,48 @@
+#include "nn/dense.h"
+
+#include "tensor/tensor_ops.h"
+#include "util/string_util.h"
+
+namespace apots::nn {
+
+using apots::tensor::Tensor;
+
+Dense::Dense(size_t in_features, size_t out_features, apots::Rng* rng,
+             Init init)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_("dense.weight", Tensor({in_features, out_features})),
+      bias_("dense.bias", Tensor({out_features})) {
+  Initialize(&weight_.value, init, in_features, out_features, rng);
+  // Bias starts at zero regardless of scheme.
+}
+
+Tensor Dense::Forward(const Tensor& input, bool training) {
+  APOTS_CHECK_EQ(input.rank(), 2u);
+  APOTS_CHECK_EQ(input.cols(), in_features_);
+  cached_input_ = input;
+  Tensor out = apots::tensor::Matmul(input, weight_.value);
+  apots::tensor::AddRowBias(&out, bias_.value);
+  return out;
+}
+
+Tensor Dense::Backward(const Tensor& grad_output) {
+  APOTS_CHECK_EQ(grad_output.rank(), 2u);
+  APOTS_CHECK_EQ(grad_output.cols(), out_features_);
+  APOTS_CHECK_EQ(grad_output.rows(), cached_input_.rows());
+  // dW = x^T dy ; db = column sums of dy ; dx = dy W^T.
+  apots::tensor::AddInPlace(
+      &weight_.grad,
+      apots::tensor::MatmulTransposeA(cached_input_, grad_output));
+  apots::tensor::AddInPlace(&bias_.grad,
+                            apots::tensor::SumRows(grad_output));
+  return apots::tensor::MatmulTransposeB(grad_output, weight_.value);
+}
+
+std::vector<Parameter*> Dense::Parameters() { return {&weight_, &bias_}; }
+
+std::string Dense::Name() const {
+  return apots::StrFormat("Dense(%zu -> %zu)", in_features_, out_features_);
+}
+
+}  // namespace apots::nn

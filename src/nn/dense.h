@@ -1,0 +1,38 @@
+#ifndef APOTS_NN_DENSE_H_
+#define APOTS_NN_DENSE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/initializer.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace apots::nn {
+
+/// Fully connected layer: y = x W + b with x of shape [batch, in_features],
+/// W of shape [in_features, out_features], b of length out_features.
+class Dense : public Layer {
+ public:
+  Dense(size_t in_features, size_t out_features, apots::Rng* rng,
+        Init init = Init::kXavierUniform);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+  std::string Name() const override;
+
+  size_t in_features() const { return in_features_; }
+  size_t out_features() const { return out_features_; }
+
+ private:
+  size_t in_features_;
+  size_t out_features_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace apots::nn
+
+#endif  // APOTS_NN_DENSE_H_

@@ -1,0 +1,16 @@
+#include "nn/flatten.h"
+
+namespace apots::nn {
+
+Tensor Flatten::Forward(const Tensor& input, bool training) {
+  APOTS_CHECK_GE(input.rank(), 2u);
+  cached_shape_ = input.shape();
+  const size_t batch = input.dim(0);
+  return input.Reshape({batch, input.size() / batch});
+}
+
+Tensor Flatten::Backward(const Tensor& grad_output) {
+  return grad_output.Reshape(cached_shape_);
+}
+
+}  // namespace apots::nn

@@ -1,0 +1,35 @@
+#ifndef APOTS_NN_GRADIENT_CHECK_H_
+#define APOTS_NN_GRADIENT_CHECK_H_
+
+#include <functional>
+
+#include "nn/module.h"
+
+namespace apots::nn {
+
+/// Result of a finite-difference gradient check.
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  size_t checked = 0;
+};
+
+/// Verifies `layer`'s input gradient and parameter gradients against
+/// central finite differences of the scalar loss
+///   L = sum(weights * layer.Forward(input)),
+/// where `loss_weights` is a fixed random weighting so every output element
+/// contributes. `epsilon` is the perturbation; `stride` checks every k-th
+/// element to bound cost on larger layers.
+GradCheckResult CheckLayerGradients(Layer* layer, const Tensor& input,
+                                    const Tensor& loss_weights,
+                                    double epsilon = 1e-3, size_t stride = 1);
+
+/// Checks an arbitrary scalar function's analytic gradient at `point`.
+/// `f` returns the loss; `analytic` is the claimed dL/dpoint.
+GradCheckResult CheckFunctionGradient(
+    const std::function<double(const Tensor&)>& f, const Tensor& point,
+    const Tensor& analytic, double epsilon = 1e-3, size_t stride = 1);
+
+}  // namespace apots::nn
+
+#endif  // APOTS_NN_GRADIENT_CHECK_H_

@@ -1,0 +1,225 @@
+#include "nn/gru.h"
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "tensor/tensor_ops.h"
+#include "util/string_util.h"
+
+namespace apots::nn {
+
+namespace ops = apots::tensor;
+
+namespace {
+
+// Extracts columns [block*width, (block+1)*width) of a packed [rows, 3W]
+// matrix into a [rows, width] tensor.
+Tensor SliceBlock(const Tensor& packed, size_t block, size_t width) {
+  const size_t rows = packed.rows();
+  Tensor out({rows, width});
+  for (size_t i = 0; i < rows; ++i) {
+    const float* src = packed.data() + i * packed.cols() + block * width;
+    std::copy(src, src + width, out.data() + i * width);
+  }
+  return out;
+}
+
+// Adds a [rows, width] tensor into block `block` of a packed [rows, 3W]
+// accumulator.
+void AddBlock(Tensor* packed, size_t block, size_t width,
+              const Tensor& value) {
+  const size_t rows = packed->rows();
+  for (size_t i = 0; i < rows; ++i) {
+    float* dst = packed->data() + i * packed->cols() + block * width;
+    const float* src = value.data() + i * width;
+    for (size_t j = 0; j < width; ++j) dst[j] += src[j];
+  }
+}
+
+}  // namespace
+
+Gru::Gru(size_t input_size, size_t hidden_size, bool return_sequences,
+         apots::Rng* rng)
+    : input_size_(input_size),
+      hidden_size_(hidden_size),
+      return_sequences_(return_sequences),
+      weight_x_("gru.weight_x", Tensor({input_size, 3 * hidden_size})),
+      weight_h_("gru.weight_h", Tensor({hidden_size, 3 * hidden_size})),
+      bias_("gru.bias", Tensor({3 * hidden_size})) {
+  Initialize(&weight_x_.value, Init::kXavierUniform, input_size,
+             3 * hidden_size, rng);
+  Initialize(&weight_h_.value, Init::kOrthogonalish, hidden_size,
+             3 * hidden_size, rng);
+}
+
+Tensor Gru::Forward(const Tensor& input, bool training) {
+  APOTS_CHECK_EQ(input.rank(), 3u);
+  APOTS_CHECK_EQ(input.dim(2), input_size_);
+  const size_t batch = input.dim(0);
+  const size_t time = input.dim(1);
+  const size_t H = hidden_size_;
+  cached_batch_ = batch;
+  cached_time_ = time;
+  steps_.clear();
+  steps_.reserve(time);
+
+  const Tensor wh_r = SliceBlock(weight_h_.value, 0, H);
+  const Tensor wh_z = SliceBlock(weight_h_.value, 1, H);
+  const Tensor wh_c = SliceBlock(weight_h_.value, 2, H);
+
+  Tensor h = Tensor::Zeros({batch, H});
+  Tensor sequence_out;
+  if (return_sequences_) sequence_out = Tensor({batch, time, H});
+
+  for (size_t t = 0; t < time; ++t) {
+    StepCache step;
+    step.h_prev = h;
+    step.x = Tensor({batch, input_size_});
+    for (size_t n = 0; n < batch; ++n) {
+      const float* src = input.data() + (n * time + t) * input_size_;
+      std::copy(src, src + input_size_, step.x.data() + n * input_size_);
+    }
+
+    Tensor xw = ops::Matmul(step.x, weight_x_.value);  // [batch, 3H]
+    ops::AddRowBias(&xw, bias_.value);
+    const Tensor hw_r = ops::Matmul(h, wh_r);
+    const Tensor hw_z = ops::Matmul(h, wh_z);
+
+    step.r = Tensor({batch, H});
+    step.z = Tensor({batch, H});
+    for (size_t n = 0; n < batch; ++n) {
+      const float* xw_row = xw.data() + n * 3 * H;
+      for (size_t j = 0; j < H; ++j) {
+        step.r.At(n, j) = SigmoidScalar(xw_row[j] + hw_r.At(n, j));
+        step.z.At(n, j) = SigmoidScalar(xw_row[H + j] + hw_z.At(n, j));
+      }
+    }
+    step.rh_prev = ops::Mul(step.r, step.h_prev);
+    const Tensor hw_c = ops::Matmul(step.rh_prev, wh_c);
+    step.h_tilde = Tensor({batch, H});
+    Tensor new_h({batch, H});
+    for (size_t n = 0; n < batch; ++n) {
+      const float* xw_row = xw.data() + n * 3 * H;
+      for (size_t j = 0; j < H; ++j) {
+        const float cand = TanhScalar(xw_row[2 * H + j] + hw_c.At(n, j));
+        step.h_tilde.At(n, j) = cand;
+        const float z = step.z.At(n, j);
+        new_h.At(n, j) =
+            (1.0f - z) * step.h_prev.At(n, j) + z * cand;
+      }
+    }
+    h = new_h;
+    if (return_sequences_) {
+      for (size_t n = 0; n < batch; ++n) {
+        std::copy(h.data() + n * H, h.data() + (n + 1) * H,
+                  sequence_out.data() + (n * time + t) * H);
+      }
+    }
+    steps_.push_back(std::move(step));
+  }
+  return return_sequences_ ? sequence_out : h;
+}
+
+Tensor Gru::Backward(const Tensor& grad_output) {
+  const size_t batch = cached_batch_;
+  const size_t time = cached_time_;
+  const size_t H = hidden_size_;
+
+  const Tensor wh_r = SliceBlock(weight_h_.value, 0, H);
+  const Tensor wh_z = SliceBlock(weight_h_.value, 1, H);
+  const Tensor wh_c = SliceBlock(weight_h_.value, 2, H);
+  const Tensor wx_r = SliceBlock(weight_x_.value, 0, H);
+  const Tensor wx_z = SliceBlock(weight_x_.value, 1, H);
+  const Tensor wx_c = SliceBlock(weight_x_.value, 2, H);
+
+  Tensor grad_input({batch, time, input_size_});
+  Tensor dh_next = Tensor::Zeros({batch, H});
+
+  for (size_t t = time; t-- > 0;) {
+    const StepCache& step = steps_[t];
+    Tensor dh = dh_next;
+    if (return_sequences_) {
+      for (size_t n = 0; n < batch; ++n) {
+        const float* src = grad_output.data() + (n * time + t) * H;
+        float* dst = dh.data() + n * H;
+        for (size_t j = 0; j < H; ++j) dst[j] += src[j];
+      }
+    } else if (t == time - 1) {
+      ops::AddInPlace(&dh, grad_output);
+    }
+
+    // Pre-activation gate gradients.
+    Tensor dpre_r({batch, H}), dpre_z({batch, H}), dpre_c({batch, H});
+    Tensor dh_prev({batch, H});
+    for (size_t n = 0; n < batch; ++n) {
+      for (size_t j = 0; j < H; ++j) {
+        const float z = step.z.At(n, j);
+        const float cand = step.h_tilde.At(n, j);
+        const float hp = step.h_prev.At(n, j);
+        const float dh_nj = dh.At(n, j);
+        const float dz = dh_nj * (cand - hp);
+        const float dcand = dh_nj * z;
+        dh_prev.At(n, j) = dh_nj * (1.0f - z);
+        dpre_z.At(n, j) = dz * z * (1.0f - z);
+        dpre_c.At(n, j) = dcand * (1.0f - cand * cand);
+      }
+    }
+    // Candidate path: d(rh) = dpre_c Wh_c^T.
+    const Tensor drh = ops::MatmulTransposeB(dpre_c, wh_c);
+    for (size_t n = 0; n < batch; ++n) {
+      for (size_t j = 0; j < H; ++j) {
+        const float r = step.r.At(n, j);
+        const float hp = step.h_prev.At(n, j);
+        const float dr = drh.At(n, j) * hp;
+        dh_prev.At(n, j) += drh.At(n, j) * r;
+        dpre_r.At(n, j) = dr * r * (1.0f - r);
+      }
+    }
+
+    // Parameter gradients (packed accumulators).
+    AddBlock(&weight_x_.grad, 0, H, ops::MatmulTransposeA(step.x, dpre_r));
+    AddBlock(&weight_x_.grad, 1, H, ops::MatmulTransposeA(step.x, dpre_z));
+    AddBlock(&weight_x_.grad, 2, H, ops::MatmulTransposeA(step.x, dpre_c));
+    AddBlock(&weight_h_.grad, 0, H,
+             ops::MatmulTransposeA(step.h_prev, dpre_r));
+    AddBlock(&weight_h_.grad, 1, H,
+             ops::MatmulTransposeA(step.h_prev, dpre_z));
+    AddBlock(&weight_h_.grad, 2, H,
+             ops::MatmulTransposeA(step.rh_prev, dpre_c));
+    const Tensor db_r = ops::SumRows(dpre_r);
+    const Tensor db_z = ops::SumRows(dpre_z);
+    const Tensor db_c = ops::SumRows(dpre_c);
+    for (size_t j = 0; j < H; ++j) {
+      bias_.grad[j] += db_r[j];
+      bias_.grad[H + j] += db_z[j];
+      bias_.grad[2 * H + j] += db_c[j];
+    }
+
+    // Input gradient.
+    Tensor dx = ops::MatmulTransposeB(dpre_r, wx_r);
+    ops::AddInPlace(&dx, ops::MatmulTransposeB(dpre_z, wx_z));
+    ops::AddInPlace(&dx, ops::MatmulTransposeB(dpre_c, wx_c));
+    for (size_t n = 0; n < batch; ++n) {
+      std::copy(dx.data() + n * input_size_,
+                dx.data() + (n + 1) * input_size_,
+                grad_input.data() + (n * time + t) * input_size_);
+    }
+
+    // Recurrent gradient.
+    ops::AddInPlace(&dh_prev, ops::MatmulTransposeB(dpre_r, wh_r));
+    ops::AddInPlace(&dh_prev, ops::MatmulTransposeB(dpre_z, wh_z));
+    dh_next = std::move(dh_prev);
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> Gru::Parameters() {
+  return {&weight_x_, &weight_h_, &bias_};
+}
+
+std::string Gru::Name() const {
+  return apots::StrFormat("Gru(%zu -> %zu%s)", input_size_, hidden_size_,
+                          return_sequences_ ? ", seq" : "");
+}
+
+}  // namespace apots::nn

@@ -1,0 +1,57 @@
+#ifndef APOTS_NN_GRU_H_
+#define APOTS_NN_GRU_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/initializer.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace apots::nn {
+
+/// Gated recurrent unit (Cho et al. 2014) with full backpropagation
+/// through time — provided as the natural drop-in alternative to Lstm for
+/// the paper's future-work comparisons. Input [batch, time, features];
+/// output [batch, time, hidden] with `return_sequences`, else
+/// [batch, hidden].
+///
+/// Gate layout in the packed matrices: reset | update | candidate.
+/// Update convention: h_t = (1 - z) * h_{t-1} + z * h_tilde.
+class Gru : public Layer {
+ public:
+  Gru(size_t input_size, size_t hidden_size, bool return_sequences,
+      apots::Rng* rng);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+  std::string Name() const override;
+
+  size_t hidden_size() const { return hidden_size_; }
+
+ private:
+  size_t input_size_;
+  size_t hidden_size_;
+  bool return_sequences_;
+
+  Parameter weight_x_;  ///< [input, 3*hidden]
+  Parameter weight_h_;  ///< [hidden, 3*hidden]
+  Parameter bias_;      ///< [3*hidden]
+
+  struct StepCache {
+    Tensor x;         ///< [batch, input]
+    Tensor h_prev;    ///< [batch, hidden]
+    Tensor r;         ///< reset gate, post-sigmoid
+    Tensor z;         ///< update gate, post-sigmoid
+    Tensor h_tilde;   ///< candidate, post-tanh
+    Tensor rh_prev;   ///< r * h_prev (input to the candidate's W_h term)
+  };
+  std::vector<StepCache> steps_;
+  size_t cached_batch_ = 0;
+  size_t cached_time_ = 0;
+};
+
+}  // namespace apots::nn
+
+#endif  // APOTS_NN_GRU_H_

@@ -1,0 +1,37 @@
+#include "nn/initializer.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace apots::nn {
+
+void Initialize(apots::tensor::Tensor* t, Init scheme, size_t fan_in,
+                size_t fan_out, apots::Rng* rng) {
+  switch (scheme) {
+    case Init::kZeros:
+      t->Fill(0.0f);
+      return;
+    case Init::kXavierUniform: {
+      const float limit =
+          std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+      apots::tensor::FillUniform(t, rng, -limit, limit);
+      return;
+    }
+    case Init::kHeNormal: {
+      const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+      apots::tensor::FillNormal(t, rng, 0.0f, stddev);
+      return;
+    }
+    case Init::kOrthogonalish: {
+      // A cheap stand-in for orthogonal init: normal with variance 1/fan_in,
+      // which keeps recurrent activations near unit scale at the sequence
+      // lengths used here (alpha = 12).
+      const float stddev = std::sqrt(1.0f / static_cast<float>(fan_in));
+      apots::tensor::FillNormal(t, rng, 0.0f, stddev);
+      return;
+    }
+  }
+}
+
+}  // namespace apots::nn

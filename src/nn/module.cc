@@ -1,0 +1,38 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+namespace apots::nn {
+
+void ZeroAllGrads(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) p->ZeroGrad();
+}
+
+size_t CountWeights(const std::vector<Parameter*>& params) {
+  size_t n = 0;
+  for (const Parameter* p : params) n += p->value.size();
+  return n;
+}
+
+double GradNorm(const std::vector<Parameter*>& params) {
+  double sum_sq = 0.0;
+  for (const Parameter* p : params) {
+    const float* g = p->grad.data();
+    for (size_t i = 0; i < p->grad.size(); ++i) {
+      sum_sq += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+void ClipGradNorm(const std::vector<Parameter*>& params, double max_norm) {
+  const double norm = GradNorm(params);
+  if (norm <= max_norm || norm == 0.0) return;
+  const float scale = static_cast<float>(max_norm / norm);
+  for (Parameter* p : params) {
+    float* g = p->grad.data();
+    for (size_t i = 0; i < p->grad.size(); ++i) g[i] *= scale;
+  }
+}
+
+}  // namespace apots::nn

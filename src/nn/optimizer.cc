@@ -1,0 +1,67 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace apots::nn {
+
+void Optimizer::StepAndZero(const std::vector<Parameter*>& params) {
+  Step(params);
+  ZeroAllGrads(params);
+}
+
+Sgd::Sgd(float learning_rate, float momentum)
+    : Optimizer(learning_rate), momentum_(momentum) {}
+
+void Sgd::Step(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) {
+    if (momentum_ == 0.0f) {
+      float* w = p->value.data();
+      const float* g = p->grad.data();
+      for (size_t i = 0; i < p->value.size(); ++i) {
+        w[i] -= learning_rate_ * g[i];
+      }
+      continue;
+    }
+    auto [it, inserted] = velocity_.try_emplace(p, Tensor(p->value.shape()));
+    Tensor& vel = it->second;
+    float* v = vel.data();
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      v[i] = momentum_ * v[i] + g[i];
+      w[i] -= learning_rate_ * v[i];
+    }
+  }
+}
+
+Adam::Adam(float learning_rate, float beta1, float beta2, float epsilon)
+    : Optimizer(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {}
+
+void Adam::Step(const std::vector<Parameter*>& params) {
+  ++step_count_;
+  const float bias1 =
+      1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (Parameter* p : params) {
+    auto [it, inserted] = moments_.try_emplace(
+        p, Moments{Tensor(p->value.shape()), Tensor(p->value.shape())});
+    Moments& mom = it->second;
+    float* m = mom.m.data();
+    float* v = mom.v.data();
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      w[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace apots::nn

@@ -1,0 +1,44 @@
+#include "nn/sequential.h"
+
+namespace apots::nn {
+
+Layer* Sequential::Add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return layers_.back().get();
+}
+
+Tensor Sequential::Forward(const Tensor& input, bool training) {
+  Tensor current = input;
+  for (auto& layer : layers_) {
+    current = layer->Forward(current, training);
+  }
+  return current;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  Tensor current = grad_output;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    current = layers_[i]->Backward(current);
+  }
+  return current;
+}
+
+std::vector<Parameter*> Sequential::Parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+std::string Sequential::Name() const {
+  std::string out = "Sequential[";
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += layers_[i]->Name();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace apots::nn

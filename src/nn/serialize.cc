@@ -1,0 +1,93 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace apots::nn {
+
+namespace {
+
+constexpr char kMagic[5] = {'A', 'P', 'O', 'T', '1'};
+
+template <typename T>
+void WritePod(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveParameters(const std::vector<Parameter*>& params,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  WritePod<uint64_t>(out, params.size());
+  for (const Parameter* p : params) {
+    WritePod<uint64_t>(out, p->name.size());
+    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    WritePod<uint64_t>(out, p->value.rank());
+    for (size_t d : p->value.shape()) WritePod<uint64_t>(out, d);
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  out.close();
+  if (!out) return Status::IoError("failed writing: " + path);
+  return Status::Ok();
+}
+
+Status LoadParameters(const std::vector<Parameter*>& params,
+                      const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad magic in parameter file: " + path);
+  }
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return Status::IoError("truncated file: " + path);
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        StrFormat("parameter count mismatch: file has %llu, model has %zu",
+                  static_cast<unsigned long long>(count), params.size()));
+  }
+  for (Parameter* p : params) {
+    uint64_t name_len = 0;
+    if (!ReadPod(in, &name_len)) return Status::IoError("truncated name len");
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!in) return Status::IoError("truncated name");
+    if (name != p->name) {
+      return Status::InvalidArgument(
+          StrFormat("parameter name mismatch: file '%s' vs model '%s'",
+                    name.c_str(), p->name.c_str()));
+    }
+    uint64_t rank = 0;
+    if (!ReadPod(in, &rank)) return Status::IoError("truncated rank");
+    std::vector<size_t> shape(rank);
+    for (uint64_t i = 0; i < rank; ++i) {
+      uint64_t dim = 0;
+      if (!ReadPod(in, &dim)) return Status::IoError("truncated shape");
+      shape[i] = static_cast<size_t>(dim);
+    }
+    if (shape != p->value.shape()) {
+      return Status::InvalidArgument("parameter shape mismatch for " +
+                                     p->name);
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    if (!in) return Status::IoError("truncated payload for " + p->name);
+  }
+  return Status::Ok();
+}
+
+}  // namespace apots::nn

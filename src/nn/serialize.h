@@ -1,0 +1,25 @@
+#ifndef APOTS_NN_SERIALIZE_H_
+#define APOTS_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace apots::nn {
+
+/// Writes all parameter tensors to a binary file. Format: magic "APOT1",
+/// parameter count, then per parameter: name length+bytes, rank, dims,
+/// float32 payload. Load requires identical names and shapes (i.e. the
+/// model must be constructed with the same architecture first).
+Status SaveParameters(const std::vector<Parameter*>& params,
+                      const std::string& path);
+
+/// Loads parameters saved by SaveParameters into an equally-shaped model.
+Status LoadParameters(const std::vector<Parameter*>& params,
+                      const std::string& path);
+
+}  // namespace apots::nn
+
+#endif  // APOTS_NN_SERIALIZE_H_

@@ -1,0 +1,73 @@
+#include "tensor/tensor.h"
+
+#include "util/string_util.h"
+
+namespace apots::tensor {
+
+size_t NumElements(const std::vector<size_t>& shape) {
+  size_t n = 1;
+  for (size_t d : shape) n *= d;
+  return n;
+}
+
+Tensor::Tensor(std::vector<size_t> shape)
+    : shape_(std::move(shape)), data_(NumElements(shape_), 0.0f) {}
+
+Tensor Tensor::FromVector(const std::vector<float>& values) {
+  Tensor t({values.size()});
+  std::copy(values.begin(), values.end(), t.data_.begin());
+  return t;
+}
+
+Tensor Tensor::FromMatrix(size_t rows, size_t cols,
+                          const std::vector<float>& values) {
+  APOTS_CHECK_EQ(rows * cols, values.size());
+  Tensor t({rows, cols});
+  std::copy(values.begin(), values.end(), t.data_.begin());
+  return t;
+}
+
+Tensor Tensor::Zeros(std::vector<size_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Full(std::vector<size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor Tensor::Reshape(std::vector<size_t> new_shape) const {
+  APOTS_CHECK_EQ(NumElements(new_shape), size());
+  Tensor t = *this;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+std::string Tensor::ShapeString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%zu", shape_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string Tensor::ToString(size_t max_elements) const {
+  std::string out = "Tensor" + ShapeString() + " {";
+  const size_t n = std::min(size(), max_elements);
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%.4g", static_cast<double>(data_[i]));
+  }
+  if (size() > n) out += ", ...";
+  out += "}";
+  return out;
+}
+
+}  // namespace apots::tensor

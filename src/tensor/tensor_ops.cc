@@ -1,0 +1,300 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apots::tensor {
+
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  if (!a.SameShape(b)) {
+    APOTS_LOG(Error) << op << ": shape mismatch " << a.ShapeString() << " vs "
+                     << b.ShapeString();
+    APOTS_CHECK(a.SameShape(b));
+  }
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add");
+  Tensor out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (size_t i = 0; i < out.size(); ++i) po[i] += pb[i];
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  Tensor out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (size_t i = 0; i < out.size(); ++i) po[i] -= pb[i];
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  Tensor out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (size_t i = 0; i < out.size(); ++i) po[i] *= pb[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float scalar) {
+  Tensor out = a;
+  float* po = out.data();
+  for (size_t i = 0; i < out.size(); ++i) po[i] *= scalar;
+  return out;
+}
+
+void AddInPlace(Tensor* a, const Tensor& b) {
+  CheckSameShape(*a, b, "AddInPlace");
+  float* pa = a->data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < a->size(); ++i) pa[i] += pb[i];
+}
+
+void Axpy(Tensor* a, const Tensor& b, float scalar) {
+  CheckSameShape(*a, b, "Axpy");
+  float* pa = a->data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < a->size(); ++i) pa[i] += scalar * pb[i];
+}
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  APOTS_CHECK_EQ(a.rank(), 2u);
+  APOTS_CHECK_EQ(b.rank(), 2u);
+  APOTS_CHECK_EQ(a.cols(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // ikj loop order: the inner loop streams both b and out rows.
+  for (size_t i = 0; i < m; ++i) {
+    float* out_row = po + i * n;
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* b_row = pb + kk * n;
+      for (size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatmulTransposeA(const Tensor& a, const Tensor& b) {
+  APOTS_CHECK_EQ(a.rank(), 2u);
+  APOTS_CHECK_EQ(b.rank(), 2u);
+  APOTS_CHECK_EQ(a.rows(), b.rows());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (size_t kk = 0; kk < k; ++kk) {
+    const float* a_row = pa + kk * m;
+    const float* b_row = pb + kk * n;
+    for (size_t i = 0; i < m; ++i) {
+      const float aik = a_row[i];
+      if (aik == 0.0f) continue;
+      float* out_row = po + i * n;
+      for (size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatmulTransposeB(const Tensor& a, const Tensor& b) {
+  APOTS_CHECK_EQ(a.rank(), 2u);
+  APOTS_CHECK_EQ(b.rank(), 2u);
+  APOTS_CHECK_EQ(a.cols(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (size_t i = 0; i < m; ++i) {
+    const float* a_row = pa + i * k;
+    float* out_row = po + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* b_row = pb + j * k;
+      float acc = 0.0f;
+      for (size_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  APOTS_CHECK_EQ(a.rank(), 2u);
+  const size_t m = a.rows(), n = a.cols();
+  Tensor out({n, m});
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) out.At(j, i) = a.At(i, j);
+  }
+  return out;
+}
+
+Tensor Transpose12(const Tensor& a) {
+  APOTS_CHECK_EQ(a.rank(), 3u);
+  const size_t n = a.dim(0), rows = a.dim(1), cols = a.dim(2);
+  Tensor out({n, cols, rows});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (size_t i = 0; i < n; ++i) {
+    const float* src = pa + i * rows * cols;
+    float* dst = po + i * rows * cols;
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) dst[c * rows + r] = src[r * cols + c];
+    }
+  }
+  return out;
+}
+
+void AddRowBias(Tensor* matrix, const Tensor& bias) {
+  APOTS_CHECK_EQ(matrix->rank(), 2u);
+  APOTS_CHECK_EQ(bias.size(), matrix->cols());
+  const size_t m = matrix->rows(), n = matrix->cols();
+  float* pm = matrix->data();
+  const float* pb = bias.data();
+  for (size_t i = 0; i < m; ++i) {
+    float* row = pm + i * n;
+    for (size_t j = 0; j < n; ++j) row[j] += pb[j];
+  }
+}
+
+Tensor SumRows(const Tensor& matrix) {
+  APOTS_CHECK_EQ(matrix.rank(), 2u);
+  const size_t m = matrix.rows(), n = matrix.cols();
+  Tensor out({n});
+  const float* pm = matrix.data();
+  float* po = out.data();
+  for (size_t i = 0; i < m; ++i) {
+    const float* row = pm + i * n;
+    for (size_t j = 0; j < n; ++j) po[j] += row[j];
+  }
+  return out;
+}
+
+float Sum(const Tensor& a) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i];
+  return static_cast<float>(acc);
+}
+
+float Mean(const Tensor& a) {
+  APOTS_CHECK_GT(a.size(), 0u);
+  return Sum(a) / static_cast<float>(a.size());
+}
+
+float MinValue(const Tensor& a) {
+  APOTS_CHECK_GT(a.size(), 0u);
+  float best = a[0];
+  for (size_t i = 1; i < a.size(); ++i) best = std::min(best, a[i]);
+  return best;
+}
+
+float MaxValue(const Tensor& a) {
+  APOTS_CHECK_GT(a.size(), 0u);
+  float best = a[0];
+  for (size_t i = 1; i < a.size(); ++i) best = std::max(best, a[i]);
+  return best;
+}
+
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
+  Tensor out = a;
+  float* po = out.data();
+  for (size_t i = 0; i < out.size(); ++i) po[i] = fn(po[i]);
+  return out;
+}
+
+void FillUniform(Tensor* t, apots::Rng* rng, float lo, float hi) {
+  float* p = t->data();
+  for (size_t i = 0; i < t->size(); ++i) {
+    p[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+}
+
+void FillNormal(Tensor* t, apots::Rng* rng, float mean, float stddev) {
+  float* p = t->data();
+  for (size_t i = 0; i < t->size(); ++i) {
+    p[i] = static_cast<float>(rng->Normal(mean, stddev));
+  }
+}
+
+Tensor Im2Col(const Tensor& input, size_t kh, size_t kw, size_t pad) {
+  APOTS_CHECK_EQ(input.rank(), 3u);
+  const size_t channels = input.dim(0);
+  const size_t height = input.dim(1);
+  const size_t width = input.dim(2);
+  APOTS_CHECK_GE(height + 2 * pad + 1, kh);
+  APOTS_CHECK_GE(width + 2 * pad + 1, kw);
+  const size_t out_h = height + 2 * pad - kh + 1;
+  const size_t out_w = width + 2 * pad - kw + 1;
+  Tensor columns({channels * kh * kw, out_h * out_w});
+  float* pc = columns.data();
+  const size_t col_width = out_h * out_w;
+  for (size_t c = 0; c < channels; ++c) {
+    for (size_t ki = 0; ki < kh; ++ki) {
+      for (size_t kj = 0; kj < kw; ++kj) {
+        const size_t row = (c * kh + ki) * kw + kj;
+        float* dst = pc + row * col_width;
+        for (size_t oi = 0; oi < out_h; ++oi) {
+          const long src_i = static_cast<long>(oi + ki) - static_cast<long>(pad);
+          for (size_t oj = 0; oj < out_w; ++oj) {
+            const long src_j =
+                static_cast<long>(oj + kj) - static_cast<long>(pad);
+            float value = 0.0f;
+            if (src_i >= 0 && src_i < static_cast<long>(height) &&
+                src_j >= 0 && src_j < static_cast<long>(width)) {
+              value = input.At3(c, static_cast<size_t>(src_i),
+                                static_cast<size_t>(src_j));
+            }
+            dst[oi * out_w + oj] = value;
+          }
+        }
+      }
+    }
+  }
+  return columns;
+}
+
+Tensor Col2Im(const Tensor& columns, size_t channels, size_t height,
+              size_t width, size_t kh, size_t kw, size_t pad) {
+  APOTS_CHECK_EQ(columns.rank(), 2u);
+  const size_t out_h = height + 2 * pad - kh + 1;
+  const size_t out_w = width + 2 * pad - kw + 1;
+  APOTS_CHECK_EQ(columns.rows(), channels * kh * kw);
+  APOTS_CHECK_EQ(columns.cols(), out_h * out_w);
+  Tensor image({channels, height, width});
+  const float* pc = columns.data();
+  const size_t col_width = out_h * out_w;
+  for (size_t c = 0; c < channels; ++c) {
+    for (size_t ki = 0; ki < kh; ++ki) {
+      for (size_t kj = 0; kj < kw; ++kj) {
+        const size_t row = (c * kh + ki) * kw + kj;
+        const float* src = pc + row * col_width;
+        for (size_t oi = 0; oi < out_h; ++oi) {
+          const long dst_i = static_cast<long>(oi + ki) - static_cast<long>(pad);
+          if (dst_i < 0 || dst_i >= static_cast<long>(height)) continue;
+          for (size_t oj = 0; oj < out_w; ++oj) {
+            const long dst_j =
+                static_cast<long>(oj + kj) - static_cast<long>(pad);
+            if (dst_j < 0 || dst_j >= static_cast<long>(width)) continue;
+            image.At3(c, static_cast<size_t>(dst_i),
+                      static_cast<size_t>(dst_j)) += src[oi * out_w + oj];
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace apots::tensor

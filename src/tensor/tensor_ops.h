@@ -1,0 +1,75 @@
+#ifndef APOTS_TENSOR_TENSOR_OPS_H_
+#define APOTS_TENSOR_TENSOR_OPS_H_
+
+#include <functional>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace apots::tensor {
+
+/// Elementwise c = a + b (shapes must match).
+Tensor Add(const Tensor& a, const Tensor& b);
+/// Elementwise c = a - b.
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// Elementwise (Hadamard) c = a * b.
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// c = a * scalar.
+Tensor Scale(const Tensor& a, float scalar);
+
+/// In-place a += b (shapes must match).
+void AddInPlace(Tensor* a, const Tensor& b);
+/// In-place a += b * scalar (axpy).
+void Axpy(Tensor* a, const Tensor& b, float scalar);
+
+/// Matrix product of rank-2 tensors: [m,k] x [k,n] -> [m,n]. Blocked inner
+/// loop over k for cache friendliness; this is the hot path of training.
+Tensor Matmul(const Tensor& a, const Tensor& b);
+
+/// a^T b without materializing the transpose: [k,m]^T x [k,n] -> [m,n].
+Tensor MatmulTransposeA(const Tensor& a, const Tensor& b);
+
+/// a b^T without materializing the transpose: [m,k] x [n,k]^T -> [m,n].
+Tensor MatmulTransposeB(const Tensor& a, const Tensor& b);
+
+/// Transpose of a rank-2 tensor.
+Tensor Transpose(const Tensor& a);
+
+/// Swaps the last two axes of a rank-3 tensor: [n, a, b] -> [n, b, a].
+/// Used to turn a [batch, rows, time] feature matrix into the
+/// [batch, time, rows] sequence layout the LSTM expects.
+Tensor Transpose12(const Tensor& a);
+
+/// Adds a length-n bias row-wise to an [m,n] matrix.
+void AddRowBias(Tensor* matrix, const Tensor& bias);
+
+/// Column-wise sum of an [m,n] matrix -> length-n vector (bias gradient).
+Tensor SumRows(const Tensor& matrix);
+
+/// Sum / mean / min / max over all elements.
+float Sum(const Tensor& a);
+float Mean(const Tensor& a);
+float MinValue(const Tensor& a);
+float MaxValue(const Tensor& a);
+
+/// Applies `fn` elementwise, returning a new tensor.
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn);
+
+/// Fills with uniform / normal random values.
+void FillUniform(Tensor* t, apots::Rng* rng, float lo, float hi);
+void FillNormal(Tensor* t, apots::Rng* rng, float mean, float stddev);
+
+/// im2col for 2-D convolution with stride 1 and symmetric zero padding.
+/// Input: [channels, height, width]. Output: [channels*kh*kw, out_h*out_w]
+/// where out_h = height + 2*pad - kh + 1 (and similarly for width). Each
+/// output column holds the receptive field of one output pixel.
+Tensor Im2Col(const Tensor& input, size_t kh, size_t kw, size_t pad);
+
+/// Inverse scatter-add of Im2Col: accumulates the column matrix back into a
+/// [channels, height, width] tensor (gradient of Im2Col).
+Tensor Col2Im(const Tensor& columns, size_t channels, size_t height,
+              size_t width, size_t kh, size_t kw, size_t pad);
+
+}  // namespace apots::tensor
+
+#endif  // APOTS_TENSOR_TENSOR_OPS_H_

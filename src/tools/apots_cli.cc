@@ -1,0 +1,212 @@
+// apots_cli — command-line front end for the library, the entry point a
+// downstream user would script against:
+//
+//   apots_cli generate --out dataset.csv [--days N] [--roads N] [--seed S]
+//   apots_cli train    --data dataset.csv --model out.bin
+//                      [--predictor F|L|C|H] [--adversarial 0|1]
+//                      [--epochs N] [--divisor N]
+//   apots_cli evaluate --data dataset.csv --model out.bin
+//                      [--predictor F|L|C|H] [--adversarial 0|1]
+//                      [--divisor N]
+//
+// `train` fits on the day-blocked 80% split and reports test metrics;
+// `evaluate` reloads saved weights and reproduces them.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/apots_model.h"
+#include "data/windowing.h"
+#include "eval/experiment.h"
+#include "metrics/metrics.h"
+#include "traffic/dataset_generator.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace apots;
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (StartsWith(key, "--")) key = key.substr(2);
+    flags[key] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string Flag(const std::map<std::string, std::string>& flags,
+                 const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it != flags.end() ? it->second : fallback;
+}
+
+core::PredictorType ParsePredictor(const std::string& name) {
+  if (name == "L") return core::PredictorType::kLstm;
+  if (name == "C") return core::PredictorType::kCnn;
+  if (name == "H") return core::PredictorType::kHybrid;
+  return core::PredictorType::kFc;
+}
+
+int Generate(const std::map<std::string, std::string>& flags) {
+  const std::string out = Flag(flags, "out", "dataset.csv");
+  traffic::DatasetSpec spec;
+  int64_t value = 0;
+  if (ParseInt64(Flag(flags, "days", ""), &value)) {
+    spec.num_days = static_cast<int>(value);
+    spec.hyundai_calendar = spec.num_days == 122;
+  }
+  if (ParseInt64(Flag(flags, "roads", ""), &value)) {
+    spec.num_roads = static_cast<int>(value);
+  }
+  if (ParseInt64(Flag(flags, "seed", ""), &value)) {
+    spec.seed = static_cast<uint64_t>(value);
+  }
+  const traffic::TrafficDataset dataset = traffic::GenerateDataset(spec);
+  const Status status = dataset.WriteCsv(out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %d roads x %ld intervals (%d days), %zu incidents\n",
+              out.c_str(), dataset.num_roads(), dataset.num_intervals(),
+              dataset.num_days(), dataset.incident_log().size());
+  return 0;
+}
+
+// Shared setup for train/evaluate.
+struct Session {
+  traffic::TrafficDataset dataset;
+  core::ApotsConfig config;
+  data::SampleSplit split;
+};
+
+int LoadSession(const std::map<std::string, std::string>& flags,
+                Session* session) {
+  const std::string data_path = Flag(flags, "data", "");
+  if (data_path.empty()) {
+    std::fprintf(stderr, "--data is required\n");
+    return 1;
+  }
+  // Day count must be known to rebuild the calendar: probe with a generic
+  // calendar sized from the CSV row count at 288 intervals/day.
+  auto probe = apots::ReadCsv(data_path);
+  if (!probe.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", data_path.c_str(),
+                 probe.status().ToString().c_str());
+    return 1;
+  }
+  const int days = static_cast<int>(probe.value().rows.size() / 288);
+  traffic::Calendar calendar =
+      days == 122 ? traffic::Calendar::HyundaiPeriod2018()
+                  : traffic::Calendar(days, traffic::Weekday::kSunday, {});
+  auto dataset = traffic::TrafficDataset::ReadCsv(data_path, calendar);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "cannot parse %s: %s\n", data_path.c_str(),
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  session->dataset = std::move(dataset).value();
+
+  int64_t value = 0;
+  size_t divisor = 8;
+  if (ParseInt64(Flag(flags, "divisor", ""), &value)) {
+    divisor = static_cast<size_t>(value);
+  }
+  const core::PredictorType type =
+      ParsePredictor(Flag(flags, "predictor", "F"));
+  session->config.predictor =
+      divisor <= 1 ? core::PredictorHparams::Paper(type)
+                   : core::PredictorHparams::Scaled(type, divisor);
+  session->config.discriminator = core::DiscriminatorHparams::Scaled(
+      std::max<size_t>(1, divisor / 4));
+  session->config.features = data::FeatureConfig::Both();
+  session->config.features.num_adjacent =
+      (session->dataset.num_roads() - 1) / 2;
+  session->config.features.beta = 3;
+  session->config.training.adversarial =
+      Flag(flags, "adversarial", "0") == "1";
+  session->config.training.adv_weight = 0.05f;
+  if (ParseInt64(Flag(flags, "epochs", ""), &value)) {
+    session->config.training.epochs = static_cast<int>(value);
+  }
+  session->split = data::MakeSplit(session->dataset, 12, 3, 0.2,
+                                   data::SplitStrategy::kBlockedByDay, 42);
+  return 0;
+}
+
+void Report(core::ApotsModel* model, const std::vector<long>& anchors) {
+  const auto predictions = model->PredictKmh(anchors);
+  const auto truths = model->TrueKmh(anchors);
+  const auto metrics = metrics::Compute(predictions, truths);
+  std::printf("test (%zu anchors): %s\n", anchors.size(),
+              metrics.ToString().c_str());
+}
+
+int Train(const std::map<std::string, std::string>& flags) {
+  Session session;
+  if (int rc = LoadSession(flags, &session); rc != 0) return rc;
+  core::ApotsModel model(&session.dataset, session.config);
+  std::printf("training %s on %zu anchors (%zu weights)...\n",
+              session.config.Tag().c_str(), session.split.train.size(),
+              model.NumWeights());
+  const auto stats = model.Train(session.split.train);
+  std::printf("final epoch: mse=%.5f (%.1fs)\n", stats.mse_loss,
+              stats.seconds);
+  Report(&model, session.split.test);
+  const std::string model_path = Flag(flags, "model", "");
+  if (!model_path.empty()) {
+    const Status status = model.Save(model_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved weights to %s\n", model_path.c_str());
+  }
+  return 0;
+}
+
+int Evaluate(const std::map<std::string, std::string>& flags) {
+  Session session;
+  if (int rc = LoadSession(flags, &session); rc != 0) return rc;
+  core::ApotsModel model(&session.dataset, session.config);
+  const std::string model_path = Flag(flags, "model", "");
+  if (model_path.empty()) {
+    std::fprintf(stderr, "--model is required for evaluate\n");
+    return 1;
+  }
+  const Status status = model.Load(model_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  Report(&model, session.split.test);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: apots_cli <generate|train|evaluate> [--flag value]\n"
+               "  generate --out d.csv [--days N] [--roads N] [--seed S]\n"
+               "  train    --data d.csv [--model m.bin] [--predictor F|L|C|H]\n"
+               "           [--adversarial 0|1] [--epochs N] [--divisor N]\n"
+               "  evaluate --data d.csv --model m.bin [same model flags]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return Generate(flags);
+  if (command == "train") return Train(flags);
+  if (command == "evaluate") return Evaluate(flags);
+  return Usage();
+}

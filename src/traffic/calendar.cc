@@ -1,0 +1,64 @@
+#include "traffic/calendar.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace apots::traffic {
+
+std::array<float, 4> DayInfo::TypeVector() const {
+  const bool weekday_flag = !is_weekend && !is_holiday;
+  return {weekday_flag ? 1.0f : 0.0f, is_holiday ? 1.0f : 0.0f,
+          is_before_holiday ? 1.0f : 0.0f, is_after_holiday ? 1.0f : 0.0f};
+}
+
+const char* DayInfo::WeekdayName() const {
+  static const char* kNames[7] = {"Mon", "Tue", "Wed", "Thu",
+                                  "Fri", "Sat", "Sun"};
+  return kNames[static_cast<int>(weekday)];
+}
+
+Calendar::Calendar(int num_days, Weekday first_weekday,
+                   std::vector<int> holidays)
+    : num_days_(num_days),
+      first_weekday_(first_weekday),
+      holidays_(std::move(holidays)) {
+  APOTS_CHECK_GT(num_days, 0);
+  std::sort(holidays_.begin(), holidays_.end());
+  for (int h : holidays_) {
+    APOTS_CHECK_GE(h, 0);
+    APOTS_CHECK_LT(h, num_days);
+  }
+}
+
+Calendar Calendar::HyundaiPeriod2018() {
+  // Day 0 = 2018-07-01 (Sunday). Holiday day indices within the window:
+  //   Aug 15 (Liberation Day)            = 45
+  //   Sep 23-26 (Chuseok + substitute)   = 84, 85, 86, 87
+  //   Oct  3 (National Foundation Day)   = 94
+  //   Oct  9 (Hangul Day)                = 100
+  // Seven holiday days, matching the paper's note that the dataset
+  // contains only 7 holidays.
+  return Calendar(122, Weekday::kSunday, {45, 84, 85, 86, 87, 94, 100});
+}
+
+DayInfo Calendar::Day(int day_index) const {
+  APOTS_CHECK_GE(day_index, 0);
+  APOTS_CHECK_LT(day_index, num_days_);
+  DayInfo info;
+  info.day_index = day_index;
+  info.weekday = static_cast<Weekday>(
+      (static_cast<int>(first_weekday_) + day_index) % 7);
+  info.is_weekend = info.weekday == Weekday::kSaturday ||
+                    info.weekday == Weekday::kSunday;
+  auto is_holiday = [this](int day) {
+    return std::binary_search(holidays_.begin(), holidays_.end(), day);
+  };
+  info.is_holiday = is_holiday(day_index);
+  info.is_before_holiday =
+      day_index + 1 < num_days_ && is_holiday(day_index + 1);
+  info.is_after_holiday = day_index - 1 >= 0 && is_holiday(day_index - 1);
+  return info;
+}
+
+}  // namespace apots::traffic

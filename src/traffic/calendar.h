@@ -1,0 +1,70 @@
+#ifndef APOTS_TRAFFIC_CALENDAR_H_
+#define APOTS_TRAFFIC_CALENDAR_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace apots::traffic {
+
+/// Day-of-week, Monday = 0 ... Sunday = 6.
+enum class Weekday {
+  kMonday = 0,
+  kTuesday,
+  kWednesday,
+  kThursday,
+  kFriday,
+  kSaturday,
+  kSunday,
+};
+
+/// Per-day classification used both by the simulator (demand profile) and
+/// as the model's "day type" non-speed feature (Section IV-A: weekday,
+/// holiday, day before holiday, day after holiday — a multi-hot 4-vector).
+struct DayInfo {
+  int day_index = 0;       ///< 0-based offset from the calendar start
+  Weekday weekday = Weekday::kMonday;
+  bool is_weekend = false;
+  bool is_holiday = false;         ///< official public holiday
+  bool is_before_holiday = false;  ///< the day immediately before a holiday
+  bool is_after_holiday = false;   ///< the day immediately after a holiday
+
+  /// The 4-dim multi-hot day-type encoding [weekday, holiday, before,
+  /// after] from the paper's example ("[1, 0, 1, 0]" for a weekday before
+  /// a holiday).
+  std::array<float, 4> TypeVector() const;
+
+  /// "Mon", "Tue", ... for diagnostics.
+  const char* WeekdayName() const;
+};
+
+/// Calendar over a contiguous run of days. The default factory reproduces
+/// the paper's data period: 2018-07-01 .. 2018-10-30 (122 days) with the
+/// 7 Korean public-holiday days in that window (Liberation Day Aug 15;
+/// Chuseok Sep 23-26 incl. substitute; National Foundation Day Oct 3;
+/// Hangul Day Oct 9).
+class Calendar {
+ public:
+  /// `first_weekday` is the weekday of day 0; `holidays` are day indices.
+  Calendar(int num_days, Weekday first_weekday, std::vector<int> holidays);
+
+  /// The paper's 122-day window (2018-07-01 was a Sunday).
+  static Calendar HyundaiPeriod2018();
+
+  int num_days() const { return num_days_; }
+
+  /// Number of official holiday days.
+  int num_holidays() const { return static_cast<int>(holidays_.size()); }
+
+  /// Full classification of `day_index` (checked).
+  DayInfo Day(int day_index) const;
+
+ private:
+  int num_days_;
+  Weekday first_weekday_;
+  std::vector<int> holidays_;  // sorted
+};
+
+}  // namespace apots::traffic
+
+#endif  // APOTS_TRAFFIC_CALENDAR_H_

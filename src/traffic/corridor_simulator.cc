@@ -1,0 +1,168 @@
+#include "traffic/corridor_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace apots::traffic {
+
+namespace {
+
+// Smooth step centred at `center` with logistic width `width` (hours).
+double LogisticStep(double hour, double center, double width) {
+  return 1.0 / (1.0 + std::exp(-(hour - center) / width));
+}
+
+// A bump that rises at `start` and falls at `end` (hours), sharpness from
+// `width`.
+double Bump(double hour, double start, double end, double width) {
+  return LogisticStep(hour, start, width) *
+         (1.0 - LogisticStep(hour, end, width));
+}
+
+}  // namespace
+
+CorridorSimulator::CorridorSimulator(CorridorParams params, uint64_t seed)
+    : params_(params), seed_(seed) {}
+
+double CorridorSimulator::DemandRatio(const DayInfo& day, double hour) const {
+  const double w = params_.rush_transition_hours;
+  double ratio = params_.demand_base;
+  // Overnight lull.
+  ratio *= 0.55 + 0.45 * Bump(hour, 5.5, 23.8, 1.2);
+
+  const bool workday = !day.is_weekend && !day.is_holiday;
+  if (workday) {
+    // Morning rush 06:45-09:30 and evening rush 17:15-20:30.
+    double morning = params_.morning_peak_ratio - params_.demand_base;
+    double evening = params_.evening_peak_ratio - params_.demand_base;
+    // The day after a holiday has a lighter morning commute; the day
+    // before a holiday has a heavier, earlier evening exodus.
+    if (day.is_after_holiday) morning *= 0.7;
+    if (day.is_before_holiday) evening *= 1.2;
+    ratio += morning * Bump(hour, 6.75, 9.5, w);
+    ratio += evening * Bump(hour, day.is_before_holiday ? 16.5 : 17.25,
+                            20.5, w);
+  } else {
+    // Weekend/holiday: broad midday leisure bump plus a return wave in the
+    // evening (stronger on the last day of a holiday run).
+    double midday = params_.weekend_midday_ratio - params_.demand_base;
+    ratio += midday * Bump(hour, 10.0, 19.0, 0.8);
+    if (day.is_holiday) {
+      ratio += 0.25 * Bump(hour, 18.5, 21.5, w);
+    }
+  }
+  return std::max(0.05, ratio);
+}
+
+void CorridorSimulator::Simulate(const std::vector<WeatherSample>& weather,
+                                 const std::vector<Incident>& incidents,
+                                 TrafficDataset* dataset) const {
+  APOTS_CHECK(dataset != nullptr);
+  const int num_roads = dataset->num_roads();
+  const long total = dataset->num_intervals();
+  APOTS_CHECK_EQ(weather.size(), static_cast<size_t>(total));
+  *dataset->mutable_weather() = weather;
+  *dataset->mutable_incident_log() = incidents;
+  *dataset->mutable_event_flags() =
+      IncidentGenerator::ActiveFlags(incidents, num_roads, total);
+
+  apots::Rng rng(seed_);
+
+  // Per-road free-flow speeds and demand jitter.
+  std::vector<double> free_flow(num_roads);
+  std::vector<double> demand_scale(num_roads);
+  for (int r = 0; r < num_roads; ++r) {
+    free_flow[r] = params_.free_flow_kmh +
+                   rng.Uniform(-params_.free_flow_road_jitter,
+                               params_.free_flow_road_jitter);
+    demand_scale[r] = rng.Uniform(0.92, 1.08);
+  }
+
+  // Incident capacity envelope: ramp in over onset intervals, hold at
+  // `severity` for the duration, ramp out over the recovery.
+  std::vector<double> incident_cut(
+      static_cast<size_t>(num_roads) * static_cast<size_t>(total), 0.0);
+  for (const Incident& inc : incidents) {
+    const long onset = std::max<long>(1, params_.incident_onset_intervals);
+    for (long i = -onset; i < inc.duration + inc.recovery; ++i) {
+      const long t = inc.start_interval + i;
+      if (t < 0 || t >= total) continue;
+      double envelope = 1.0;
+      if (i < 0) {
+        envelope = static_cast<double>(i + onset) / onset;
+      } else if (i >= inc.duration) {
+        envelope = 1.0 - static_cast<double>(i - inc.duration) / inc.recovery;
+      }
+      double& cell =
+          incident_cut[static_cast<size_t>(inc.road) * total + t];
+      cell = std::max(cell, inc.severity * envelope);
+    }
+  }
+
+  // Pass 1: local (pre-propagation) speeds from demand, weather, incidents.
+  std::vector<double> raw(
+      static_cast<size_t>(num_roads) * static_cast<size_t>(total), 0.0);
+  std::vector<double> noise(num_roads, 0.0);
+  for (long t = 0; t < total; ++t) {
+    const DayInfo day = dataset->Day(t);
+    const double hour = dataset->FractionalHour(t);
+    const double rain = weather[static_cast<size_t>(t)].precipitation_mm;
+    // Rain cuts capacity smoothly toward the floor.
+    const double rain_intensity =
+        std::min(1.0, rain / params_.rain_reference_mm);
+    const double rain_capacity =
+        1.0 - (1.0 - params_.rain_capacity_floor) * rain_intensity;
+    for (int r = 0; r < num_roads; ++r) {
+      // Downstream roads (higher index) hit the rush breakdown earlier:
+      // shift this road's effective clock forward by its distance from
+      // the downstream end of the corridor.
+      const double lead_hours =
+          params_.bottleneck_lead_minutes / 60.0 * (num_roads - 1 - r);
+      const double base_ratio = DemandRatio(day, hour - lead_hours);
+      const double capacity =
+          rain_capacity *
+          (1.0 - incident_cut[static_cast<size_t>(r) * total + t]);
+      const double ratio =
+          base_ratio * demand_scale[r] / std::max(0.12, capacity);
+      double speed =
+          free_flow[r] / (1.0 + std::pow(ratio, params_.bpr_gamma));
+      // Multiplicative AR(1) noise.
+      noise[r] = params_.noise_rho * noise[r] +
+                 rng.Normal(0.0, params_.noise_sigma);
+      speed *= 1.0 + noise[r];
+      raw[static_cast<size_t>(r) * total + t] = speed;
+    }
+  }
+
+  // Pass 2: queue spillback. Congestion at segment r pulls the speed of
+  // segment r-1 toward it with a lag, hop by hop (traffic flows toward
+  // higher indices, so queues grow backward).
+  const long lag = params_.propagation_lag_intervals;
+  for (int r = num_roads - 2; r >= 0; --r) {
+    for (long t = 0; t < total; ++t) {
+      const long td = t - lag;
+      if (td < 0) continue;
+      const double downstream = raw[static_cast<size_t>(r + 1) * total + td];
+      double& own = raw[static_cast<size_t>(r) * total + t];
+      if (downstream < params_.congestion_threshold_kmh &&
+          downstream < own) {
+        own = own + params_.propagation_strength * (downstream - own);
+      }
+    }
+  }
+
+  // Clamp and store.
+  for (int r = 0; r < num_roads; ++r) {
+    for (long t = 0; t < total; ++t) {
+      const double speed =
+          std::clamp(raw[static_cast<size_t>(r) * total + t],
+                     params_.min_speed_kmh, params_.max_speed_kmh);
+      dataset->SetSpeed(r, t, static_cast<float>(speed));
+    }
+  }
+}
+
+}  // namespace apots::traffic

@@ -1,0 +1,96 @@
+#ifndef APOTS_TRAFFIC_CORRIDOR_SIMULATOR_H_
+#define APOTS_TRAFFIC_CORRIDOR_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "traffic/calendar.h"
+#include "traffic/incident.h"
+#include "traffic/traffic_dataset.h"
+#include "traffic/weather.h"
+
+namespace apots::traffic {
+
+/// Tunable physics of the corridor. Defaults are calibrated so that
+/// (a) free-flow speeds sit in the 90-105 km/h band of the Gyeongbu
+/// expressway plots (Fig. 1), (b) rush-hour congestion drops speeds to
+/// 20-40 km/h with onset/offset sharp enough that a few transitions per
+/// day exceed the paper's abrupt-change threshold |ds/s| >= 0.3, and
+/// (c) accidents produce the crash-then-fast-recovery signature of
+/// Fig. 1c.
+struct CorridorParams {
+  double free_flow_kmh = 98.0;       ///< corridor-average free-flow speed
+  double free_flow_road_jitter = 4.0;  ///< per-road offset amplitude
+  double min_speed_kmh = 5.0;
+  double max_speed_kmh = 110.0;
+
+  /// Demand-to-speed mapping: v = free_flow / (1 + ratio^gamma) where
+  /// ratio = demand / capacity. Larger gamma = sharper breakdown.
+  double bpr_gamma = 6.0;
+
+  /// Peak demand/capacity ratios for the weekday rush periods (>1 means
+  /// breakdown). Off-peak base is `demand_base`.
+  double demand_base = 0.45;
+  double morning_peak_ratio = 1.35;
+  double evening_peak_ratio = 1.25;
+  double weekend_midday_ratio = 0.95;
+  /// Logistic transition steepness for rush onset, in hours; smaller is
+  /// sharper. 0.1 makes congestion breakdown cross the paper's
+  /// |ds/s| >= 0.3 threshold within one 5-minute interval on most
+  /// weekdays — the predictable class of abrupt change in Fig. 1a.
+  double rush_transition_hours = 0.1;
+
+  /// Rain effect: capacity multiplier floor under heavy rain, and the
+  /// precipitation (mm / 5 min) treated as "heavy".
+  double rain_capacity_floor = 0.62;
+  double rain_reference_mm = 3.0;
+
+  /// Incident effect ramps in/out over this many intervals so single-step
+  /// speed changes stay near the paper's observed +-30% extremes.
+  int incident_onset_intervals = 3;
+
+  /// Queue spillback: how strongly upstream speed is pulled toward the
+  /// (lagged) downstream speed when downstream is congested, and the lag
+  /// in intervals per hop.
+  double propagation_strength = 0.55;
+  int propagation_lag_intervals = 2;
+  double congestion_threshold_kmh = 55.0;
+
+  /// Multiplicative AR(1) measurement noise.
+  double noise_sigma = 0.02;
+  double noise_rho = 0.6;
+
+  /// Bottleneck stagger: each hop downstream enters (and leaves) the rush
+  /// breakdown this many minutes earlier than the next road upstream, so
+  /// the congestion wave is visible on downstream segments before it
+  /// reaches the target — the spatio-temporal correlation the paper's
+  /// adjacent-speed feature exploits (Section IV-A, Fig. 3).
+  double bottleneck_lead_minutes = 7.0;
+};
+
+/// Generates per-road speed series for a corridor of consecutive segments
+/// (road 0 is the most upstream; traffic flows toward higher indices, so
+/// congestion at segment r spills back to r-1, r-2, ...).
+class CorridorSimulator {
+ public:
+  CorridorSimulator(CorridorParams params, uint64_t seed);
+
+  /// Fills `dataset`'s speed matrix (and event flags) from the demand
+  /// model, the supplied weather series and the incident log. The dataset
+  /// must already be sized; weather.size() must equal num_intervals.
+  void Simulate(const std::vector<WeatherSample>& weather,
+                const std::vector<Incident>& incidents,
+                TrafficDataset* dataset) const;
+
+  /// The deterministic demand/capacity ratio for a day profile at a given
+  /// fractional hour (exposed for tests).
+  double DemandRatio(const DayInfo& day, double hour) const;
+
+ private:
+  CorridorParams params_;
+  uint64_t seed_;
+};
+
+}  // namespace apots::traffic
+
+#endif  // APOTS_TRAFFIC_CORRIDOR_SIMULATOR_H_

@@ -1,0 +1,50 @@
+#include "traffic/dataset_generator.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace apots::traffic {
+
+DatasetSpec DatasetSpec::Small(uint64_t seed) {
+  DatasetSpec spec;
+  spec.num_roads = 3;
+  spec.num_days = 14;
+  spec.intervals_per_day = 288;
+  spec.seed = seed;
+  spec.hyundai_calendar = false;
+  return spec;
+}
+
+TrafficDataset GenerateDataset(const DatasetSpec& spec) {
+  Calendar calendar =
+      spec.hyundai_calendar && spec.num_days == 122
+          ? Calendar::HyundaiPeriod2018()
+          : Calendar(spec.num_days, Weekday::kSunday,
+                     // A generic mid-window holiday pair so day-type
+                     // features stay exercised on small specs.
+                     spec.num_days >= 10
+                         ? std::vector<int>{spec.num_days / 2,
+                                            spec.num_days / 2 + 1}
+                         : std::vector<int>{});
+
+  apots::Rng seeder(spec.seed);
+  const uint64_t weather_seed = seeder.NextUint64();
+  const uint64_t incident_seed = seeder.NextUint64();
+  const uint64_t corridor_seed = seeder.NextUint64();
+
+  WeatherGenerator weather_gen(spec.weather, weather_seed);
+  const std::vector<WeatherSample> weather =
+      weather_gen.Generate(spec.num_days, spec.intervals_per_day);
+
+  IncidentGenerator incident_gen(spec.incidents, incident_seed);
+  const std::vector<Incident> incidents = incident_gen.Generate(
+      spec.num_roads, spec.num_days, spec.intervals_per_day);
+
+  TrafficDataset dataset(spec.num_roads, spec.num_days,
+                         spec.intervals_per_day, calendar);
+  CorridorSimulator simulator(spec.corridor, corridor_seed);
+  simulator.Simulate(weather, incidents, &dataset);
+  return dataset;
+}
+
+}  // namespace apots::traffic

@@ -1,0 +1,32 @@
+#ifndef APOTS_TRAFFIC_DATASET_GENERATOR_H_
+#define APOTS_TRAFFIC_DATASET_GENERATOR_H_
+
+#include <cstdint>
+
+#include "traffic/corridor_simulator.h"
+#include "traffic/traffic_dataset.h"
+
+namespace apots::traffic {
+
+/// End-to-end dataset recipe: calendar + weather + incidents + corridor
+/// physics, all derived deterministically from one seed.
+struct DatasetSpec {
+  int num_roads = 5;          ///< 2m+1 with m = 2 (paper: target +- m roads)
+  int num_days = 122;         ///< the paper's July-October window
+  int intervals_per_day = 288;  ///< 5-minute resolution
+  uint64_t seed = 2022;
+  bool hyundai_calendar = true;  ///< use the 2018 Jul-Oct holiday layout
+  CorridorParams corridor;
+  WeatherParams weather;
+  IncidentParams incidents;
+
+  /// A smaller spec for fast tests/examples (14 days, 3 roads).
+  static DatasetSpec Small(uint64_t seed = 7);
+};
+
+/// Builds the full synthetic corridor dataset from a spec.
+TrafficDataset GenerateDataset(const DatasetSpec& spec);
+
+}  // namespace apots::traffic
+
+#endif  // APOTS_TRAFFIC_DATASET_GENERATOR_H_

@@ -1,0 +1,85 @@
+#include "traffic/incident.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace apots::traffic {
+
+IncidentGenerator::IncidentGenerator(IncidentParams params, uint64_t seed)
+    : params_(params), seed_(seed) {}
+
+std::vector<Incident> IncidentGenerator::Generate(
+    int num_roads, int num_days, int intervals_per_day) const {
+  APOTS_CHECK_GT(num_roads, 0);
+  APOTS_CHECK_GT(num_days, 0);
+  apots::Rng rng(seed_);
+  const double intervals_per_hour = intervals_per_day / 24.0;
+  std::vector<Incident> log;
+
+  for (int road = 0; road < num_roads; ++road) {
+    for (int day = 0; day < num_days; ++day) {
+      // Accidents: more likely during busy daytime hours.
+      if (rng.Bernoulli(params_.accidents_per_road_per_day)) {
+        Incident inc;
+        inc.kind = IncidentKind::kAccident;
+        inc.road = road;
+        const double hour = std::clamp(rng.Normal(13.0, 5.0), 0.0, 23.5);
+        inc.start_interval = static_cast<long>(
+            day * intervals_per_day + hour * intervals_per_hour);
+        const double duration_hours =
+            rng.Uniform(params_.accident_min_duration_hours,
+                        params_.accident_max_duration_hours);
+        inc.duration = std::max<long>(
+            1, static_cast<long>(duration_hours * intervals_per_hour));
+        // Recovery is brisk: queue discharge over roughly half the
+        // blockage time, producing the abrupt-acceleration signature of
+        // Fig. 1c.
+        inc.recovery = std::max<long>(2, inc.duration / 2);
+        inc.severity = rng.Uniform(params_.accident_min_severity,
+                                   params_.accident_max_severity);
+        log.push_back(inc);
+      }
+      // Constructions: overnight, mild, long.
+      if (rng.Bernoulli(params_.constructions_per_road_per_day)) {
+        Incident inc;
+        inc.kind = IncidentKind::kConstruction;
+        inc.road = road;
+        const double hour = rng.Uniform(21.0, 23.5);
+        inc.start_interval = static_cast<long>(
+            day * intervals_per_day + hour * intervals_per_hour);
+        const double duration_hours =
+            rng.Uniform(params_.construction_min_duration_hours,
+                        params_.construction_max_duration_hours);
+        inc.duration = std::max<long>(
+            1, static_cast<long>(duration_hours * intervals_per_hour));
+        inc.recovery = 2;
+        inc.severity = params_.construction_severity;
+        log.push_back(inc);
+      }
+    }
+  }
+  std::sort(log.begin(), log.end(),
+            [](const Incident& a, const Incident& b) {
+              return a.start_interval < b.start_interval;
+            });
+  return log;
+}
+
+std::vector<float> IncidentGenerator::ActiveFlags(
+    const std::vector<Incident>& log, int num_roads, long total_intervals) {
+  std::vector<float> flags(
+      static_cast<size_t>(num_roads) * static_cast<size_t>(total_intervals),
+      0.0f);
+  for (const Incident& inc : log) {
+    const long end = inc.start_interval + inc.duration + inc.recovery;
+    for (long t = inc.start_interval; t < end; ++t) {
+      if (t < 0 || t >= total_intervals) continue;
+      flags[static_cast<size_t>(inc.road) * total_intervals + t] = 1.0f;
+    }
+  }
+  return flags;
+}
+
+}  // namespace apots::traffic

@@ -1,0 +1,64 @@
+#ifndef APOTS_TRAFFIC_INCIDENT_H_
+#define APOTS_TRAFFIC_INCIDENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace apots::traffic {
+
+/// Kind of road incident reported in the event log.
+enum class IncidentKind {
+  kAccident,      ///< crash: sudden sharp capacity loss, fast recovery
+  kConstruction,  ///< lane closure: milder loss, longer duration, off-peak
+};
+
+/// One incident on one road segment, in 5-minute interval units.
+struct Incident {
+  IncidentKind kind = IncidentKind::kAccident;
+  int road = 0;              ///< road segment index
+  long start_interval = 0;   ///< first affected interval
+  long duration = 6;         ///< intervals of full effect
+  long recovery = 6;         ///< intervals over which capacity returns
+  double severity = 0.7;     ///< fraction of capacity removed at peak [0,1)
+};
+
+/// Parameters of the incident arrival process (per road).
+struct IncidentParams {
+  double accidents_per_road_per_day = 0.15;      ///< ~1 per road / week
+  double constructions_per_road_per_day = 0.02;  ///< rarer, night work
+  double accident_min_duration_hours = 0.5;
+  double accident_max_duration_hours = 1.5;
+  double accident_min_severity = 0.55;
+  double accident_max_severity = 0.85;
+  double construction_min_duration_hours = 3.0;
+  double construction_max_duration_hours = 8.0;
+  double construction_severity = 0.3;
+};
+
+/// Generates the incident log for a corridor. The log doubles as the
+/// model's "event" non-speed feature (Section IV-A: 1 while an accident or
+/// construction is active, else 0).
+class IncidentGenerator {
+ public:
+  IncidentGenerator(IncidentParams params, uint64_t seed);
+
+  /// All incidents over the horizon, sorted by start.
+  std::vector<Incident> Generate(int num_roads, int num_days,
+                                 int intervals_per_day) const;
+
+  /// Rasterizes incidents into a per-road / per-interval 0-1 flag matrix
+  /// (road-major, `num_roads * total_intervals` entries). Recovery
+  /// intervals count as active (the situation is still "eventful").
+  static std::vector<float> ActiveFlags(const std::vector<Incident>& log,
+                                        int num_roads, long total_intervals);
+
+ private:
+  IncidentParams params_;
+  uint64_t seed_;
+};
+
+}  // namespace apots::traffic
+
+#endif  // APOTS_TRAFFIC_INCIDENT_H_

@@ -1,0 +1,159 @@
+#include "traffic/traffic_dataset.h"
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace apots::traffic {
+
+TrafficDataset::TrafficDataset(int num_roads, int num_days,
+                               int intervals_per_day, Calendar calendar)
+    : num_roads_(num_roads),
+      num_days_(num_days),
+      intervals_per_day_(intervals_per_day),
+      calendar_(std::move(calendar)) {
+  APOTS_CHECK_GT(num_roads, 0);
+  APOTS_CHECK_GT(num_days, 0);
+  APOTS_CHECK_GT(intervals_per_day, 0);
+  APOTS_CHECK_EQ(calendar_.num_days(), num_days);
+  const size_t cells = static_cast<size_t>(num_roads) *
+                       static_cast<size_t>(num_intervals());
+  speeds_.assign(cells, 0.0f);
+  event_flags_.assign(cells, 0.0f);
+  weather_.assign(static_cast<size_t>(num_intervals()), WeatherSample{});
+}
+
+void TrafficDataset::CheckIndex(int road, long t) const {
+  APOTS_DCHECK(road >= 0 && road < num_roads_);
+  APOTS_DCHECK(t >= 0 && t < num_intervals());
+}
+
+float TrafficDataset::Speed(int road, long t) const {
+  CheckIndex(road, t);
+  return speeds_[static_cast<size_t>(road) * num_intervals() + t];
+}
+
+void TrafficDataset::SetSpeed(int road, long t, float value) {
+  CheckIndex(road, t);
+  speeds_[static_cast<size_t>(road) * num_intervals() + t] = value;
+}
+
+const float* TrafficDataset::SpeedRow(int road) const {
+  APOTS_CHECK(road >= 0 && road < num_roads_);
+  return speeds_.data() + static_cast<size_t>(road) * num_intervals();
+}
+
+float TrafficDataset::EventFlag(int road, long t) const {
+  CheckIndex(road, t);
+  return event_flags_[static_cast<size_t>(road) * num_intervals() + t];
+}
+
+const WeatherSample& TrafficDataset::Weather(long t) const {
+  APOTS_DCHECK(t >= 0 && t < num_intervals());
+  return weather_[static_cast<size_t>(t)];
+}
+
+int TrafficDataset::HourOfDay(long t) const {
+  return static_cast<int>(FractionalHour(t));
+}
+
+double TrafficDataset::FractionalHour(long t) const {
+  APOTS_DCHECK(t >= 0 && t < num_intervals());
+  const long within_day = t % intervals_per_day_;
+  return static_cast<double>(within_day) / intervals_per_day_ * 24.0;
+}
+
+DayInfo TrafficDataset::Day(long t) const {
+  APOTS_DCHECK(t >= 0 && t < num_intervals());
+  return calendar_.Day(static_cast<int>(t / intervals_per_day_));
+}
+
+Status TrafficDataset::WriteCsv(const std::string& path) const {
+  std::vector<std::string> header = {"interval", "day", "hour",
+                                     "temperature_c", "precipitation_mm"};
+  for (int r = 0; r < num_roads_; ++r) {
+    header.push_back(StrFormat("speed_%d", r));
+  }
+  for (int r = 0; r < num_roads_; ++r) {
+    header.push_back(StrFormat("event_%d", r));
+  }
+  auto writer_result = CsvWriter::Open(path, header);
+  if (!writer_result.ok()) return writer_result.status();
+  CsvWriter writer = std::move(writer_result).value();
+  for (long t = 0; t < num_intervals(); ++t) {
+    std::vector<std::string> row;
+    row.reserve(header.size());
+    row.push_back(StrFormat("%ld", t));
+    row.push_back(StrFormat("%ld", t / intervals_per_day_));
+    row.push_back(StrFormat("%.4f", FractionalHour(t)));
+    row.push_back(StrFormat("%.2f", static_cast<double>(
+                                        weather_[t].temperature_c)));
+    row.push_back(StrFormat("%.3f", static_cast<double>(
+                                        weather_[t].precipitation_mm)));
+    for (int r = 0; r < num_roads_; ++r) {
+      row.push_back(StrFormat("%.3f", static_cast<double>(Speed(r, t))));
+    }
+    for (int r = 0; r < num_roads_; ++r) {
+      row.push_back(StrFormat("%.0f", static_cast<double>(EventFlag(r, t))));
+    }
+    APOTS_RETURN_IF_ERROR(writer.WriteRow(row));
+  }
+  return writer.Close();
+}
+
+Result<TrafficDataset> TrafficDataset::ReadCsv(const std::string& path,
+                                               const Calendar& calendar) {
+  auto table_res = apots::ReadCsv(path);
+  if (!table_res.ok()) return table_res.status();
+  const CsvTable& table = table_res.value();
+  // Count road columns.
+  int num_roads = 0;
+  while (table.ColumnIndex(StrFormat("speed_%d", num_roads)) >= 0) {
+    ++num_roads;
+  }
+  if (num_roads == 0) {
+    return Status::InvalidArgument("no speed_<i> columns in " + path);
+  }
+  const long total = static_cast<long>(table.rows.size());
+  if (total == 0) return Status::InvalidArgument("empty dataset: " + path);
+  if (total % calendar.num_days() != 0) {
+    return Status::InvalidArgument(
+        StrFormat("%ld intervals not divisible by %d days", total,
+                  calendar.num_days()));
+  }
+  const int intervals_per_day =
+      static_cast<int>(total / calendar.num_days());
+  TrafficDataset dataset(num_roads, calendar.num_days(), intervals_per_day,
+                         calendar);
+  const int temp_col = table.ColumnIndex("temperature_c");
+  const int rain_col = table.ColumnIndex("precipitation_mm");
+  std::vector<int> speed_cols(num_roads), event_cols(num_roads);
+  for (int r = 0; r < num_roads; ++r) {
+    speed_cols[r] = table.ColumnIndex(StrFormat("speed_%d", r));
+    event_cols[r] = table.ColumnIndex(StrFormat("event_%d", r));
+  }
+  for (long t = 0; t < total; ++t) {
+    const auto& row = table.rows[static_cast<size_t>(t)];
+    double value = 0.0;
+    if (temp_col >= 0 && ParseDouble(row[temp_col], &value)) {
+      (*dataset.mutable_weather())[t].temperature_c =
+          static_cast<float>(value);
+    }
+    if (rain_col >= 0 && ParseDouble(row[rain_col], &value)) {
+      (*dataset.mutable_weather())[t].precipitation_mm =
+          static_cast<float>(value);
+    }
+    for (int r = 0; r < num_roads; ++r) {
+      if (speed_cols[r] >= 0 && ParseDouble(row[speed_cols[r]], &value)) {
+        dataset.SetSpeed(r, t, static_cast<float>(value));
+      }
+      if (event_cols[r] >= 0 && ParseDouble(row[event_cols[r]], &value)) {
+        (*dataset.mutable_event_flags())[static_cast<size_t>(r) * total + t] =
+            static_cast<float>(value);
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace apots::traffic

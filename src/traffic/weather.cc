@@ -1,0 +1,75 @@
+#include "traffic/weather.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace apots::traffic {
+
+WeatherGenerator::WeatherGenerator(WeatherParams params, uint64_t seed)
+    : params_(params), seed_(seed) {}
+
+std::vector<WeatherSample> WeatherGenerator::Generate(
+    int num_days, int intervals_per_day) const {
+  APOTS_CHECK_GT(num_days, 0);
+  APOTS_CHECK_GT(intervals_per_day, 0);
+  apots::Rng rng(seed_);
+  const size_t total =
+      static_cast<size_t>(num_days) * static_cast<size_t>(intervals_per_day);
+  std::vector<WeatherSample> samples(total);
+
+  // Temperature: seasonal linear trend + diurnal sinusoid + AR(1) noise.
+  double noise = 0.0;
+  for (size_t t = 0; t < total; ++t) {
+    const double day_frac =
+        static_cast<double>(t) / static_cast<double>(total);
+    const double seasonal =
+        params_.mean_temperature_start_c +
+        (params_.mean_temperature_end_c - params_.mean_temperature_start_c) *
+            day_frac;
+    const double hour = static_cast<double>(t % intervals_per_day) /
+                        intervals_per_day * 24.0;
+    // Diurnal minimum around 05:00, maximum around 15:00.
+    const double diurnal =
+        params_.diurnal_amplitude_c *
+        std::sin((hour - 9.0) / 24.0 * 2.0 * M_PI);
+    noise = 0.98 * noise + rng.Normal(0.0, params_.temperature_noise_c * 0.2);
+    samples[t].temperature_c =
+        static_cast<float>(seasonal + diurnal + noise);
+  }
+
+  // Rain: episode arrivals thinned over the window, triangular envelope.
+  for (int day = 0; day < num_days; ++day) {
+    const double day_frac = static_cast<double>(day) / num_days;
+    const double rate =
+        params_.rain_episodes_per_day_start +
+        (params_.rain_episodes_per_day_end -
+         params_.rain_episodes_per_day_start) *
+            day_frac;
+    if (!rng.Bernoulli(std::min(1.0, rate))) continue;
+    const double start_hour = rng.Uniform(0.0, 24.0);
+    const double duration_hours = rng.Uniform(
+        params_.rain_min_duration_hours, params_.rain_max_duration_hours);
+    const double peak =
+        rng.Uniform(0.3, 1.0) * params_.rain_peak_intensity_mm;
+    const double intervals_per_hour = intervals_per_day / 24.0;
+    const long start = static_cast<long>(
+        day * intervals_per_day + start_hour * intervals_per_hour);
+    const long length =
+        std::max<long>(1, static_cast<long>(duration_hours * intervals_per_hour));
+    for (long i = 0; i < length; ++i) {
+      const long t = start + i;
+      if (t < 0 || t >= static_cast<long>(total)) continue;
+      // Triangular envelope peaking mid-episode.
+      const double phase = static_cast<double>(i) / length;
+      const double envelope = 1.0 - std::fabs(2.0 * phase - 1.0);
+      const double jitter = std::max(0.0, rng.Normal(1.0, 0.15));
+      samples[t].precipitation_mm +=
+          static_cast<float>(peak * envelope * jitter);
+    }
+  }
+  return samples;
+}
+
+}  // namespace apots::traffic

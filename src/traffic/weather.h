@@ -1,0 +1,54 @@
+#ifndef APOTS_TRAFFIC_WEATHER_H_
+#define APOTS_TRAFFIC_WEATHER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace apots::traffic {
+
+/// One 5-minute weather observation.
+struct WeatherSample {
+  float temperature_c = 20.0f;     ///< air temperature in degrees Celsius
+  float precipitation_mm = 0.0f;   ///< rainfall in the interval, millimetres
+};
+
+/// Parameters of the synthetic weather process. Defaults approximate a
+/// Korean July-October window (monsoon rain concentrated early in the
+/// period, cooling trend toward autumn).
+struct WeatherParams {
+  double mean_temperature_start_c = 27.0;  ///< seasonal mean at day 0
+  double mean_temperature_end_c = 13.0;    ///< seasonal mean at the last day
+  double diurnal_amplitude_c = 4.5;        ///< day/night temperature swing
+  double temperature_noise_c = 0.8;
+
+  /// Expected number of rain episodes per day at the start/end of the
+  /// window (linearly interpolated; monsoon tapers off).
+  double rain_episodes_per_day_start = 0.55;
+  double rain_episodes_per_day_end = 0.15;
+  double rain_min_duration_hours = 1.0;
+  double rain_max_duration_hours = 8.0;
+  double rain_peak_intensity_mm = 4.0;  ///< per 5-min interval at episode peak
+};
+
+/// Generates a deterministic per-interval weather series. Rain arrives in
+/// episodes with a triangular intensity envelope so onsets/endings are
+/// gradual but clearly localized — the property the model's weather feature
+/// exploits (Fig. 1b: rainy-day speed depression).
+class WeatherGenerator {
+ public:
+  WeatherGenerator(WeatherParams params, uint64_t seed);
+
+  /// Produces `num_days * intervals_per_day` samples.
+  std::vector<WeatherSample> Generate(int num_days,
+                                      int intervals_per_day) const;
+
+ private:
+  WeatherParams params_;
+  uint64_t seed_;
+};
+
+}  // namespace apots::traffic
+
+#endif  // APOTS_TRAFFIC_WEATHER_H_

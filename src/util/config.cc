@@ -1,0 +1,117 @@
+#include "util/config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace apots {
+
+namespace {
+
+// Maps "eval.profile" -> "APOTS_EVAL_PROFILE".
+std::string EnvName(const std::string& key) {
+  std::string out = "APOTS_";
+  for (char c : key) {
+    if (c == '.' || c == '-') {
+      out.push_back('_');
+    } else {
+      out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+const char* EnvLookup(const std::string& key) {
+  return std::getenv(EnvName(key).c_str());
+}
+
+}  // namespace
+
+Result<Config> Config::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open config file: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return FromString(buffer.str());
+}
+
+Result<Config> Config::FromString(const std::string& text) {
+  Config config;
+  size_t line_no = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("config line %zu has no '=': %s", line_no, line.c_str()));
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("config line %zu has empty key", line_no));
+    }
+    config.Set(key, value);
+  }
+  return config;
+}
+
+void Config::Set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::Has(const std::string& key) const {
+  return EnvLookup(key) != nullptr || values_.count(key) > 0;
+}
+
+std::string Config::GetString(const std::string& key,
+                              const std::string& fallback) const {
+  if (const char* env = EnvLookup(key)) return env;
+  auto it = values_.find(key);
+  return it != values_.end() ? it->second : fallback;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t fallback) const {
+  int64_t out = 0;
+  if (ParseInt64(GetString(key, ""), &out)) return out;
+  return fallback;
+}
+
+double Config::GetDouble(const std::string& key, double fallback) const {
+  double out = 0.0;
+  if (ParseDouble(GetString(key, ""), &out)) return out;
+  return fallback;
+}
+
+bool Config::GetBool(const std::string& key, bool fallback) const {
+  const std::string value = ToLower(GetString(key, ""));
+  if (value == "true" || value == "1" || value == "yes" || value == "on")
+    return true;
+  if (value == "false" || value == "0" || value == "no" || value == "off")
+    return false;
+  return fallback;
+}
+
+std::vector<std::string> Config::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [key, value] : values_) keys.push_back(key);
+  return keys;
+}
+
+std::string Config::ToString() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace apots

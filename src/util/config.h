@@ -1,0 +1,49 @@
+#ifndef APOTS_UTIL_CONFIG_H_
+#define APOTS_UTIL_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace apots {
+
+/// A flat key=value configuration map with typed getters. Used by the
+/// benches and examples for run parameters; keys can be loaded from a file
+/// (one `key = value` per line, `#` comments) and individually overridden
+/// by environment variables named `APOTS_<UPPERCASED_KEY>`.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses `key = value` lines. Later keys override earlier ones.
+  static Result<Config> FromFile(const std::string& path);
+  static Result<Config> FromString(const std::string& text);
+
+  void Set(const std::string& key, const std::string& value);
+
+  bool Has(const std::string& key) const;
+
+  /// Typed getters; the environment override (APOTS_<KEY> with '.' and '-'
+  /// mapped to '_') is consulted first, then the stored value, then
+  /// `fallback`.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// All keys in sorted order (for dumping a run's configuration).
+  std::vector<std::string> Keys() const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace apots
+
+#endif  // APOTS_UTIL_CONFIG_H_

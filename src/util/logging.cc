@@ -1,0 +1,72 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+namespace apots {
+
+namespace {
+
+LogLevel ParseEnvLevel() {
+  const char* env = std::getenv("APOTS_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "DEBUG") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "INFO") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "WARNING") == 0) return LogLevel::kWarning;
+  if (std::strcmp(env, "ERROR") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+LogLevel g_level = ParseEnvLevel();
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < g_level) return;
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line,
+                                 const char* condition) {
+  stream_ << "[FATAL " << Basename(file) << ":" << line << "] Check failed: "
+          << condition << " ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace apots

@@ -1,0 +1,90 @@
+#ifndef APOTS_UTIL_LOGGING_H_
+#define APOTS_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace apots {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity emitted to stderr. Defaults to kInfo; the
+/// APOTS_LOG_LEVEL environment variable (DEBUG/INFO/WARNING/ERROR) is read
+/// once at startup and overrides the default.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink. Flushes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process after emitting the line.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows a stream expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define APOTS_LOG(level)                                                    \
+  ::apots::internal::LogMessage(::apots::LogLevel::k##level, __FILE__,      \
+                                __LINE__)                                   \
+      .stream()
+
+/// Internal invariant check; aborts with file/line on failure. Used for
+/// programmer errors (bad indexing, broken invariants), not user input —
+/// user input errors surface as Status.
+#define APOTS_CHECK(condition)                                             \
+  if (!(condition))                                                        \
+  ::apots::internal::FatalLogMessage(__FILE__, __LINE__, #condition).stream()
+
+#define APOTS_CHECK_EQ(a, b) APOTS_CHECK((a) == (b))
+#define APOTS_CHECK_NE(a, b) APOTS_CHECK((a) != (b))
+#define APOTS_CHECK_LT(a, b) APOTS_CHECK((a) < (b))
+#define APOTS_CHECK_LE(a, b) APOTS_CHECK((a) <= (b))
+#define APOTS_CHECK_GT(a, b) APOTS_CHECK((a) > (b))
+#define APOTS_CHECK_GE(a, b) APOTS_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define APOTS_DCHECK(condition) \
+  if (false) ::apots::internal::NullStream()
+#else
+#define APOTS_DCHECK(condition) APOTS_CHECK(condition)
+#endif
+
+}  // namespace apots
+
+#endif  // APOTS_UTIL_LOGGING_H_

@@ -1,0 +1,4 @@
+#include "util/stopwatch.h"
+
+// Header-only; this translation unit exists so the target has a definition
+// anchor and the header stays in the library's compile check.

@@ -1,0 +1,31 @@
+#ifndef APOTS_UTIL_STOPWATCH_H_
+#define APOTS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace apots {
+
+/// Monotonic wall-clock timer used by the training loop and benches.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/Restart.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction/Restart.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace apots
+
+#endif  // APOTS_UTIL_STOPWATCH_H_

@@ -1,0 +1,36 @@
+#ifndef APOTS_UTIL_STRING_UTIL_H_
+#define APOTS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apots {
+
+/// Splits `input` on `delimiter`; empty fields are preserved.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Trim(std::string_view input);
+
+/// Lowercases ASCII characters.
+std::string ToLower(std::string_view input);
+
+/// True when `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Parses a double / int64; returns false on malformed input.
+bool ParseDouble(std::string_view text, double* out);
+bool ParseInt64(std::string_view text, int64_t* out);
+
+}  // namespace apots
+
+#endif  // APOTS_UTIL_STRING_UTIL_H_

@@ -1,0 +1,64 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace apots {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    line += "\n";
+    return line;
+  };
+  auto render_separator = [&]() {
+    std::string line = "+";
+    for (size_t width : widths) line += std::string(width + 2, '-') + "+";
+    line += "\n";
+    return line;
+  };
+
+  std::string out = render_separator();
+  out += render_line(header_);
+  out += render_separator();
+  for (const Row& row : rows_) {
+    out += row.separator ? render_separator() : render_line(row.cells);
+  }
+  out += render_separator();
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatMetric(double value) { return StrFormat("%.2f", value); }
+
+std::string FormatGain(double percent) {
+  return StrFormat("%.2f%%", percent);
+}
+
+}  // namespace apots

@@ -1,0 +1,46 @@
+#ifndef APOTS_UTIL_TABLE_PRINTER_H_
+#define APOTS_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace apots {
+
+/// Renders fixed-width ASCII tables for the bench binaries, matching the
+/// row/column layout of the paper's tables so results can be compared by
+/// eye.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a data row (padded/truncated to the header width).
+  void AddRow(std::vector<std::string> row);
+
+  /// Adds a horizontal separator between row groups.
+  void AddSeparator();
+
+  /// Renders the whole table with aligned columns.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double as the paper prints metrics (two decimals).
+std::string FormatMetric(double value);
+
+/// Formats a gain percentage like the paper ("12.06%"; "-" when absent).
+std::string FormatGain(double percent);
+
+}  // namespace apots
+
+#endif  // APOTS_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,148 @@
+#include "core/apots_model.h"
+
+#include <cmath>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "data/windowing.h"
+#include "traffic/dataset_generator.h"
+
+namespace apots::core {
+namespace {
+
+using apots::traffic::DatasetSpec;
+using apots::traffic::GenerateDataset;
+using apots::traffic::TrafficDataset;
+
+const TrafficDataset& SharedDataset() {
+  static const TrafficDataset* dataset =
+      new TrafficDataset(GenerateDataset(DatasetSpec::Small(71)));
+  return *dataset;
+}
+
+ApotsConfig SmallConfig(PredictorType type, bool adversarial) {
+  ApotsConfig config;
+  config.predictor = PredictorHparams::Scaled(type, 16);
+  config.discriminator = DiscriminatorHparams::Scaled(4);
+  config.features = apots::data::FeatureConfig::Both();
+  config.features.num_adjacent = 1;
+  config.features.beta = 3;
+  config.training.epochs = 2;
+  config.training.batch_size = 32;
+  config.training.adversarial = adversarial;
+  config.training.adv_period = 3;
+  config.training.adv_batch_size = 8;
+  config.training.adv_warmup_rounds = 2;
+  config.seed = 7;
+  return config;
+}
+
+std::vector<long> SomeAnchors(size_t count) {
+  std::vector<long> anchors;
+  for (size_t i = 0; i < count; ++i) {
+    anchors.push_back(static_cast<long>(30 + i * 7));
+  }
+  return anchors;
+}
+
+TEST(ApotsConfigTest, TagEncodesMode) {
+  ApotsConfig plain = SmallConfig(PredictorType::kFc, false);
+  plain.features = apots::data::FeatureConfig::SpeedOnly();
+  EXPECT_EQ(plain.Tag(), "F");
+  ApotsConfig adv = SmallConfig(PredictorType::kHybrid, true);
+  adv.training.adversarial = true;
+  EXPECT_EQ(adv.Tag(), "Adv H+add");
+}
+
+TEST(ApotsModelTest, TrainPredictEndToEnd) {
+  ApotsModel model(&SharedDataset(), SmallConfig(PredictorType::kFc, false));
+  const auto anchors = SomeAnchors(300);
+  model.Train(anchors);
+  const auto predictions = model.PredictKmh(anchors);
+  ASSERT_EQ(predictions.size(), anchors.size());
+  for (double p : predictions) {
+    EXPECT_GT(p, -50.0);
+    EXPECT_LT(p, 200.0);
+  }
+}
+
+TEST(ApotsModelTest, TrueKmhMatchesDataset) {
+  ApotsModel model(&SharedDataset(), SmallConfig(PredictorType::kFc, false));
+  const std::vector<long> anchors = {100, 200};
+  const auto truths = model.TrueKmh(anchors);
+  EXPECT_DOUBLE_EQ(truths[0], SharedDataset().Speed(1, 103));
+  EXPECT_DOUBLE_EQ(truths[1], SharedDataset().Speed(1, 203));
+}
+
+TEST(ApotsModelTest, DeterministicAcrossIdenticalRuns) {
+  const auto anchors = SomeAnchors(200);
+  ApotsModel a(&SharedDataset(), SmallConfig(PredictorType::kFc, false));
+  a.Train(anchors);
+  ApotsModel b(&SharedDataset(), SmallConfig(PredictorType::kFc, false));
+  b.Train(anchors);
+  const auto pa = a.PredictKmh(anchors);
+  const auto pb = b.PredictKmh(anchors);
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+  }
+}
+
+TEST(ApotsModelTest, SaveLoadRoundtripReproducesPredictions) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "apots_model.bin").string();
+  const auto anchors = SomeAnchors(200);
+  ApotsModel source(&SharedDataset(), SmallConfig(PredictorType::kFc, true));
+  source.Train(anchors);
+  ASSERT_TRUE(source.Save(path).ok());
+  const auto expected = source.PredictKmh(anchors);
+
+  ApotsModel restored(&SharedDataset(),
+                      SmallConfig(PredictorType::kFc, true));
+  ASSERT_TRUE(restored.Load(path).ok());
+  const auto actual = restored.PredictKmh(anchors);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(expected[i], actual[i]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ApotsModelTest, AdversarialModelHasDiscriminatorWeights) {
+  ApotsModel plain(&SharedDataset(), SmallConfig(PredictorType::kFc, false));
+  ApotsModel adv(&SharedDataset(), SmallConfig(PredictorType::kFc, true));
+  EXPECT_GT(adv.NumWeights(), plain.NumWeights());
+}
+
+TEST(ApotsModelTest, TrainingImprovesOverInitialization) {
+  const auto anchors = SomeAnchors(300);
+  ApotsModel model(&SharedDataset(), SmallConfig(PredictorType::kFc, false));
+  const auto truths = model.TrueKmh(anchors);
+  auto mae = [&](const std::vector<double>& preds) {
+    double acc = 0.0;
+    for (size_t i = 0; i < preds.size(); ++i) {
+      acc += std::fabs(preds[i] - truths[i]);
+    }
+    return acc / preds.size();
+  };
+  const double before = mae(model.PredictKmh(anchors));
+  model.Train(anchors);
+  const double after = mae(model.PredictKmh(anchors));
+  EXPECT_LT(after, before);
+  EXPECT_LT(after, 25.0);
+}
+
+TEST(ApotsModelTest, AllFamiliesTrainEndToEnd) {
+  const auto anchors = SomeAnchors(120);
+  for (PredictorType type : {PredictorType::kFc, PredictorType::kLstm,
+                             PredictorType::kCnn, PredictorType::kHybrid}) {
+    ApotsConfig config = SmallConfig(type, true);
+    config.training.epochs = 1;
+    ApotsModel model(&SharedDataset(), config);
+    model.Train(anchors);
+    const auto predictions = model.PredictKmh(anchors);
+    EXPECT_EQ(predictions.size(), anchors.size());
+  }
+}
+
+}  // namespace
+}  // namespace apots::core

@@ -1,0 +1,87 @@
+#include "traffic/calendar.h"
+
+#include <gtest/gtest.h>
+
+namespace apots::traffic {
+namespace {
+
+TEST(CalendarTest, WeekdayCycles) {
+  Calendar calendar(14, Weekday::kSunday, {});
+  EXPECT_EQ(calendar.Day(0).weekday, Weekday::kSunday);
+  EXPECT_EQ(calendar.Day(1).weekday, Weekday::kMonday);
+  EXPECT_EQ(calendar.Day(7).weekday, Weekday::kSunday);
+  EXPECT_EQ(calendar.Day(13).weekday, Weekday::kSaturday);
+}
+
+TEST(CalendarTest, WeekendFlag) {
+  Calendar calendar(14, Weekday::kMonday, {});
+  EXPECT_FALSE(calendar.Day(0).is_weekend);  // Monday
+  EXPECT_TRUE(calendar.Day(5).is_weekend);   // Saturday
+  EXPECT_TRUE(calendar.Day(6).is_weekend);   // Sunday
+  EXPECT_FALSE(calendar.Day(7).is_weekend);  // Monday again
+}
+
+TEST(CalendarTest, HolidayAndNeighbors) {
+  Calendar calendar(10, Weekday::kMonday, {5});
+  EXPECT_TRUE(calendar.Day(5).is_holiday);
+  EXPECT_TRUE(calendar.Day(4).is_before_holiday);
+  EXPECT_TRUE(calendar.Day(6).is_after_holiday);
+  EXPECT_FALSE(calendar.Day(3).is_before_holiday);
+  EXPECT_FALSE(calendar.Day(7).is_after_holiday);
+}
+
+TEST(CalendarTest, ConsecutiveHolidays) {
+  Calendar calendar(10, Weekday::kMonday, {4, 5});
+  EXPECT_TRUE(calendar.Day(4).is_holiday);
+  // Day 4 is also the day before another holiday.
+  EXPECT_TRUE(calendar.Day(4).is_before_holiday);
+  EXPECT_TRUE(calendar.Day(5).is_after_holiday);
+  EXPECT_TRUE(calendar.Day(3).is_before_holiday);
+  EXPECT_TRUE(calendar.Day(6).is_after_holiday);
+}
+
+TEST(CalendarTest, TypeVectorEncoding) {
+  Calendar calendar(10, Weekday::kMonday, {5});
+  // Weekday, not adjacent to a holiday: [1, 0, 0, 0].
+  auto plain = calendar.Day(1).TypeVector();
+  EXPECT_EQ(plain, (std::array<float, 4>{1, 0, 0, 0}));
+  // The paper's example: a weekday that is the day before a holiday.
+  auto before = calendar.Day(4).TypeVector();
+  EXPECT_EQ(before, (std::array<float, 4>{1, 0, 1, 0}));
+  // The holiday itself.
+  auto holiday = calendar.Day(5).TypeVector();
+  EXPECT_EQ(holiday, (std::array<float, 4>{0, 1, 0, 0}));
+}
+
+TEST(CalendarTest, WeekendTypeVectorNotWeekday) {
+  Calendar calendar(14, Weekday::kMonday, {});
+  auto saturday = calendar.Day(5).TypeVector();
+  EXPECT_EQ(saturday[0], 0.0f);
+}
+
+TEST(CalendarTest, HyundaiPeriodLayout) {
+  Calendar calendar = Calendar::HyundaiPeriod2018();
+  EXPECT_EQ(calendar.num_days(), 122);
+  EXPECT_EQ(calendar.num_holidays(), 7);  // the paper notes 7 holiday days
+  // 2018-07-01 was a Sunday.
+  EXPECT_EQ(calendar.Day(0).weekday, Weekday::kSunday);
+  // Liberation Day 2018-08-15 (day 45) was a Wednesday.
+  EXPECT_EQ(calendar.Day(45).weekday, Weekday::kWednesday);
+  EXPECT_TRUE(calendar.Day(45).is_holiday);
+  // Chuseok block.
+  for (int day : {84, 85, 86, 87}) {
+    EXPECT_TRUE(calendar.Day(day).is_holiday) << day;
+  }
+  // Hangul Day 2018-10-09 (day 100) was a Tuesday.
+  EXPECT_EQ(calendar.Day(100).weekday, Weekday::kTuesday);
+  EXPECT_TRUE(calendar.Day(100).is_holiday);
+}
+
+TEST(CalendarTest, WeekdayNames) {
+  Calendar calendar(7, Weekday::kMonday, {});
+  EXPECT_STREQ(calendar.Day(0).WeekdayName(), "Mon");
+  EXPECT_STREQ(calendar.Day(6).WeekdayName(), "Sun");
+}
+
+}  // namespace
+}  // namespace apots::traffic

@@ -1,0 +1,160 @@
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/profile.h"
+#include "eval/scenarios.h"
+
+namespace apots::eval {
+namespace {
+
+TEST(ProfileTest, LevelsHaveExpectedScale) {
+  const EvalProfile smoke = EvalProfile::ForLevel(ProfileLevel::kSmoke);
+  const EvalProfile quick = EvalProfile::ForLevel(ProfileLevel::kQuick);
+  const EvalProfile paper = EvalProfile::ForLevel(ProfileLevel::kPaper);
+  EXPECT_GT(smoke.width_divisor, quick.width_divisor);
+  EXPECT_EQ(paper.width_divisor, 1u);
+  EXPECT_EQ(paper.max_train_anchors, 0u);  // no cap
+  EXPECT_EQ(paper.adv_period, 12);         // the paper's alpha:1 ratio
+  EXPECT_EQ(quick.dataset.num_days, 122);
+  EXPECT_LT(smoke.dataset.num_days, 122);
+}
+
+TEST(ProfileTest, EnvSelection) {
+  ::setenv("APOTS_EVAL_PROFILE", "smoke", 1);
+  EXPECT_EQ(EvalProfile::FromEnv().level, ProfileLevel::kSmoke);
+  ::setenv("APOTS_EVAL_PROFILE", "paper", 1);
+  EXPECT_EQ(EvalProfile::FromEnv().level, ProfileLevel::kPaper);
+  ::setenv("APOTS_EVAL_PROFILE", "garbage", 1);
+  EXPECT_EQ(EvalProfile::FromEnv().level, ProfileLevel::kQuick);
+  ::unsetenv("APOTS_EVAL_PROFILE");
+  EXPECT_EQ(EvalProfile::FromEnv().level, ProfileLevel::kQuick);
+}
+
+TEST(ProfileTest, EpochBudgetFavorsCheapFamilies) {
+  const EvalProfile quick = EvalProfile::ForLevel(ProfileLevel::kQuick);
+  EXPECT_GT(quick.EpochsFor(apots::core::PredictorType::kFc),
+            quick.EpochsFor(apots::core::PredictorType::kHybrid));
+  const EvalProfile paper = EvalProfile::ForLevel(ProfileLevel::kPaper);
+  EXPECT_EQ(paper.EpochsFor(apots::core::PredictorType::kFc),
+            paper.EpochsFor(apots::core::PredictorType::kHybrid));
+}
+
+TEST(SubsampleTest, CapAndOrderPreserved) {
+  std::vector<long> anchors;
+  for (long i = 0; i < 100; ++i) anchors.push_back(i * 3);
+  const auto capped = SubsampleAnchors(anchors, 10);
+  EXPECT_EQ(capped.size(), 10u);
+  for (size_t i = 1; i < capped.size(); ++i) {
+    EXPECT_GT(capped[i], capped[i - 1]);
+  }
+  EXPECT_EQ(SubsampleAnchors(anchors, 0).size(), 100u);   // 0 = no cap
+  EXPECT_EQ(SubsampleAnchors(anchors, 500).size(), 100u);  // larger cap
+}
+
+TEST(ModelSpecTest, LabelsMatchPaperNaming) {
+  ModelSpec spec;
+  spec.predictor = apots::core::PredictorType::kFc;
+  spec.features = apots::data::FeatureConfig::SpeedOnly();
+  EXPECT_EQ(spec.Label(), "F");
+  spec.adversarial = true;
+  EXPECT_EQ(spec.Label(), "Adv F");
+  spec.features = apots::data::FeatureConfig::Both();
+  EXPECT_EQ(spec.Label(), "APOTS F");
+  spec.predictor = apots::core::PredictorType::kHybrid;
+  EXPECT_EQ(spec.Label(), "APOTS H");
+}
+
+class ExperimentFixture : public ::testing::Test {
+ protected:
+  static const Experiment& Shared() {
+    static const Experiment* experiment = [] {
+      EvalProfile profile = EvalProfile::ForLevel(ProfileLevel::kSmoke);
+      profile.epochs = 1;
+      return new Experiment(profile);
+    }();
+    return *experiment;
+  }
+};
+
+TEST_F(ExperimentFixture, SplitRespectsCaps) {
+  const auto& experiment = Shared();
+  EXPECT_LE(experiment.train_anchors().size(), 600u);
+  EXPECT_FALSE(experiment.test_anchors().empty());
+  EXPECT_EQ(experiment.test_segments().size(),
+            experiment.test_anchors().size());
+}
+
+TEST_F(ExperimentFixture, AbruptAnchorsNeverSubsampledAway) {
+  // Every abrupt instant in a test day must survive subsampling.
+  const auto& experiment = Shared();
+  const auto counts =
+      apots::metrics::CountSegments(experiment.test_segments());
+  // The small dataset has ~100 abrupt instants over 14 days; at 20% test
+  // days we expect at least a handful to land in test.
+  EXPECT_GT(counts.abrupt_acc + counts.abrupt_dec, 0u);
+}
+
+TEST_F(ExperimentFixture, MakeConfigWiresProfileIntoTraining) {
+  const auto& experiment = Shared();
+  ModelSpec spec;
+  spec.predictor = apots::core::PredictorType::kFc;
+  spec.adversarial = true;
+  const auto config = experiment.MakeConfig(spec);
+  EXPECT_TRUE(config.training.adversarial);
+  EXPECT_EQ(config.features.num_adjacent, 1);  // 3-road dataset
+  EXPECT_EQ(config.features.alpha, 12);
+  EXPECT_GT(config.training.epochs, 0);
+}
+
+TEST_F(ExperimentFixture, MakeRowSegmentsMetrics) {
+  const auto& experiment = Shared();
+  // Constant over-prediction by +10: every segment shows MAE 10.
+  std::vector<double> truths(experiment.test_anchors().size(), 50.0);
+  std::vector<double> predictions(truths.size(), 60.0);
+  const EvalRow row =
+      experiment.MakeRow("const", predictions, truths, 1.0, 42);
+  EXPECT_NEAR(row.whole.mae, 10.0, 1e-9);
+  EXPECT_EQ(row.label, "const");
+  EXPECT_EQ(row.num_weights, 42u);
+  EXPECT_EQ(row.whole.count, truths.size());
+  EXPECT_EQ(row.whole.count,
+            row.normal.count + row.abrupt_acc.count + row.abrupt_dec.count);
+}
+
+TEST_F(ExperimentFixture, BaselinesRun) {
+  const auto& experiment = Shared();
+  const EvalRow prophet = experiment.RunProphet();
+  EXPECT_GT(prophet.whole.mape, 0.0);
+  const EvalRow hist = experiment.RunHistoricalAverage();
+  EXPECT_GT(hist.whole.mape, 0.0);
+  const EvalRow ar = experiment.RunArModel();
+  EXPECT_GT(ar.whole.mape, 0.0);
+  // Prophet (calendar only) cannot beat the AR model that sees the
+  // recent window — the paper's headline baseline result.
+  EXPECT_GT(prophet.whole.mape, ar.whole.mape);
+}
+
+TEST(ScenarioTest, FindsAllFourWindows) {
+  EvalProfile profile = EvalProfile::ForLevel(ProfileLevel::kSmoke);
+  const auto dataset = apots::traffic::GenerateDataset(profile.dataset);
+  const auto windows = FindScenarioWindows(dataset, dataset.num_roads() / 2);
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows[0].name, "rush_hour_morning");
+  EXPECT_EQ(windows[1].name, "rush_hour_evening");
+  EXPECT_EQ(windows[2].name, "rainy_day");
+  EXPECT_EQ(windows[3].name, "accident_recovery");
+  for (const auto& window : windows) {
+    if (!window.found) continue;
+    EXPECT_GE(window.start, 0);
+    EXPECT_GT(window.length, 0);
+    EXPECT_LT(window.start + window.length, dataset.num_intervals());
+  }
+  // Rush windows always exist on a 14-day dataset.
+  EXPECT_TRUE(windows[0].found);
+  EXPECT_TRUE(windows[1].found);
+}
+
+}  // namespace
+}  // namespace apots::eval

@@ -1,0 +1,171 @@
+// GRU layer tests + coverage for pieces added after the core suites:
+// gradient-checker self-test and TrafficDataset CSV round-trip.
+
+#include <cmath>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "nn/gradient_check.h"
+#include "nn/gru.h"
+#include "tensor/tensor_ops.h"
+#include "traffic/dataset_generator.h"
+#include "util/rng.h"
+
+namespace apots {
+namespace {
+
+using apots::nn::Gru;
+using apots::tensor::Tensor;
+
+Tensor Random(std::vector<size_t> shape, uint64_t seed) {
+  Tensor t(std::move(shape));
+  Rng rng(seed);
+  apots::tensor::FillUniform(&t, &rng, -1.0f, 1.0f);
+  return t;
+}
+
+TEST(GruTest, LastStateShape) {
+  Rng rng(1);
+  Gru gru(5, 7, /*return_sequences=*/false, &rng);
+  const Tensor out = gru.Forward(Random({3, 12, 5}, 2), true);
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_EQ(out.cols(), 7u);
+}
+
+TEST(GruTest, SequenceShape) {
+  Rng rng(3);
+  Gru gru(5, 7, /*return_sequences=*/true, &rng);
+  const Tensor out = gru.Forward(Random({3, 12, 5}, 4), true);
+  EXPECT_EQ(out.dim(1), 12u);
+  EXPECT_EQ(out.dim(2), 7u);
+}
+
+TEST(GruTest, OutputBounded) {
+  // h is a convex combination of tanh outputs: |h| < 1.
+  Rng rng(5);
+  Gru gru(3, 6, false, &rng);
+  const Tensor out = gru.Forward(Random({4, 25, 3}, 6), true);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_LT(std::fabs(out[i]), 1.0f);
+  }
+}
+
+TEST(GruTest, ThreePackedParameters) {
+  Rng rng(7);
+  Gru gru(4, 5, false, &rng);
+  auto params = gru.Parameters();
+  ASSERT_EQ(params.size(), 3u);
+  EXPECT_EQ(params[0]->value.shape(), (std::vector<size_t>{4, 15}));
+  EXPECT_EQ(params[1]->value.shape(), (std::vector<size_t>{5, 15}));
+  EXPECT_EQ(params[2]->value.shape(), (std::vector<size_t>{15}));
+}
+
+class GruGradientSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t,
+                                                 bool>> {};
+
+TEST_P(GruGradientSweep, MatchesFiniteDifferences) {
+  const auto [features, hidden, time, return_sequences] = GetParam();
+  Rng rng(8);
+  Gru gru(features, hidden, return_sequences, &rng);
+  const Tensor input = Random({2, time, features}, 9);
+  const Tensor probe = gru.Forward(input, false);
+  Rng weight_rng(10);
+  Tensor weights(probe.shape());
+  apots::tensor::FillUniform(&weights, &weight_rng, -1.0f, 1.0f);
+  const auto result =
+      apots::nn::CheckLayerGradients(&gru, input, weights, 1e-2);
+  EXPECT_GT(result.checked, 0u);
+  EXPECT_LT(result.max_rel_error, 5e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GruGradientSweep,
+    ::testing::Values(std::make_tuple(3, 4, 5, false),
+                      std::make_tuple(3, 4, 5, true),
+                      std::make_tuple(5, 2, 7, false),
+                      std::make_tuple(2, 6, 3, true)));
+
+TEST(GradientCheckerSelfTest, FlagsAWrongGradient) {
+  // A layer lying about its gradient must be caught by the checker.
+  class LyingLayer : public apots::nn::Layer {
+   public:
+    Tensor Forward(const Tensor& input, bool) override {
+      cached_ = input;
+      return apots::tensor::Scale(input, 2.0f);
+    }
+    Tensor Backward(const Tensor& grad) override {
+      // True gradient is 2 * grad; report 3 * grad.
+      return apots::tensor::Scale(grad, 3.0f);
+    }
+    std::string Name() const override { return "LyingLayer"; }
+
+   private:
+    Tensor cached_;
+  };
+  LyingLayer layer;
+  const Tensor input = Random({2, 3}, 11);
+  const Tensor weights = Random({2, 3}, 12);
+  const auto result =
+      apots::nn::CheckLayerGradients(&layer, input, weights, 1e-2);
+  EXPECT_GT(result.max_rel_error, 0.2);
+}
+
+TEST(GradientCheckerSelfTest, AcceptsACorrectGradient) {
+  class HonestLayer : public apots::nn::Layer {
+   public:
+    Tensor Forward(const Tensor& input, bool) override {
+      return apots::tensor::Scale(input, 2.0f);
+    }
+    Tensor Backward(const Tensor& grad) override {
+      return apots::tensor::Scale(grad, 2.0f);
+    }
+    std::string Name() const override { return "HonestLayer"; }
+  };
+  HonestLayer layer;
+  const Tensor input = Random({2, 3}, 13);
+  const Tensor weights = Random({2, 3}, 14);
+  const auto result =
+      apots::nn::CheckLayerGradients(&layer, input, weights, 1e-2);
+  EXPECT_LT(result.max_rel_error, 1e-3);
+}
+
+TEST(TrafficDatasetCsvTest, WriteReadRoundtrip) {
+  using apots::traffic::DatasetSpec;
+  using apots::traffic::TrafficDataset;
+  const TrafficDataset original =
+      apots::traffic::GenerateDataset(DatasetSpec::Small(81));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "apots_dataset.csv")
+          .string();
+  ASSERT_TRUE(original.WriteCsv(path).ok());
+
+  auto restored =
+      TrafficDataset::ReadCsv(path, original.calendar());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const TrafficDataset& copy = restored.value();
+  EXPECT_EQ(copy.num_roads(), original.num_roads());
+  EXPECT_EQ(copy.num_intervals(), original.num_intervals());
+  for (long t = 0; t < original.num_intervals(); t += 101) {
+    for (int r = 0; r < original.num_roads(); ++r) {
+      EXPECT_NEAR(copy.Speed(r, t), original.Speed(r, t), 0.01f);
+      EXPECT_EQ(copy.EventFlag(r, t), original.EventFlag(r, t));
+    }
+    EXPECT_NEAR(copy.Weather(t).precipitation_mm,
+                original.Weather(t).precipitation_mm, 0.01f);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TrafficDatasetCsvTest, MissingFileRejected) {
+  using apots::traffic::Calendar;
+  using apots::traffic::TrafficDataset;
+  using apots::traffic::Weekday;
+  auto result = TrafficDataset::ReadCsv("/nonexistent/x.csv",
+                                        Calendar(1, Weekday::kMonday, {}));
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace apots

@@ -1,0 +1,116 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "metrics/segmentation.h"
+#include "traffic/dataset_generator.h"
+
+namespace apots::metrics {
+namespace {
+
+TEST(MetricsTest, HandComputedValues) {
+  const std::vector<double> pred = {10.0, 20.0, 35.0};
+  const std::vector<double> truth = {12.0, 18.0, 30.0};
+  const MetricSet m = Compute(pred, truth);
+  EXPECT_EQ(m.count, 3u);
+  EXPECT_NEAR(m.mae, (2.0 + 2.0 + 5.0) / 3.0, 1e-9);
+  EXPECT_NEAR(m.rmse, std::sqrt((4.0 + 4.0 + 25.0) / 3.0), 1e-9);
+  EXPECT_NEAR(m.mape,
+              (2.0 / 12.0 + 2.0 / 18.0 + 5.0 / 30.0) / 3.0 * 100.0, 1e-9);
+}
+
+TEST(MetricsTest, PerfectPredictionIsZero) {
+  const std::vector<double> v = {5.0, 50.0, 100.0};
+  const MetricSet m = Compute(v, v);
+  EXPECT_EQ(m.mae, 0.0);
+  EXPECT_EQ(m.rmse, 0.0);
+  EXPECT_EQ(m.mape, 0.0);
+}
+
+TEST(MetricsTest, MapeFloorGuardsNearZeroTruth) {
+  const std::vector<double> pred = {1.0};
+  const std::vector<double> truth = {0.0};
+  const MetricSet m = Compute(pred, truth, /*mape_floor_kmh=*/1.0);
+  EXPECT_NEAR(m.mape, 100.0, 1e-9);  // |1-0| / max(0,1) * 100
+}
+
+TEST(MetricsTest, MaskSelectsSubset) {
+  const std::vector<double> pred = {10.0, 100.0};
+  const std::vector<double> truth = {20.0, 100.0};
+  const MetricSet m =
+      ComputeMasked(pred, truth, std::vector<bool>{true, false});
+  EXPECT_EQ(m.count, 1u);
+  EXPECT_NEAR(m.mae, 10.0, 1e-9);
+}
+
+TEST(MetricsTest, EmptyMaskYieldsZeroCount) {
+  const std::vector<double> v = {1.0};
+  const MetricSet m = ComputeMasked(v, v, std::vector<bool>{false});
+  EXPECT_EQ(m.count, 0u);
+  EXPECT_EQ(m.mae, 0.0);
+}
+
+TEST(MetricsTest, RmseAtLeastMae) {
+  const std::vector<double> pred = {1.0, 5.0, 9.0, 2.0};
+  const std::vector<double> truth = {2.0, 2.0, 2.0, 2.0};
+  const MetricSet m = Compute(pred, truth);
+  EXPECT_GE(m.rmse, m.mae);
+}
+
+TEST(GainTest, MatchesPaperConvention) {
+  // Error 21.40 -> 18.82 is reported as a 12.06% gain.
+  EXPECT_NEAR(GainPercent(18.82, 21.40), 12.06, 0.01);
+  EXPECT_NEAR(GainPercent(10.0, 10.0), 0.0, 1e-12);
+  EXPECT_LT(GainPercent(12.0, 10.0), 0.0);  // regression is negative
+  EXPECT_EQ(GainPercent(1.0, 0.0), 0.0);    // guarded division
+}
+
+TEST(SegmentationTest, ThresholdsPerEquations7And8) {
+  using apots::traffic::Calendar;
+  using apots::traffic::TrafficDataset;
+  using apots::traffic::Weekday;
+  TrafficDataset d(1, 1, 10, Calendar(1, Weekday::kMonday, {}));
+  // Speeds: index 0..9.
+  const float speeds[10] = {100, 100, 69, 100, 131, 100, 71, 100, 130, 100};
+  for (long t = 0; t < 10; ++t) d.SetSpeed(0, t, speeds[t]);
+  // t=2: (100-69)/100 = 0.31 >= 0.3 -> deceleration.
+  EXPECT_EQ(ClassifyInstant(d, 0, 2), Segment::kAbruptDeceleration);
+  // t=4: (100-131)/100 = -0.31 <= -0.3 -> acceleration.
+  EXPECT_EQ(ClassifyInstant(d, 0, 4), Segment::kAbruptAcceleration);
+  // t=6: (100-71)/100 = 0.29 -> normal.
+  EXPECT_EQ(ClassifyInstant(d, 0, 6), Segment::kNormal);
+  // t=8: (100-130)/100 = -0.30 -> acceleration (inclusive threshold).
+  EXPECT_EQ(ClassifyInstant(d, 0, 8), Segment::kAbruptAcceleration);
+  // Custom theta.
+  EXPECT_EQ(ClassifyInstant(d, 0, 6, 0.25), Segment::kAbruptDeceleration);
+}
+
+TEST(SegmentationTest, ClassifyAnchorsAppliesBeta) {
+  using apots::traffic::Calendar;
+  using apots::traffic::TrafficDataset;
+  using apots::traffic::Weekday;
+  TrafficDataset d(1, 1, 10, Calendar(1, Weekday::kMonday, {}));
+  for (long t = 0; t < 10; ++t) d.SetSpeed(0, t, 100.0f);
+  d.SetSpeed(0, 5, 60.0f);  // abrupt dec at t = 5
+  const auto segments = ClassifyAnchors(d, 0, {2, 3}, /*beta=*/2);
+  EXPECT_EQ(segments[0], Segment::kNormal);                // instant 4
+  EXPECT_EQ(segments[1], Segment::kAbruptDeceleration);    // instant 5
+}
+
+TEST(SegmentationTest, MasksAndCounts) {
+  const std::vector<Segment> segments = {
+      Segment::kNormal, Segment::kAbruptDeceleration,
+      Segment::kAbruptAcceleration, Segment::kNormal};
+  const auto normal = SegmentMask(segments, Segment::kNormal);
+  EXPECT_EQ(normal, (std::vector<bool>{true, false, false, true}));
+  const auto counts = CountSegments(segments);
+  EXPECT_EQ(counts.normal, 2u);
+  EXPECT_EQ(counts.abrupt_dec, 1u);
+  EXPECT_EQ(counts.abrupt_acc, 1u);
+  EXPECT_EQ(AllMask(3), (std::vector<bool>{true, true, true}));
+}
+
+}  // namespace
+}  // namespace apots::metrics

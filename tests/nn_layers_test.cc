@@ -1,0 +1,269 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/flatten.h"
+#include "nn/lstm.h"
+#include "nn/sequential.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace apots::nn {
+namespace {
+
+using apots::tensor::Tensor;
+
+Tensor Random(std::vector<size_t> shape, uint64_t seed) {
+  Tensor t(std::move(shape));
+  apots::Rng rng(seed);
+  apots::tensor::FillUniform(&t, &rng, -1.0f, 1.0f);
+  return t;
+}
+
+TEST(DenseTest, OutputShape) {
+  apots::Rng rng(1);
+  Dense layer(5, 3, &rng);
+  const Tensor out = layer.Forward(Random({4, 5}, 2), true);
+  EXPECT_EQ(out.rows(), 4u);
+  EXPECT_EQ(out.cols(), 3u);
+}
+
+TEST(DenseTest, ZeroInputYieldsBias) {
+  apots::Rng rng(1);
+  Dense layer(3, 2, &rng);
+  const Tensor out = layer.Forward(Tensor::Zeros({1, 3}), false);
+  // Bias starts at zero, so output must be exactly zero.
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+}
+
+TEST(DenseTest, ParametersExposed) {
+  apots::Rng rng(1);
+  Dense layer(5, 3, &rng);
+  auto params = layer.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->value.size(), 15u);
+  EXPECT_EQ(params[1]->value.size(), 3u);
+  EXPECT_EQ(CountWeights(params), 18u);
+}
+
+TEST(ReluTest, ClampsNegatives) {
+  Relu relu;
+  const Tensor out =
+      relu.Forward(Tensor::FromVector({-2.0f, 0.0f, 3.0f}), true);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 3.0f);
+}
+
+TEST(LeakyReluTest, ScalesNegatives) {
+  LeakyRelu leaky(0.1f);
+  const Tensor out = leaky.Forward(Tensor::FromVector({-2.0f, 3.0f}), true);
+  EXPECT_FLOAT_EQ(out[0], -0.2f);
+  EXPECT_FLOAT_EQ(out[1], 3.0f);
+}
+
+TEST(SigmoidTest, KnownValues) {
+  Sigmoid sigmoid;
+  const Tensor out =
+      sigmoid.Forward(Tensor::FromVector({0.0f, 100.0f, -100.0f}), true);
+  EXPECT_FLOAT_EQ(out[0], 0.5f);
+  EXPECT_NEAR(out[1], 1.0f, 1e-6f);
+  EXPECT_NEAR(out[2], 0.0f, 1e-6f);
+}
+
+TEST(TanhTest, KnownValues) {
+  Tanh tanh_layer;
+  const Tensor out = tanh_layer.Forward(Tensor::FromVector({0.0f, 1.0f}),
+                                        true);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_NEAR(out[1], 0.7616f, 1e-4f);
+}
+
+TEST(SigmoidScalarTest, StableAtExtremes) {
+  EXPECT_NEAR(SigmoidScalar(500.0f), 1.0f, 1e-7f);
+  EXPECT_NEAR(SigmoidScalar(-500.0f), 0.0f, 1e-7f);
+  EXPECT_FALSE(std::isnan(SigmoidScalar(-10000.0f)));
+}
+
+TEST(DropoutTest, IdentityAtInference) {
+  apots::Rng rng(3);
+  Dropout dropout(0.5f, &rng);
+  const Tensor in = Random({8, 8}, 4);
+  const Tensor out = dropout.Forward(in, /*training=*/false);
+  for (size_t i = 0; i < in.size(); ++i) EXPECT_FLOAT_EQ(out[i], in[i]);
+}
+
+TEST(DropoutTest, ZeroesAboutRateAndRescales) {
+  apots::Rng rng(5);
+  Dropout dropout(0.5f, &rng);
+  const Tensor in = Tensor::Full({10000}, 1.0f);
+  const Tensor out = dropout.Forward(in, /*training=*/true);
+  size_t zeros = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(out[i], 2.0f);  // 1 / keep
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / out.size(), 0.5, 0.03);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  apots::Rng rng(6);
+  Dropout dropout(0.4f, &rng);
+  const Tensor in = Tensor::Full({100}, 1.0f);
+  const Tensor out = dropout.Forward(in, true);
+  const Tensor grad = dropout.Backward(Tensor::Full({100}, 1.0f));
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_FLOAT_EQ(grad[i], out[i]);  // identical mask and scale
+  }
+}
+
+TEST(FlattenTest, RoundTripShapes) {
+  Flatten flatten;
+  const Tensor in = Random({3, 2, 4, 5}, 7);
+  const Tensor out = flatten.Forward(in, true);
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_EQ(out.cols(), 40u);
+  const Tensor back = flatten.Backward(out);
+  EXPECT_TRUE(back.SameShape(in));
+}
+
+TEST(Conv2dTest, SamePaddingPreservesSpatialShape) {
+  apots::Rng rng(8);
+  Conv2d conv(1, 4, 3, 3, 1, &rng);
+  const Tensor out = conv.Forward(Random({2, 1, 13, 12}, 9), true);
+  EXPECT_EQ(out.dim(0), 2u);
+  EXPECT_EQ(out.dim(1), 4u);
+  EXPECT_EQ(out.dim(2), 13u);
+  EXPECT_EQ(out.dim(3), 12u);
+}
+
+TEST(Conv2dTest, OneByOneKernelIsPerPixelDense) {
+  apots::Rng rng(10);
+  Conv2d conv(2, 1, 1, 1, 0, &rng);
+  Tensor in = Random({1, 2, 3, 3}, 11);
+  const Tensor out = conv.Forward(in, true);
+  // Manually compute pixel (1,1): w0*c0 + w1*c1 + b.
+  auto params = conv.Parameters();
+  const float w0 = params[0]->value[0];
+  const float w1 = params[0]->value[1];
+  const float b = params[1]->value[0];
+  const float c0 = in[0 * 9 + 4];
+  const float c1 = in[1 * 9 + 4];
+  EXPECT_NEAR(out[4], w0 * c0 + w1 * c1 + b, 1e-5f);
+}
+
+TEST(Conv2dTest, ConstantImageUniformInterior) {
+  apots::Rng rng(12);
+  Conv2d conv(1, 1, 3, 3, 1, &rng);
+  const Tensor out = conv.Forward(Tensor::Full({1, 1, 5, 5}, 1.0f), true);
+  // All interior pixels see the same receptive field.
+  const float centre = out[2 * 5 + 2];
+  EXPECT_NEAR(out[1 * 5 + 1], centre, 1e-5f);
+  EXPECT_NEAR(out[3 * 5 + 3], centre, 1e-5f);
+}
+
+TEST(LstmTest, LastStateShape) {
+  apots::Rng rng(13);
+  Lstm lstm(5, 7, /*return_sequences=*/false, &rng);
+  const Tensor out = lstm.Forward(Random({3, 12, 5}, 14), true);
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_EQ(out.cols(), 7u);
+}
+
+TEST(LstmTest, SequenceShape) {
+  apots::Rng rng(15);
+  Lstm lstm(5, 7, /*return_sequences=*/true, &rng);
+  const Tensor out = lstm.Forward(Random({3, 12, 5}, 16), true);
+  EXPECT_EQ(out.dim(0), 3u);
+  EXPECT_EQ(out.dim(1), 12u);
+  EXPECT_EQ(out.dim(2), 7u);
+}
+
+TEST(LstmTest, SequenceLastStepMatchesLastState) {
+  apots::Rng rng_a(17), rng_b(17);
+  Lstm seq(4, 6, true, &rng_a);
+  Lstm last(4, 6, false, &rng_b);  // identical weights from identical seed
+  const Tensor in = Random({2, 9, 4}, 18);
+  const Tensor seq_out = seq.Forward(in, true);
+  const Tensor last_out = last.Forward(in, true);
+  for (size_t n = 0; n < 2; ++n) {
+    for (size_t h = 0; h < 6; ++h) {
+      EXPECT_FLOAT_EQ(seq_out.At3(n, 8, h), last_out.At(n, h));
+    }
+  }
+}
+
+TEST(LstmTest, OutputBounded) {
+  // h = o * tanh(c) with o in (0,1): |h| < 1 always.
+  apots::Rng rng(19);
+  Lstm lstm(3, 5, false, &rng);
+  const Tensor out = lstm.Forward(Random({4, 20, 3}, 20), true);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_LT(std::fabs(out[i]), 1.0f);
+  }
+}
+
+TEST(LstmTest, ForgetBiasInitializedToOne) {
+  apots::Rng rng(21);
+  Lstm lstm(3, 4, false, &rng);
+  auto params = lstm.Parameters();
+  ASSERT_EQ(params.size(), 3u);
+  const Tensor& bias = params[2]->value;
+  for (size_t j = 4; j < 8; ++j) EXPECT_FLOAT_EQ(bias[j], 1.0f);
+  for (size_t j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(bias[j], 0.0f);
+}
+
+TEST(SequentialTest, ChainsLayersAndCollectsParams) {
+  apots::Rng rng(22);
+  Sequential net;
+  net.Emplace<Dense>(6, 4, &rng);
+  net.Emplace<Relu>();
+  net.Emplace<Dense>(4, 2, &rng);
+  EXPECT_EQ(net.NumLayers(), 3u);
+  EXPECT_EQ(net.Parameters().size(), 4u);
+  const Tensor out = net.Forward(Random({3, 6}, 23), true);
+  EXPECT_EQ(out.cols(), 2u);
+  const Tensor grad = net.Backward(Random({3, 2}, 24));
+  EXPECT_EQ(grad.cols(), 6u);
+}
+
+TEST(SequentialTest, NameListsLayers) {
+  apots::Rng rng(25);
+  Sequential net;
+  net.Emplace<Dense>(2, 2, &rng);
+  net.Emplace<Relu>();
+  const std::string name = net.Name();
+  EXPECT_NE(name.find("Dense(2 -> 2)"), std::string::npos);
+  EXPECT_NE(name.find("Relu"), std::string::npos);
+}
+
+TEST(ModuleTest, GradNormAndClip) {
+  Parameter p("p", Tensor::FromVector({3.0f, 4.0f}));
+  p.grad = Tensor::FromVector({3.0f, 4.0f});
+  std::vector<Parameter*> params = {&p};
+  EXPECT_NEAR(GradNorm(params), 5.0, 1e-6);
+  ClipGradNorm(params, 1.0);
+  EXPECT_NEAR(GradNorm(params), 1.0, 1e-5);
+  // Clipping below the max is a no-op.
+  ClipGradNorm(params, 10.0);
+  EXPECT_NEAR(GradNorm(params), 1.0, 1e-5);
+}
+
+TEST(ModuleTest, ZeroAllGrads) {
+  Parameter p("p", Tensor::FromVector({1.0f}));
+  p.grad[0] = 9.0f;
+  std::vector<Parameter*> params = {&p};
+  ZeroAllGrads(params);
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace apots::nn

@@ -1,0 +1,106 @@
+#include "nn/serialize.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "nn/dense.h"
+#include "nn/lstm.h"
+#include "nn/sequential.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace apots::nn {
+namespace {
+
+using apots::tensor::Tensor;
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(SerializeTest, RoundTripRestoresExactWeights) {
+  const std::string path = TempPath("apots_params_rt.bin");
+  apots::Rng rng_a(1);
+  Sequential source;
+  source.Emplace<Dense>(4, 3, &rng_a);
+  source.Emplace<Lstm>(3, 2, false, &rng_a);
+  ASSERT_TRUE(SaveParameters(source.Parameters(), path).ok());
+
+  apots::Rng rng_b(2);  // different init
+  Sequential target;
+  target.Emplace<Dense>(4, 3, &rng_b);
+  target.Emplace<Lstm>(3, 2, false, &rng_b);
+  ASSERT_TRUE(LoadParameters(target.Parameters(), path).ok());
+
+  auto src_params = source.Parameters();
+  auto dst_params = target.Parameters();
+  ASSERT_EQ(src_params.size(), dst_params.size());
+  for (size_t i = 0; i < src_params.size(); ++i) {
+    for (size_t j = 0; j < src_params[i]->value.size(); ++j) {
+      EXPECT_EQ(src_params[i]->value[j], dst_params[i]->value[j]);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, CountMismatchRejected) {
+  const std::string path = TempPath("apots_params_cm.bin");
+  apots::Rng rng(3);
+  Dense a(2, 2, &rng);
+  ASSERT_TRUE(SaveParameters(a.Parameters(), path).ok());
+  Sequential two;
+  two.Emplace<Dense>(2, 2, &rng);
+  two.Emplace<Dense>(2, 2, &rng);
+  const Status status = LoadParameters(two.Parameters(), path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  const std::string path = TempPath("apots_params_sm.bin");
+  apots::Rng rng(4);
+  Dense a(2, 3, &rng);
+  ASSERT_TRUE(SaveParameters(a.Parameters(), path).ok());
+  Dense b(3, 2, &rng);  // same names, different shapes
+  const Status status = LoadParameters(b.Parameters(), path);
+  EXPECT_FALSE(status.ok());
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, NameMismatchRejected) {
+  const std::string path = TempPath("apots_params_nm.bin");
+  apots::Rng rng(5);
+  Dense dense(2, 2, &rng);
+  ASSERT_TRUE(SaveParameters(dense.Parameters(), path).ok());
+  Lstm lstm(2, 1, false, &rng);
+  // LSTM has 3 params, Dense saved 2 -> count mismatch; test name check
+  // via a single-parameter comparison instead.
+  Parameter renamed("other.weight", Tensor({2, 2}));
+  const Status status = LoadParameters({&renamed, &renamed}, path);
+  EXPECT_FALSE(status.ok());
+  std::filesystem::remove(path);
+  (void)lstm;
+}
+
+TEST(SerializeTest, MissingFileIsIoError) {
+  apots::Rng rng(6);
+  Dense dense(2, 2, &rng);
+  EXPECT_EQ(LoadParameters(dense.Parameters(), "/nonexistent/x.bin").code(),
+            StatusCode::kIoError);
+}
+
+TEST(SerializeTest, CorruptMagicRejected) {
+  const std::string path = TempPath("apots_params_bad.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("NOTAPOTSFILE", f);
+  std::fclose(f);
+  apots::Rng rng(7);
+  Dense dense(2, 2, &rng);
+  EXPECT_EQ(LoadParameters(dense.Parameters(), path).code(),
+            StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace apots::nn

@@ -1,0 +1,127 @@
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace apots::core {
+namespace {
+
+using apots::tensor::Tensor;
+
+Tensor Random(std::vector<size_t> shape, uint64_t seed) {
+  Tensor t(std::move(shape));
+  apots::Rng rng(seed);
+  apots::tensor::FillUniform(&t, &rng, 0.0f, 1.0f);
+  return t;
+}
+
+constexpr size_t kRows = 13;
+constexpr size_t kAlpha = 12;
+
+class PredictorFamilySweep
+    : public ::testing::TestWithParam<PredictorType> {};
+
+TEST_P(PredictorFamilySweep, ForwardShapeIsBatchByOne) {
+  apots::Rng rng(1);
+  auto predictor = MakePredictor(PredictorHparams::Scaled(GetParam(), 16),
+                                 kRows, kAlpha, &rng);
+  const Tensor out = predictor->Forward(Random({5, kRows, kAlpha}, 2), false);
+  EXPECT_EQ(out.rows(), 5u);
+  EXPECT_EQ(out.cols(), 1u);
+}
+
+TEST_P(PredictorFamilySweep, BackwardReturnsInputShapedGradient) {
+  apots::Rng rng(3);
+  auto predictor = MakePredictor(PredictorHparams::Scaled(GetParam(), 16),
+                                 kRows, kAlpha, &rng);
+  const Tensor input = Random({4, kRows, kAlpha}, 4);
+  (void)predictor->Forward(input, true);
+  const Tensor grad = predictor->Backward(Random({4, 1}, 5));
+  EXPECT_TRUE(grad.SameShape(input));
+}
+
+TEST_P(PredictorFamilySweep, DeterministicForSeed) {
+  const Tensor input = Random({3, kRows, kAlpha}, 6);
+  apots::Rng rng_a(7), rng_b(7);
+  auto a = MakePredictor(PredictorHparams::Scaled(GetParam(), 16), kRows,
+                         kAlpha, &rng_a);
+  auto b = MakePredictor(PredictorHparams::Scaled(GetParam(), 16), kRows,
+                         kAlpha, &rng_b);
+  const Tensor out_a = a->Forward(input, false);
+  const Tensor out_b = b->Forward(input, false);
+  for (size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_EQ(out_a[i], out_b[i]);
+  }
+}
+
+TEST_P(PredictorFamilySweep, BatchInvariance) {
+  // Predicting a batch must equal predicting each sample alone.
+  apots::Rng rng(8);
+  auto predictor = MakePredictor(PredictorHparams::Scaled(GetParam(), 16),
+                                 kRows, kAlpha, &rng);
+  const Tensor batch = Random({3, kRows, kAlpha}, 9);
+  const Tensor batched = predictor->Forward(batch, false);
+  for (size_t n = 0; n < 3; ++n) {
+    Tensor single({1, kRows, kAlpha});
+    std::copy(batch.data() + n * kRows * kAlpha,
+              batch.data() + (n + 1) * kRows * kAlpha, single.data());
+    const Tensor out = predictor->Forward(single, false);
+    EXPECT_NEAR(out[0], batched[n], 1e-5f);
+  }
+}
+
+TEST_P(PredictorFamilySweep, HasTrainableParameters) {
+  apots::Rng rng(10);
+  auto predictor = MakePredictor(PredictorHparams::Scaled(GetParam(), 16),
+                                 kRows, kAlpha, &rng);
+  EXPECT_GT(apots::nn::CountWeights(predictor->Parameters()), 50u);
+  EXPECT_EQ(predictor->type(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, PredictorFamilySweep,
+                         ::testing::Values(PredictorType::kFc,
+                                           PredictorType::kLstm,
+                                           PredictorType::kCnn,
+                                           PredictorType::kHybrid));
+
+TEST(PredictorHparamsTest, PaperValuesMatchTableI) {
+  const auto f = PredictorHparams::Paper(PredictorType::kFc);
+  EXPECT_EQ(f.fc_hidden, (std::vector<size_t>{512, 128, 256, 64}));
+  EXPECT_FLOAT_EQ(f.learning_rate, 0.001f);
+  const auto l = PredictorHparams::Paper(PredictorType::kLstm);
+  EXPECT_EQ(l.lstm_hidden, (std::vector<size_t>{512, 512}));
+  const auto c = PredictorHparams::Paper(PredictorType::kCnn);
+  EXPECT_EQ(c.cnn_channels, (std::vector<size_t>{128, 32, 64}));
+  EXPECT_EQ(c.cnn_kernels, (std::vector<size_t>{3, 1, 3}));
+}
+
+TEST(PredictorHparamsTest, ScaledDividesWithFloor) {
+  const auto h = PredictorHparams::Scaled(PredictorType::kHybrid, 16);
+  EXPECT_EQ(h.lstm_hidden, (std::vector<size_t>{32, 32}));
+  EXPECT_EQ(h.cnn_channels, (std::vector<size_t>{8, 4, 4}));
+  // Kernels are architecture, not capacity: unchanged.
+  EXPECT_EQ(h.cnn_kernels, (std::vector<size_t>{3, 1, 3}));
+  const auto tiny = PredictorHparams::Scaled(PredictorType::kFc, 1000);
+  for (size_t w : tiny.fc_hidden) EXPECT_EQ(w, 4u);
+}
+
+TEST(PredictorTypeTest, NamesAndLabels) {
+  EXPECT_STREQ(PredictorTypeName(PredictorType::kFc), "F");
+  EXPECT_STREQ(PredictorTypeName(PredictorType::kHybrid), "H");
+  EXPECT_STREQ(PredictorTypeLabel(PredictorType::kLstm), "LSTM");
+  EXPECT_STREQ(PredictorTypeLabel(PredictorType::kCnn), "CNN");
+}
+
+TEST(PredictorTest, HybridUsesBothTrunks) {
+  apots::Rng rng(11);
+  auto hybrid = MakePredictor(PredictorHparams::Scaled(PredictorType::kHybrid,
+                                                       16),
+                              kRows, kAlpha, &rng);
+  // Hybrid = conv params (2 per conv layer) + lstm params (3 per layer)
+  // + dense head (2).
+  EXPECT_EQ(hybrid->Parameters().size(), 3u * 2 + 2u * 3 + 2u);
+}
+
+}  // namespace
+}  // namespace apots::core

@@ -1,0 +1,234 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "traffic/corridor_simulator.h"
+#include "traffic/dataset_generator.h"
+
+namespace apots::traffic {
+namespace {
+
+// One shared dataset for the read-only invariants (generation is the
+// expensive part).
+const TrafficDataset& SharedDataset() {
+  static const TrafficDataset* dataset =
+      new TrafficDataset(GenerateDataset(DatasetSpec::Small(21)));
+  return *dataset;
+}
+
+TEST(SimulatorTest, SpeedsWithinPhysicalBounds) {
+  const TrafficDataset& d = SharedDataset();
+  const CorridorParams params;
+  for (int r = 0; r < d.num_roads(); ++r) {
+    for (long t = 0; t < d.num_intervals(); ++t) {
+      ASSERT_GE(d.Speed(r, t), params.min_speed_kmh);
+      ASSERT_LE(d.Speed(r, t), params.max_speed_kmh);
+    }
+  }
+}
+
+TEST(SimulatorTest, DeterministicForSeed) {
+  const TrafficDataset a = GenerateDataset(DatasetSpec::Small(5));
+  const TrafficDataset b = GenerateDataset(DatasetSpec::Small(5));
+  for (long t = 0; t < a.num_intervals(); t += 7) {
+    EXPECT_EQ(a.Speed(0, t), b.Speed(0, t));
+  }
+}
+
+TEST(SimulatorTest, DifferentSeedsDiffer) {
+  const TrafficDataset a = GenerateDataset(DatasetSpec::Small(5));
+  const TrafficDataset b = GenerateDataset(DatasetSpec::Small(6));
+  int differing = 0;
+  for (long t = 0; t < a.num_intervals(); t += 7) {
+    if (a.Speed(0, t) != b.Speed(0, t)) ++differing;
+  }
+  EXPECT_GT(differing, 100);
+}
+
+TEST(SimulatorTest, WeekdayRushDepressesSpeeds) {
+  const TrafficDataset& d = SharedDataset();
+  const int road = d.num_roads() / 2;
+  const int ipd = d.intervals_per_day();
+  double rush = 0.0, night = 0.0;
+  int rush_n = 0, night_n = 0;
+  for (int day = 0; day < d.num_days(); ++day) {
+    const auto info = d.calendar().Day(day);
+    if (info.is_weekend || info.is_holiday) continue;
+    for (long t = day * ipd; t < (day + 1) * ipd; ++t) {
+      const double hour = d.FractionalHour(t);
+      if (hour >= 7.5 && hour < 9.0) {
+        rush += d.Speed(road, t);
+        ++rush_n;
+      } else if (hour >= 2.0 && hour < 4.0) {
+        night += d.Speed(road, t);
+        ++night_n;
+      }
+    }
+  }
+  ASSERT_GT(rush_n, 0);
+  ASSERT_GT(night_n, 0);
+  EXPECT_LT(rush / rush_n, night / night_n - 30.0);
+}
+
+TEST(SimulatorTest, WeekendMorningFasterThanWeekdayMorning) {
+  const TrafficDataset& d = SharedDataset();
+  const int road = d.num_roads() / 2;
+  const int ipd = d.intervals_per_day();
+  double weekday = 0.0, weekend = 0.0;
+  int weekday_n = 0, weekend_n = 0;
+  for (int day = 0; day < d.num_days(); ++day) {
+    const auto info = d.calendar().Day(day);
+    for (long t = day * ipd; t < (day + 1) * ipd; ++t) {
+      const double hour = d.FractionalHour(t);
+      if (hour < 7.5 || hour >= 9.0) continue;
+      if (info.is_weekend || info.is_holiday) {
+        weekend += d.Speed(road, t);
+        ++weekend_n;
+      } else {
+        weekday += d.Speed(road, t);
+        ++weekday_n;
+      }
+    }
+  }
+  ASSERT_GT(weekend_n, 0);
+  EXPECT_GT(weekend / weekend_n, weekday / weekday_n + 20.0);
+}
+
+TEST(SimulatorTest, AccidentCausesLocalSlowdown) {
+  const TrafficDataset& d = SharedDataset();
+  bool checked = false;
+  for (const auto& inc : d.incident_log()) {
+    if (inc.kind != IncidentKind::kAccident) continue;
+    if (inc.severity < 0.6) continue;
+    const long mid = inc.start_interval + inc.duration / 2;
+    const long before = inc.start_interval - 12;
+    if (before < 0 || mid >= d.num_intervals()) continue;
+    // Only compare within a quiet daytime window to avoid rush overlap.
+    const double speed_before = d.Speed(inc.road, before);
+    const double speed_during = d.Speed(inc.road, mid);
+    if (speed_before > 80.0) {
+      EXPECT_LT(speed_during, speed_before * 0.8)
+          << "accident at " << inc.start_interval;
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked) << "no clean accident found; adjust the seed";
+}
+
+TEST(SimulatorTest, EventFlagsMatchIncidentLog) {
+  const TrafficDataset& d = SharedDataset();
+  for (const auto& inc : d.incident_log()) {
+    const long mid = inc.start_interval + inc.duration / 2;
+    if (mid < 0 || mid >= d.num_intervals()) continue;
+    EXPECT_EQ(d.EventFlag(inc.road, mid), 1.0f);
+  }
+}
+
+TEST(SimulatorTest, AbruptChangesExistButAreRare) {
+  const TrafficDataset& d = SharedDataset();
+  const int road = d.num_roads() / 2;
+  int abrupt = 0;
+  for (long t = 1; t < d.num_intervals(); ++t) {
+    const double prev = d.Speed(road, t - 1);
+    const double change = (prev - d.Speed(road, t)) / prev;
+    if (std::fabs(change) >= 0.3) ++abrupt;
+  }
+  const double rate = static_cast<double>(abrupt) / d.num_intervals();
+  EXPECT_GT(abrupt, 5);     // the phenomenon exists (Fig. 1)
+  EXPECT_LT(rate, 0.05);    // but is rare, as in real traffic
+}
+
+TEST(SimulatorTest, DownstreamLeadsTargetIntoRush) {
+  // With the bottleneck stagger, the most downstream road must hit the
+  // morning breakdown earlier than the most upstream road.
+  const TrafficDataset& d = SharedDataset();
+  const int ipd = d.intervals_per_day();
+  int lead_votes = 0, lag_votes = 0;
+  for (int day = 0; day < d.num_days(); ++day) {
+    const auto info = d.calendar().Day(day);
+    if (info.is_weekend || info.is_holiday) continue;
+    auto first_congested = [&](int road) -> long {
+      for (long t = day * ipd + ipd / 4; t < day * ipd + ipd / 2; ++t) {
+        if (d.Speed(road, t) < 50.0) return t;
+      }
+      return -1;
+    };
+    const long down = first_congested(d.num_roads() - 1);
+    const long up = first_congested(0);
+    if (down < 0 || up < 0) continue;
+    (down < up ? lead_votes : lag_votes)++;
+  }
+  EXPECT_GT(lead_votes, lag_votes);
+}
+
+TEST(DemandRatioTest, RushAboveOffPeak) {
+  CorridorSimulator simulator(CorridorParams(), 1);
+  DayInfo weekday;
+  weekday.weekday = Weekday::kTuesday;
+  EXPECT_GT(simulator.DemandRatio(weekday, 8.0),
+            simulator.DemandRatio(weekday, 3.0) * 1.5);
+  EXPECT_GT(simulator.DemandRatio(weekday, 18.5),
+            simulator.DemandRatio(weekday, 12.0));
+}
+
+TEST(DemandRatioTest, HolidayHasNoMorningRush) {
+  CorridorSimulator simulator(CorridorParams(), 1);
+  DayInfo weekday;
+  weekday.weekday = Weekday::kTuesday;
+  DayInfo holiday = weekday;
+  holiday.is_holiday = true;
+  EXPECT_GT(simulator.DemandRatio(weekday, 7.75),
+            simulator.DemandRatio(holiday, 7.75) + 0.3);
+}
+
+TEST(DemandRatioTest, BeforeHolidayEveningHeavier) {
+  CorridorSimulator simulator(CorridorParams(), 1);
+  DayInfo plain;
+  plain.weekday = Weekday::kThursday;
+  DayInfo before = plain;
+  before.is_before_holiday = true;
+  EXPECT_GT(simulator.DemandRatio(before, 17.0),
+            simulator.DemandRatio(plain, 17.0));
+}
+
+class DemandRatioHourSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DemandRatioHourSweep, AlwaysPositiveAndFinite) {
+  CorridorSimulator simulator(CorridorParams(), 1);
+  for (bool weekend : {false, true}) {
+    for (bool holiday : {false, true}) {
+      DayInfo day;
+      day.weekday = weekend ? Weekday::kSaturday : Weekday::kWednesday;
+      day.is_weekend = weekend;
+      day.is_holiday = holiday;
+      const double ratio = simulator.DemandRatio(day, GetParam());
+      EXPECT_GT(ratio, 0.0);
+      EXPECT_LT(ratio, 3.0);
+      EXPECT_FALSE(std::isnan(ratio));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Hours, DemandRatioHourSweep,
+                         ::testing::Values(-0.5, 0.0, 3.0, 6.75, 8.0, 12.0,
+                                           17.5, 20.0, 23.9, 24.0));
+
+TEST(DatasetGeneratorTest, SmallSpecShape) {
+  const TrafficDataset& d = SharedDataset();
+  EXPECT_EQ(d.num_roads(), 3);
+  EXPECT_EQ(d.num_days(), 14);
+  EXPECT_EQ(d.intervals_per_day(), 288);
+  EXPECT_EQ(d.num_intervals(), 14L * 288);
+}
+
+TEST(DatasetGeneratorTest, FullSpecMatchesPaperScale) {
+  DatasetSpec spec;
+  EXPECT_EQ(spec.num_days, 122);
+  EXPECT_EQ(spec.intervals_per_day, 288);
+  // 122 days x 288 intervals = 35,136 raw positions, matching the paper's
+  // ~35,350 sliding-window samples.
+  EXPECT_EQ(spec.num_days * spec.intervals_per_day, 35136);
+}
+
+}  // namespace
+}  // namespace apots::traffic

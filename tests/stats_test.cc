@@ -1,0 +1,100 @@
+#include "metrics/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace apots::metrics {
+namespace {
+
+TEST(MeanStddevTest, BasicValues) {
+  EXPECT_NEAR(Mean({1.0, 2.0, 3.0}), 2.0, 1e-12);
+  EXPECT_NEAR(SampleStddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetricCase) {
+  // I_{0.5}(a, a) = 0.5 for any a.
+  for (double a : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(a, a, 0.5), 0.5, 1e-10) << a;
+  }
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.37, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, KnownValue) {
+  // I_x(2, 2) = 3x^2 - 2x^3.
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 2.0, x),
+                3.0 * x * x - 2.0 * x * x * x, 1e-10);
+  }
+}
+
+TEST(StudentTCdfTest, SymmetryAndCentre) {
+  EXPECT_NEAR(StudentTCdf(0.0, 7), 0.5, 1e-12);
+  for (double t : {0.5, 1.0, 2.5}) {
+    EXPECT_NEAR(StudentTCdf(t, 7) + StudentTCdf(-t, 7), 1.0, 1e-10);
+  }
+}
+
+TEST(StudentTCdfTest, KnownQuantiles) {
+  // For df = 7: P(T <= 2.365) ~= 0.975 (the classic two-sided 5% point).
+  EXPECT_NEAR(StudentTCdf(2.365, 7), 0.975, 0.001);
+  // For df = 1 (Cauchy): P(T <= 1) = 0.75.
+  EXPECT_NEAR(StudentTCdf(1.0, 1), 0.75, 1e-6);
+}
+
+TEST(StudentTCdfTest, LargeDfApproachesNormal) {
+  // Phi(1.96) ~= 0.975.
+  EXPECT_NEAR(StudentTCdf(1.96, 10000), 0.975, 0.001);
+}
+
+TEST(PairedTTestTest, ObviousDifference) {
+  const std::vector<double> a = {21.4, 18.8, 18.6, 16.7, 17.9, 13.5, 16.9,
+                                 13.5};
+  std::vector<double> b;
+  for (double v : a) b.push_back(v - 2.0);  // uniformly 2 lower
+  const TTestResult result = PairedTTest(a, b);
+  EXPECT_EQ(result.df, 7u);
+  EXPECT_GT(result.t, 1e6);  // zero variance of differences
+  EXPECT_LT(result.p_two_sided, 0.001);
+}
+
+TEST(PairedTTestTest, NoDifference) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const TTestResult result = PairedTTest(a, a);
+  EXPECT_NEAR(result.t, 0.0, 1e-12);
+  EXPECT_NEAR(result.p_two_sided, 1.0, 1e-9);
+}
+
+TEST(PairedTTestTest, HandComputedExample) {
+  // Differences: {1, 2, 3, 4} -> mean 2.5, sd sqrt(5/3),
+  // t = 2.5 / (sd / 2) = 3.873.
+  const std::vector<double> a = {2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0, 4.0};
+  const TTestResult result = PairedTTest(a, b);
+  EXPECT_EQ(result.df, 3u);
+  EXPECT_NEAR(result.t, 2.5 / (std::sqrt(5.0 / 3.0) / 2.0), 1e-9);
+  EXPECT_GT(result.p_two_sided, 0.02);
+  EXPECT_LT(result.p_two_sided, 0.05);
+}
+
+TEST(PairedTTestTest, SignOfDirection) {
+  const std::vector<double> worse = {5.0, 6.0, 7.0};
+  const std::vector<double> better = {1.0, 2.5, 2.0};
+  EXPECT_GT(PairedTTest(worse, better).t, 0.0);
+  EXPECT_LT(PairedTTest(better, worse).t, 0.0);
+}
+
+}  // namespace
+}  // namespace apots::metrics

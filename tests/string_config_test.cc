@@ -1,0 +1,142 @@
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "util/config.h"
+#include "util/string_util.h"
+
+namespace apots {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t x \n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(ToLowerTest, Lowercases) {
+  EXPECT_EQ(ToLower("QuIcK"), "quick");
+  EXPECT_EQ(ToLower("already"), "already");
+}
+
+TEST(StartsWithTest, PrefixChecks) {
+  EXPECT_TRUE(StartsWith("speed_0", "speed_"));
+  EXPECT_FALSE(StartsWith("speed", "speed_"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(ParseDoubleTest, AcceptsValidRejectsJunk) {
+  double value = 0.0;
+  EXPECT_TRUE(ParseDouble("3.5", &value));
+  EXPECT_DOUBLE_EQ(value, 3.5);
+  EXPECT_TRUE(ParseDouble(" -2e3 ", &value));
+  EXPECT_DOUBLE_EQ(value, -2000.0);
+  EXPECT_FALSE(ParseDouble("abc", &value));
+  EXPECT_FALSE(ParseDouble("1.5x", &value));
+  EXPECT_FALSE(ParseDouble("", &value));
+}
+
+TEST(ParseInt64Test, AcceptsValidRejectsJunk) {
+  int64_t value = 0;
+  EXPECT_TRUE(ParseInt64("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(ParseInt64("-17", &value));
+  EXPECT_EQ(value, -17);
+  EXPECT_FALSE(ParseInt64("4.2", &value));
+  EXPECT_FALSE(ParseInt64("x", &value));
+}
+
+TEST(ConfigTest, ParsesKeyValueLines) {
+  auto result = Config::FromString(
+      "# comment\n"
+      "alpha = 12\n"
+      "  beta=3  \n"
+      "\n"
+      "name = apots run\n");
+  ASSERT_TRUE(result.ok());
+  const Config& config = result.value();
+  EXPECT_EQ(config.GetInt("alpha", 0), 12);
+  EXPECT_EQ(config.GetInt("beta", 0), 3);
+  EXPECT_EQ(config.GetString("name", ""), "apots run");
+}
+
+TEST(ConfigTest, MalformedLineRejected) {
+  auto result = Config::FromString("no equals sign here\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigTest, EmptyKeyRejected) {
+  auto result = Config::FromString("= value\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ConfigTest, FallbacksWhenMissing) {
+  Config config;
+  EXPECT_EQ(config.GetInt("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(config.GetDouble("missing", 1.5), 1.5);
+  EXPECT_EQ(config.GetString("missing", "d"), "d");
+  EXPECT_TRUE(config.GetBool("missing", true));
+}
+
+TEST(ConfigTest, BoolParsingVariants) {
+  Config config;
+  config.Set("a", "true");
+  config.Set("b", "0");
+  config.Set("c", "YES");
+  config.Set("d", "off");
+  config.Set("e", "garbage");
+  EXPECT_TRUE(config.GetBool("a", false));
+  EXPECT_FALSE(config.GetBool("b", true));
+  EXPECT_TRUE(config.GetBool("c", false));
+  EXPECT_FALSE(config.GetBool("d", true));
+  EXPECT_TRUE(config.GetBool("e", true));  // fallback on junk
+}
+
+TEST(ConfigTest, EnvironmentOverrides) {
+  Config config;
+  config.Set("eval.profile", "quick");
+  ::setenv("APOTS_EVAL_PROFILE", "paper", 1);
+  EXPECT_EQ(config.GetString("eval.profile", ""), "paper");
+  ::unsetenv("APOTS_EVAL_PROFILE");
+  EXPECT_EQ(config.GetString("eval.profile", ""), "quick");
+}
+
+TEST(ConfigTest, LaterKeysOverrideEarlier) {
+  auto result = Config::FromString("k = 1\nk = 2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().GetInt("k", 0), 2);
+}
+
+TEST(ConfigTest, KeysSortedAndToString) {
+  Config config;
+  config.Set("b", "2");
+  config.Set("a", "1");
+  EXPECT_EQ(config.Keys(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(config.ToString(), "a = 1\nb = 2\n");
+}
+
+}  // namespace
+}  // namespace apots

@@ -1,0 +1,101 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace apots::tensor {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.rank(), 0u);
+  EXPECT_EQ(t.size(), 0u);  // no storage until a shape is given
+}
+
+TEST(TensorTest, ShapeAndSize) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(2), 4u);
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({5, 5});
+  for (size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FromVector) {
+  Tensor t = Tensor::FromVector({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.rank(), 1u);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_FLOAT_EQ(t[1], 2.0f);
+}
+
+TEST(TensorTest, FromMatrixRowMajor) {
+  Tensor t = Tensor::FromMatrix(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(t.At(0, 2), 3.0f);
+  EXPECT_FLOAT_EQ(t.At(1, 0), 4.0f);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+}
+
+TEST(TensorTest, FullFillsValue) {
+  Tensor t = Tensor::Full({3}, 2.5f);
+  for (size_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(t[i], 2.5f);
+}
+
+TEST(TensorTest, FillOverwrites) {
+  Tensor t({4});
+  t.Fill(-1.0f);
+  EXPECT_FLOAT_EQ(t[3], -1.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromMatrix(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({3, 2});
+  EXPECT_EQ(r.rows(), 3u);
+  EXPECT_FLOAT_EQ(r.At(2, 1), 6.0f);
+  // Original untouched.
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TensorTest, At3Indexing) {
+  Tensor t({2, 3, 4});
+  t.At3(1, 2, 3) = 9.0f;
+  EXPECT_FLOAT_EQ(t[1 * 12 + 2 * 4 + 3], 9.0f);
+}
+
+TEST(TensorTest, SameShape) {
+  Tensor a({2, 3}), b({2, 3}), c({3, 2});
+  EXPECT_TRUE(a.SameShape(b));
+  EXPECT_FALSE(a.SameShape(c));
+}
+
+TEST(TensorTest, CopyIsDeep) {
+  Tensor a({2});
+  a[0] = 1.0f;
+  Tensor b = a;
+  b[0] = 5.0f;
+  EXPECT_FLOAT_EQ(a[0], 1.0f);
+}
+
+TEST(TensorTest, ShapeString) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.ShapeString(), "[2, 3]");
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t({100});
+  const std::string s = t.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(NumElementsTest, Products) {
+  EXPECT_EQ(NumElements({}), 1u);
+  EXPECT_EQ(NumElements({5}), 5u);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24u);
+  EXPECT_EQ(NumElements({0, 7}), 0u);
+}
+
+}  // namespace
+}  // namespace apots::tensor

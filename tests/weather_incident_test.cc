@@ -1,0 +1,151 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "traffic/incident.h"
+#include "traffic/weather.h"
+
+namespace apots::traffic {
+namespace {
+
+TEST(WeatherTest, DeterministicForSeed) {
+  WeatherGenerator a(WeatherParams(), 42);
+  WeatherGenerator b(WeatherParams(), 42);
+  const auto sa = a.Generate(7, 288);
+  const auto sb = b.Generate(7, 288);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].temperature_c, sb[i].temperature_c);
+    EXPECT_EQ(sa[i].precipitation_mm, sb[i].precipitation_mm);
+  }
+}
+
+TEST(WeatherTest, SampleCount) {
+  WeatherGenerator gen(WeatherParams(), 1);
+  EXPECT_EQ(gen.Generate(10, 288).size(), 2880u);
+  EXPECT_EQ(gen.Generate(1, 24).size(), 24u);
+}
+
+TEST(WeatherTest, PrecipitationNonNegative) {
+  WeatherGenerator gen(WeatherParams(), 2);
+  for (const auto& sample : gen.Generate(60, 288)) {
+    EXPECT_GE(sample.precipitation_mm, 0.0f);
+  }
+}
+
+TEST(WeatherTest, SeasonalCoolingTrend) {
+  WeatherParams params;
+  params.mean_temperature_start_c = 27.0;
+  params.mean_temperature_end_c = 13.0;
+  WeatherGenerator gen(params, 3);
+  const auto samples = gen.Generate(122, 288);
+  double first_week = 0.0, last_week = 0.0;
+  const size_t week = 7 * 288;
+  for (size_t i = 0; i < week; ++i) {
+    first_week += samples[i].temperature_c;
+    last_week += samples[samples.size() - week + i].temperature_c;
+  }
+  EXPECT_GT(first_week / week, last_week / week + 8.0);
+}
+
+TEST(WeatherTest, DiurnalCycleVisible) {
+  WeatherGenerator gen(WeatherParams(), 4);
+  const auto samples = gen.Generate(30, 288);
+  // 15:00 should be warmer than 05:00 on average.
+  double afternoon = 0.0, night = 0.0;
+  for (int day = 0; day < 30; ++day) {
+    afternoon += samples[day * 288 + 180].temperature_c;  // 15:00
+    night += samples[day * 288 + 60].temperature_c;       // 05:00
+  }
+  EXPECT_GT(afternoon, night + 30 * 3.0);
+}
+
+TEST(WeatherTest, RainHappensButNotAlways) {
+  WeatherGenerator gen(WeatherParams(), 5);
+  const auto samples = gen.Generate(122, 288);
+  size_t rainy = 0;
+  for (const auto& sample : samples) {
+    if (sample.precipitation_mm > 0.0f) ++rainy;
+  }
+  const double fraction = static_cast<double>(rainy) / samples.size();
+  EXPECT_GT(fraction, 0.005);
+  EXPECT_LT(fraction, 0.5);
+}
+
+TEST(IncidentTest, DeterministicForSeed) {
+  IncidentGenerator a(IncidentParams(), 7);
+  IncidentGenerator b(IncidentParams(), 7);
+  const auto la = a.Generate(5, 60, 288);
+  const auto lb = b.Generate(5, 60, 288);
+  ASSERT_EQ(la.size(), lb.size());
+  for (size_t i = 0; i < la.size(); ++i) {
+    EXPECT_EQ(la[i].start_interval, lb[i].start_interval);
+    EXPECT_EQ(la[i].road, lb[i].road);
+  }
+}
+
+TEST(IncidentTest, SortedByStart) {
+  IncidentGenerator gen(IncidentParams(), 8);
+  const auto log = gen.Generate(5, 122, 288);
+  for (size_t i = 1; i < log.size(); ++i) {
+    EXPECT_LE(log[i - 1].start_interval, log[i].start_interval);
+  }
+}
+
+TEST(IncidentTest, RatesRoughlyMatchParams) {
+  IncidentParams params;
+  params.accidents_per_road_per_day = 0.2;
+  params.constructions_per_road_per_day = 0.05;
+  IncidentGenerator gen(params, 9);
+  const auto log = gen.Generate(4, 200, 288);
+  size_t accidents = 0, constructions = 0;
+  for (const auto& inc : log) {
+    (inc.kind == IncidentKind::kAccident ? accidents : constructions)++;
+  }
+  EXPECT_NEAR(static_cast<double>(accidents), 0.2 * 4 * 200, 40.0);
+  EXPECT_NEAR(static_cast<double>(constructions), 0.05 * 4 * 200, 20.0);
+}
+
+TEST(IncidentTest, SeverityAndDurationWithinBounds) {
+  IncidentParams params;
+  IncidentGenerator gen(params, 10);
+  for (const auto& inc : gen.Generate(3, 122, 288)) {
+    EXPECT_GE(inc.severity, 0.0);
+    EXPECT_LT(inc.severity, 1.0);
+    EXPECT_GE(inc.duration, 1);
+    EXPECT_GE(inc.recovery, 1);
+    EXPECT_GE(inc.road, 0);
+    EXPECT_LT(inc.road, 3);
+  }
+}
+
+TEST(IncidentTest, ActiveFlagsCoverIncidentSpan) {
+  Incident inc;
+  inc.road = 1;
+  inc.start_interval = 10;
+  inc.duration = 4;
+  inc.recovery = 2;
+  const auto flags = IncidentGenerator::ActiveFlags({inc}, 3, 20);
+  ASSERT_EQ(flags.size(), 60u);
+  for (long t = 0; t < 20; ++t) {
+    const bool active = t >= 10 && t < 16;
+    EXPECT_EQ(flags[1 * 20 + t], active ? 1.0f : 0.0f) << t;
+    EXPECT_EQ(flags[0 * 20 + t], 0.0f);  // other roads untouched
+    EXPECT_EQ(flags[2 * 20 + t], 0.0f);
+  }
+}
+
+TEST(IncidentTest, ActiveFlagsClippedAtHorizon) {
+  Incident inc;
+  inc.road = 0;
+  inc.start_interval = 18;
+  inc.duration = 10;
+  inc.recovery = 10;
+  const auto flags = IncidentGenerator::ActiveFlags({inc}, 1, 20);
+  EXPECT_EQ(flags[17], 0.0f);
+  EXPECT_EQ(flags[18], 1.0f);
+  EXPECT_EQ(flags[19], 1.0f);
+}
+
+}  // namespace
+}  // namespace apots::traffic
