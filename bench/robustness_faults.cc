@@ -1,0 +1,188 @@
+// Robustness bench: accuracy vs. injected sensor-fault rate. Trains one
+// Hybrid model on clean data, then evaluates the same weights against
+// datasets corrupted at 0/5/15/30% with two arms per rate:
+//   raw      — corrupted speeds fed straight to the predictor
+//   repaired — LOCF+profile imputation plus historical-average fallback
+// Scoring always skips fault-fabricated targets. Emits an ASCII table and
+// bench_out/robustness_faults.json alongside the other BENCH_* artifacts.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/apots_model.h"
+#include "data/imputation.h"
+#include "eval/experiment.h"
+#include "eval/profile.h"
+#include "metrics/metrics.h"
+#include "traffic/fault_injector.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+struct BenchRow {
+  double rate = 0.0;
+  std::string arm;
+  double valid_ratio = 1.0;
+  apots::metrics::MetricSet metrics;
+  size_t fallbacks = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace apots;
+
+  std::filesystem::create_directories("bench_out");
+  eval::EvalProfile profile = eval::EvalProfile::FromEnv();
+  std::printf("=== Robustness: Hybrid accuracy vs. sensor-fault rate "
+              "(profile: %s) ===\n\n",
+              profile.LevelName().c_str());
+  eval::Experiment experiment(profile);
+
+  eval::ModelSpec spec;
+  spec.predictor = core::PredictorType::kHybrid;
+  spec.features = data::FeatureConfig::Both();
+  core::ApotsConfig config = experiment.MakeConfig(spec);
+  config.training.guard.enabled = true;
+
+  const traffic::TrafficDataset clean = experiment.dataset();
+  traffic::TrafficDataset train_view = clean;
+  core::ApotsModel model(&train_view, config);
+  std::printf("training %s on %zu anchors (%zu weights)...\n",
+              config.Tag().c_str(), experiment.train_anchors().size(),
+              model.NumWeights());
+  auto trained = model.TrainGuarded(experiment.train_anchors());
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 trained.status().ToString().c_str());
+    return 1;
+  }
+  if (trained.value().rollbacks > 0) {
+    std::printf("guard: %d rollback(s) during training\n",
+                trained.value().rollbacks);
+  }
+
+  const int target = model.assembler().target_road();
+  const int beta = model.assembler().beta();
+  const std::vector<long>& test = experiment.test_anchors();
+  std::vector<double> truths(test.size());
+  for (size_t i = 0; i < test.size(); ++i) {
+    truths[i] = clean.Speed(target, test[i] + beta);
+  }
+
+  std::vector<BenchRow> rows;
+  for (double rate : {0.0, 0.05, 0.15, 0.30}) {
+    traffic::TrafficDataset faulted = clean;
+    traffic::FaultSpec fault_spec;
+    fault_spec.rate = rate;
+    fault_spec.seed = 777;
+    auto mask_result = traffic::FaultInjector(fault_spec).Inject(&faulted);
+    if (!mask_result.ok()) {
+      std::fprintf(stderr, "injection failed: %s\n",
+                   mask_result.status().ToString().c_str());
+      return 1;
+    }
+    const traffic::ValidityMask mask = std::move(mask_result).value();
+    const std::vector<bool> observed =
+        metrics::ObservedTargetMask(mask, test, target, beta);
+
+    traffic::TrafficDataset repaired = faulted;
+    if (rate > 0.0) {
+      auto repair = data::ImputeSpeeds(&repaired, mask);
+      if (!repair.ok()) {
+        std::fprintf(stderr, "imputation failed: %s\n",
+                     repair.status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    for (const bool use_repair : {false, true}) {
+      core::ApotsConfig eval_config = config;
+      eval_config.fallback.enabled = use_repair;
+      traffic::TrafficDataset& bound = use_repair ? repaired : faulted;
+      core::ApotsModel eval_model(&bound, eval_config);
+      if (const Status st = eval_model.CopyWeightsFrom(model); !st.ok()) {
+        std::fprintf(stderr, "weight transfer failed: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+      if (use_repair) {
+        eval_model.SetValidityMask(&mask);
+        eval_model.FitFallback(experiment.train_anchors());
+      }
+      BenchRow row;
+      row.rate = rate;
+      row.arm = use_repair ? "repaired" : "raw";
+      row.valid_ratio = mask.ValidRatio();
+      row.metrics =
+          metrics::ComputeMasked(eval_model.PredictKmh(test), truths,
+                                 observed);
+      row.fallbacks = eval_model.last_fallback_count();
+      rows.push_back(row);
+    }
+  }
+
+  TablePrinter table({"fault rate", "arm", "valid", "MAE", "RMSE", "MAPE",
+                      "fallback", "scored"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& row = rows[i];
+    table.AddRow({StrFormat("%.0f%%", row.rate * 100.0), row.arm,
+                  StrFormat("%.1f%%", row.valid_ratio * 100.0),
+                  FormatMetric(row.metrics.mae),
+                  FormatMetric(row.metrics.rmse),
+                  StrFormat("%.2f%%", row.metrics.mape),
+                  StrFormat("%zu", row.fallbacks),
+                  StrFormat("%zu", row.metrics.count)});
+    if (i % 2 == 1 && i + 1 < rows.size()) table.AddSeparator();
+  }
+  table.Print();
+
+  // Acceptance check: imputation+fallback holds MAE within 25% of the
+  // clean-data MAE at a 15% fault rate.
+  double clean_mae = 0.0, repaired_mae_15 = 0.0;
+  for (const BenchRow& row : rows) {
+    if (row.rate == 0.0 && row.arm == "repaired") clean_mae = row.metrics.mae;
+    if (row.rate == 0.15 && row.arm == "repaired") {
+      repaired_mae_15 = row.metrics.mae;
+    }
+  }
+  const double degradation =
+      clean_mae > 0.0 ? (repaired_mae_15 - clean_mae) / clean_mae * 100.0
+                      : 0.0;
+  std::printf("\nrepaired MAE at 15%% faults: %.2f vs clean %.2f "
+              "(%+.1f%%; target <= +25%%) — %s\n",
+              repaired_mae_15, clean_mae, degradation,
+              degradation <= 25.0 ? "OK" : "FAIL");
+
+  std::FILE* json = std::fopen("bench_out/robustness_faults.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write bench_out/robustness_faults.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"robustness_faults\",\n"
+               "  \"profile\": \"%s\",\n  \"predictor\": \"H\",\n"
+               "  \"clean_mae\": %.4f,\n"
+               "  \"repaired_mae_15\": %.4f,\n"
+               "  \"degradation_pct_15\": %.2f,\n  \"rows\": [\n",
+               profile.LevelName().c_str(), clean_mae, repaired_mae_15,
+               degradation);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& row = rows[i];
+    std::fprintf(
+        json,
+        "    {\"fault_rate\": %.2f, \"arm\": \"%s\", \"valid_ratio\": "
+        "%.4f, \"mae\": %.4f, \"rmse\": %.4f, \"mape\": %.4f, "
+        "\"fallback_count\": %zu, \"scored\": %zu}%s\n",
+        row.rate, row.arm.c_str(), row.valid_ratio, row.metrics.mae,
+        row.metrics.rmse, row.metrics.mape, row.fallbacks,
+        row.metrics.count, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote bench_out/robustness_faults.json\n");
+  return degradation <= 25.0 ? 0 : 1;
+}

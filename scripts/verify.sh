@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Two-lane verification:
+#   lane 1 — tier-1: full Release build + complete ctest suite
+#   lane 2 — sanitized: ASan+UBSan build of the robustness-critical suites
+#            (fault injection / imputation and the training guard), which
+#            exercise the code paths that write through masks and restore
+#            checkpointed tensors.
+# Usage: scripts/verify.sh [--tier1-only | --asan-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+lane_tier1=1
+lane_asan=1
+case "${1:-}" in
+  --tier1-only) lane_asan=0 ;;
+  --asan-only) lane_tier1=0 ;;
+  "") ;;
+  *) echo "usage: $0 [--tier1-only | --asan-only]" >&2; exit 2 ;;
+esac
+
+if [[ ${lane_tier1} -eq 1 ]]; then
+  echo "=== lane 1: tier-1 (Release build + full ctest) ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j
+  ctest --test-dir build --output-on-failure -j "$(nproc)"
+fi
+
+if [[ ${lane_asan} -eq 1 ]]; then
+  echo "=== lane 2: ASan+UBSan (fault injector + train guard suites) ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPOTS_SANITIZE=ON
+  cmake --build build-asan -j --target fault_injector_test train_guard_test
+  ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
+    -R 'FaultInjector|FaultKinds|ValidityMask|Imputation|FeatureAssemblerMask|TrafficDatasetBounds|TrainGuard|GuardedTraining'
+fi
+
+echo "verify: all requested lanes passed"

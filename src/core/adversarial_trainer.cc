@@ -8,6 +8,7 @@
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/string_util.h"
 
 namespace apots::core {
 
@@ -234,6 +235,72 @@ EpochStats AdversarialTrainer::Train(const std::vector<long>& train_anchors) {
     }
   }
   return last;
+}
+
+std::vector<apots::nn::Parameter*> AdversarialTrainer::AllParameters() {
+  std::vector<apots::nn::Parameter*> params = predictor_->Parameters();
+  if (discriminator_ != nullptr) {
+    for (auto* p : discriminator_->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+Result<TrainReport> AdversarialTrainer::TrainGuarded(
+    const std::vector<long>& train_anchors) {
+  TrainReport report;
+  if (!config_.guard.enabled) {
+    report.last = Train(train_anchors);
+    report.epochs_completed = config_.epochs;
+    report.final_learning_rate = predictor_opt_.learning_rate();
+    return report;
+  }
+
+  TrainGuard guard(config_.guard);
+  guard.Snapshot(AllParameters());  // epoch-0 fallback: initial weights
+  int epoch = 0;
+  while (epoch < config_.epochs) {
+    const EpochStats stats = RunEpoch(train_anchors);
+    const GuardVerdict verdict = guard.Inspect(stats, config_.adversarial);
+    if (verdict == GuardVerdict::kHealthy) {
+      guard.Snapshot(AllParameters());
+      report.last = stats;
+      ++report.epochs_completed;
+      ++epoch;
+      if (config_.verbose) {
+        APOTS_LOG(Info) << "epoch " << epoch << "/" << config_.epochs
+                        << " mse=" << stats.mse_loss << " adv_p="
+                        << stats.adv_loss_p << " d=" << stats.loss_d;
+      }
+      continue;
+    }
+    if (!guard.RetryBudgetLeft()) {
+      // Out of retries: leave the model at its last good weights rather
+      // than the diverged ones, and report the truncated run.
+      APOTS_RETURN_IF_ERROR(guard.RestoreCheckpoint(AllParameters()));
+      report.stopped_early = true;
+      report.incidents.push_back(StrFormat(
+          "epoch %d: %s, retry budget exhausted — stopping at last good "
+          "checkpoint",
+          epoch + 1, GuardVerdictName(verdict)));
+      APOTS_LOG(Warning) << report.incidents.back();
+      break;
+    }
+    APOTS_RETURN_IF_ERROR(guard.Rollback(AllParameters()));
+    const float p_lr =
+        predictor_opt_.learning_rate() * config_.guard.lr_backoff;
+    predictor_opt_.set_learning_rate(p_lr);
+    predictor_opt_.ResetState();
+    discriminator_opt_.set_learning_rate(discriminator_opt_.learning_rate() *
+                                         config_.guard.lr_backoff);
+    discriminator_opt_.ResetState();
+    ++report.rollbacks;
+    report.incidents.push_back(
+        StrFormat("epoch %d: %s, rolled back, lr -> %g", epoch + 1,
+                  GuardVerdictName(verdict), static_cast<double>(p_lr)));
+    APOTS_LOG(Warning) << report.incidents.back();
+  }
+  report.final_learning_rate = predictor_opt_.learning_rate();
+  return report;
 }
 
 Tensor AdversarialTrainer::Predict(const std::vector<long>& anchors) {

@@ -6,9 +6,11 @@
 
 #include "core/discriminator.h"
 #include "core/predictor.h"
+#include "core/train_guard.h"
 #include "data/features.h"
 #include "nn/optimizer.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace apots::core {
 
@@ -44,6 +46,9 @@ struct TrainConfig {
   double grad_clip = 5.0;
   uint64_t seed = 1;
   bool verbose = false;
+  /// Self-healing watchdog (NaN/explosion/collapse detection with
+  /// checkpoint rollback). Off by default; see TrainGuarded.
+  GuardConfig guard;
 };
 
 /// Per-epoch diagnostics.
@@ -54,6 +59,19 @@ struct EpochStats {
   double d_real_accuracy = 0.0; ///< fraction of real sequences D got right
   double d_fake_accuracy = 0.0; ///< fraction of fake sequences D got right
   double seconds = 0.0;
+};
+
+/// Outcome of a guarded training run (see TrainGuarded).
+struct TrainReport {
+  EpochStats last;            ///< stats of the last healthy epoch
+  int epochs_completed = 0;   ///< healthy epochs finished
+  int rollbacks = 0;          ///< checkpoint restores performed
+  /// True when the retry budget ran out and training stopped early at the
+  /// last good checkpoint instead of finishing all epochs.
+  bool stopped_early = false;
+  float final_learning_rate = 0.0f;
+  /// One line per divergence, e.g. "epoch 4: LossExplosion, lr -> 0.0002".
+  std::vector<std::string> incidents;
 };
 
 /// Orchestrates APOTS training: minimizes J_P (Eq. 1 / Eq. 4) over the
@@ -75,6 +93,16 @@ class AdversarialTrainer {
   /// Runs `config.epochs` epochs; returns the last epoch's stats.
   EpochStats Train(const std::vector<long>& train_anchors);
 
+  /// Like Train, but supervised by a TrainGuard when `config.guard.enabled`:
+  /// the guard snapshots predictor+discriminator weights after every
+  /// healthy epoch; on NaN/Inf losses, loss explosion, or discriminator
+  /// collapse it rolls back to the last good checkpoint, backs off both
+  /// learning rates, resets optimizer state, and retries the epoch within
+  /// a bounded budget. When the budget runs out the model is left at its
+  /// last good checkpoint and the report says so — structural failures
+  /// (e.g. checkpoint/model mismatch) come back as an error Status.
+  Result<TrainReport> TrainGuarded(const std::vector<long>& train_anchors);
+
   /// Predictions for `anchors` as a [N, 1] tensor (scaled space).
   Tensor Predict(const std::vector<long>& anchors);
 
@@ -90,6 +118,10 @@ class AdversarialTrainer {
   const TrainConfig& config() const { return config_; }
 
  private:
+  /// All trainable parameters in checkpoint order: predictor first, then
+  /// discriminator (when present).
+  std::vector<apots::nn::Parameter*> AllParameters();
+
   /// One MSE minibatch step; returns the batch loss.
   double MseStep(const std::vector<long>& batch);
 

@@ -1,6 +1,7 @@
 #include "core/apots_model.h"
 
 #include "nn/serialize.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace apots::core {
@@ -44,7 +45,41 @@ ApotsModel::ApotsModel(const TrafficDataset* dataset, ApotsConfig config)
 }
 
 EpochStats ApotsModel::Train(const std::vector<long>& train_anchors) {
+  FitFallback(train_anchors);
   return trainer_->Train(train_anchors);
+}
+
+Result<TrainReport> ApotsModel::TrainGuarded(
+    const std::vector<long>& train_anchors) {
+  FitFallback(train_anchors);
+  return trainer_->TrainGuarded(train_anchors);
+}
+
+void ApotsModel::SetValidityMask(const apots::traffic::ValidityMask* mask) {
+  assembler_.SetValidityMask(mask);
+}
+
+void ApotsModel::FitFallback(const std::vector<long>& train_anchors) {
+  if (!config_.fallback.enabled) return;
+  // Fit on the train anchors' observed prediction instants so the profile
+  // never learns from fault-fabricated values.
+  std::vector<long> intervals;
+  intervals.reserve(train_anchors.size());
+  for (long anchor : train_anchors) {
+    const long t = anchor + assembler_.beta();
+    if (assembler_.TargetObserved(anchor)) intervals.push_back(t);
+  }
+  if (intervals.empty()) {
+    APOTS_LOG(Warning)
+        << "fallback enabled but no observed train targets; fallback stays "
+           "unfitted and predictions always use the predictor";
+    return;
+  }
+  const Status status =
+      fallback_model_.Fit(*dataset_, assembler_.target_road(), intervals);
+  if (!status.ok()) {
+    APOTS_LOG(Warning) << "fallback fit failed: " << status.ToString();
+  }
 }
 
 std::vector<double> ApotsModel::PredictKmh(const std::vector<long>& anchors) {
@@ -53,7 +88,48 @@ std::vector<double> ApotsModel::PredictKmh(const std::vector<long>& anchors) {
   for (size_t i = 0; i < anchors.size(); ++i) {
     out[i] = assembler_.UnscaleSpeed(scaled[i]);
   }
+  last_fallback_count_ = 0;
+  if (config_.fallback.enabled && fallback_model_.fitted() &&
+      assembler_.validity_mask() != nullptr) {
+    for (size_t i = 0; i < anchors.size(); ++i) {
+      if (assembler_.WindowValidityRatio(anchors[i]) <
+          config_.fallback.min_validity_ratio) {
+        out[i] = fallback_model_.Predict(*dataset_,
+                                         anchors[i] + assembler_.beta());
+        ++last_fallback_count_;
+      }
+    }
+  }
   return out;
+}
+
+Status ApotsModel::CopyWeightsFrom(ApotsModel& other) {
+  std::vector<apots::nn::Parameter*> dst = predictor_->Parameters();
+  std::vector<apots::nn::Parameter*> src = other.predictor_->Parameters();
+  if (discriminator_ != nullptr && other.discriminator_ != nullptr) {
+    for (auto* p : discriminator_->Parameters()) dst.push_back(p);
+    for (auto* p : other.discriminator_->Parameters()) src.push_back(p);
+  } else if ((discriminator_ == nullptr) != (other.discriminator_ == nullptr)) {
+    return Status::InvalidArgument(
+        "CopyWeightsFrom: one model has a discriminator, the other not");
+  }
+  if (dst.size() != src.size()) {
+    return Status::InvalidArgument(
+        StrFormat("CopyWeightsFrom: %zu vs %zu parameters", dst.size(),
+                  src.size()));
+  }
+  for (size_t i = 0; i < dst.size(); ++i) {
+    if (dst[i]->name != src[i]->name ||
+        !dst[i]->value.SameShape(src[i]->value)) {
+      return Status::InvalidArgument(
+          StrFormat("CopyWeightsFrom: parameter %zu mismatch ('%s' vs '%s')",
+                    i, dst[i]->name.c_str(), src[i]->name.c_str()));
+    }
+  }
+  for (size_t i = 0; i < dst.size(); ++i) {
+    dst[i]->value = src[i]->value;
+  }
+  return Status::Ok();
 }
 
 std::vector<double> ApotsModel::TrueKmh(

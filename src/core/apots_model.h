@@ -5,10 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "baseline/historical_average.h"
 #include "core/adversarial_trainer.h"
 #include "core/discriminator.h"
 #include "core/predictor.h"
 #include "data/features.h"
+#include "traffic/fault_injector.h"
 #include "traffic/traffic_dataset.h"
 #include "util/status.h"
 
@@ -17,11 +19,22 @@ namespace apots::core {
 /// Everything needed to instantiate one APOTS configuration: a predictor
 /// family (F/L/C/H), whether adversarial training is on, and which input
 /// blocks are active — one cell of the paper's Table III grid.
+/// Graceful degradation under sensor faults: when the fraction of
+/// actually-observed cells in a window drops below the threshold, the
+/// neural prediction is replaced by the historical-average baseline —
+/// a mostly-imputed window carries too little signal for the predictor
+/// but the time-of-day profile stays trustworthy.
+struct FallbackConfig {
+  bool enabled = false;
+  double min_validity_ratio = 0.6;
+};
+
 struct ApotsConfig {
   PredictorHparams predictor;
   DiscriminatorHparams discriminator;
   apots::data::FeatureConfig features;
   TrainConfig training;
+  FallbackConfig fallback;
   uint64_t seed = 42;
 
   /// Short tag like "APOTS H" / "H" / "Adv F" used in reports.
@@ -49,8 +62,33 @@ class ApotsModel {
   /// Runs the configured number of epochs; returns the final epoch stats.
   EpochStats Train(const std::vector<long>& train_anchors);
 
-  /// Predicted speeds in km/h for the anchors' prediction instants.
+  /// Guarded training (see AdversarialTrainer::TrainGuarded): detects
+  /// divergence, rolls back to the last good epoch checkpoint, and retries
+  /// with learning-rate backoff within a bounded budget.
+  Result<TrainReport> TrainGuarded(const std::vector<long>& train_anchors);
+
+  /// Attaches the sensor-validity mask (borrowed; null detaches). Enables
+  /// WindowValidityRatio-based fallback and observed-target evaluation.
+  void SetValidityMask(const apots::traffic::ValidityMask* mask);
+
+  /// Predicted speeds in km/h for the anchors' prediction instants. When
+  /// `config().fallback.enabled` and a validity mask is attached, anchors
+  /// whose window validity falls below the threshold are answered by the
+  /// historical-average baseline instead of the predictor.
   std::vector<double> PredictKmh(const std::vector<long>& anchors);
+
+  /// How many of the last PredictKmh anchors used the fallback.
+  size_t last_fallback_count() const { return last_fallback_count_; }
+
+  /// Copies every trainable weight from `other`, which must have an
+  /// identical architecture. Used to evaluate trained weights against a
+  /// different (e.g. fault-corrupted) dataset binding.
+  Status CopyWeightsFrom(ApotsModel& other);
+
+  /// Fits the fallback baseline on the train anchors' observed targets.
+  /// Train/TrainGuarded call this automatically; call it directly only
+  /// when weights arrived via CopyWeightsFrom/Load instead of training.
+  void FitFallback(const std::vector<long>& train_anchors);
 
   /// Ground-truth speeds in km/h at the anchors' prediction instants.
   std::vector<double> TrueKmh(const std::vector<long>& anchors) const;
@@ -74,6 +112,8 @@ class ApotsModel {
   std::unique_ptr<Predictor> predictor_;
   std::unique_ptr<Discriminator> discriminator_;
   std::unique_ptr<AdversarialTrainer> trainer_;
+  apots::baseline::HistoricalAverage fallback_model_;
+  size_t last_fallback_count_ = 0;
 };
 
 }  // namespace apots::core

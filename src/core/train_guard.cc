@@ -1,0 +1,101 @@
+#include "core/train_guard.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/adversarial_trainer.h"
+#include "util/string_util.h"
+
+namespace apots::core {
+
+const char* GuardVerdictName(GuardVerdict verdict) {
+  switch (verdict) {
+    case GuardVerdict::kHealthy:
+      return "Healthy";
+    case GuardVerdict::kNonFiniteLoss:
+      return "NonFiniteLoss";
+    case GuardVerdict::kLossExplosion:
+      return "LossExplosion";
+    case GuardVerdict::kDiscriminatorCollapse:
+      return "DiscriminatorCollapse";
+  }
+  return "Unknown";
+}
+
+void TrainGuard::Snapshot(const std::vector<apots::nn::Parameter*>& params) {
+  checkpoint_.clear();
+  checkpoint_.reserve(params.size());
+  for (const apots::nn::Parameter* p : params) {
+    checkpoint_.push_back({p->name, p->value});
+  }
+}
+
+GuardVerdict TrainGuard::Inspect(const EpochStats& stats, bool adversarial) {
+  if (!std::isfinite(stats.mse_loss) || !std::isfinite(stats.adv_loss_p) ||
+      !std::isfinite(stats.loss_d)) {
+    return GuardVerdict::kNonFiniteLoss;
+  }
+  const double reference =
+      best_mse_ < 0.0 ? config_.absolute_loss_ceiling / config_.explosion_factor
+                      : std::max(best_mse_, config_.min_reference_loss);
+  if (stats.mse_loss > config_.explosion_factor * reference) {
+    return GuardVerdict::kLossExplosion;
+  }
+  if (adversarial) {
+    const bool pinned = stats.d_fake_accuracy <= config_.collapse_margin ||
+                        stats.d_fake_accuracy >= 1.0 - config_.collapse_margin;
+    collapse_streak_ = pinned ? collapse_streak_ + 1 : 0;
+    if (collapse_streak_ >= config_.collapse_patience) {
+      collapse_streak_ = 0;
+      return GuardVerdict::kDiscriminatorCollapse;
+    }
+  }
+  best_mse_ = best_mse_ < 0.0 ? stats.mse_loss
+                              : std::min(best_mse_, stats.mse_loss);
+  return GuardVerdict::kHealthy;
+}
+
+Status TrainGuard::RestoreCheckpoint(
+    const std::vector<apots::nn::Parameter*>& params) const {
+  if (checkpoint_.empty()) {
+    return Status::FailedPrecondition("no checkpoint to restore");
+  }
+  if (params.size() != checkpoint_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint holds %zu parameters, model has %zu",
+                  checkpoint_.size(), params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (params[i]->name != checkpoint_[i].name ||
+        !params[i]->value.SameShape(checkpoint_[i].value)) {
+      return Status::InvalidArgument(
+          StrFormat("parameter %zu mismatch: checkpoint '%s' %s vs model "
+                    "'%s' %s",
+                    i, checkpoint_[i].name.c_str(),
+                    checkpoint_[i].value.ShapeString().c_str(),
+                    params[i]->name.c_str(),
+                    params[i]->value.ShapeString().c_str()));
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = checkpoint_[i].value;
+    params[i]->ZeroGrad();
+  }
+  return Status::Ok();
+}
+
+Status TrainGuard::Rollback(const std::vector<apots::nn::Parameter*>& params) {
+  if (!RetryBudgetLeft()) {
+    return Status::FailedPrecondition(
+        StrFormat("retry budget of %d rollbacks exhausted",
+                  config_.max_rollbacks));
+  }
+  APOTS_RETURN_IF_ERROR(RestoreCheckpoint(params));
+  ++rollbacks_;
+  // The explosion reference and collapse streak describe the diverged
+  // trajectory; start fresh from the restored weights.
+  collapse_streak_ = 0;
+  return Status::Ok();
+}
+
+}  // namespace apots::core

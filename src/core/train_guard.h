@@ -1,0 +1,98 @@
+#ifndef APOTS_CORE_TRAIN_GUARD_H_
+#define APOTS_CORE_TRAIN_GUARD_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace apots::core {
+
+struct EpochStats;  // adversarial_trainer.h
+
+/// What the watchdog concluded about one epoch.
+enum class GuardVerdict {
+  kHealthy,
+  kNonFiniteLoss,           ///< NaN/Inf in any tracked loss
+  kLossExplosion,           ///< MSE far above the best epoch so far
+  kDiscriminatorCollapse,   ///< d_fake_accuracy pinned at 0 or 1
+};
+
+const char* GuardVerdictName(GuardVerdict verdict);
+
+/// Watchdog thresholds. GAN-style training of the APOTS kind (Eq. 1/2)
+/// diverges silently; the guard's job is to detect it the epoch it happens
+/// and roll the run back instead of poisoning every downstream metric.
+struct GuardConfig {
+  bool enabled = false;
+  /// Epoch MSE above `explosion_factor` x the best epoch so far counts as
+  /// an explosion.
+  double explosion_factor = 25.0;
+  /// Scale floor for the explosion reference, so one near-zero early
+  /// epoch does not make every later epoch look explosive.
+  double min_reference_loss = 1e-4;
+  /// First-epoch ceiling: scaled speeds live in [0, 1], so an honest MSE
+  /// cannot legitimately reach this.
+  double absolute_loss_ceiling = 100.0;
+  /// d_fake_accuracy within `collapse_margin` of 0 or 1 for
+  /// `collapse_patience` consecutive epochs counts as collapse.
+  double collapse_margin = 0.01;
+  int collapse_patience = 3;
+  /// Rollbacks allowed before the guard gives up and restores the last
+  /// good checkpoint for the final time.
+  int max_rollbacks = 3;
+  /// Multiplier applied to both learning rates on every rollback.
+  float lr_backoff = 0.1f;
+};
+
+/// Epoch-granular checkpoint + divergence detector for AdversarialTrainer.
+/// Usage: Snapshot() after every healthy epoch, Inspect() each epoch's
+/// stats, Rollback() into the live parameters when Inspect reports a
+/// divergence. All fallible paths report Status instead of aborting.
+class TrainGuard {
+ public:
+  explicit TrainGuard(GuardConfig config) : config_(config) {}
+
+  const GuardConfig& config() const { return config_; }
+
+  /// Deep-copies the current parameter values as the last good checkpoint.
+  void Snapshot(const std::vector<apots::nn::Parameter*>& params);
+
+  bool has_snapshot() const { return !checkpoint_.empty(); }
+
+  /// Classifies one epoch. `adversarial` gates the collapse check (plain
+  /// MSE runs have no discriminator). Healthy epochs advance the
+  /// explosion reference.
+  GuardVerdict Inspect(const EpochStats& stats, bool adversarial);
+
+  /// Restores the checkpoint into `params` and consumes one retry.
+  /// Fails with FailedPrecondition when no snapshot exists or the retry
+  /// budget is already exhausted, and with InvalidArgument when `params`
+  /// does not match the checkpointed names/shapes.
+  Status Rollback(const std::vector<apots::nn::Parameter*>& params);
+
+  /// Restores the checkpoint without consuming a retry — the "give up but
+  /// leave the model in its last good state" path.
+  Status RestoreCheckpoint(
+      const std::vector<apots::nn::Parameter*>& params) const;
+
+  int rollbacks() const { return rollbacks_; }
+  bool RetryBudgetLeft() const { return rollbacks_ < config_.max_rollbacks; }
+
+ private:
+  struct Entry {
+    std::string name;
+    apots::tensor::Tensor value;
+  };
+
+  GuardConfig config_;
+  std::vector<Entry> checkpoint_;
+  double best_mse_ = -1.0;  ///< best healthy epoch MSE; < 0 = none yet
+  int collapse_streak_ = 0;
+  int rollbacks_ = 0;
+};
+
+}  // namespace apots::core
+
+#endif  // APOTS_CORE_TRAIN_GUARD_H_

@@ -188,6 +188,46 @@ Tensor FeatureAssembler::BatchRealSequences(
   return batch;
 }
 
+void FeatureAssembler::SetValidityMask(
+    const apots::traffic::ValidityMask* mask) {
+  if (mask != nullptr) {
+    APOTS_CHECK_EQ(mask->num_roads(), dataset_->num_roads());
+    APOTS_CHECK_EQ(mask->num_intervals(), dataset_->num_intervals());
+  }
+  validity_mask_ = mask;
+}
+
+double FeatureAssembler::WindowValidityRatio(long anchor) const {
+  if (validity_mask_ == nullptr) return 1.0;
+  const int alpha = config_.alpha;
+  APOTS_CHECK_GE(anchor - alpha, 0);
+  const int m = config_.use_adjacent ? config_.num_adjacent : 0;
+  long valid = 0, total = 0;
+  for (int offset = -m; offset <= m; ++offset) {
+    const int road = target_road_ + offset;
+    for (int i = 0; i < alpha; ++i) {
+      valid += validity_mask_->Valid(road, anchor - alpha + i) ? 1 : 0;
+      ++total;
+    }
+  }
+  return static_cast<double>(valid) / static_cast<double>(total);
+}
+
+bool FeatureAssembler::TargetObserved(long anchor) const {
+  if (validity_mask_ == nullptr) return true;
+  APOTS_CHECK_LT(anchor + config_.beta, dataset_->num_intervals());
+  return validity_mask_->Valid(target_road_, anchor + config_.beta);
+}
+
+std::vector<bool> FeatureAssembler::ObservedTargetMask(
+    const std::vector<long>& anchors) const {
+  std::vector<bool> mask(anchors.size());
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    mask[i] = TargetObserved(anchors[i]);
+  }
+  return mask;
+}
+
 Tensor FeatureAssembler::BatchContext(
     const std::vector<long>& anchors) const {
   const size_t rows = static_cast<size_t>(NumRows());

@@ -5,6 +5,7 @@
 
 #include "data/scaler.h"
 #include "tensor/tensor.h"
+#include "traffic/fault_injector.h"
 #include "traffic/traffic_dataset.h"
 
 namespace apots::data {
@@ -98,6 +99,28 @@ class FeatureAssembler {
   /// the paper discusses in Section III-A. Shape [N, NumRows * alpha].
   apots::tensor::Tensor BatchContext(const std::vector<long>& anchors) const;
 
+  /// Attaches a sensor-validity mask (borrowed, may be null to detach).
+  /// The mask does not change sample layout — imputation has already
+  /// repaired the stored values — but it powers the two queries below.
+  void SetValidityMask(const apots::traffic::ValidityMask* mask);
+  const apots::traffic::ValidityMask* validity_mask() const {
+    return validity_mask_;
+  }
+
+  /// Fraction of actually-observed cells among the speed rows feeding
+  /// `anchor`'s input window (target road, plus adjacent roads when
+  /// enabled). 1.0 without a mask.
+  double WindowValidityRatio(long anchor) const;
+
+  /// True when the ground truth s_{t+beta} at `anchor` was observed (not
+  /// fabricated by a fault) — evaluation must skip anchors where this is
+  /// false. True without a mask.
+  bool TargetObserved(long anchor) const;
+
+  /// Per-anchor TargetObserved vector, shaped for metrics::ComputeMasked.
+  std::vector<bool> ObservedTargetMask(
+      const std::vector<long>& anchors) const;
+
   /// Scaled speed <-> km/h conversions for reporting.
   float ScaleSpeed(float kmh) const { return speed_scaler_.Transform(kmh); }
   float UnscaleSpeed(float scaled) const {
@@ -108,6 +131,7 @@ class FeatureAssembler {
 
  private:
   const apots::traffic::TrafficDataset* dataset_;  // not owned
+  const apots::traffic::ValidityMask* validity_mask_ = nullptr;  // not owned
   FeatureConfig config_;
   int target_road_;
   MinMaxScaler speed_scaler_;

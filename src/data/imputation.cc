@@ -1,0 +1,141 @@
+#include "data/imputation.h"
+
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace apots::data {
+
+using apots::traffic::DayInfo;
+using apots::traffic::TrafficDataset;
+using apots::traffic::ValidityMask;
+
+namespace {
+
+int DayKind(const DayInfo& day) {
+  return (day.is_weekend || day.is_holiday) ? 1 : 0;
+}
+
+// Time-of-day x day-kind mean speed of one road over its valid cells.
+class RoadProfile {
+ public:
+  RoadProfile(const TrafficDataset& dataset, const ValidityMask& mask,
+              int road)
+      : intervals_per_day_(dataset.intervals_per_day()) {
+    sum_.assign(2 * static_cast<size_t>(intervals_per_day_), 0.0);
+    count_.assign(2 * static_cast<size_t>(intervals_per_day_), 0);
+    for (long t = 0; t < dataset.num_intervals(); ++t) {
+      if (!mask.Valid(road, t)) continue;
+      const size_t idx = Index(dataset, t);
+      sum_[idx] += dataset.Speed(road, t);
+      ++count_[idx];
+      road_sum_ += dataset.Speed(road, t);
+      ++road_count_;
+    }
+  }
+
+  bool HasBucket(const TrafficDataset& dataset, long t) const {
+    return count_[Index(dataset, t)] > 0;
+  }
+  float Bucket(const TrafficDataset& dataset, long t) const {
+    const size_t idx = Index(dataset, t);
+    return static_cast<float>(sum_[idx] / count_[idx]);
+  }
+  long road_count() const { return road_count_; }
+  double road_sum() const { return road_sum_; }
+  float RoadMean() const {
+    return static_cast<float>(road_sum_ / road_count_);
+  }
+
+ private:
+  size_t Index(const TrafficDataset& dataset, long t) const {
+    const int slot = static_cast<int>(t % intervals_per_day_);
+    return static_cast<size_t>(DayKind(dataset.Day(t))) * intervals_per_day_ +
+           slot;
+  }
+
+  int intervals_per_day_;
+  std::vector<double> sum_;
+  std::vector<long> count_;
+  double road_sum_ = 0.0;
+  long road_count_ = 0;
+};
+
+}  // namespace
+
+Result<ImputationReport> ImputeSpeeds(TrafficDataset* dataset,
+                                      const ValidityMask& mask,
+                                      const ImputationConfig& config) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("ImputeSpeeds: dataset is null");
+  }
+  if (mask.num_roads() != dataset->num_roads() ||
+      mask.num_intervals() != dataset->num_intervals()) {
+    return Status::InvalidArgument(StrFormat(
+        "mask shape [%d x %ld] does not match dataset [%d x %ld]",
+        mask.num_roads(), mask.num_intervals(), dataset->num_roads(),
+        dataset->num_intervals()));
+  }
+  if (config.locf_max_gap < 0) {
+    return Status::InvalidArgument("locf_max_gap must be >= 0");
+  }
+
+  const int roads = dataset->num_roads();
+  const long intervals = dataset->num_intervals();
+
+  std::vector<RoadProfile> profiles;
+  profiles.reserve(static_cast<size_t>(roads));
+  double global_sum = 0.0;
+  long global_count = 0;
+  for (int road = 0; road < roads; ++road) {
+    profiles.emplace_back(*dataset, mask, road);
+    global_sum += profiles.back().road_sum();
+    global_count += profiles.back().road_count();
+  }
+  if (global_count == 0) {
+    return Status::FailedPrecondition(
+        "every cell is invalid; nothing to impute from");
+  }
+  const float global_mean = static_cast<float>(global_sum / global_count);
+
+  ImputationReport report;
+  for (int road = 0; road < roads; ++road) {
+    const RoadProfile& profile = profiles[static_cast<size_t>(road)];
+    long t = 0;
+    while (t < intervals) {
+      if (mask.Valid(road, t)) {
+        ++t;
+        continue;
+      }
+      // Maximal invalid run [start, end).
+      const long start = t;
+      while (t < intervals && !mask.Valid(road, t)) ++t;
+      const long end = t;
+      const long length = end - start;
+      report.cells_invalid += length;
+      if (length <= config.locf_max_gap && start > 0) {
+        const float carried = dataset->Speed(road, start - 1);
+        for (long i = start; i < end; ++i) {
+          dataset->SetSpeed(road, i, carried);
+        }
+        report.locf_filled += length;
+        continue;
+      }
+      for (long i = start; i < end; ++i) {
+        if (profile.HasBucket(*dataset, i)) {
+          dataset->SetSpeed(road, i, profile.Bucket(*dataset, i));
+          ++report.profile_filled;
+        } else if (profile.road_count() > 0) {
+          dataset->SetSpeed(road, i, profile.RoadMean());
+          ++report.mean_filled;
+        } else {
+          dataset->SetSpeed(road, i, global_mean);
+          ++report.mean_filled;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace apots::data

@@ -1,0 +1,39 @@
+#ifndef APOTS_DATA_IMPUTATION_H_
+#define APOTS_DATA_IMPUTATION_H_
+
+#include "traffic/fault_injector.h"
+#include "traffic/traffic_dataset.h"
+#include "util/status.h"
+
+namespace apots::data {
+
+/// Gap-repair policy. Short gaps are filled by last-observation-carry-
+/// forward (traffic speed is strongly autocorrelated over minutes); longer
+/// gaps fall back to the historical time-of-day / day-kind profile built
+/// from the valid cells of the same road.
+struct ImputationConfig {
+  /// Maximal gap length (in intervals) repaired by LOCF; longer gaps use
+  /// the historical profile. 6 = 30 minutes at 5-minute resolution.
+  int locf_max_gap = 6;
+};
+
+/// What the repair pass did, for logging and tests.
+struct ImputationReport {
+  long cells_invalid = 0;   ///< invalid cells seen
+  long locf_filled = 0;     ///< filled by carry-forward
+  long profile_filled = 0;  ///< filled by historical profile
+  long mean_filled = 0;     ///< filled by road/global mean (empty profile)
+};
+
+/// Repairs every invalid speed cell of `dataset` in place. The mask is not
+/// modified: repaired cells stay invalid so evaluation keeps skipping
+/// fabricated ground truth. Fails (rather than aborting) when the mask
+/// shape does not match the dataset or no valid cell exists to impute from.
+Result<ImputationReport> ImputeSpeeds(
+    apots::traffic::TrafficDataset* dataset,
+    const apots::traffic::ValidityMask& mask,
+    const ImputationConfig& config = ImputationConfig());
+
+}  // namespace apots::data
+
+#endif  // APOTS_DATA_IMPUTATION_H_

@@ -43,6 +43,16 @@ MetricSet ComputeMasked(const std::vector<double>& predictions,
   return out;
 }
 
+std::vector<bool> ObservedTargetMask(
+    const apots::traffic::ValidityMask& validity,
+    const std::vector<long>& anchors, int road, int beta) {
+  std::vector<bool> mask(anchors.size());
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    mask[i] = validity.Valid(road, anchors[i] + beta);
+  }
+  return mask;
+}
+
 double GainPercent(double error_new, double error_baseline) {
   if (error_baseline == 0.0) return 0.0;
   return (error_baseline - error_new) / error_baseline * 100.0;

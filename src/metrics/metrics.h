@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "traffic/fault_injector.h"
+
 namespace apots::metrics {
 
 /// The paper's three accuracy metrics over a set of (prediction, truth)
@@ -31,6 +33,13 @@ MetricSet ComputeMasked(const std::vector<double>& predictions,
                         const std::vector<double>& truths,
                         const std::vector<bool>& mask,
                         double mape_floor_kmh = 1.0);
+
+/// Per-anchor "ground truth was observed" mask: element i is true when
+/// `validity` marks (road, anchors[i] + beta) as observed. Feed the result
+/// to ComputeMasked so fault-fabricated targets never score as truth.
+std::vector<bool> ObservedTargetMask(
+    const apots::traffic::ValidityMask& validity,
+    const std::vector<long>& anchors, int road, int beta);
 
 /// Gain of `a` over baseline `b` per the paper's Eq. 9:
 /// (E_a - E_b) / E_b * 100, reported as a positive improvement when the

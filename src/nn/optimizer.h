@@ -24,6 +24,11 @@ class Optimizer {
   /// Step followed by ZeroAllGrads.
   void StepAndZero(const std::vector<Parameter*>& params);
 
+  /// Discards accumulated optimizer state (moments/velocity). Used when
+  /// training rolls back to a checkpoint: stale moments describe the
+  /// diverged trajectory, not the restored weights.
+  virtual void ResetState() {}
+
   float learning_rate() const { return learning_rate_; }
   void set_learning_rate(float lr) { learning_rate_ = lr; }
 
@@ -39,6 +44,7 @@ class Sgd : public Optimizer {
   explicit Sgd(float learning_rate, float momentum = 0.0f);
 
   void Step(const std::vector<Parameter*>& params) override;
+  void ResetState() override { velocity_.clear(); }
 
  private:
   float momentum_;
@@ -53,6 +59,10 @@ class Adam : public Optimizer {
                 float epsilon = 1e-8f);
 
   void Step(const std::vector<Parameter*>& params) override;
+  void ResetState() override {
+    moments_.clear();
+    step_count_ = 0;
+  }
 
  private:
   struct Moments {

@@ -8,9 +8,17 @@
 //   apots_cli evaluate --data dataset.csv --model out.bin
 //                      [--predictor F|L|C|H] [--adversarial 0|1]
 //                      [--divisor N]
+//   apots_cli robustness --data dataset.csv | --days N --roads N
+//                      [--rates 0,0.05,0.15,0.3] [--predictor F|L|C|H]
+//                      [--epochs N] [--divisor N] [--fault-seed S]
+//                      [--fault-kinds drop,stuck,noise,outage]
 //
 // `train` fits on the day-blocked 80% split and reports test metrics;
-// `evaluate` reloads saved weights and reproduces them.
+// `evaluate` reloads saved weights and reproduces them. All three data
+// commands accept --fault-rate/--fault-seed/--fault-kinds to corrupt the
+// loaded dataset with sensor faults (then repair it by imputation) before
+// training or evaluating; `robustness` sweeps the fault rate and prints an
+// accuracy-vs-fault-rate table.
 
 #include <cstdio>
 #include <cstring>
@@ -18,12 +26,15 @@
 #include <string>
 
 #include "core/apots_model.h"
+#include "data/imputation.h"
 #include "data/windowing.h"
 #include "eval/experiment.h"
 #include "metrics/metrics.h"
 #include "traffic/dataset_generator.h"
+#include "traffic/fault_injector.h"
 #include "util/csv.h"
 #include "util/string_util.h"
+#include "util/table_printer.h"
 
 namespace {
 
@@ -84,7 +95,58 @@ struct Session {
   traffic::TrafficDataset dataset;
   core::ApotsConfig config;
   data::SampleSplit split;
+  /// Empty unless --fault-rate > 0 injected sensor faults.
+  traffic::ValidityMask mask;
 };
+
+// Reads --fault-rate/--fault-seed/--fault-kinds into a FaultSpec; returns
+// false (after printing) on a malformed kind list.
+bool ParseFaultSpec(const std::map<std::string, std::string>& flags,
+                    traffic::FaultSpec* spec) {
+  double rate = 0.0;
+  if (ParseDouble(Flag(flags, "fault-rate", "0"), &rate)) spec->rate = rate;
+  int64_t value = 0;
+  if (ParseInt64(Flag(flags, "fault-seed", ""), &value)) {
+    spec->seed = static_cast<uint64_t>(value);
+  }
+  const std::string kinds = Flag(flags, "fault-kinds", "all");
+  auto parsed = traffic::ParseFaultKinds(kinds);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bad --fault-kinds: %s\n",
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  spec->kinds = parsed.value();
+  return true;
+}
+
+// Corrupts `session->dataset` per `spec`, repairs it by imputation, and
+// enables mask-aware fallback. Returns false (after printing) on failure.
+bool ApplyFaults(const traffic::FaultSpec& spec, Session* session) {
+  traffic::FaultInjector injector(spec);
+  auto mask = injector.Inject(&session->dataset);
+  if (!mask.ok()) {
+    std::fprintf(stderr, "fault injection failed: %s\n",
+                 mask.status().ToString().c_str());
+    return false;
+  }
+  session->mask = std::move(mask).value();
+  auto report = data::ImputeSpeeds(&session->dataset, session->mask);
+  if (!report.ok()) {
+    std::fprintf(stderr, "imputation failed: %s\n",
+                 report.status().ToString().c_str());
+    return false;
+  }
+  session->config.fallback.enabled = true;
+  std::printf("injected %s faults over %.1f%% of cells (seed %llu); "
+              "repaired %ld cells (locf=%ld profile=%ld mean=%ld)\n",
+              traffic::FaultKindsToString(spec.kinds).c_str(),
+              spec.rate * 100.0,
+              static_cast<unsigned long long>(spec.seed),
+              report.value().cells_invalid, report.value().locf_filled,
+              report.value().profile_filled, report.value().mean_filled);
+  return true;
+}
 
 int LoadSession(const std::map<std::string, std::string>& flags,
                 Session* session) {
@@ -135,30 +197,57 @@ int LoadSession(const std::map<std::string, std::string>& flags,
   if (ParseInt64(Flag(flags, "epochs", ""), &value)) {
     session->config.training.epochs = static_cast<int>(value);
   }
+  traffic::FaultSpec fault_spec;
+  if (!ParseFaultSpec(flags, &fault_spec)) return 1;
+  if (fault_spec.rate > 0.0 && !ApplyFaults(fault_spec, session)) return 1;
   session->split = data::MakeSplit(session->dataset, 12, 3, 0.2,
                                    data::SplitStrategy::kBlockedByDay, 42);
   return 0;
 }
 
-void Report(core::ApotsModel* model, const std::vector<long>& anchors) {
+void Report(const Session& session, core::ApotsModel* model,
+            const std::vector<long>& anchors) {
   const auto predictions = model->PredictKmh(anchors);
   const auto truths = model->TrueKmh(anchors);
-  const auto metrics = metrics::Compute(predictions, truths);
-  std::printf("test (%zu anchors): %s\n", anchors.size(),
-              metrics.ToString().c_str());
+  if (session.mask.empty()) {
+    const auto metrics = metrics::Compute(predictions, truths);
+    std::printf("test (%zu anchors): %s\n", anchors.size(),
+                metrics.ToString().c_str());
+    return;
+  }
+  // Fault-fabricated targets are no ground truth: score observed ones only.
+  const auto metrics = metrics::ComputeMasked(
+      predictions, truths, model->assembler().ObservedTargetMask(anchors));
+  std::printf("test (%zu anchors, observed targets only): %s, "
+              "%zu fallback predictions\n",
+              anchors.size(), metrics.ToString().c_str(),
+              model->last_fallback_count());
 }
 
 int Train(const std::map<std::string, std::string>& flags) {
   Session session;
   if (int rc = LoadSession(flags, &session); rc != 0) return rc;
+  session.config.training.guard.enabled = Flag(flags, "guard", "1") == "1";
   core::ApotsModel model(&session.dataset, session.config);
+  if (!session.mask.empty()) model.SetValidityMask(&session.mask);
   std::printf("training %s on %zu anchors (%zu weights)...\n",
               session.config.Tag().c_str(), session.split.train.size(),
               model.NumWeights());
-  const auto stats = model.Train(session.split.train);
-  std::printf("final epoch: mse=%.5f (%.1fs)\n", stats.mse_loss,
-              stats.seconds);
-  Report(&model, session.split.test);
+  auto trained = model.TrainGuarded(session.split.train);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 trained.status().ToString().c_str());
+    return 1;
+  }
+  const core::TrainReport& report = trained.value();
+  for (const std::string& incident : report.incidents) {
+    std::printf("guard: %s\n", incident.c_str());
+  }
+  std::printf("final epoch: mse=%.5f (%d epochs, %d rollbacks%s)\n",
+              report.last.mse_loss, report.epochs_completed,
+              report.rollbacks,
+              report.stopped_early ? ", stopped early" : "");
+  Report(session, &model, session.split.test);
   const std::string model_path = Flag(flags, "model", "");
   if (!model_path.empty()) {
     const Status status = model.Save(model_path);
@@ -185,17 +274,163 @@ int Evaluate(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
     return 1;
   }
-  Report(&model, session.split.test);
+  if (!session.mask.empty()) model.SetValidityMask(&session.mask);
+  Report(session, &model, session.split.test);
+  return 0;
+}
+
+// Accuracy-vs-fault-rate sweep: trains one model on clean data, then
+// re-evaluates the same weights against datasets corrupted at increasing
+// fault rates (repaired by imputation, guarded by the fallback).
+int Robustness(const std::map<std::string, std::string>& flags) {
+  // Validate the sweep flags before the expensive training run.
+  if (!Flag(flags, "fault-rate", "").empty()) {
+    std::fprintf(stderr,
+                 "robustness sweeps --rates; do not pass --fault-rate\n");
+    return 1;
+  }
+  std::vector<double> rates;
+  for (const std::string& token :
+       Split(Flag(flags, "rates", "0,0.05,0.15,0.3"), ',')) {
+    double rate = 0.0;
+    if (!ParseDouble(Trim(token), &rate) || rate < 0.0 || rate > 1.0) {
+      std::fprintf(stderr, "bad --rates entry: %s\n", token.c_str());
+      return 1;
+    }
+    rates.push_back(rate);
+  }
+  traffic::FaultSpec base_spec;
+  if (!ParseFaultSpec(flags, &base_spec)) return 1;
+
+  Session session;
+  traffic::TrafficDataset clean;
+  const bool from_file = !Flag(flags, "data", "").empty();
+  if (from_file) {
+    if (int rc = LoadSession(flags, &session); rc != 0) return rc;
+  } else {
+    traffic::DatasetSpec spec;
+    spec.num_days = 21;
+    spec.num_roads = 5;
+    spec.hyundai_calendar = false;
+    int64_t value = 0;
+    if (ParseInt64(Flag(flags, "days", ""), &value)) {
+      spec.num_days = static_cast<int>(value);
+    }
+    if (ParseInt64(Flag(flags, "roads", ""), &value)) {
+      spec.num_roads = static_cast<int>(value);
+    }
+    if (ParseInt64(Flag(flags, "seed", ""), &value)) {
+      spec.seed = static_cast<uint64_t>(value);
+    }
+    session.dataset = traffic::GenerateDataset(spec);
+    size_t divisor = 8;
+    if (ParseInt64(Flag(flags, "divisor", ""), &value)) {
+      divisor = static_cast<size_t>(value);
+    }
+    const core::PredictorType type =
+        ParsePredictor(Flag(flags, "predictor", "H"));
+    session.config.predictor =
+        divisor <= 1 ? core::PredictorHparams::Paper(type)
+                     : core::PredictorHparams::Scaled(type, divisor);
+    session.config.discriminator = core::DiscriminatorHparams::Scaled(
+        std::max<size_t>(1, divisor / 4));
+    session.config.features = data::FeatureConfig::Both();
+    session.config.features.num_adjacent =
+        (session.dataset.num_roads() - 1) / 2;
+    session.config.features.beta = 3;
+    session.config.training.adversarial =
+        Flag(flags, "adversarial", "0") == "1";
+    session.config.training.adv_weight = 0.05f;
+    if (ParseInt64(Flag(flags, "epochs", ""), &value)) {
+      session.config.training.epochs = static_cast<int>(value);
+    }
+    session.split = data::MakeSplit(session.dataset, 12, 3, 0.2,
+                                    data::SplitStrategy::kBlockedByDay, 42);
+  }
+  clean = session.dataset;  // pristine copy: corruption source + truth
+
+  session.config.training.guard.enabled = true;
+  core::ApotsModel model(&session.dataset, session.config);
+  std::printf("training %s on %zu anchors (%zu weights)...\n",
+              session.config.Tag().c_str(), session.split.train.size(),
+              model.NumWeights());
+  auto trained = model.TrainGuarded(session.split.train);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 trained.status().ToString().c_str());
+    return 1;
+  }
+
+  const int target = model.assembler().target_road();
+  const int beta = model.assembler().beta();
+  TablePrinter table({"fault rate", "valid", "MAE", "RMSE", "MAPE",
+                      "fallback", "scored"});
+  for (double rate : rates) {
+    traffic::TrafficDataset faulted = clean;
+    traffic::FaultSpec spec = base_spec;
+    spec.rate = rate;
+    traffic::FaultInjector injector(spec);
+    auto mask_result = injector.Inject(&faulted);
+    if (!mask_result.ok()) {
+      std::fprintf(stderr, "injection at rate %.2f failed: %s\n", rate,
+                   mask_result.status().ToString().c_str());
+      return 1;
+    }
+    traffic::ValidityMask mask = std::move(mask_result).value();
+    if (rate > 0.0) {
+      auto repair = data::ImputeSpeeds(&faulted, mask);
+      if (!repair.ok()) {
+        std::fprintf(stderr, "imputation at rate %.2f failed: %s\n", rate,
+                     repair.status().ToString().c_str());
+        return 1;
+      }
+    }
+    core::ApotsConfig eval_config = session.config;
+    eval_config.fallback.enabled = true;
+    core::ApotsModel eval_model(&faulted, eval_config);
+    if (const Status st = eval_model.CopyWeightsFrom(model); !st.ok()) {
+      std::fprintf(stderr, "weight transfer failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    eval_model.SetValidityMask(&mask);
+    eval_model.FitFallback(session.split.train);
+    const auto predictions = eval_model.PredictKmh(session.split.test);
+    // Truths come from the pristine copy; score observed targets only,
+    // like a deployment that cannot grade itself on fabricated values.
+    std::vector<double> truths(session.split.test.size());
+    for (size_t i = 0; i < truths.size(); ++i) {
+      truths[i] = clean.Speed(target, session.split.test[i] + beta);
+    }
+    const auto metric_set = metrics::ComputeMasked(
+        predictions, truths,
+        metrics::ObservedTargetMask(mask, session.split.test, target, beta));
+    table.AddRow({StrFormat("%.0f%%", rate * 100.0),
+                  StrFormat("%.1f%%", mask.ValidRatio() * 100.0),
+                  FormatMetric(metric_set.mae), FormatMetric(metric_set.rmse),
+                  StrFormat("%.2f%%", metric_set.mape),
+                  StrFormat("%zu", eval_model.last_fallback_count()),
+                  StrFormat("%zu", metric_set.count)});
+  }
+  table.Print();
   return 0;
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: apots_cli <generate|train|evaluate> [--flag value]\n"
-               "  generate --out d.csv [--days N] [--roads N] [--seed S]\n"
-               "  train    --data d.csv [--model m.bin] [--predictor F|L|C|H]\n"
-               "           [--adversarial 0|1] [--epochs N] [--divisor N]\n"
-               "  evaluate --data d.csv --model m.bin [same model flags]\n");
+  std::fprintf(
+      stderr,
+      "usage: apots_cli <generate|train|evaluate|robustness> [--flag value]\n"
+      "  generate --out d.csv [--days N] [--roads N] [--seed S]\n"
+      "  train    --data d.csv [--model m.bin] [--predictor F|L|C|H]\n"
+      "           [--adversarial 0|1] [--epochs N] [--divisor N]\n"
+      "           [--guard 0|1]\n"
+      "  evaluate --data d.csv --model m.bin [same model flags]\n"
+      "  robustness [--data d.csv | --days N --roads N --seed S]\n"
+      "           [--rates 0,0.05,0.15,0.3] [--predictor F|L|C|H]\n"
+      "           [--epochs N] [--divisor N] [--adversarial 0|1]\n"
+      "           [--fault-seed S] [--fault-kinds drop,stuck,noise,outage]\n"
+      "  train/evaluate also take --fault-rate R --fault-seed S\n"
+      "           --fault-kinds K to corrupt + repair the dataset first\n");
   return 2;
 }
 
@@ -208,5 +443,6 @@ int main(int argc, char** argv) {
   if (command == "generate") return Generate(flags);
   if (command == "train") return Train(flags);
   if (command == "evaluate") return Evaluate(flags);
+  if (command == "robustness") return Robustness(flags);
   return Usage();
 }

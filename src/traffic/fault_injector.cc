@@ -1,0 +1,219 @@
+#include "traffic/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace apots::traffic {
+
+Result<unsigned> ParseFaultKinds(const std::string& spec) {
+  unsigned kinds = 0;
+  for (const std::string& token : Split(spec, ',')) {
+    const std::string name = ToLower(Trim(token));
+    if (name.empty()) continue;
+    if (name == "all") {
+      kinds |= kFaultAll;
+    } else if (name == "drop") {
+      kinds |= kFaultDrop;
+    } else if (name == "stuck") {
+      kinds |= kFaultStuck;
+    } else if (name == "noise") {
+      kinds |= kFaultNoise;
+    } else if (name == "outage") {
+      kinds |= kFaultOutage;
+    } else {
+      return Status::InvalidArgument("unknown fault kind: " + name);
+    }
+  }
+  if (kinds == 0) {
+    return Status::InvalidArgument("no fault kinds in: " + spec);
+  }
+  return kinds;
+}
+
+std::string FaultKindsToString(unsigned kinds) {
+  std::string out;
+  const auto append = [&out](const char* name) {
+    if (!out.empty()) out += "|";
+    out += name;
+  };
+  if (kinds & kFaultDrop) append("drop");
+  if (kinds & kFaultStuck) append("stuck");
+  if (kinds & kFaultNoise) append("noise");
+  if (kinds & kFaultOutage) append("outage");
+  return out.empty() ? "none" : out;
+}
+
+ValidityMask::ValidityMask(int num_roads, long num_intervals)
+    : num_roads_(num_roads), num_intervals_(num_intervals) {
+  APOTS_CHECK_GT(num_roads, 0);
+  APOTS_CHECK_GT(num_intervals, 0L);
+  valid_.assign(static_cast<size_t>(num_roads) *
+                    static_cast<size_t>(num_intervals),
+                1);
+}
+
+bool ValidityMask::Valid(int road, long t) const {
+  APOTS_CHECK(road >= 0 && road < num_roads_);
+  APOTS_CHECK(t >= 0 && t < num_intervals_);
+  return valid_[static_cast<size_t>(road) * num_intervals_ + t] != 0;
+}
+
+void ValidityMask::Set(int road, long t, bool valid) {
+  APOTS_CHECK(road >= 0 && road < num_roads_);
+  APOTS_CHECK(t >= 0 && t < num_intervals_);
+  valid_[static_cast<size_t>(road) * num_intervals_ + t] = valid ? 1 : 0;
+}
+
+double ValidityMask::ValidRatio() const {
+  if (valid_.empty()) return 1.0;
+  return 1.0 - static_cast<double>(CountInvalid()) /
+                   static_cast<double>(valid_.size());
+}
+
+double ValidityMask::WindowRatio(int road, long first, long last) const {
+  APOTS_CHECK(road >= 0 && road < num_roads_);
+  APOTS_CHECK(first >= 0 && last < num_intervals_ && first <= last);
+  long valid = 0;
+  const size_t base = static_cast<size_t>(road) * num_intervals_;
+  for (long t = first; t <= last; ++t) {
+    valid += valid_[base + t];
+  }
+  return static_cast<double>(valid) / static_cast<double>(last - first + 1);
+}
+
+long ValidityMask::CountInvalid() const {
+  long invalid = 0;
+  for (uint8_t v : valid_) {
+    if (v == 0) ++invalid;
+  }
+  return invalid;
+}
+
+namespace {
+
+// Marks [start, start+length) of `road` invalid; returns how many cells
+// flipped from valid (already-corrupted cells don't count toward budget).
+long MarkInvalid(ValidityMask* mask, int road, long start, long length) {
+  long flipped = 0;
+  for (long t = start; t < start + length; ++t) {
+    if (mask->Valid(road, t)) {
+      mask->Set(road, t, false);
+      ++flipped;
+    }
+  }
+  return flipped;
+}
+
+float ClampSpeed(float kmh) { return std::clamp(kmh, 0.0f, 110.0f); }
+
+}  // namespace
+
+Result<ValidityMask> FaultInjector::Inject(TrafficDataset* dataset) const {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("Inject: dataset is null");
+  }
+  if (!(spec_.rate >= 0.0 && spec_.rate <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("fault rate %.3f outside [0, 1]", spec_.rate));
+  }
+  if ((spec_.kinds & kFaultAll) == 0) {
+    return Status::InvalidArgument("fault spec enables no kinds");
+  }
+  if (spec_.stuck_min <= 0 || spec_.stuck_max < spec_.stuck_min ||
+      spec_.noise_min <= 0 || spec_.noise_max < spec_.noise_min ||
+      spec_.outage_min <= 0 || spec_.outage_max < spec_.outage_min) {
+    return Status::InvalidArgument("fault stretch bounds are not ordered");
+  }
+
+  const int roads = dataset->num_roads();
+  const long intervals = dataset->num_intervals();
+  ValidityMask mask(roads, intervals);
+  const long total_cells = static_cast<long>(roads) * intervals;
+  const long budget = static_cast<long>(spec_.rate * total_cells);
+
+  std::vector<unsigned> enabled;
+  for (unsigned kind :
+       {kFaultDrop, kFaultStuck, kFaultNoise, kFaultOutage}) {
+    if (spec_.kinds & kind) enabled.push_back(kind);
+  }
+
+  Rng rng(spec_.seed);
+  long corrupted = 0;
+  // Each attempt corrupts at least one fresh cell or misses an already
+  // corrupted region; the cap only guards degenerate specs (rate near 1
+  // with long mandatory stretches).
+  long attempts_left = 64 * budget + 1024;
+  while (corrupted < budget && attempts_left-- > 0) {
+    const unsigned kind =
+        enabled[static_cast<size_t>(rng.UniformInt(enabled.size()))];
+    const int road = static_cast<int>(rng.UniformInt(roads));
+    switch (kind) {
+      case kFaultDrop: {
+        const long t = static_cast<long>(rng.UniformInt(intervals));
+        dataset->SetSpeed(road, t, spec_.drop_value);
+        corrupted += MarkInvalid(&mask, road, t, 1);
+        break;
+      }
+      case kFaultStuck: {
+        const long length = std::min<long>(
+            spec_.stuck_min +
+                static_cast<long>(rng.UniformInt(
+                    spec_.stuck_max - spec_.stuck_min + 1)),
+            intervals);
+        const long start =
+            static_cast<long>(rng.UniformInt(intervals - length + 1));
+        const float held =
+            dataset->Speed(road, start > 0 ? start - 1 : start);
+        for (long t = start; t < start + length; ++t) {
+          dataset->SetSpeed(road, t, held);
+        }
+        corrupted += MarkInvalid(&mask, road, start, length);
+        break;
+      }
+      case kFaultNoise: {
+        const long length = std::min<long>(
+            spec_.noise_min +
+                static_cast<long>(rng.UniformInt(
+                    spec_.noise_max - spec_.noise_min + 1)),
+            intervals);
+        const long start =
+            static_cast<long>(rng.UniformInt(intervals - length + 1));
+        for (long t = start; t < start + length; ++t) {
+          const float noisy = ClampSpeed(
+              dataset->Speed(road, t) +
+              static_cast<float>(rng.Normal(0.0, spec_.noise_sigma_kmh)));
+          dataset->SetSpeed(road, t, noisy);
+        }
+        corrupted += MarkInvalid(&mask, road, start, length);
+        break;
+      }
+      case kFaultOutage: {
+        const long length = std::min<long>(
+            spec_.outage_min +
+                static_cast<long>(rng.UniformInt(
+                    spec_.outage_max - spec_.outage_min + 1)),
+            intervals);
+        const long start =
+            static_cast<long>(rng.UniformInt(intervals - length + 1));
+        for (long t = start; t < start + length; ++t) {
+          dataset->SetSpeed(road, t, spec_.drop_value);
+        }
+        corrupted += MarkInvalid(&mask, road, start, length);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (corrupted < budget) {
+    APOTS_LOG(Warning) << "FaultInjector hit the attempt cap at "
+                       << corrupted << "/" << budget << " cells";
+  }
+  return mask;
+}
+
+}  // namespace apots::traffic

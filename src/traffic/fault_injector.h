@@ -1,0 +1,106 @@
+#ifndef APOTS_TRAFFIC_FAULT_INJECTOR_H_
+#define APOTS_TRAFFIC_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "traffic/traffic_dataset.h"
+#include "util/status.h"
+
+namespace apots::traffic {
+
+/// Sensor failure modes observed on real loop-detector feeds (the paper's
+/// data source is 5-minute loop detectors on the Gyeongbu Expressway).
+/// Values are bit flags so a FaultSpec can enable any subset.
+enum FaultKind : unsigned {
+  kFaultDrop = 1u << 0,    ///< isolated missing readings (detector emits 0)
+  kFaultStuck = 1u << 1,   ///< sensor repeats its last value for a stretch
+  kFaultNoise = 1u << 2,   ///< burst of heavy-tailed measurement noise
+  kFaultOutage = 1u << 3,  ///< whole-road blackout lasting hours
+  kFaultAll = kFaultDrop | kFaultStuck | kFaultNoise | kFaultOutage,
+};
+
+/// Parses a comma-separated kind list ("drop,stuck,noise,outage" or "all")
+/// into a FaultKind bitmask.
+Result<unsigned> ParseFaultKinds(const std::string& spec);
+
+/// Human-readable "drop|stuck" style rendering of a kind bitmask.
+std::string FaultKindsToString(unsigned kinds);
+
+/// Per-(road, interval) observation validity. A cell is invalid when the
+/// stored speed no longer reflects ground truth (dropped, stuck, noisy or
+/// blacked out) — downstream consumers impute over invalid cells and skip
+/// them as evaluation targets.
+class ValidityMask {
+ public:
+  ValidityMask() = default;
+
+  /// All cells start valid.
+  ValidityMask(int num_roads, long num_intervals);
+
+  int num_roads() const { return num_roads_; }
+  long num_intervals() const { return num_intervals_; }
+  bool empty() const { return valid_.empty(); }
+
+  bool Valid(int road, long t) const;
+  void Set(int road, long t, bool valid);
+
+  /// Fraction of valid cells over the whole mask (1.0 when empty).
+  double ValidRatio() const;
+
+  /// Fraction of valid cells of `road` over [first, last] inclusive.
+  double WindowRatio(int road, long first, long last) const;
+
+  long CountInvalid() const;
+
+  bool operator==(const ValidityMask& other) const {
+    return num_roads_ == other.num_roads_ &&
+           num_intervals_ == other.num_intervals_ && valid_ == other.valid_;
+  }
+
+ private:
+  int num_roads_ = 0;
+  long num_intervals_ = 0;
+  std::vector<uint8_t> valid_;  ///< road-major [roads x intervals]
+};
+
+/// What to corrupt and how hard. All stretches are in 5-minute intervals.
+struct FaultSpec {
+  /// Target fraction of (road, interval) cells corrupted, in [0, 1].
+  double rate = 0.05;
+  unsigned kinds = kFaultAll;
+  uint64_t seed = 1;
+
+  int stuck_min = 6;     ///< 30 min
+  int stuck_max = 36;    ///< 3 h
+  int noise_min = 3;
+  int noise_max = 12;
+  int outage_min = 24;   ///< 2 h
+  int outage_max = 96;   ///< 8 h
+  float noise_sigma_kmh = 25.0f;
+  /// What a dropped reading is stored as (loop detectors report 0).
+  float drop_value = 0.0f;
+};
+
+/// Deterministic, seedable corruption of a TrafficDataset. Two injectors
+/// built from equal specs produce bit-identical corruption and masks on
+/// equal datasets, so fault scenarios are reproducible experiment axes.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec) : spec_(spec) {}
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Corrupts `dataset` speeds in place and returns the validity mask
+  /// (false where a cell was corrupted). Fails with InvalidArgument on a
+  /// malformed spec rather than aborting.
+  Result<ValidityMask> Inject(TrafficDataset* dataset) const;
+
+ private:
+  FaultSpec spec_;
+};
+
+}  // namespace apots::traffic
+
+#endif  // APOTS_TRAFFIC_FAULT_INJECTOR_H_

@@ -24,8 +24,26 @@ TrafficDataset::TrafficDataset(int num_roads, int num_days,
 }
 
 void TrafficDataset::CheckIndex(int road, long t) const {
-  APOTS_DCHECK(road >= 0 && road < num_roads_);
-  APOTS_DCHECK(t >= 0 && t < num_intervals());
+  // Hard check in every build type: a silently-clamped or wild read here
+  // poisons features/metrics far from the root cause. Release builds used
+  // to compile these to no-ops while SpeedRow checked — one consistent
+  // policy now.
+  APOTS_CHECK(road >= 0 && road < num_roads_)
+      << "road " << road << " outside [0, " << num_roads_ << ")";
+  APOTS_CHECK(t >= 0 && t < num_intervals())
+      << "interval " << t << " outside [0, " << num_intervals() << ")";
+}
+
+Status TrafficDataset::CheckBounds(int road, long t) const {
+  if (road < 0 || road >= num_roads_) {
+    return Status::OutOfRange(
+        StrFormat("road %d outside [0, %d)", road, num_roads_));
+  }
+  if (t < 0 || t >= num_intervals()) {
+    return Status::OutOfRange(
+        StrFormat("interval %ld outside [0, %ld)", t, num_intervals()));
+  }
+  return Status::Ok();
 }
 
 float TrafficDataset::Speed(int road, long t) const {
@@ -49,7 +67,7 @@ float TrafficDataset::EventFlag(int road, long t) const {
 }
 
 const WeatherSample& TrafficDataset::Weather(long t) const {
-  APOTS_DCHECK(t >= 0 && t < num_intervals());
+  APOTS_CHECK(t >= 0 && t < num_intervals());
   return weather_[static_cast<size_t>(t)];
 }
 
@@ -58,13 +76,13 @@ int TrafficDataset::HourOfDay(long t) const {
 }
 
 double TrafficDataset::FractionalHour(long t) const {
-  APOTS_DCHECK(t >= 0 && t < num_intervals());
+  APOTS_CHECK(t >= 0 && t < num_intervals());
   const long within_day = t % intervals_per_day_;
   return static_cast<double>(within_day) / intervals_per_day_ * 24.0;
 }
 
 DayInfo TrafficDataset::Day(long t) const {
-  APOTS_DCHECK(t >= 0 && t < num_intervals());
+  APOTS_CHECK(t >= 0 && t < num_intervals());
   return calendar_.Day(static_cast<int>(t / intervals_per_day_));
 }
 

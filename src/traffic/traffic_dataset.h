@@ -30,9 +30,16 @@ class TrafficDataset {
   }
   const Calendar& calendar() const { return calendar_; }
 
-  /// Speed of `road` at interval `t` in km/h (checked).
+  /// Speed of `road` at interval `t` in km/h. All element accessors are
+  /// hard-checked in every build type, matching SpeedRow — out-of-range
+  /// indices abort instead of silently reading adjacent storage. Callers
+  /// with untrusted indices should probe CheckBounds first.
   float Speed(int road, long t) const;
   void SetSpeed(int road, long t, float value);
+
+  /// Status-returning bounds probe for fallible callers (OutOfRange on a
+  /// bad index) — the non-aborting counterpart of the checked accessors.
+  Status CheckBounds(int road, long t) const;
 
   /// Entire speed row of one road.
   const float* SpeedRow(int road) const;

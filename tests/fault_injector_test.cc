@@ -1,0 +1,263 @@
+#include "traffic/fault_injector.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "data/features.h"
+#include "data/imputation.h"
+#include "metrics/metrics.h"
+#include "traffic/dataset_generator.h"
+
+namespace apots::traffic {
+namespace {
+
+using apots::data::FeatureAssembler;
+using apots::data::FeatureConfig;
+using apots::data::ImputationConfig;
+using apots::data::ImputeSpeeds;
+
+TrafficDataset SmallDataset(uint64_t seed = 7) {
+  return GenerateDataset(DatasetSpec::Small(seed));
+}
+
+bool SameSpeeds(const TrafficDataset& a, const TrafficDataset& b) {
+  for (int road = 0; road < a.num_roads(); ++road) {
+    for (long t = 0; t < a.num_intervals(); ++t) {
+      if (a.Speed(road, t) != b.Speed(road, t)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(FaultInjectorTest, SameSeedIsBitIdentical) {
+  TrafficDataset first = SmallDataset();
+  TrafficDataset second = SmallDataset();
+  FaultSpec spec;
+  spec.rate = 0.12;
+  spec.seed = 99;
+  const auto mask_a = FaultInjector(spec).Inject(&first);
+  const auto mask_b = FaultInjector(spec).Inject(&second);
+  ASSERT_TRUE(mask_a.ok());
+  ASSERT_TRUE(mask_b.ok());
+  EXPECT_TRUE(mask_a.value() == mask_b.value());
+  EXPECT_TRUE(SameSpeeds(first, second));
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiffer) {
+  TrafficDataset first = SmallDataset();
+  TrafficDataset second = SmallDataset();
+  FaultSpec spec;
+  spec.rate = 0.12;
+  spec.seed = 1;
+  ASSERT_TRUE(FaultInjector(spec).Inject(&first).ok());
+  spec.seed = 2;
+  ASSERT_TRUE(FaultInjector(spec).Inject(&second).ok());
+  EXPECT_FALSE(SameSpeeds(first, second));
+}
+
+TEST(FaultInjectorTest, HitsRequestedRate) {
+  TrafficDataset dataset = SmallDataset();
+  FaultSpec spec;
+  spec.rate = 0.15;
+  const auto mask = FaultInjector(spec).Inject(&dataset);
+  ASSERT_TRUE(mask.ok());
+  const double invalid = 1.0 - mask.value().ValidRatio();
+  EXPECT_GE(invalid, 0.15);
+  // Stretch faults overshoot by at most one stretch length.
+  EXPECT_LE(invalid, 0.17);
+}
+
+TEST(FaultInjectorTest, ValidCellsAreUntouched) {
+  const TrafficDataset clean = SmallDataset();
+  TrafficDataset faulted = clean;
+  FaultSpec spec;
+  spec.rate = 0.2;
+  const auto mask = FaultInjector(spec).Inject(&faulted);
+  ASSERT_TRUE(mask.ok());
+  for (int road = 0; road < clean.num_roads(); ++road) {
+    for (long t = 0; t < clean.num_intervals(); ++t) {
+      if (mask.value().Valid(road, t)) {
+        ASSERT_EQ(clean.Speed(road, t), faulted.Speed(road, t))
+            << "road " << road << " t " << t;
+      }
+    }
+  }
+}
+
+TEST(FaultInjectorTest, ZeroRateIsIdentity) {
+  const TrafficDataset clean = SmallDataset();
+  TrafficDataset dataset = clean;
+  FaultSpec spec;
+  spec.rate = 0.0;
+  const auto mask = FaultInjector(spec).Inject(&dataset);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(mask.value().CountInvalid(), 0L);
+  EXPECT_TRUE(SameSpeeds(clean, dataset));
+}
+
+TEST(FaultInjectorTest, RejectsMalformedSpecsWithStatus) {
+  TrafficDataset dataset = SmallDataset();
+  FaultSpec spec;
+  spec.rate = 1.5;
+  EXPECT_FALSE(FaultInjector(spec).Inject(&dataset).ok());
+  spec.rate = 0.1;
+  spec.kinds = 0;
+  EXPECT_FALSE(FaultInjector(spec).Inject(&dataset).ok());
+  spec.kinds = kFaultStuck;
+  spec.stuck_min = 10;
+  spec.stuck_max = 5;
+  EXPECT_FALSE(FaultInjector(spec).Inject(&dataset).ok());
+  EXPECT_FALSE(FaultInjector(FaultSpec()).Inject(nullptr).ok());
+}
+
+TEST(FaultKindsTest, ParseRoundTrip) {
+  auto kinds = ParseFaultKinds("drop, stuck");
+  ASSERT_TRUE(kinds.ok());
+  EXPECT_EQ(kinds.value(), kFaultDrop | kFaultStuck);
+  EXPECT_EQ(FaultKindsToString(kinds.value()), "drop|stuck");
+  EXPECT_EQ(ParseFaultKinds("all").value(), kFaultAll);
+  EXPECT_FALSE(ParseFaultKinds("banana").ok());
+  EXPECT_FALSE(ParseFaultKinds("").ok());
+}
+
+TEST(ValidityMaskTest, WindowRatio) {
+  ValidityMask mask(2, 10);
+  EXPECT_DOUBLE_EQ(mask.WindowRatio(0, 0, 9), 1.0);
+  mask.Set(0, 3, false);
+  mask.Set(0, 4, false);
+  EXPECT_DOUBLE_EQ(mask.WindowRatio(0, 0, 9), 0.8);
+  EXPECT_DOUBLE_EQ(mask.WindowRatio(1, 0, 9), 1.0);
+  EXPECT_EQ(mask.CountInvalid(), 2L);
+}
+
+TEST(ImputationTest, LocfRepairsShortGaps) {
+  TrafficDataset dataset = SmallDataset();
+  const float before = dataset.Speed(1, 100);
+  ValidityMask mask(dataset.num_roads(), dataset.num_intervals());
+  for (long t = 101; t <= 103; ++t) {
+    dataset.SetSpeed(1, t, 0.0f);
+    mask.Set(1, t, false);
+  }
+  const auto report = ImputeSpeeds(&dataset, mask);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().locf_filled, 3L);
+  EXPECT_EQ(report.value().cells_invalid, 3L);
+  for (long t = 101; t <= 103; ++t) {
+    EXPECT_EQ(dataset.Speed(1, t), before);
+  }
+}
+
+TEST(ImputationTest, LongGapsUseHistoricalProfile) {
+  TrafficDataset dataset = SmallDataset();
+  ValidityMask mask(dataset.num_roads(), dataset.num_intervals());
+  // A day-long outage: far beyond the LOCF horizon.
+  const long start = 2 * dataset.intervals_per_day();
+  for (long t = start; t < start + dataset.intervals_per_day(); ++t) {
+    dataset.SetSpeed(0, t, 0.0f);
+    mask.Set(0, t, false);
+  }
+  ImputationConfig config;
+  const auto report = ImputeSpeeds(&dataset, mask, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().locf_filled, 0L);
+  EXPECT_EQ(report.value().profile_filled,
+            static_cast<long>(dataset.intervals_per_day()));
+  // Profile fill restores plausible (positive, finite) speeds.
+  for (long t = start; t < start + dataset.intervals_per_day(); ++t) {
+    EXPECT_GT(dataset.Speed(0, t), 0.0f);
+    EXPECT_TRUE(std::isfinite(dataset.Speed(0, t)));
+  }
+}
+
+TEST(ImputationTest, EveryFaultedCellRepaired) {
+  TrafficDataset dataset = SmallDataset();
+  FaultSpec spec;
+  spec.rate = 0.25;
+  auto mask = FaultInjector(spec).Inject(&dataset);
+  ASSERT_TRUE(mask.ok());
+  const auto report = ImputeSpeeds(&dataset, mask.value());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().cells_invalid, mask.value().CountInvalid());
+  EXPECT_EQ(report.value().locf_filled + report.value().profile_filled +
+                report.value().mean_filled,
+            report.value().cells_invalid);
+  for (int road = 0; road < dataset.num_roads(); ++road) {
+    for (long t = 0; t < dataset.num_intervals(); ++t) {
+      ASSERT_TRUE(std::isfinite(dataset.Speed(road, t)));
+      ASSERT_GE(dataset.Speed(road, t), 0.0f);
+    }
+  }
+}
+
+TEST(ImputationTest, FailsWithStatusOnShapeMismatchOrAllInvalid) {
+  TrafficDataset dataset = SmallDataset();
+  ValidityMask wrong(dataset.num_roads() + 1, dataset.num_intervals());
+  EXPECT_FALSE(ImputeSpeeds(&dataset, wrong).ok());
+  ValidityMask all_invalid(dataset.num_roads(), dataset.num_intervals());
+  for (int road = 0; road < dataset.num_roads(); ++road) {
+    for (long t = 0; t < dataset.num_intervals(); ++t) {
+      all_invalid.Set(road, t, false);
+    }
+  }
+  const auto result = ImputeSpeeds(&dataset, all_invalid);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FeatureAssemblerMaskTest, ValidityRatioAndObservedTargets) {
+  static const TrafficDataset* dataset =
+      new TrafficDataset(GenerateDataset(DatasetSpec::Small(41)));
+  FeatureConfig config;
+  config.num_adjacent = 1;
+  FeatureAssembler assembler(dataset, config);
+  assembler.Fit();
+  const long anchor = 50;
+
+  // No mask: everything observed.
+  EXPECT_DOUBLE_EQ(assembler.WindowValidityRatio(anchor), 1.0);
+  EXPECT_TRUE(assembler.TargetObserved(anchor));
+
+  ValidityMask mask(dataset->num_roads(), dataset->num_intervals());
+  // Invalidate 6 of the 12 target-road input cells and the target itself.
+  for (long t = anchor - 6; t < anchor; ++t) {
+    mask.Set(assembler.target_road(), t, false);
+  }
+  mask.Set(assembler.target_road(), anchor + config.beta, false);
+  assembler.SetValidityMask(&mask);
+  // 3 roads x 12 cells, 6 invalid.
+  EXPECT_NEAR(assembler.WindowValidityRatio(anchor), 30.0 / 36.0, 1e-12);
+  EXPECT_FALSE(assembler.TargetObserved(anchor));
+
+  const std::vector<bool> observed =
+      assembler.ObservedTargetMask({anchor, anchor + 40});
+  EXPECT_FALSE(observed[0]);
+  EXPECT_TRUE(observed[1]);
+
+  // The metrics-side helper agrees.
+  const std::vector<bool> metric_mask = apots::metrics::ObservedTargetMask(
+      mask, {anchor, anchor + 40}, assembler.target_road(), config.beta);
+  EXPECT_EQ(observed, metric_mask);
+
+  assembler.SetValidityMask(nullptr);
+  EXPECT_TRUE(assembler.TargetObserved(anchor));
+}
+
+TEST(TrafficDatasetBoundsTest, CheckBoundsReportsStatus) {
+  const TrafficDataset dataset = SmallDataset();
+  EXPECT_TRUE(dataset.CheckBounds(0, 0).ok());
+  EXPECT_EQ(dataset.CheckBounds(-1, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(dataset.CheckBounds(0, dataset.num_intervals()).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(TrafficDatasetBoundsTest, OutOfRangeAccessAbortsInEveryBuild) {
+  const TrafficDataset dataset = SmallDataset();
+  // Previously a DCHECK (release builds read wild memory); now hard-checked
+  // like SpeedRow.
+  EXPECT_DEATH_IF_SUPPORTED((void)dataset.Speed(dataset.num_roads(), 0),
+                            "road");
+  EXPECT_DEATH_IF_SUPPORTED((void)dataset.Speed(0, -1), "interval");
+}
+
+}  // namespace
+}  // namespace apots::traffic

@@ -1,0 +1,197 @@
+#include "core/train_guard.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/adversarial_trainer.h"
+#include "core/apots_model.h"
+#include "core/predictor.h"
+#include "data/windowing.h"
+#include "traffic/dataset_generator.h"
+
+namespace apots::core {
+namespace {
+
+using apots::traffic::DatasetSpec;
+using apots::traffic::GenerateDataset;
+using apots::traffic::TrafficDataset;
+
+EpochStats Stats(double mse, double d_fake = 0.5) {
+  EpochStats stats;
+  stats.mse_loss = mse;
+  stats.d_fake_accuracy = d_fake;
+  return stats;
+}
+
+TEST(TrainGuardInspectTest, FlagsNonFiniteLosses) {
+  TrainGuard guard{GuardConfig{}};
+  EXPECT_EQ(guard.Inspect(Stats(std::nan("")), false),
+            GuardVerdict::kNonFiniteLoss);
+  EXPECT_EQ(guard.Inspect(Stats(std::numeric_limits<double>::infinity()),
+                          false),
+            GuardVerdict::kNonFiniteLoss);
+  EpochStats bad_adv = Stats(0.1);
+  bad_adv.adv_loss_p = std::nan("");
+  EXPECT_EQ(guard.Inspect(bad_adv, true), GuardVerdict::kNonFiniteLoss);
+}
+
+TEST(TrainGuardInspectTest, FlagsExplosionRelativeToBestEpoch) {
+  GuardConfig config;
+  config.explosion_factor = 10.0;
+  TrainGuard guard(config);
+  EXPECT_EQ(guard.Inspect(Stats(0.05), false), GuardVerdict::kHealthy);
+  EXPECT_EQ(guard.Inspect(Stats(0.4), false), GuardVerdict::kHealthy);
+  EXPECT_EQ(guard.Inspect(Stats(0.51), false),
+            GuardVerdict::kLossExplosion);
+  // First epoch already absurd: caught by the absolute ceiling.
+  TrainGuard fresh(config);
+  EXPECT_EQ(fresh.Inspect(Stats(1e6), false),
+            GuardVerdict::kLossExplosion);
+}
+
+TEST(TrainGuardInspectTest, FlagsPinnedDiscriminatorAfterPatience) {
+  GuardConfig config;
+  config.collapse_patience = 3;
+  TrainGuard guard(config);
+  EXPECT_EQ(guard.Inspect(Stats(0.1, 1.0), true), GuardVerdict::kHealthy);
+  EXPECT_EQ(guard.Inspect(Stats(0.1, 1.0), true), GuardVerdict::kHealthy);
+  EXPECT_EQ(guard.Inspect(Stats(0.1, 1.0), true),
+            GuardVerdict::kDiscriminatorCollapse);
+  // A healthy accuracy in between resets the streak.
+  EXPECT_EQ(guard.Inspect(Stats(0.1, 0.0), true), GuardVerdict::kHealthy);
+  EXPECT_EQ(guard.Inspect(Stats(0.1, 0.6), true), GuardVerdict::kHealthy);
+  EXPECT_EQ(guard.Inspect(Stats(0.1, 0.0), true), GuardVerdict::kHealthy);
+  // Plain-MSE runs never collapse-check.
+  TrainGuard mse_guard(config);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(mse_guard.Inspect(Stats(0.1, 1.0), false),
+              GuardVerdict::kHealthy);
+  }
+}
+
+TEST(TrainGuardCheckpointTest, RoundTripRestoresExactWeights) {
+  apots::Rng rng(3);
+  auto predictor = MakePredictor(PredictorHparams::Scaled(PredictorType::kFc, 16),
+                                 13, 12, &rng);
+  TrainGuard guard{GuardConfig{}};
+  guard.Snapshot(predictor->Parameters());
+
+  std::vector<std::vector<float>> original;
+  for (auto* p : predictor->Parameters()) {
+    original.emplace_back(p->value.data(), p->value.data() + p->value.size());
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      p->value[i] = std::nanf("");  // simulate a diverged update
+      p->grad[i] = 1.0f;
+    }
+  }
+  ASSERT_TRUE(guard.Rollback(predictor->Parameters()).ok());
+  size_t index = 0;
+  for (auto* p : predictor->Parameters()) {
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      ASSERT_EQ(p->value[i], original[index][i]);
+      ASSERT_EQ(p->grad[i], 0.0f);  // stale gradients dropped
+    }
+    ++index;
+  }
+  EXPECT_EQ(guard.rollbacks(), 1);
+}
+
+TEST(TrainGuardCheckpointTest, MismatchedModelIsAnErrorNotAnAbort) {
+  apots::Rng rng(3);
+  auto fc = MakePredictor(PredictorHparams::Scaled(PredictorType::kFc, 16),
+                          13, 12, &rng);
+  auto wider = MakePredictor(PredictorHparams::Scaled(PredictorType::kFc, 8),
+                             13, 12, &rng);
+  TrainGuard guard{GuardConfig{}};
+  EXPECT_EQ(guard.Rollback(fc->Parameters()).code(),
+            StatusCode::kFailedPrecondition);  // no snapshot yet
+  guard.Snapshot(fc->Parameters());
+  EXPECT_EQ(guard.Rollback(wider->Parameters()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TrainGuardCheckpointTest, RetryBudgetIsBounded) {
+  apots::Rng rng(3);
+  auto predictor = MakePredictor(PredictorHparams::Scaled(PredictorType::kFc, 16),
+                                 13, 12, &rng);
+  GuardConfig config;
+  config.max_rollbacks = 2;
+  TrainGuard guard(config);
+  guard.Snapshot(predictor->Parameters());
+  EXPECT_TRUE(guard.Rollback(predictor->Parameters()).ok());
+  EXPECT_TRUE(guard.Rollback(predictor->Parameters()).ok());
+  EXPECT_FALSE(guard.RetryBudgetLeft());
+  EXPECT_EQ(guard.Rollback(predictor->Parameters()).code(),
+            StatusCode::kFailedPrecondition);
+  // The give-up path still restores.
+  EXPECT_TRUE(guard.RestoreCheckpoint(predictor->Parameters()).ok());
+}
+
+class GuardedTrainingTest : public ::testing::Test {
+ protected:
+  GuardedTrainingTest()
+      : dataset_(GenerateDataset(DatasetSpec::Small(61))) {
+    split_ = apots::data::MakeSplit(dataset_, 12, 3, 0.2,
+                                    apots::data::SplitStrategy::kBlockedByDay,
+                                    5);
+    config_.predictor = PredictorHparams::Scaled(PredictorType::kFc, 16);
+    config_.features = apots::data::FeatureConfig::Both();
+    config_.features.num_adjacent = (dataset_.num_roads() - 1) / 2;
+    config_.features.beta = 3;
+    config_.training.epochs = 3;
+    config_.seed = 11;
+  }
+
+  TrafficDataset dataset_;
+  apots::data::SampleSplit split_;
+  ApotsConfig config_;
+};
+
+TEST_F(GuardedTrainingTest, ForcedDivergenceRecoversWithinBudget) {
+  // lr = 10 on an FC net reliably explodes within the first epoch; the
+  // guard must detect it, roll back, back the rate off, and finish with
+  // finite losses inside its retry budget.
+  config_.training.learning_rate = 10.0f;
+  config_.training.guard.enabled = true;
+  config_.training.guard.max_rollbacks = 3;
+  config_.training.guard.lr_backoff = 0.001f;
+  ApotsModel model(&dataset_, config_);
+  const auto result = model.TrainGuarded(split_.train);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const TrainReport& report = result.value();
+  EXPECT_GE(report.rollbacks, 1);
+  EXPECT_LE(report.rollbacks, 3);
+  EXPECT_FALSE(report.stopped_early);
+  EXPECT_EQ(report.epochs_completed, 3);
+  EXPECT_TRUE(std::isfinite(report.last.mse_loss));
+  EXPECT_LT(report.final_learning_rate, 10.0f);
+  EXPECT_FALSE(report.incidents.empty());
+  // The healed model still predicts finite speeds.
+  for (double p : model.PredictKmh(split_.test)) {
+    ASSERT_TRUE(std::isfinite(p));
+  }
+}
+
+TEST_F(GuardedTrainingTest, StableRunHasNoRollbacks) {
+  config_.training.guard.enabled = true;
+  ApotsModel model(&dataset_, config_);
+  const auto result = model.TrainGuarded(split_.train);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rollbacks, 0);
+  EXPECT_EQ(result.value().epochs_completed, 3);
+  EXPECT_TRUE(result.value().incidents.empty());
+}
+
+TEST_F(GuardedTrainingTest, GuardDisabledMatchesPlainTraining) {
+  ApotsModel guarded_model(&dataset_, config_);
+  const auto report = guarded_model.TrainGuarded(split_.train);
+  ASSERT_TRUE(report.ok());
+  ApotsModel plain_model(&dataset_, config_);
+  const EpochStats stats = plain_model.Train(split_.train);
+  EXPECT_DOUBLE_EQ(report.value().last.mse_loss, stats.mse_loss);
+}
+
+}  // namespace
+}  // namespace apots::core
