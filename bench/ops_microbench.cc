@@ -1,8 +1,22 @@
 // Engineering microbenchmarks for the tensor/nn substrate (google-
 // benchmark): matmul variants, im2col, and forward/backward of each layer
 // family at the quick-profile sizes used by the experiment benches.
+//
+// `--perf_json[=path]` skips google-benchmark and writes a machine-readable
+// Matmul report (default bench_out/perf_pr2_ops.json) with serial (blocked,
+// 1 thread), parallel (blocked, APOTS_NUM_THREADS or 4 threads), and
+// reference (seed kernel, 1 thread) arms per size. CI gates on the 256x256
+// entries: parallel must not be slower than serial.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "nn/conv2d.h"
 #include "nn/dense.h"
@@ -10,6 +24,8 @@
 #include "nn/loss.h"
 #include "tensor/tensor_ops.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -117,6 +133,115 @@ void BM_BceLoss(benchmark::State& state) {
 }
 BENCHMARK(BM_BceLoss);
 
+// ---------------------------------------------------------------------------
+// --perf_json harness
+// ---------------------------------------------------------------------------
+
+namespace perf {
+
+struct MatmulArm {
+  const char* name;
+  ops::KernelMode mode;
+  size_t threads;
+};
+
+// Times n x n Matmul for the given arm: repeats until ~80ms of work has
+// accumulated (min 5 iterations), reporting seconds per call.
+double TimeMatmul(const MatmulArm& arm, size_t n) {
+  ops::SetKernelMode(arm.mode);
+  apots::ResetGlobalPool(arm.threads);
+  const Tensor a = RandomTensor({n, n}, 1);
+  const Tensor b = RandomTensor({n, n}, 2);
+  benchmark::DoNotOptimize(ops::Matmul(a, b));  // warm-up
+  size_t iters = 0;
+  apots::Stopwatch watch;
+  double elapsed = 0.0;
+  while (iters < 5 || elapsed < 0.08) {
+    benchmark::DoNotOptimize(ops::Matmul(a, b));
+    ++iters;
+    elapsed = watch.ElapsedSeconds();
+  }
+  return elapsed / static_cast<double>(iters);
+}
+
+size_t ParallelThreads() {
+  if (const char* env = std::getenv("APOTS_NUM_THREADS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 1) return static_cast<size_t>(parsed);
+  }
+  return 4;
+}
+
+int RunPerfJson(const std::string& path) {
+  const size_t threads = ParallelThreads();
+  const MatmulArm arms[] = {
+      {"serial", ops::KernelMode::kBlocked, 1},
+      {"parallel", ops::KernelMode::kBlocked, threads},
+      {"reference", ops::KernelMode::kReference, 1},
+  };
+  const size_t sizes[] = {32, 64, 128, 256};
+
+  struct Row {
+    const char* arm;
+    size_t threads;
+    size_t n;
+    double seconds_per_call;
+    double gflops;
+  };
+  std::vector<Row> rows;
+  for (const MatmulArm& arm : arms) {
+    for (size_t n : sizes) {
+      const double sec = TimeMatmul(arm, n);
+      const double gflops =
+          2.0 * static_cast<double>(n) * n * n / sec / 1e9;
+      rows.push_back({arm.name, arm.threads, n, sec, gflops});
+      std::fprintf(stderr, "matmul %-9s n=%-4zu %10.1f us  %6.2f GFLOP/s\n",
+                   arm.name, n, sec * 1e6, gflops);
+    }
+  }
+  ops::SetKernelMode(ops::KernelMode::kBlocked);
+  apots::ResetGlobalPool(1);
+
+  const std::filesystem::path out_path(path);
+  if (out_path.has_parent_path()) {
+    std::filesystem::create_directories(out_path.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"ops_microbench\",\n"
+      << "  \"op\": \"matmul\",\n"
+      << "  \"parallel_threads\": " << threads << ",\n"
+      << "  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"arm\": \"" << r.arm << "\", \"threads\": " << r.threads
+        << ", \"n\": " << r.n << ", \"seconds_per_call\": "
+        << r.seconds_per_call << ", \"gflops\": " << r.gflops << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return 0;
+}
+
+}  // namespace perf
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--perf_json", 11) == 0) {
+      std::string path = "bench_out/perf_pr2_ops.json";
+      if (argv[i][11] == '=') path = argv[i] + 12;
+      return perf::RunPerfJson(path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

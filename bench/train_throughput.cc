@@ -2,15 +2,37 @@
 // minibatch step per predictor family at the quick-profile scale, plus the
 // cost of one full adversarial round. Useful for sizing the experiment
 // profiles.
+//
+// `--perf_json[=path]` skips google-benchmark and instead times one guarded
+// adversarial FC training run under three execution arms, writing a
+// machine-readable report (default bench_out/perf_pr2.json) that CI archives
+// and gates on:
+//   serial          reference kernels, 1 thread, full-batch step (the seed's
+//                   exact execution path)
+//   serial_blocked  blocked kernels, 1 thread, full-batch step (isolates the
+//                   single-core kernel rewrite)
+//   parallel        blocked kernels, APOTS_NUM_THREADS (default 4) threads,
+//                   data-parallel micro-batches
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/adversarial_trainer.h"
 #include "core/apots_model.h"
 #include "data/windowing.h"
+#include "tensor/tensor_ops.h"
 #include "traffic/dataset_generator.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -86,6 +108,163 @@ BENCHMARK(BM_TrainLstm)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TrainHybrid)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TrainHybridAdv)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// --perf_json harness
+// ---------------------------------------------------------------------------
+
+namespace perf {
+
+namespace ops = apots::tensor;
+
+constexpr size_t kEpochs = 2;
+constexpr size_t kMicroBatch = 32;
+constexpr size_t kRepeats = 2;  // best-of, to shave scheduler noise
+
+// The perf config is deliberately GEMM-dominated (LSTM at half paper width,
+// adversarial on) so the report reflects the kernels the training loop
+// actually spends its time in: per-timestep gate matmuls forward and the
+// transpose-B matmuls in backpropagation-through-time.
+core::ApotsConfig PerfConfig(size_t micro_batch) {
+  core::ApotsConfig config;
+  config.predictor =
+      core::PredictorHparams::Scaled(core::PredictorType::kLstm, 2);
+  config.discriminator = core::DiscriminatorHparams::Scaled(2);
+  config.features = data::FeatureConfig::Both();
+  config.features.num_adjacent = 1;
+  config.features.beta = 3;
+  config.training.adversarial = true;
+  config.training.epochs = kEpochs;
+  config.training.batch_size = 64;
+  config.training.micro_batch = micro_batch;
+  config.training.adv_period = 4;
+  config.training.adv_warmup_rounds = 0;
+  config.training.guard.enabled = true;
+  config.seed = 99;
+  return config;
+}
+
+struct ArmSpec {
+  const char* name;
+  const char* kernels;  // "reference" | "blocked"
+  ops::KernelMode mode;
+  size_t threads;
+  size_t micro_batch;  // 0 = full-batch step
+};
+
+struct ArmResult {
+  ArmSpec spec;
+  double seconds = 0.0;
+  double samples_per_sec = 0.0;
+};
+
+ArmResult RunArm(const ArmSpec& spec) {
+  Env& env = GetEnv();
+  ArmResult result;
+  result.spec = spec;
+  result.seconds = 1e100;
+  for (size_t rep = 0; rep < kRepeats; ++rep) {
+    ops::SetKernelMode(spec.mode);
+    ResetGlobalPool(spec.threads);
+    core::ApotsModel model(&env.dataset, PerfConfig(spec.micro_batch));
+    Stopwatch watch;
+    auto report = model.TrainGuarded(env.anchors);
+    const double seconds = watch.ElapsedSeconds();
+    if (!report.ok()) {
+      std::fprintf(stderr, "perf arm %s failed: %s\n", spec.name,
+                   report.status().ToString().c_str());
+      std::exit(1);
+    }
+    result.seconds = std::min(result.seconds, seconds);
+  }
+  result.samples_per_sec =
+      static_cast<double>(env.anchors.size() * kEpochs) / result.seconds;
+  return result;
+}
+
+size_t ParallelThreads() {
+  if (const char* env = std::getenv("APOTS_NUM_THREADS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 1) return static_cast<size_t>(parsed);
+  }
+  return 4;
+}
+
+int RunPerfJson(const std::string& path) {
+  Env& env = GetEnv();
+  const size_t threads = ParallelThreads();
+  const ArmSpec arms[] = {
+      {"serial", "reference", ops::KernelMode::kReference, 1, 0},
+      {"serial_blocked", "blocked", ops::KernelMode::kBlocked, 1, 0},
+      {"parallel", "blocked", ops::KernelMode::kBlocked, threads, kMicroBatch},
+  };
+  std::vector<ArmResult> results;
+  for (const ArmSpec& spec : arms) {
+    results.push_back(RunArm(spec));
+    std::fprintf(stderr, "%-15s %7.3fs  %8.1f samples/s\n",
+                 results.back().spec.name, results.back().seconds,
+                 results.back().samples_per_sec);
+  }
+  ops::SetKernelMode(ops::KernelMode::kBlocked);
+  ResetGlobalPool(1);
+
+  const std::filesystem::path out_path(path);
+  if (out_path.has_parent_path()) {
+    std::filesystem::create_directories(out_path.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"train_throughput\",\n"
+      << "  \"config\": {\n"
+      << "    \"predictor\": \"lstm_scaled_2\",\n"
+      << "    \"adversarial\": true,\n"
+      << "    \"train_guard\": true,\n"
+      << "    \"anchors\": " << env.anchors.size() << ",\n"
+      << "    \"epochs\": " << kEpochs << ",\n"
+      << "    \"batch_size\": 64,\n"
+      << "    \"micro_batch\": " << kMicroBatch << ",\n"
+      << "    \"parallel_threads\": " << threads << "\n"
+      << "  },\n"
+      << "  \"arms\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ArmResult& r = results[i];
+    out << "    {\"name\": \"" << r.spec.name << "\", \"kernels\": \""
+        << r.spec.kernels << "\", \"threads\": " << r.spec.threads
+        << ", \"micro_batch\": " << r.spec.micro_batch << ", \"seconds\": "
+        << r.seconds << ", \"samples_per_sec\": " << r.samples_per_sec << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  const double serial = results[0].seconds;
+  out << "  ],\n"
+      << "  \"speedup_parallel_vs_serial\": " << serial / results[2].seconds
+      << ",\n"
+      << "  \"speedup_blocked_1t_vs_serial\": " << serial / results[1].seconds
+      << "\n"
+      << "}\n";
+  out.close();
+  std::fprintf(stderr, "wrote %s (parallel vs serial: %.2fx)\n", path.c_str(),
+               serial / results[2].seconds);
+  return 0;
+}
+
+}  // namespace perf
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--perf_json", 11) == 0) {
+      std::string path = "bench_out/perf_pr2.json";
+      if (argv[i][11] == '=') path = argv[i] + 12;
+      return perf::RunPerfJson(path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

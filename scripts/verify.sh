@@ -1,22 +1,47 @@
 #!/usr/bin/env bash
-# Two-lane verification:
+# Three-lane verification:
 #   lane 1 — tier-1: full Release build + complete ctest suite
 #   lane 2 — sanitized: ASan+UBSan build of the robustness-critical suites
-#            (fault injection / imputation and the training guard), which
-#            exercise the code paths that write through masks and restore
-#            checkpointed tensors.
-# Usage: scripts/verify.sh [--tier1-only | --asan-only]
+#            (fault injection / imputation, the training guard, and the
+#            parallel execution layer), which exercise the code paths that
+#            write through masks, restore checkpointed tensors, and share
+#            work across pool threads.
+#   lane 3 — TSan: -DAPOTS_SANITIZE=thread build of the thread-pool and
+#            parallel-determinism suites, the only code that runs more than
+#            one thread.
+# Usage: scripts/verify.sh [--tier1-only | --asan-only | --tsan-only] [--ci]
+#   --ci  non-interactive CI profile: pins APOTS_NUM_THREADS=2 so pool-backed
+#         code runs multi-threaded even on small runners, and echoes every
+#         command for the job log.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 lane_tier1=1
 lane_asan=1
-case "${1:-}" in
-  --tier1-only) lane_asan=0 ;;
-  --asan-only) lane_tier1=0 ;;
-  "") ;;
-  *) echo "usage: $0 [--tier1-only | --asan-only]" >&2; exit 2 ;;
-esac
+lane_tsan=1
+ci_mode=0
+for arg in "$@"; do
+  case "${arg}" in
+    --tier1-only) lane_asan=0; lane_tsan=0 ;;
+    --asan-only) lane_tier1=0; lane_tsan=0 ;;
+    --tsan-only) lane_tier1=0; lane_asan=0 ;;
+    --ci) ci_mode=1 ;;
+    *)
+      echo "usage: $0 [--tier1-only | --asan-only | --tsan-only] [--ci]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if [[ ${ci_mode} -eq 1 ]]; then
+  export APOTS_NUM_THREADS=2
+  export CLICOLOR=0
+  set -x
+fi
+
+# The thread-pool and data-parallel trainer suites, shared by the sanitizer
+# lanes.
+parallel_regex='ThreadPool|GlobalPool|PoolSizeSweep'
 
 if [[ ${lane_tier1} -eq 1 ]]; then
   echo "=== lane 1: tier-1 (Release build + full ctest) ==="
@@ -26,11 +51,20 @@ if [[ ${lane_tier1} -eq 1 ]]; then
 fi
 
 if [[ ${lane_asan} -eq 1 ]]; then
-  echo "=== lane 2: ASan+UBSan (fault injector + train guard suites) ==="
-  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPOTS_SANITIZE=ON
-  cmake --build build-asan -j --target fault_injector_test train_guard_test
+  echo "=== lane 2: ASan+UBSan (fault injector, train guard, parallel suites) ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPOTS_SANITIZE=address
+  cmake --build build-asan -j --target fault_injector_test train_guard_test \
+    thread_pool_test parallel_determinism_test
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R 'FaultInjector|FaultKinds|ValidityMask|Imputation|FeatureAssemblerMask|TrafficDatasetBounds|TrainGuard|GuardedTraining'
+    -R "FaultInjector|FaultKinds|ValidityMask|Imputation|FeatureAssemblerMask|TrafficDatasetBounds|TrainGuard|GuardedTraining|${parallel_regex}"
+fi
+
+if [[ ${lane_tsan} -eq 1 ]]; then
+  echo "=== lane 3: TSan (thread pool + parallel determinism suites) ==="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPOTS_SANITIZE=thread
+  cmake --build build-tsan -j --target thread_pool_test parallel_determinism_test
+  ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+    -R "${parallel_regex}"
 fi
 
 echo "verify: all requested lanes passed"

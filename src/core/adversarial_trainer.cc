@@ -9,6 +9,7 @@
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace apots::core {
 
@@ -19,8 +20,10 @@ using apots::tensor::Tensor;
 AdversarialTrainer::AdversarialTrainer(Predictor* predictor,
                                        Discriminator* discriminator,
                                        const FeatureAssembler* assembler,
-                                       TrainConfig config)
+                                       TrainConfig config,
+                                       PredictorFactory predictor_factory)
     : predictor_(predictor),
+      predictor_factory_(std::move(predictor_factory)),
       discriminator_(discriminator),
       assembler_(assembler),
       config_(config),
@@ -34,6 +37,80 @@ AdversarialTrainer::AdversarialTrainer(Predictor* predictor,
         << "adversarial training requires a discriminator";
   }
   if (config_.adv_period <= 0) config_.adv_period = 1;
+  if (config_.micro_batch > 0) {
+    APOTS_CHECK(predictor_factory_ != nullptr)
+        << "micro_batch > 0 needs a predictor factory for worker replicas";
+  }
+}
+
+void AdversarialTrainer::SyncReplicas(size_t count) {
+  while (replicas_.size() < count) {
+    replicas_.push_back(predictor_factory_());
+    APOTS_CHECK(replicas_.back() != nullptr);
+  }
+  const auto primary = predictor_->Parameters();
+  for (size_t r = 0; r < count; ++r) {
+    const auto params = replicas_[r]->Parameters();
+    APOTS_CHECK_EQ(params.size(), primary.size())
+        << "replica architecture differs from the primary predictor";
+    for (size_t p = 0; p < params.size(); ++p) {
+      APOTS_CHECK(params[p]->value.SameShape(primary[p]->value));
+      params[p]->value = primary[p]->value;
+    }
+  }
+}
+
+double AdversarialTrainer::ShardedMseStep(const std::vector<long>& batch) {
+  const size_t total = batch.size();
+  const size_t micro = config_.micro_batch;
+  const size_t num_shards = (total + micro - 1) / micro;
+  ThreadPool& pool = GlobalPool();
+  // Every shard runs on a replica — never on the primary — because the
+  // primary's grads may already hold the accumulated adversarial term,
+  // which the per-shard ZeroAllGrads below would wipe out.
+  SyncReplicas(pool.num_threads());
+
+  std::vector<double> shard_sq_error(num_shards, 0.0);
+  std::vector<std::vector<Tensor>> shard_grads(num_shards);
+  pool.ParallelFor(
+      0, num_shards, 1, [&](size_t s0, size_t s1, size_t worker) {
+        Predictor* replica = replicas_[worker].get();
+        const auto params = replica->Parameters();
+        for (size_t s = s0; s < s1; ++s) {
+          const size_t lo = s * micro;
+          const size_t hi = std::min(total, lo + micro);
+          const std::vector<long> shard(batch.begin() + lo,
+                                        batch.begin() + hi);
+          apots::nn::ZeroAllGrads(params);
+          const Tensor inputs = assembler_->BatchMatrix(shard);
+          const Tensor targets = assembler_->BatchTargets(shard);
+          const Tensor outputs = replica->Forward(inputs, /*training=*/true);
+          const LossResult loss = apots::nn::MseLoss(outputs, targets);
+          replica->Backward(loss.grad);
+          shard_sq_error[s] = loss.value * static_cast<double>(hi - lo);
+          shard_grads[s].reserve(params.size());
+          for (const auto* p : params) shard_grads[s].push_back(p->grad);
+        }
+      });
+
+  // Reduce in ascending shard order — fixed regardless of which worker
+  // computed which shard — weighting each shard by its size so the total
+  // equals the full-batch mean-squared-error gradient.
+  const auto primary = predictor_->Parameters();
+  double sq_error = 0.0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t lo = s * micro;
+    const size_t hi = std::min(total, lo + micro);
+    const float weight =
+        static_cast<float>(hi - lo) / static_cast<float>(total);
+    for (size_t p = 0; p < primary.size(); ++p) {
+      apots::tensor::Axpy(&primary[p]->grad, shard_grads[s][p], weight);
+    }
+    sq_error += shard_sq_error[s];
+  }
+  apots::nn::ClipGradNorm(primary, config_.grad_clip);
+  predictor_opt_.StepAndZero(primary);
+  return sq_error / static_cast<double>(total);
 }
 
 bool AdversarialTrainer::AdversarialEligible(long anchor) const {
@@ -62,6 +139,9 @@ Tensor AdversarialTrainer::PredictedSequences(
 }
 
 double AdversarialTrainer::MseStep(const std::vector<long>& batch) {
+  if (config_.micro_batch > 0 && batch.size() > config_.micro_batch) {
+    return ShardedMseStep(batch);
+  }
   const Tensor inputs = assembler_->BatchMatrix(batch);
   const Tensor targets = assembler_->BatchTargets(batch);
   const Tensor outputs = predictor_->Forward(inputs, /*training=*/true);

@@ -1,6 +1,7 @@
 #ifndef APOTS_CORE_ADVERSARIAL_TRAINER_H_
 #define APOTS_CORE_ADVERSARIAL_TRAINER_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -46,6 +47,17 @@ struct TrainConfig {
   double grad_clip = 5.0;
   uint64_t seed = 1;
   bool verbose = false;
+  /// Data-parallel micro-batching of the MSE minibatch step: when > 0,
+  /// every minibatch is split into fixed contiguous shards of at most
+  /// `micro_batch` anchors whose forward/backward passes run on
+  /// per-worker predictor replicas (concurrently when the global
+  /// ThreadPool has threads to spare) and whose gradients are reduced in
+  /// ascending shard order. Shard boundaries and reduction order depend
+  /// only on the batch — never on APOTS_NUM_THREADS — so seeded runs are
+  /// bit-reproducible at any pool size. 0 (the default) keeps the
+  /// original single-pass full-batch step, whose numerics the seed tests
+  /// pin down. Requires a predictor factory (ApotsModel wires one up).
+  size_t micro_batch = 0;
   /// Self-healing watchdog (NaN/explosion/collapse detection with
   /// checkpoint rollback). Off by default; see TrainGuarded.
   GuardConfig guard;
@@ -80,12 +92,20 @@ struct TrainReport {
 /// the discriminator may be null.
 class AdversarialTrainer {
  public:
+  /// Builds a fresh, architecturally identical predictor. Used to stamp
+  /// out the per-worker replicas of the data-parallel MSE step; replica
+  /// weights are overwritten from the primary before every sharded step,
+  /// so the factory's own initialization does not matter.
+  using PredictorFactory = std::function<std::unique_ptr<Predictor>()>;
+
   /// `predictor` and `discriminator` are borrowed; `discriminator` may be
   /// null iff `config.adversarial` is false. The assembler provides
   /// samples, targets, real sequences and D's conditioning context.
+  /// `predictor_factory` may be null; then `config.micro_batch` must be 0.
   AdversarialTrainer(Predictor* predictor, Discriminator* discriminator,
                      const apots::data::FeatureAssembler* assembler,
-                     TrainConfig config);
+                     TrainConfig config,
+                     PredictorFactory predictor_factory = nullptr);
 
   /// Runs one epoch over a shuffled copy of `train_anchors`.
   EpochStats RunEpoch(const std::vector<long>& train_anchors);
@@ -122,8 +142,20 @@ class AdversarialTrainer {
   /// discriminator (when present).
   std::vector<apots::nn::Parameter*> AllParameters();
 
-  /// One MSE minibatch step; returns the batch loss.
+  /// One MSE minibatch step; returns the batch loss. Delegates to
+  /// ShardedMseStep when data-parallel micro-batching is configured.
   double MseStep(const std::vector<long>& batch);
+
+  /// Data-parallel MSE step: shards `batch` into micro-batches, runs each
+  /// shard's forward/backward on a per-worker replica, reduces shard
+  /// gradients into the primary predictor in ascending shard order
+  /// (weighted by shard size so the sum equals the full-batch gradient),
+  /// then clips and steps exactly like the serial path.
+  double ShardedMseStep(const std::vector<long>& batch);
+
+  /// Grows the replica set to `count` and syncs every replica's weights
+  /// with the primary predictor.
+  void SyncReplicas(size_t count);
 
   /// One adversarial round (D update then P generator update) on
   /// `anchors`; accumulates into `stats`.
@@ -132,6 +164,10 @@ class AdversarialTrainer {
 
   Predictor* predictor_;           // not owned
   int total_adv_rounds_ = 0;       ///< lifetime rounds, for the D warm-up
+  PredictorFactory predictor_factory_;
+  /// Per-worker predictor replicas for the sharded MSE step, indexed by
+  /// ThreadPool worker id; grown lazily to the pool size.
+  std::vector<std::unique_ptr<Predictor>> replicas_;
   Discriminator* discriminator_;   // not owned, may be null
   const apots::data::FeatureAssembler* assembler_;  // not owned
   TrainConfig config_;

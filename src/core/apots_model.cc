@@ -40,8 +40,19 @@ ApotsModel::ApotsModel(const TrafficDataset* dataset, ApotsConfig config)
   if (train_config.adv_period <= 0) {
     train_config.adv_period = assembler_.alpha();
   }
+  // The factory stamps out architecture-identical replicas for the
+  // data-parallel MSE step; their weights are always overwritten from the
+  // primary, so the fixed seed only affects dead initial values.
+  const PredictorHparams replica_hparams = config_.predictor;
+  const size_t replica_rows = static_cast<size_t>(assembler_.NumRows());
+  const size_t replica_alpha = static_cast<size_t>(assembler_.alpha());
   trainer_ = std::make_unique<AdversarialTrainer>(
-      predictor_.get(), discriminator_.get(), &assembler_, train_config);
+      predictor_.get(), discriminator_.get(), &assembler_, train_config,
+      [replica_hparams, replica_rows, replica_alpha] {
+        apots::Rng replica_rng(1);
+        return MakePredictor(replica_hparams, replica_rows, replica_alpha,
+                             &replica_rng);
+      });
 }
 
 EpochStats ApotsModel::Train(const std::vector<long>& train_anchors) {

@@ -1,7 +1,10 @@
 #include "tensor/tensor_ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+
+#include "util/thread_pool.h"
 
 namespace apots::tensor {
 
@@ -15,14 +18,96 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
   }
 }
 
+std::atomic<KernelMode> g_kernel_mode{KernelMode::kBlocked};
+
+/// Elementwise kernels are memory-bound; a range must be well past the
+/// last-level-cache scale before extra cores beat the wakeup cost, so only
+/// large ranges are handed to the pool.
+constexpr size_t kElementwiseGrain = 1 << 18;
+
+/// Target work per GEMM chunk, in fused multiply-adds. Row grains are
+/// derived from this so tiny matrices stay on the calling thread.
+constexpr size_t kGemmGrainFma = 1 << 15;
+
+size_t RowGrain(size_t fma_per_row) {
+  return std::max<size_t>(1, kGemmGrainFma / std::max<size_t>(1, fma_per_row));
+}
+
+/// Register-tile dimensions for the blocked GEMM kernels. A full tile keeps
+/// a kRowTile x kColTile block of the output in registers across the whole
+/// k loop (8 vector accumulators + 2 b vectors at AVX2 width), so the inner
+/// loop is load-b / broadcast-a / fma with no output traffic.
+constexpr size_t kRowTile = 4;
+constexpr size_t kColTile = 16;
+
+/// Writes out rows [r0, r1) of a * b where `lhs_at(i, kk)` reads element
+/// (i, kk) of the logical left operand and `pb` is the row-major right
+/// operand. Each output element accumulates its k products in ascending-k
+/// order inside one scalar chain — exactly the reference kernels' order, so
+/// results are bitwise identical to them for finite inputs regardless of
+/// tile shape or row partition.
+template <typename LhsAt>
+void GemmRowRangeImpl(LhsAt lhs_at, const float* pb, float* po, size_t r0,
+                      size_t r1, size_t k, size_t n) {
+  for (size_t i = r0; i < r1; i += kRowTile) {
+    const size_t rows = std::min(kRowTile, r1 - i);
+    size_t j = 0;
+    for (; rows == kRowTile && j + kColTile <= n; j += kColTile) {
+      float acc[kRowTile][kColTile] = {};
+      for (size_t kk = 0; kk < k; ++kk) {
+        const float* b_row = pb + kk * n + j;
+        for (size_t r = 0; r < kRowTile; ++r) {
+          const float a_rk = lhs_at(i + r, kk);
+          for (size_t c = 0; c < kColTile; ++c) {
+            acc[r][c] += a_rk * b_row[c];
+          }
+        }
+      }
+      for (size_t r = 0; r < kRowTile; ++r) {
+        float* out_row = po + (i + r) * n + j;
+        for (size_t c = 0; c < kColTile; ++c) out_row[c] = acc[r][c];
+      }
+    }
+    // Ragged edges (last rows, last columns): plain scalar chains.
+    for (size_t r = 0; r < rows; ++r) {
+      float* out_row = po + (i + r) * n;
+      for (size_t jj = j; jj < n; ++jj) {
+        float acc = 0.0f;
+        for (size_t kk = 0; kk < k; ++kk) {
+          acc += lhs_at(i + r, kk) * pb[kk * n + jj];
+        }
+        out_row[jj] = acc;
+      }
+    }
+  }
+}
+
+/// Writes out rows [r0, r1) of a * b (both row-major).
+void MatmulRowRange(const float* pa, const float* pb, float* po, size_t r0,
+                    size_t r1, size_t k, size_t n) {
+  GemmRowRangeImpl([pa, k](size_t i, size_t kk) { return pa[i * k + kk]; },
+                   pb, po, r0, r1, k, n);
+}
+
 }  // namespace
+
+void SetKernelMode(KernelMode mode) {
+  g_kernel_mode.store(mode, std::memory_order_relaxed);
+}
+
+KernelMode GetKernelMode() {
+  return g_kernel_mode.load(std::memory_order_relaxed);
+}
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Add");
   Tensor out = a;
   const float* pb = b.data();
   float* po = out.data();
-  for (size_t i = 0; i < out.size(); ++i) po[i] += pb[i];
+  GlobalPool().ParallelFor(0, out.size(), kElementwiseGrain,
+                           [&](size_t lo, size_t hi, size_t) {
+                             for (size_t i = lo; i < hi; ++i) po[i] += pb[i];
+                           });
   return out;
 }
 
@@ -31,7 +116,10 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   Tensor out = a;
   const float* pb = b.data();
   float* po = out.data();
-  for (size_t i = 0; i < out.size(); ++i) po[i] -= pb[i];
+  GlobalPool().ParallelFor(0, out.size(), kElementwiseGrain,
+                           [&](size_t lo, size_t hi, size_t) {
+                             for (size_t i = lo; i < hi; ++i) po[i] -= pb[i];
+                           });
   return out;
 }
 
@@ -40,14 +128,20 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   Tensor out = a;
   const float* pb = b.data();
   float* po = out.data();
-  for (size_t i = 0; i < out.size(); ++i) po[i] *= pb[i];
+  GlobalPool().ParallelFor(0, out.size(), kElementwiseGrain,
+                           [&](size_t lo, size_t hi, size_t) {
+                             for (size_t i = lo; i < hi; ++i) po[i] *= pb[i];
+                           });
   return out;
 }
 
 Tensor Scale(const Tensor& a, float scalar) {
   Tensor out = a;
   float* po = out.data();
-  for (size_t i = 0; i < out.size(); ++i) po[i] *= scalar;
+  GlobalPool().ParallelFor(0, out.size(), kElementwiseGrain,
+                           [&](size_t lo, size_t hi, size_t) {
+                             for (size_t i = lo; i < hi; ++i) po[i] *= scalar;
+                           });
   return out;
 }
 
@@ -55,15 +149,23 @@ void AddInPlace(Tensor* a, const Tensor& b) {
   CheckSameShape(*a, b, "AddInPlace");
   float* pa = a->data();
   const float* pb = b.data();
-  for (size_t i = 0; i < a->size(); ++i) pa[i] += pb[i];
+  GlobalPool().ParallelFor(0, a->size(), kElementwiseGrain,
+                           [&](size_t lo, size_t hi, size_t) {
+                             for (size_t i = lo; i < hi; ++i) pa[i] += pb[i];
+                           });
 }
 
 void Axpy(Tensor* a, const Tensor& b, float scalar) {
   CheckSameShape(*a, b, "Axpy");
   float* pa = a->data();
   const float* pb = b.data();
-  for (size_t i = 0; i < a->size(); ++i) pa[i] += scalar * pb[i];
+  GlobalPool().ParallelFor(
+      0, a->size(), kElementwiseGrain, [&](size_t lo, size_t hi, size_t) {
+        for (size_t i = lo; i < hi; ++i) pa[i] += scalar * pb[i];
+      });
 }
+
+namespace reference {
 
 Tensor Matmul(const Tensor& a, const Tensor& b) {
   APOTS_CHECK_EQ(a.rank(), 2u);
@@ -131,6 +233,122 @@ Tensor MatmulTransposeB(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+Tensor Im2Col(const Tensor& input, size_t kh, size_t kw, size_t pad) {
+  APOTS_CHECK_EQ(input.rank(), 3u);
+  const size_t channels = input.dim(0);
+  const size_t height = input.dim(1);
+  const size_t width = input.dim(2);
+  APOTS_CHECK_GE(height + 2 * pad + 1, kh);
+  APOTS_CHECK_GE(width + 2 * pad + 1, kw);
+  const size_t out_h = height + 2 * pad - kh + 1;
+  const size_t out_w = width + 2 * pad - kw + 1;
+  Tensor columns({channels * kh * kw, out_h * out_w});
+  float* pc = columns.data();
+  const size_t col_width = out_h * out_w;
+  for (size_t c = 0; c < channels; ++c) {
+    for (size_t ki = 0; ki < kh; ++ki) {
+      for (size_t kj = 0; kj < kw; ++kj) {
+        const size_t row = (c * kh + ki) * kw + kj;
+        float* dst = pc + row * col_width;
+        for (size_t oi = 0; oi < out_h; ++oi) {
+          const long src_i = static_cast<long>(oi + ki) - static_cast<long>(pad);
+          for (size_t oj = 0; oj < out_w; ++oj) {
+            const long src_j =
+                static_cast<long>(oj + kj) - static_cast<long>(pad);
+            float value = 0.0f;
+            if (src_i >= 0 && src_i < static_cast<long>(height) &&
+                src_j >= 0 && src_j < static_cast<long>(width)) {
+              value = input.At3(c, static_cast<size_t>(src_i),
+                                static_cast<size_t>(src_j));
+            }
+            dst[oi * out_w + oj] = value;
+          }
+        }
+      }
+    }
+  }
+  return columns;
+}
+
+}  // namespace reference
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  if (GetKernelMode() == KernelMode::kReference) {
+    return reference::Matmul(a, b);
+  }
+  APOTS_CHECK_EQ(a.rank(), 2u);
+  APOTS_CHECK_EQ(b.rank(), 2u);
+  APOTS_CHECK_EQ(a.cols(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  GlobalPool().ParallelFor(0, m, RowGrain(k * n),
+                           [&](size_t r0, size_t r1, size_t) {
+                             MatmulRowRange(pa, pb, po, r0, r1, k, n);
+                           });
+  return out;
+}
+
+Tensor MatmulTransposeA(const Tensor& a, const Tensor& b) {
+  if (GetKernelMode() == KernelMode::kReference) {
+    return reference::MatmulTransposeA(a, b);
+  }
+  APOTS_CHECK_EQ(a.rank(), 2u);
+  APOTS_CHECK_EQ(b.rank(), 2u);
+  APOTS_CHECK_EQ(a.rows(), b.rows());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // Parallel over output rows (columns of a): each worker owns a disjoint
+  // row panel of `out` and walks all of k, so the k-ascending accumulation
+  // order per element matches the reference kernel exactly.
+  GlobalPool().ParallelFor(
+      0, m, RowGrain(k * n), [&](size_t r0, size_t r1, size_t) {
+        GemmRowRangeImpl(
+            [pa, m](size_t i, size_t kk) { return pa[kk * m + i]; }, pb, po,
+            r0, r1, k, n);
+      });
+  return out;
+}
+
+Tensor MatmulTransposeB(const Tensor& a, const Tensor& b) {
+  if (GetKernelMode() == KernelMode::kReference) {
+    return reference::MatmulTransposeB(a, b);
+  }
+  APOTS_CHECK_EQ(a.rank(), 2u);
+  APOTS_CHECK_EQ(b.rank(), 2u);
+  APOTS_CHECK_EQ(a.cols(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  // Materialize b^T once ([n,k] -> [k,n]) and run the streaming ikj loop.
+  // The reference kernel's scalar dot product is a single latency-bound
+  // dependency chain; streaming over b^T rows vectorizes while adding the
+  // very same products in the very same k-ascending order.
+  Tensor bt({k, n});
+  const float* pb = b.data();
+  float* pbt = bt.data();
+  GlobalPool().ParallelFor(0, k, RowGrain(n),
+                           [&](size_t r0, size_t r1, size_t) {
+                             for (size_t kk = r0; kk < r1; ++kk) {
+                               float* bt_row = pbt + kk * n;
+                               for (size_t j = 0; j < n; ++j) {
+                                 bt_row[j] = pb[j * k + kk];
+                               }
+                             }
+                           });
+  Tensor out({m, n});
+  const float* pa = a.data();
+  float* po = out.data();
+  GlobalPool().ParallelFor(0, m, RowGrain(k * n),
+                           [&](size_t r0, size_t r1, size_t) {
+                             MatmulRowRange(pa, pbt, po, r0, r1, k, n);
+                           });
+  return out;
+}
+
 Tensor Transpose(const Tensor& a) {
   APOTS_CHECK_EQ(a.rank(), 2u);
   const size_t m = a.rows(), n = a.cols();
@@ -163,10 +381,13 @@ void AddRowBias(Tensor* matrix, const Tensor& bias) {
   const size_t m = matrix->rows(), n = matrix->cols();
   float* pm = matrix->data();
   const float* pb = bias.data();
-  for (size_t i = 0; i < m; ++i) {
-    float* row = pm + i * n;
-    for (size_t j = 0; j < n; ++j) row[j] += pb[j];
-  }
+  GlobalPool().ParallelFor(0, m, RowGrain(n),
+                           [&](size_t r0, size_t r1, size_t) {
+                             for (size_t i = r0; i < r1; ++i) {
+                               float* row = pm + i * n;
+                               for (size_t j = 0; j < n; ++j) row[j] += pb[j];
+                             }
+                           });
 }
 
 Tensor SumRows(const Tensor& matrix) {
@@ -175,6 +396,8 @@ Tensor SumRows(const Tensor& matrix) {
   Tensor out({n});
   const float* pm = matrix.data();
   float* po = out.data();
+  // Serial: the row-ascending accumulation order is part of the
+  // determinism contract (bias gradients must not depend on pool size).
   for (size_t i = 0; i < m; ++i) {
     const float* row = pm + i * n;
     for (size_t j = 0; j < n; ++j) po[j] += row[j];
@@ -229,6 +452,9 @@ void FillNormal(Tensor* t, apots::Rng* rng, float mean, float stddev) {
 }
 
 Tensor Im2Col(const Tensor& input, size_t kh, size_t kw, size_t pad) {
+  if (GetKernelMode() == KernelMode::kReference) {
+    return reference::Im2Col(input, kh, kw, pad);
+  }
   APOTS_CHECK_EQ(input.rank(), 3u);
   const size_t channels = input.dim(0);
   const size_t height = input.dim(1);
@@ -239,29 +465,38 @@ Tensor Im2Col(const Tensor& input, size_t kh, size_t kw, size_t pad) {
   const size_t out_w = width + 2 * pad - kw + 1;
   Tensor columns({channels * kh * kw, out_h * out_w});
   float* pc = columns.data();
+  const float* pi = input.data();
   const size_t col_width = out_h * out_w;
-  for (size_t c = 0; c < channels; ++c) {
-    for (size_t ki = 0; ki < kh; ++ki) {
-      for (size_t kj = 0; kj < kw; ++kj) {
-        const size_t row = (c * kh + ki) * kw + kj;
-        float* dst = pc + row * col_width;
-        for (size_t oi = 0; oi < out_h; ++oi) {
-          const long src_i = static_cast<long>(oi + ki) - static_cast<long>(pad);
-          for (size_t oj = 0; oj < out_w; ++oj) {
-            const long src_j =
-                static_cast<long>(oj + kj) - static_cast<long>(pad);
-            float value = 0.0f;
-            if (src_i >= 0 && src_i < static_cast<long>(height) &&
-                src_j >= 0 && src_j < static_cast<long>(width)) {
-              value = input.At3(c, static_cast<size_t>(src_i),
-                                static_cast<size_t>(src_j));
+  // Each output row is the sweep of one (channel, ki, kj) tap: disjoint
+  // writes, so rows parallelize freely.
+  GlobalPool().ParallelFor(
+      0, channels * kh * kw, RowGrain(col_width),
+      [&](size_t row0, size_t row1, size_t) {
+        for (size_t row = row0; row < row1; ++row) {
+          const size_t kj = row % kw;
+          const size_t ki = (row / kw) % kh;
+          const size_t c = row / (kw * kh);
+          const float* src_plane = pi + c * height * width;
+          float* dst = pc + row * col_width;
+          for (size_t oi = 0; oi < out_h; ++oi) {
+            const long src_i =
+                static_cast<long>(oi + ki) - static_cast<long>(pad);
+            if (src_i < 0 || src_i >= static_cast<long>(height)) {
+              std::fill(dst + oi * out_w, dst + (oi + 1) * out_w, 0.0f);
+              continue;
             }
-            dst[oi * out_w + oj] = value;
+            const float* src_row = src_plane + src_i * width;
+            for (size_t oj = 0; oj < out_w; ++oj) {
+              const long src_j =
+                  static_cast<long>(oj + kj) - static_cast<long>(pad);
+              dst[oi * out_w + oj] =
+                  (src_j >= 0 && src_j < static_cast<long>(width))
+                      ? src_row[src_j]
+                      : 0.0f;
+            }
           }
         }
-      }
-    }
-  }
+      });
   return columns;
 }
 
@@ -275,25 +510,34 @@ Tensor Col2Im(const Tensor& columns, size_t channels, size_t height,
   Tensor image({channels, height, width});
   const float* pc = columns.data();
   const size_t col_width = out_h * out_w;
-  for (size_t c = 0; c < channels; ++c) {
-    for (size_t ki = 0; ki < kh; ++ki) {
-      for (size_t kj = 0; kj < kw; ++kj) {
-        const size_t row = (c * kh + ki) * kw + kj;
-        const float* src = pc + row * col_width;
-        for (size_t oi = 0; oi < out_h; ++oi) {
-          const long dst_i = static_cast<long>(oi + ki) - static_cast<long>(pad);
-          if (dst_i < 0 || dst_i >= static_cast<long>(height)) continue;
-          for (size_t oj = 0; oj < out_w; ++oj) {
-            const long dst_j =
-                static_cast<long>(oj + kj) - static_cast<long>(pad);
-            if (dst_j < 0 || dst_j >= static_cast<long>(width)) continue;
-            image.At3(c, static_cast<size_t>(dst_i),
-                      static_cast<size_t>(dst_j)) += src[oi * out_w + oj];
+  // Parallel over channels: every (c, ki, kj) row scatters only into
+  // channel c's image plane, so channels are independent and each plane
+  // keeps its serial accumulation order.
+  GlobalPool().ParallelFor(
+      0, channels, RowGrain(kh * kw * col_width),
+      [&](size_t c0, size_t c1, size_t) {
+        for (size_t c = c0; c < c1; ++c) {
+          for (size_t ki = 0; ki < kh; ++ki) {
+            for (size_t kj = 0; kj < kw; ++kj) {
+              const size_t row = (c * kh + ki) * kw + kj;
+              const float* src = pc + row * col_width;
+              for (size_t oi = 0; oi < out_h; ++oi) {
+                const long dst_i =
+                    static_cast<long>(oi + ki) - static_cast<long>(pad);
+                if (dst_i < 0 || dst_i >= static_cast<long>(height)) continue;
+                for (size_t oj = 0; oj < out_w; ++oj) {
+                  const long dst_j =
+                      static_cast<long>(oj + kj) - static_cast<long>(pad);
+                  if (dst_j < 0 || dst_j >= static_cast<long>(width)) continue;
+                  image.At3(c, static_cast<size_t>(dst_i),
+                            static_cast<size_t>(dst_j)) +=
+                      src[oi * out_w + oj];
+                }
+              }
+            }
           }
         }
-      }
-    }
-  }
+      });
   return image;
 }
 

@@ -22,6 +22,17 @@ void AddInPlace(Tensor* a, const Tensor& b);
 /// In-place a += b * scalar (axpy).
 void Axpy(Tensor* a, const Tensor& b, float scalar);
 
+/// Selects the implementation behind the GEMM/im2col kernels. kBlocked
+/// (the default) is the cache-blocked path parallelized over row ranges
+/// of the global ThreadPool; kReference is the original serial
+/// triple-loop path, kept as the ground truth for kernel tests and as
+/// the pre-parallel baseline arm of the perf benches. The blocked
+/// kernels preserve the reference per-element accumulation order, so
+/// results are bit-identical across modes and across pool sizes.
+enum class KernelMode { kBlocked, kReference };
+void SetKernelMode(KernelMode mode);
+KernelMode GetKernelMode();
+
 /// Matrix product of rank-2 tensors: [m,k] x [k,n] -> [m,n]. Blocked inner
 /// loop over k for cache friendliness; this is the hot path of training.
 Tensor Matmul(const Tensor& a, const Tensor& b);
@@ -29,8 +40,19 @@ Tensor Matmul(const Tensor& a, const Tensor& b);
 /// a^T b without materializing the transpose: [k,m]^T x [k,n] -> [m,n].
 Tensor MatmulTransposeA(const Tensor& a, const Tensor& b);
 
-/// a b^T without materializing the transpose: [m,k] x [n,k]^T -> [m,n].
+/// a b^T: [m,k] x [n,k]^T -> [m,n]. The blocked path materializes b^T
+/// once so the inner loop streams instead of running a latency-bound
+/// scalar dot product; the accumulation order per output element is
+/// unchanged.
 Tensor MatmulTransposeB(const Tensor& a, const Tensor& b);
+
+/// Serial triple-loop ground-truth kernels (see KernelMode::kReference).
+namespace reference {
+Tensor Matmul(const Tensor& a, const Tensor& b);
+Tensor MatmulTransposeA(const Tensor& a, const Tensor& b);
+Tensor MatmulTransposeB(const Tensor& a, const Tensor& b);
+Tensor Im2Col(const Tensor& input, size_t kh, size_t kw, size_t pad);
+}  // namespace reference
 
 /// Transpose of a rank-2 tensor.
 Tensor Transpose(const Tensor& a);

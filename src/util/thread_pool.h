@@ -1,0 +1,100 @@
+#ifndef APOTS_UTIL_THREAD_POOL_H_
+#define APOTS_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apots {
+
+/// Fixed-size worker pool built around one primitive: ParallelFor. The
+/// design goals, in priority order, are (1) determinism — callers that
+/// write disjoint output ranges per index get bit-identical results for
+/// any pool size, and the worker index handed to the body lets callers
+/// keep private scratch; (2) safety — exceptions thrown by the body are
+/// captured and rethrown on the calling thread, and a ParallelFor issued
+/// from inside a worker runs inline instead of deadlocking on the queue;
+/// (3) low overhead — chunks are handed out by a single atomic counter,
+/// and the calling thread participates as worker 0 so a pool of size N
+/// uses exactly N threads.
+class ThreadPool {
+ public:
+  /// Body of a parallel loop: processes indices [begin, end) as worker
+  /// `worker` (0 = calling thread, 1..num_threads-1 = pool workers).
+  using RangeFn = std::function<void(size_t begin, size_t end, size_t worker)>;
+
+  /// Spawns `num_threads - 1` workers (the caller is the remaining one).
+  /// `num_threads` is clamped to at least 1; 1 means fully serial: no
+  /// threads are spawned and ParallelFor degenerates to a direct call.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// Runs `fn` over [begin, end) split into contiguous chunks of at least
+  /// `grain` indices each, and blocks until every chunk finished. Chunks
+  /// are claimed dynamically, so which worker runs which chunk is
+  /// unspecified — but chunk boundaries depend only on (begin, end,
+  /// grain), never on the pool size, and every index is covered exactly
+  /// once. If the range is at most `grain` indices, the pool has one
+  /// thread, or the call is issued from inside a pool worker (nested
+  /// parallelism), `fn(begin, end, 0)` runs inline on the caller. The
+  /// first exception thrown by any chunk is rethrown here after all
+  /// workers have quiesced.
+  void ParallelFor(size_t begin, size_t end, size_t grain, const RangeFn& fn);
+
+ private:
+  /// One parallel region. Heap-allocated and shared with the workers so a
+  /// straggler reading the control block after completion stays valid.
+  struct Job {
+    const RangeFn* fn = nullptr;
+    size_t begin = 0;
+    size_t chunk_size = 1;
+    size_t num_chunks = 0;
+    size_t range_end = 0;
+    std::atomic<size_t> next_chunk{0};
+    std::atomic<size_t> chunks_done{0};
+    std::mutex error_mu;
+    std::exception_ptr error;
+  };
+
+  void WorkerLoop(size_t worker);
+  /// Claims and runs chunks until the job is drained; returns after
+  /// contributing this worker's share of `chunks_done`.
+  void RunChunks(Job* job, size_t worker);
+
+  const size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new generation
+  std::condition_variable done_cv_;   // caller waits for chunks_done
+  std::shared_ptr<Job> job_;          // current region, null when idle
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+/// The process-wide pool used by the tensor kernels and the trainer.
+/// Lazily constructed on first use and sized by the APOTS_NUM_THREADS
+/// environment variable; unset, empty, or invalid values fall back to
+/// std::thread::hardware_concurrency(). APOTS_NUM_THREADS=1 restores the
+/// fully serial path (no worker threads at all).
+ThreadPool& GlobalPool();
+
+/// Replaces the global pool with one of `num_threads` workers. Intended
+/// for tests and benchmarks that compare arms at different pool sizes
+/// within one process; must not race with concurrent ParallelFor calls.
+void ResetGlobalPool(size_t num_threads);
+
+}  // namespace apots
+
+#endif  // APOTS_UTIL_THREAD_POOL_H_

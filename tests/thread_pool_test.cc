@@ -1,0 +1,170 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace apots {
+namespace {
+
+TEST(ThreadPoolTest, StartupAndShutdownAcrossSizes) {
+  for (size_t n : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), n);
+  }
+}
+
+TEST(ThreadPoolTest, SizeZeroClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int calls = 0;
+  pool.ParallelFor(0, 4, 1, [&](size_t lo, size_t hi, size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    calls += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  constexpr size_t kN = 10007;  // prime: exercises a ragged last chunk
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, kN, 16, [&](size_t lo, size_t hi, size_t) {
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NonZeroBeginIsRespected) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(37, 91, 4, [&](size_t lo, size_t hi, size_t) {
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(hits[i].load(), (i >= 37 && i < 91) ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, 1, [&](size_t, size_t, size_t) { called = true; });
+  pool.ParallelFor(7, 3, 1, [&](size_t, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SmallRangeRunsInlineAsWorkerZero) {
+  ThreadPool pool(4);
+  int invocations = 0;
+  pool.ParallelFor(0, 8, 8, [&](size_t lo, size_t hi, size_t worker) {
+    ++invocations;  // single inline call: no synchronization needed
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 8u);
+    EXPECT_EQ(worker, 0u);
+  });
+  EXPECT_EQ(invocations, 1);
+}
+
+TEST(ThreadPoolTest, WorkerIndexStaysWithinPoolSize) {
+  ThreadPool pool(4);
+  std::atomic<size_t> max_worker{0};
+  pool.ParallelFor(0, 4096, 1, [&](size_t, size_t, size_t worker) {
+    size_t seen = max_worker.load();
+    while (seen < worker && !max_worker.compare_exchange_weak(seen, worker)) {
+    }
+  });
+  EXPECT_LT(max_worker.load(), pool.num_threads());
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesIndependentOfPoolSize) {
+  // Determinism contract: callers that accumulate per chunk must see the
+  // same chunk list at any pool size.
+  auto chunks_at = [](size_t pool_size) {
+    ThreadPool pool(pool_size);
+    std::mutex mu;
+    std::set<std::pair<size_t, size_t>> chunks;
+    pool.ParallelFor(3, 5000, 7, [&](size_t lo, size_t hi, size_t) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace(lo, hi);
+    });
+    return chunks;
+  };
+  const auto at2 = chunks_at(2);
+  const auto at4 = chunks_at(4);
+  const auto at8 = chunks_at(8);
+  EXPECT_EQ(at2, at4);
+  EXPECT_EQ(at2, at8);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000, 1,
+                       [&](size_t lo, size_t, size_t) {
+                         if (lo >= 500) {
+                           throw std::runtime_error("boom");
+                         }
+                       }),
+      std::runtime_error);
+  // The pool must stay usable after a failed region.
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 100, 1,
+                   [&](size_t lo, size_t hi, size_t) {
+                     count.fetch_add(static_cast<int>(hi - lo));
+                   });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, NestedSubmitRunsInlineInsteadOfDeadlocking) {
+  ThreadPool pool(4);
+  constexpr size_t kOuter = 16;
+  constexpr size_t kInner = 64;
+  std::atomic<size_t> inner_total{0};
+  std::atomic<int> inner_nonzero_worker{0};
+  pool.ParallelFor(0, kOuter, 1, [&](size_t lo, size_t hi, size_t) {
+    for (size_t i = lo; i < hi; ++i) {
+      // A nested region must not wait on pool workers (they may all be
+      // busy with outer chunks — the classic self-deadlock); it runs
+      // inline on this thread as worker 0.
+      pool.ParallelFor(0, kInner, 1, [&](size_t ilo, size_t ihi,
+                                         size_t worker) {
+        if (worker != 0) inner_nonzero_worker.store(1);
+        inner_total.fetch_add(ihi - ilo);
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), kOuter * kInner);
+  EXPECT_EQ(inner_nonzero_worker.load(), 0);
+}
+
+TEST(ThreadPoolTest, BackToBackRegionsReuseWorkers) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(0, 64, 1, [&](size_t lo, size_t hi, size_t) {
+      count.fetch_add(static_cast<int>(hi - lo));
+    });
+    ASSERT_EQ(count.load(), 64) << "round " << round;
+  }
+}
+
+TEST(GlobalPoolTest, ResetGlobalPoolChangesSize) {
+  ResetGlobalPool(3);
+  EXPECT_EQ(GlobalPool().num_threads(), 3u);
+  ResetGlobalPool(1);
+  EXPECT_EQ(GlobalPool().num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace apots
