@@ -1,0 +1,248 @@
+// Inference latency/throughput benchmark for the batched zero-allocation
+// runtime (PR 3). Times repeated PredictKmh rounds over a fixed anchor set
+// under three arms and writes a machine-readable report (default
+// bench_out/perf_pr3.json) that CI archives and gates on:
+//   per_anchor        batch 1, allocating forward, no feature cache — the
+//                     seed's one-anchor-at-a-time deployment path
+//   batched           batch 64, workspace arenas + feature cache, 1 thread
+//   batched_parallel  batch 64, workspace arenas + feature cache, batches
+//                     sharded across min(4, hardware_concurrency) threads
+//                     (APOTS_NUM_THREADS overrides when > 1)
+// Every arm must produce bitwise identical predictions — the report
+// records the comparison (cold and warm cache) next to the timings.
+//
+// Flags: --perf_json[=path] selects the output file; --quick shrinks the
+// anchor set and round counts for CI smoke runs.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/apots_model.h"
+#include "data/windowing.h"
+#include "traffic/dataset_generator.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace apots;
+
+size_t ParallelThreads() {
+  if (const char* env = std::getenv("APOTS_NUM_THREADS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 1) return static_cast<size_t>(parsed);
+  }
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  return std::min<size_t>(4, hw);
+}
+
+core::ApotsConfig ModelConfig() {
+  core::ApotsConfig config;
+  // LSTM at half paper width: the most GEMM- and dispatch-heavy predictor,
+  // so batching effects dominate the measurement. Weights keep their
+  // deterministic random initialization — latency does not depend on the
+  // weight values, and bitwise identity must hold for any weights.
+  config.predictor =
+      core::PredictorHparams::Scaled(core::PredictorType::kLstm, 2);
+  config.features = data::FeatureConfig::Both();
+  config.features.num_adjacent = 1;  // the Small dataset has 3 roads
+  config.features.beta = 3;
+  config.seed = 99;
+  return config;
+}
+
+struct ArmSpec {
+  const char* name;
+  core::InferenceConfig cfg;
+  size_t threads;
+  size_t rounds;
+};
+
+struct ArmResult {
+  ArmSpec spec;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double anchors_per_sec = 0.0;
+  bool bitwise_cold = false;
+  bool bitwise_warm = false;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+};
+
+double Quantile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  const size_t idx = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(samples.size() - 1)));
+  return samples[idx];
+}
+
+ArmResult RunArm(core::ApotsModel* model, const std::vector<long>& anchors,
+                 const ArmSpec& spec,
+                 const std::vector<double>& baseline) {
+  ArmResult result;
+  result.spec = spec;
+  ResetGlobalPool(spec.threads);
+  model->SetInferenceConfig(spec.cfg);  // fresh runtime: cold cache + arenas
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(spec.rounds);
+  double total_seconds = 0.0;
+  for (size_t round = 0; round < spec.rounds; ++round) {
+    Stopwatch watch;
+    const std::vector<double> pred = model->PredictKmh(anchors);
+    const double seconds = watch.ElapsedSeconds();
+    latencies_ms.push_back(seconds * 1e3);
+    total_seconds += seconds;
+    const bool match = !baseline.empty() && pred == baseline;
+    if (round == 0) result.bitwise_cold = match;
+    result.bitwise_warm = match;
+  }
+  result.p50_ms = Quantile(latencies_ms, 0.50);
+  result.p99_ms = Quantile(latencies_ms, 0.99);
+  result.anchors_per_sec =
+      static_cast<double>(anchors.size() * spec.rounds) / total_seconds;
+  if (auto* cache = model->inference_runtime().feature_cache()) {
+    const auto stats = cache->stats();
+    result.cache_hits = stats.hits;
+    result.cache_misses = stats.misses;
+  }
+  ResetGlobalPool(1);
+  return result;
+}
+
+int Run(const std::string& path, bool quick) {
+  traffic::TrafficDataset dataset =
+      traffic::GenerateDataset(traffic::DatasetSpec::Small(3));
+  auto split = data::MakeSplit(dataset, 12, 3, 0.2,
+                               data::SplitStrategy::kBlockedByDay, 11);
+  const size_t cap = quick ? 96 : 384;
+  std::vector<long> anchors(split.test.begin(),
+                            split.test.begin() +
+                                std::min<size_t>(cap, split.test.size()));
+
+  core::ApotsModel model(&dataset, ModelConfig());
+  const size_t threads = ParallelThreads();
+
+  core::InferenceConfig per_anchor;
+  per_anchor.batch_size = 1;
+  per_anchor.parallel = false;
+  per_anchor.use_workspace = false;
+  per_anchor.use_feature_cache = false;
+
+  core::InferenceConfig batched;  // defaults: B=64, workspace + cache
+  batched.parallel = false;
+
+  core::InferenceConfig batched_parallel;
+  batched_parallel.parallel = true;
+
+  const size_t slow_rounds = quick ? 2 : 8;
+  const size_t fast_rounds = quick ? 4 : 24;
+  const ArmSpec arms[] = {
+      {"per_anchor", per_anchor, 1, slow_rounds},
+      {"batched", batched, 1, fast_rounds},
+      {"batched_parallel", batched_parallel, threads, fast_rounds},
+  };
+
+  // Ground truth for the bitwise comparison: the seed-semantics arm.
+  model.SetInferenceConfig(per_anchor);
+  const std::vector<double> baseline = model.PredictKmh(anchors);
+
+  std::vector<ArmResult> results;
+  for (const ArmSpec& spec : arms) {
+    results.push_back(RunArm(&model, anchors, spec, baseline));
+    const ArmResult& r = results.back();
+    std::fprintf(stderr,
+                 "%-17s p50 %8.2fms  p99 %8.2fms  %9.1f anchors/s  "
+                 "bitwise cold=%d warm=%d\n",
+                 r.spec.name, r.p50_ms, r.p99_ms, r.anchors_per_sec,
+                 r.bitwise_cold ? 1 : 0, r.bitwise_warm ? 1 : 0);
+  }
+
+  const auto arm = [&results](const char* name) -> const ArmResult& {
+    for (const ArmResult& r : results) {
+      if (std::strcmp(r.spec.name, name) == 0) return r;
+    }
+    std::fprintf(stderr, "missing arm %s\n", name);
+    std::exit(1);
+  };
+  bool bitwise_all = true;
+  for (const ArmResult& r : results) {
+    bitwise_all = bitwise_all && r.bitwise_cold && r.bitwise_warm;
+  }
+
+  const std::filesystem::path out_path(path);
+  if (out_path.has_parent_path()) {
+    std::filesystem::create_directories(out_path.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"infer_latency\",\n"
+      << "  \"config\": {\n"
+      << "    \"predictor\": \"lstm_scaled_2\",\n"
+      << "    \"anchors\": " << anchors.size() << ",\n"
+      << "    \"quick\": " << (quick ? "true" : "false") << ",\n"
+      << "    \"parallel_threads\": " << threads << "\n"
+      << "  },\n"
+      << "  \"arms\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ArmResult& r = results[i];
+    out << "    {\"name\": \"" << r.spec.name
+        << "\", \"batch_size\": " << r.spec.cfg.batch_size
+        << ", \"threads\": " << r.spec.threads
+        << ", \"workspace\": " << (r.spec.cfg.use_workspace ? "true" : "false")
+        << ", \"feature_cache\": "
+        << (r.spec.cfg.use_feature_cache ? "true" : "false")
+        << ", \"rounds\": " << r.spec.rounds << ", \"p50_ms\": " << r.p50_ms
+        << ", \"p99_ms\": " << r.p99_ms
+        << ", \"anchors_per_sec\": " << r.anchors_per_sec
+        << ", \"cache_hits\": " << r.cache_hits
+        << ", \"cache_misses\": " << r.cache_misses
+        << ", \"bitwise_match_cold\": " << (r.bitwise_cold ? "true" : "false")
+        << ", \"bitwise_match_warm\": " << (r.bitwise_warm ? "true" : "false")
+        << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  const double base_rate = arm("per_anchor").anchors_per_sec;
+  out << "  ],\n"
+      << "  \"speedup_batched_vs_per_anchor\": "
+      << arm("batched").anchors_per_sec / base_rate << ",\n"
+      << "  \"speedup_batched_parallel_vs_per_anchor\": "
+      << arm("batched_parallel").anchors_per_sec / base_rate << ",\n"
+      << "  \"bitwise_match_all\": " << (bitwise_all ? "true" : "false")
+      << "\n"
+      << "}\n";
+  out.close();
+  std::fprintf(stderr, "wrote %s (batched+parallel vs per-anchor: %.2fx)\n",
+               path.c_str(),
+               arm("batched_parallel").anchors_per_sec / base_rate);
+  return bitwise_all ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path = "bench_out/perf_pr3.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--perf_json", 11) == 0) {
+      if (argv[i][11] == '=') path = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+  return Run(path, quick);
+}

@@ -11,8 +11,14 @@
 //                   exact execution path)
 //   serial_blocked  blocked kernels, 1 thread, full-batch step (isolates the
 //                   single-core kernel rewrite)
-//   parallel        blocked kernels, APOTS_NUM_THREADS (default 4) threads,
-//                   data-parallel micro-batches
+//   blocked_4t      blocked kernels, multiple threads, full-batch step
+//                   (kernel-level parallelism only — no data-parallel
+//                   sharding, no replica syncing)
+//   parallel        blocked kernels, multiple threads, data-parallel
+//                   micro-batches
+// The thread count is APOTS_NUM_THREADS when set (>1), else
+// min(4, hardware_concurrency) — oversubscribing a small machine makes the
+// multi-threaded arms slower than serial and tells us nothing.
 
 #include <benchmark/benchmark.h>
 
@@ -24,6 +30,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/adversarial_trainer.h"
@@ -186,7 +193,8 @@ size_t ParallelThreads() {
     const long parsed = std::atol(env);
     if (parsed > 1) return static_cast<size_t>(parsed);
   }
-  return 4;
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  return std::min<size_t>(4, hw);
 }
 
 int RunPerfJson(const std::string& path) {
@@ -195,6 +203,7 @@ int RunPerfJson(const std::string& path) {
   const ArmSpec arms[] = {
       {"serial", "reference", ops::KernelMode::kReference, 1, 0},
       {"serial_blocked", "blocked", ops::KernelMode::kBlocked, 1, 0},
+      {"blocked_4t", "blocked", ops::KernelMode::kBlocked, threads, 0},
       {"parallel", "blocked", ops::KernelMode::kBlocked, threads, kMicroBatch},
   };
   std::vector<ArmResult> results;
@@ -206,6 +215,15 @@ int RunPerfJson(const std::string& path) {
   }
   ops::SetKernelMode(ops::KernelMode::kBlocked);
   ResetGlobalPool(1);
+  // Name-based lookup — never positional, so adding arms cannot silently
+  // skew the derived speedups.
+  const auto arm_seconds = [&results](const char* name) {
+    for (const ArmResult& r : results) {
+      if (std::strcmp(r.spec.name, name) == 0) return r.seconds;
+    }
+    std::fprintf(stderr, "missing arm %s\n", name);
+    std::exit(1);
+  };
 
   const std::filesystem::path out_path(path);
   if (out_path.has_parent_path()) {
@@ -237,16 +255,18 @@ int RunPerfJson(const std::string& path) {
         << r.seconds << ", \"samples_per_sec\": " << r.samples_per_sec << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  const double serial = results[0].seconds;
+  const double serial = arm_seconds("serial");
   out << "  ],\n"
-      << "  \"speedup_parallel_vs_serial\": " << serial / results[2].seconds
-      << ",\n"
-      << "  \"speedup_blocked_1t_vs_serial\": " << serial / results[1].seconds
-      << "\n"
+      << "  \"speedup_parallel_vs_serial\": "
+      << serial / arm_seconds("parallel") << ",\n"
+      << "  \"speedup_blocked_1t_vs_serial\": "
+      << serial / arm_seconds("serial_blocked") << ",\n"
+      << "  \"speedup_blocked_4t_vs_serial\": "
+      << serial / arm_seconds("blocked_4t") << "\n"
       << "}\n";
   out.close();
   std::fprintf(stderr, "wrote %s (parallel vs serial: %.2fx)\n", path.c_str(),
-               serial / results[2].seconds);
+               serial / arm_seconds("parallel"));
   return 0;
 }
 

@@ -43,20 +43,18 @@ AdversarialTrainer::AdversarialTrainer(Predictor* predictor,
   }
 }
 
-void AdversarialTrainer::SyncReplicas(size_t count) {
-  while (replicas_.size() < count) {
-    replicas_.push_back(predictor_factory_());
-    APOTS_CHECK(replicas_.back() != nullptr);
+void AdversarialTrainer::SyncReplica(
+    size_t worker, const std::vector<apots::nn::Parameter*>& primary) {
+  if (replicas_[worker] == nullptr) {
+    replicas_[worker] = predictor_factory_();
+    APOTS_CHECK(replicas_[worker] != nullptr);
   }
-  const auto primary = predictor_->Parameters();
-  for (size_t r = 0; r < count; ++r) {
-    const auto params = replicas_[r]->Parameters();
-    APOTS_CHECK_EQ(params.size(), primary.size())
-        << "replica architecture differs from the primary predictor";
-    for (size_t p = 0; p < params.size(); ++p) {
-      APOTS_CHECK(params[p]->value.SameShape(primary[p]->value));
-      params[p]->value = primary[p]->value;
-    }
+  const auto params = replicas_[worker]->Parameters();
+  APOTS_CHECK_EQ(params.size(), primary.size())
+      << "replica architecture differs from the primary predictor";
+  for (size_t p = 0; p < params.size(); ++p) {
+    APOTS_CHECK(params[p]->value.SameShape(primary[p]->value));
+    params[p]->value = primary[p]->value;
   }
 }
 
@@ -68,12 +66,28 @@ double AdversarialTrainer::ShardedMseStep(const std::vector<long>& batch) {
   // Every shard runs on a replica — never on the primary — because the
   // primary's grads may already hold the accumulated adversarial term,
   // which the per-shard ZeroAllGrads below would wipe out.
-  SyncReplicas(pool.num_threads());
+  //
+  // Replica slots are grown here on the calling thread; each worker then
+  // creates/syncs only its own slot on its first claimed shard. Syncing
+  // lazily matters: a batch of 64 at micro_batch 32 yields 2 shards, and
+  // eagerly copying the full weight set into every pool replica each step
+  // was the dominant cost of the parallel arm on small machines.
+  if (replicas_.size() < pool.num_threads()) {
+    replicas_.resize(pool.num_threads());
+  }
+  const auto primary_values = predictor_->Parameters();
+  std::vector<char> synced(pool.num_threads(), 0);
 
   std::vector<double> shard_sq_error(num_shards, 0.0);
   std::vector<std::vector<Tensor>> shard_grads(num_shards);
   pool.ParallelFor(
       0, num_shards, 1, [&](size_t s0, size_t s1, size_t worker) {
+        if (!synced[worker]) {
+          // Distinct slot per worker; primary weights are read-only during
+          // the region, so concurrent syncs never race.
+          SyncReplica(worker, primary_values);
+          synced[worker] = 1;
+        }
         Predictor* replica = replicas_[worker].get();
         const auto params = replica->Parameters();
         for (size_t s = s0; s < s1; ++s) {

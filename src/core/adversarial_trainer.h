@@ -153,9 +153,12 @@ class AdversarialTrainer {
   /// then clips and steps exactly like the serial path.
   double ShardedMseStep(const std::vector<long>& batch);
 
-  /// Grows the replica set to `count` and syncs every replica's weights
-  /// with the primary predictor.
-  void SyncReplicas(size_t count);
+  /// Creates worker `worker`'s replica if absent and copies the primary
+  /// weights (`primary`) into it. Called by each worker for its own slot
+  /// only — lazily, on the worker's first shard of a step — so steps with
+  /// fewer shards than pool workers never pay for unused replicas.
+  void SyncReplica(size_t worker,
+                   const std::vector<apots::nn::Parameter*>& primary);
 
   /// One adversarial round (D update then P generator update) on
   /// `anchors`; accumulates into `stats`.

@@ -53,6 +53,14 @@ ApotsModel::ApotsModel(const TrafficDataset* dataset, ApotsConfig config)
         return MakePredictor(replica_hparams, replica_rows, replica_alpha,
                              &replica_rng);
       });
+  runtime_ = std::make_unique<InferenceRuntime>(predictor_.get(), &assembler_,
+                                                config_.inference);
+}
+
+void ApotsModel::SetInferenceConfig(const InferenceConfig& config) {
+  config_.inference = config;
+  runtime_ = std::make_unique<InferenceRuntime>(predictor_.get(), &assembler_,
+                                                config_.inference);
 }
 
 EpochStats ApotsModel::Train(const std::vector<long>& train_anchors) {
@@ -68,6 +76,9 @@ Result<TrainReport> ApotsModel::TrainGuarded(
 
 void ApotsModel::SetValidityMask(const apots::traffic::ValidityMask* mask) {
   assembler_.SetValidityMask(mask);
+  // A mask change usually accompanies in-place dataset mutation (fault
+  // injection); cached feature columns may now be stale.
+  runtime_->InvalidateCache();
 }
 
 void ApotsModel::FitFallback(const std::vector<long>& train_anchors) {
@@ -94,7 +105,7 @@ void ApotsModel::FitFallback(const std::vector<long>& train_anchors) {
 }
 
 std::vector<double> ApotsModel::PredictKmh(const std::vector<long>& anchors) {
-  const Tensor scaled = trainer_->Predict(anchors);
+  const Tensor scaled = runtime_->Predict(anchors);
   std::vector<double> out(anchors.size());
   for (size_t i = 0; i < anchors.size(); ++i) {
     out[i] = assembler_.UnscaleSpeed(scaled[i]);
@@ -102,14 +113,24 @@ std::vector<double> ApotsModel::PredictKmh(const std::vector<long>& anchors) {
   last_fallback_count_ = 0;
   if (config_.fallback.enabled && fallback_model_.fitted() &&
       assembler_.validity_mask() != nullptr) {
-    for (size_t i = 0; i < anchors.size(); ++i) {
-      if (assembler_.WindowValidityRatio(anchors[i]) <
-          config_.fallback.min_validity_ratio) {
-        out[i] = fallback_model_.Predict(*dataset_,
-                                         anchors[i] + assembler_.beta());
-        ++last_fallback_count_;
-      }
-    }
+    // Fallback substitution follows the runtime's batch grid: per-shard
+    // counts are accumulated in ascending shard order, so the reported
+    // count is identical whether the shards were evaluated serially or
+    // out of order by the parallel arm.
+    std::vector<size_t> shard_counts(runtime_->NumBatches(anchors.size()),
+                                     0);
+    runtime_->ForEachBatch(
+        anchors.size(), [&](size_t shard, size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            if (assembler_.WindowValidityRatio(anchors[i]) <
+                config_.fallback.min_validity_ratio) {
+              out[i] = fallback_model_.Predict(
+                  *dataset_, anchors[i] + assembler_.beta());
+              ++shard_counts[shard];
+            }
+          }
+        });
+    for (const size_t c : shard_counts) last_fallback_count_ += c;
   }
   return out;
 }

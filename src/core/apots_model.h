@@ -8,6 +8,7 @@
 #include "baseline/historical_average.h"
 #include "core/adversarial_trainer.h"
 #include "core/discriminator.h"
+#include "core/inference_runtime.h"
 #include "core/predictor.h"
 #include "data/features.h"
 #include "traffic/fault_injector.h"
@@ -35,6 +36,7 @@ struct ApotsConfig {
   apots::data::FeatureConfig features;
   TrainConfig training;
   FallbackConfig fallback;
+  InferenceConfig inference;
   uint64_t seed = 42;
 
   /// Short tag like "APOTS H" / "H" / "Adv F" used in reports.
@@ -80,6 +82,13 @@ class ApotsModel {
   /// How many of the last PredictKmh anchors used the fallback.
   size_t last_fallback_count() const { return last_fallback_count_; }
 
+  /// Swaps the inference configuration (batch size, parallelism,
+  /// workspace/cache toggles), rebuilding the runtime. Predictions are
+  /// bitwise identical under every configuration; this is how benches and
+  /// tests switch arms on one trained model.
+  void SetInferenceConfig(const InferenceConfig& config);
+  InferenceRuntime& inference_runtime() { return *runtime_; }
+
   /// Copies every trainable weight from `other`, which must have an
   /// identical architecture. Used to evaluate trained weights against a
   /// different (e.g. fault-corrupted) dataset binding.
@@ -112,6 +121,7 @@ class ApotsModel {
   std::unique_ptr<Predictor> predictor_;
   std::unique_ptr<Discriminator> discriminator_;
   std::unique_ptr<AdversarialTrainer> trainer_;
+  std::unique_ptr<InferenceRuntime> runtime_;
   apots::baseline::HistoricalAverage fallback_model_;
   size_t last_fallback_count_ = 0;
 };

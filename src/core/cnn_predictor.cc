@@ -1,5 +1,7 @@
 #include "core/cnn_predictor.h"
 
+#include <algorithm>
+
 #include "nn/activations.h"
 #include "nn/conv2d.h"
 #include "nn/dense.h"
@@ -39,6 +41,17 @@ Tensor CnnPredictor::Forward(const Tensor& batch, bool training) {
   const Tensor image =
       batch.Reshape({batch.dim(0), 1, num_rows_, alpha_});
   return net_.Forward(image, training);
+}
+
+const Tensor* CnnPredictor::Forward(const Tensor& batch, bool training,
+                                    apots::tensor::Workspace* ws) {
+  if (training) return Predictor::Forward(batch, training, ws);
+  APOTS_CHECK_EQ(batch.rank(), 3u);
+  APOTS_CHECK_EQ(batch.dim(1), num_rows_);
+  APOTS_CHECK_EQ(batch.dim(2), alpha_);
+  Tensor* image = ws->Acquire({batch.dim(0), 1, num_rows_, alpha_});
+  std::copy(batch.data(), batch.data() + batch.size(), image->data());
+  return net_.Forward(*image, training, ws);
 }
 
 Tensor CnnPredictor::Backward(const Tensor& grad_output) {

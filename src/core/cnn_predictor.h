@@ -18,6 +18,8 @@ class CnnPredictor : public Predictor {
                apots::Rng* rng);
 
   Tensor Forward(const Tensor& batch, bool training) override;
+  const Tensor* Forward(const Tensor& batch, bool training,
+                        apots::tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
   PredictorType type() const override { return PredictorType::kCnn; }

@@ -1,5 +1,7 @@
 #include "core/fc_predictor.h"
 
+#include <algorithm>
+
 #include "nn/activations.h"
 #include "nn/dense.h"
 #include "util/string_util.h"
@@ -26,6 +28,17 @@ Tensor FcPredictor::Forward(const Tensor& batch, bool training) {
   APOTS_CHECK_EQ(batch.dim(2), alpha_);
   const Tensor flat = batch.Reshape({batch.dim(0), num_rows_ * alpha_});
   return net_.Forward(flat, training);
+}
+
+const Tensor* FcPredictor::Forward(const Tensor& batch, bool training,
+                                   apots::tensor::Workspace* ws) {
+  if (training) return Predictor::Forward(batch, training, ws);
+  APOTS_CHECK_EQ(batch.rank(), 3u);
+  APOTS_CHECK_EQ(batch.dim(1), num_rows_);
+  APOTS_CHECK_EQ(batch.dim(2), alpha_);
+  Tensor* flat = ws->Acquire({batch.dim(0), num_rows_ * alpha_});
+  std::copy(batch.data(), batch.data() + batch.size(), flat->data());
+  return net_.Forward(*flat, training, ws);
 }
 
 Tensor FcPredictor::Backward(const Tensor& grad_output) {

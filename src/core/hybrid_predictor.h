@@ -20,6 +20,8 @@ class HybridPredictor : public Predictor {
                   size_t alpha, apots::Rng* rng);
 
   Tensor Forward(const Tensor& batch, bool training) override;
+  const Tensor* Forward(const Tensor& batch, bool training,
+                        apots::tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
   PredictorType type() const override { return PredictorType::kHybrid; }

@@ -1,0 +1,112 @@
+#include "core/inference_runtime.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace apots::core {
+
+using apots::tensor::Tensor;
+using apots::tensor::Workspace;
+
+InferenceRuntime::InferenceRuntime(
+    Predictor* predictor, const apots::data::FeatureAssembler* assembler,
+    InferenceConfig config)
+    : predictor_(predictor), assembler_(assembler), config_(config) {
+  APOTS_CHECK(predictor != nullptr);
+  APOTS_CHECK(assembler != nullptr);
+  APOTS_CHECK_GT(config_.batch_size, 0u);
+  if (config_.use_feature_cache) {
+    cache_ = std::make_unique<apots::data::FeatureCache>(
+        config_.cache_capacity);
+  }
+}
+
+size_t InferenceRuntime::NumBatches(size_t count) const {
+  return (count + config_.batch_size - 1) / config_.batch_size;
+}
+
+void InferenceRuntime::ForEachBatch(
+    size_t count,
+    const std::function<void(size_t, size_t, size_t)>& fn) const {
+  const size_t num_batches = NumBatches(count);
+  for (size_t b = 0; b < num_batches; ++b) {
+    const size_t lo = b * config_.batch_size;
+    const size_t hi = std::min(count, lo + config_.batch_size);
+    fn(b, lo, hi);
+  }
+}
+
+void InferenceRuntime::InvalidateCache() {
+  if (cache_ != nullptr) cache_->Invalidate();
+}
+
+size_t InferenceRuntime::workspace_high_water_floats() const {
+  return workspaces_.empty() ? 0 : workspaces_[0]->high_water_floats();
+}
+
+Tensor InferenceRuntime::Predict(const std::vector<long>& anchors) {
+  const size_t count = anchors.size();
+  Tensor out({count, 1});
+  if (count == 0) return out;
+
+  const size_t rows = static_cast<size_t>(assembler_->NumRows());
+  const size_t alpha = static_cast<size_t>(assembler_->alpha());
+  const size_t num_batches = NumBatches(count);
+
+  if (!config_.use_workspace) {
+    // Baseline path, seed semantics: allocating assembly + allocating
+    // forward. The allocating forward writes layer caches, so this path is
+    // strictly serial regardless of `parallel`.
+    ForEachBatch(count, [&](size_t, size_t lo, size_t hi) {
+      Tensor inputs({hi - lo, rows, alpha});
+      assembler_->AssembleBatchInto(anchors.data() + lo, hi - lo,
+                                    cache_.get(), &inputs);
+      const Tensor outputs = predictor_->Forward(inputs, /*training=*/false);
+      std::copy(outputs.data(), outputs.data() + (hi - lo),
+                out.data() + lo);
+    });
+    return out;
+  }
+
+  apots::ThreadPool& pool = apots::GlobalPool();
+  const bool parallel =
+      config_.parallel && pool.num_threads() > 1 && num_batches > 1;
+  // Grow the arena set on this thread before entering the parallel region;
+  // workers then only touch their own slot.
+  const size_t num_workers = parallel ? pool.num_threads() : 1;
+  while (workspaces_.size() < num_workers) {
+    workspaces_.push_back(std::make_unique<Workspace>());
+  }
+
+  const auto run_batch = [&](size_t lo, size_t hi, size_t worker) {
+    Workspace* ws = workspaces_[worker].get();
+    ws->Reset();
+    Tensor* inputs = ws->Acquire({hi - lo, rows, alpha});
+    assembler_->AssembleBatchInto(anchors.data() + lo, hi - lo, cache_.get(),
+                                  inputs);
+    const Tensor* outputs =
+        predictor_->Forward(*inputs, /*training=*/false, ws);
+    // Disjoint output range per batch: writes never race and land at the
+    // same position regardless of which worker ran the batch.
+    std::copy(outputs->data(), outputs->data() + (hi - lo), out.data() + lo);
+  };
+
+  if (!parallel) {
+    ForEachBatch(count,
+                 [&](size_t, size_t lo, size_t hi) { run_batch(lo, hi, 0); });
+    return out;
+  }
+  pool.ParallelFor(0, num_batches, 1, [&](size_t b0, size_t b1,
+                                          size_t worker) {
+    for (size_t b = b0; b < b1; ++b) {
+      const size_t lo = b * config_.batch_size;
+      const size_t hi = std::min(count, lo + config_.batch_size);
+      run_batch(lo, hi, worker);
+    }
+  });
+  return out;
+}
+
+}  // namespace apots::core

@@ -1,0 +1,92 @@
+#ifndef APOTS_CORE_INFERENCE_RUNTIME_H_
+#define APOTS_CORE_INFERENCE_RUNTIME_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/predictor.h"
+#include "data/feature_cache.h"
+#include "data/features.h"
+#include "tensor/workspace.h"
+
+namespace apots::core {
+
+/// Knobs of the batched inference path. The defaults are the fast
+/// configuration; the bench arms toggle them off to reproduce the
+/// per-anchor baseline. Every combination produces bitwise identical
+/// predictions — the switches trade only speed and memory.
+struct InferenceConfig {
+  /// Anchors packed into one predictor forward. 1 reproduces the
+  /// per-anchor baseline shape.
+  size_t batch_size = 64;
+  /// Shard anchor batches across the global ThreadPool. Only effective
+  /// together with `use_workspace` (the allocating forward mutates layer
+  /// caches and is not reentrant); output ordering is deterministic
+  /// because every batch writes a disjoint, position-fixed output range.
+  bool parallel = true;
+  /// Borrow activations from per-worker Workspace arenas instead of
+  /// allocating per forward (zero heap traffic in steady state).
+  bool use_workspace = true;
+  /// Serve per-interval feature columns from an LRU cache, exploiting the
+  /// alpha-1 window overlap between adjacent anchors.
+  bool use_feature_cache = true;
+  /// Cache entries (per-interval columns) kept before LRU eviction.
+  size_t cache_capacity = 8192;
+};
+
+/// Batched multi-anchor inference engine: packs anchor windows into
+/// [batch_size, rows, alpha] tensors, forwards whole batches through the
+/// tiled kernels on workspace arenas, and shards batches across the
+/// ThreadPool. Deterministic contract (see DESIGN.md §10): the batch grid
+/// depends only on (N, batch_size), every batch owns a disjoint output
+/// range, and the workspace forward is bitwise identical to the allocating
+/// forward — so predictions match the per-anchor path bit for bit at any
+/// batch size, thread count, and cache temperature.
+///
+/// The predictor and assembler are borrowed and must outlive the runtime.
+/// Predict must not run concurrently with training steps on the same
+/// predictor (training mutates weights); concurrent Predict calls are safe.
+class InferenceRuntime {
+ public:
+  InferenceRuntime(Predictor* predictor,
+                   const apots::data::FeatureAssembler* assembler,
+                   InferenceConfig config);
+
+  /// Scaled predictions for `anchors` as an [N, 1] tensor.
+  Tensor Predict(const std::vector<long>& anchors);
+
+  /// Number of batches the deterministic grid carves `count` anchors into.
+  size_t NumBatches(size_t count) const;
+
+  /// Walks the batch grid serially in ascending batch order, calling
+  /// `fn(batch_index, lo, hi)` for each half-open anchor range [lo, hi).
+  /// Exposed so callers that aggregate per-anchor results (e.g. fallback
+  /// accounting) can mirror the grid independent of worker scheduling.
+  void ForEachBatch(size_t count,
+                    const std::function<void(size_t, size_t, size_t)>& fn)
+      const;
+
+  /// Drops cached feature columns (call after the dataset is mutated,
+  /// e.g. by fault injection). No-op without a cache.
+  void InvalidateCache();
+
+  const InferenceConfig& config() const { return config_; }
+  /// Null when `use_feature_cache` is false.
+  apots::data::FeatureCache* feature_cache() { return cache_.get(); }
+  /// Arena high-water mark of worker 0 (diagnostics; 0 before first use).
+  size_t workspace_high_water_floats() const;
+
+ private:
+  Predictor* predictor_;                            // not owned
+  const apots::data::FeatureAssembler* assembler_;  // not owned
+  InferenceConfig config_;
+  std::unique_ptr<apots::data::FeatureCache> cache_;
+  /// Per-ThreadPool-worker arenas, grown on the main thread before any
+  /// parallel region so workers never mutate the vector concurrently.
+  std::vector<std::unique_ptr<apots::tensor::Workspace>> workspaces_;
+};
+
+}  // namespace apots::core
+
+#endif  // APOTS_CORE_INFERENCE_RUNTIME_H_

@@ -36,6 +36,17 @@ Tensor LstmPredictor::Forward(const Tensor& batch, bool training) {
   return net_.Forward(sequence, training);
 }
 
+const Tensor* LstmPredictor::Forward(const Tensor& batch, bool training,
+                                     apots::tensor::Workspace* ws) {
+  if (training) return Predictor::Forward(batch, training, ws);
+  APOTS_CHECK_EQ(batch.rank(), 3u);
+  APOTS_CHECK_EQ(batch.dim(1), num_rows_);
+  APOTS_CHECK_EQ(batch.dim(2), alpha_);
+  Tensor* sequence = ws->Acquire({batch.dim(0), alpha_, num_rows_});
+  apots::tensor::Transpose12Into(batch, sequence);
+  return net_.Forward(*sequence, training, ws);
+}
+
 Tensor LstmPredictor::Backward(const Tensor& grad_output) {
   Tensor grad_sequence = net_.Backward(grad_output);
   return apots::tensor::Transpose12(grad_sequence);

@@ -53,6 +53,14 @@ class Predictor {
 
   virtual Tensor Forward(const Tensor& batch, bool training) = 0;
 
+  /// Workspace variant (see nn::Layer::Forward): borrows all activations
+  /// from `ws`, and at inference (`training == false`) mutates no
+  /// predictor state, so concurrent forwards on a shared predictor are
+  /// safe. Bitwise identical to the allocating Forward. The default
+  /// implementation materializes the allocating Forward into the arena.
+  virtual const Tensor* Forward(const Tensor& batch, bool training,
+                                apots::tensor::Workspace* ws);
+
   /// `grad_output` is [batch, 1]; returns the gradient w.r.t. the input
   /// batch (usually discarded) and accumulates parameter gradients.
   virtual Tensor Backward(const Tensor& grad_output) = 0;

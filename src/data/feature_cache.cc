@@ -1,0 +1,55 @@
+#include "data/feature_cache.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace apots::data {
+
+FeatureCache::FeatureCache(size_t capacity) : capacity_(capacity) {
+  APOTS_CHECK_GT(capacity, 0u);
+}
+
+void FeatureCache::GetOrCompute(const Key& key, size_t column_size,
+                                float* dst,
+                                const std::function<void(float*)>& fill) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    const std::vector<float>& column = it->second->second;
+    APOTS_CHECK_EQ(column.size(), column_size);
+    std::copy(column.begin(), column.end(), dst);
+    return;
+  }
+  ++stats_.misses;
+  lru_.emplace_front(key, std::vector<float>(column_size));
+  fill(lru_.front().second.data());
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  const std::vector<float>& column = lru_.front().second;
+  std::copy(column.begin(), column.end(), dst);
+}
+
+void FeatureCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t FeatureCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+FeatureCache::Stats FeatureCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace apots::data

@@ -1,0 +1,77 @@
+#ifndef APOTS_DATA_FEATURE_CACHE_H_
+#define APOTS_DATA_FEATURE_CACHE_H_
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace apots::data {
+
+/// Thread-safe LRU cache of per-interval feature columns.
+///
+/// A sample matrix column i holds the features of one dataset interval
+/// t = anchor - alpha + i, and every row except the four day-type rows
+/// depends only on t — so adjacent anchors (stride one interval) share
+/// alpha-1 of their alpha columns. Caching columns keyed on
+/// (target road, interval) turns batched multi-anchor assembly from
+/// O(alpha) recomputed columns per anchor into O(1) amortized.
+///
+/// Values are bitwise copies of what the uncached assembly path computes,
+/// so cached and cold assembly produce identical tensors. All operations
+/// take one internal mutex; concurrent GetOrCompute calls are safe
+/// (misses compute under the lock — columns are cheap relative to the
+/// forward pass they feed).
+class FeatureCache {
+ public:
+  struct Key {
+    int road;       ///< target road id the assembler is configured for
+    long interval;  ///< dataset interval index of the column
+    bool operator==(const Key& other) const {
+      return road == other.road && interval == other.interval;
+    }
+  };
+
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+  };
+
+  explicit FeatureCache(size_t capacity);
+
+  /// Copies the column for `key` (length `column_size`) into `dst`. On a
+  /// miss, `fill` is invoked to compute the column into the cache entry
+  /// first. `column_size` must be consistent across calls for a given key.
+  void GetOrCompute(const Key& key, size_t column_size, float* dst,
+                    const std::function<void(float*)>& fill);
+
+  /// Drops every entry (e.g. after the underlying dataset is mutated by
+  /// fault injection). Stats are preserved.
+  void Invalidate();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  Stats stats() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      return std::hash<long>()(key.interval * 31 + key.road);
+    }
+  };
+  using Entry = std::pair<Key, std::vector<float>>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  Stats stats_;
+};
+
+}  // namespace apots::data
+
+#endif  // APOTS_DATA_FEATURE_CACHE_H_

@@ -148,6 +148,78 @@ Tensor FeatureAssembler::BatchMatrix(const std::vector<long>& anchors) const {
   return batch;
 }
 
+void FeatureAssembler::FillIntervalColumn(long t, float* column) const {
+  const int m = config_.num_adjacent;
+  for (int offset = -m; offset <= m; ++offset) {
+    const int row = offset + m;
+    const bool active = offset == 0 || config_.use_adjacent;
+    column[row] = active ? speed_scaler_.Transform(
+                               dataset_->Speed(target_road_ + offset, t))
+                         : 0.0f;
+  }
+  const int base = 2 * m + 1;
+  column[base + 0] = config_.use_event
+                         ? dataset_->EventFlag(target_road_, t)
+                         : 0.0f;
+  if (config_.use_weather) {
+    column[base + 1] =
+        temperature_scaler_.Transform(dataset_->Weather(t).temperature_c);
+    column[base + 2] = precipitation_scaler_.Transform(
+        dataset_->Weather(t).precipitation_mm);
+  } else {
+    column[base + 1] = 0.0f;
+    column[base + 2] = 0.0f;
+  }
+  column[base + 3] = config_.use_time
+                         ? static_cast<float>(
+                               dataset_->FractionalHour(t) / 24.0)
+                         : 0.0f;
+}
+
+void FeatureAssembler::AssembleBatchInto(const long* anchors, size_t count,
+                                         FeatureCache* cache,
+                                         Tensor* out) const {
+  APOTS_CHECK(speed_scaler_.fitted());
+  const size_t rows = static_cast<size_t>(NumRows());
+  const size_t alpha = static_cast<size_t>(config_.alpha);
+  APOTS_CHECK_EQ(out->rank(), 3u);
+  APOTS_CHECK_EQ(out->dim(0), count);
+  APOTS_CHECK_EQ(out->dim(1), rows);
+  APOTS_CHECK_EQ(out->dim(2), alpha);
+  out->Fill(0.0f);  // workspace slots arrive dirty
+
+  const size_t column_size = rows - 4;  // all but the day-type rows
+  std::vector<float> column(column_size);
+  for (size_t n = 0; n < count; ++n) {
+    const long anchor = anchors[n];
+    APOTS_CHECK_GE(anchor - config_.alpha, 0);
+    APOTS_CHECK_LT(anchor + config_.beta, dataset_->num_intervals());
+    float* sample = out->data() + n * rows * alpha;
+    for (size_t i = 0; i < alpha; ++i) {
+      const long t = anchor - config_.alpha + static_cast<long>(i);
+      if (cache != nullptr) {
+        cache->GetOrCompute(
+            {target_road_, t}, column_size, column.data(),
+            [this, t](float* dst) { FillIntervalColumn(t, dst); });
+      } else {
+        FillIntervalColumn(t, column.data());
+      }
+      for (size_t r = 0; r < column_size; ++r) {
+        sample[r * alpha + i] = column[r];
+      }
+    }
+    if (config_.use_time) {
+      const DayInfo day = dataset_->Day(anchor);
+      const std::array<float, 4> type = day.TypeVector();
+      const size_t base = 2 * static_cast<size_t>(config_.num_adjacent) + 1;
+      for (size_t k = 0; k < 4; ++k) {
+        float* row = sample + (base + 4 + k) * alpha;
+        std::fill(row, row + alpha, type[k]);
+      }
+    }
+  }
+}
+
 float FeatureAssembler::Target(long anchor) const {
   APOTS_CHECK_LT(anchor + config_.beta, dataset_->num_intervals());
   return speed_scaler_.Transform(

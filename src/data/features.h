@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "data/feature_cache.h"
 #include "data/scaler.h"
 #include "tensor/tensor.h"
 #include "traffic/fault_injector.h"
@@ -77,6 +78,16 @@ class FeatureAssembler {
   /// Builds a batch [N, NumRows, alpha] for a set of anchors.
   apots::tensor::Tensor BatchMatrix(const std::vector<long>& anchors) const;
 
+  /// Batched assembly into a preallocated [count, NumRows, alpha] tensor
+  /// (typically a workspace slot — `out` may be dirty, every element is
+  /// written). With a non-null `cache`, per-interval columns are served
+  /// from / inserted into it, exploiting the alpha-1 column overlap
+  /// between adjacent anchors. Bitwise identical to BatchMatrix with or
+  /// without the cache, warm or cold.
+  void AssembleBatchInto(const long* anchors, size_t count,
+                         FeatureCache* cache,
+                         apots::tensor::Tensor* out) const;
+
   /// Scaled target value s_{t+beta} of the target road.
   float Target(long anchor) const;
 
@@ -130,6 +141,11 @@ class FeatureAssembler {
   const apots::traffic::TrafficDataset& dataset() const { return *dataset_; }
 
  private:
+  /// Writes the NumRows()-4 anchor-independent feature values of interval
+  /// `t` (speed rows, event, temperature, precipitation, hour; inactive
+  /// rows as zeros). This is the unit the FeatureCache stores.
+  void FillIntervalColumn(long t, float* column) const;
+
   const apots::traffic::TrafficDataset* dataset_;  // not owned
   const apots::traffic::ValidityMask* validity_mask_ = nullptr;  // not owned
   FeatureConfig config_;

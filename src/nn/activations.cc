@@ -26,6 +26,16 @@ Tensor Relu::Forward(const Tensor& input, bool training) {
   return out;
 }
 
+const Tensor* Relu::Forward(const Tensor& input, bool training,
+                            tensor::Workspace* ws) {
+  if (training) return Layer::Forward(input, training, ws);
+  Tensor* out = ws->Acquire(input.shape());
+  const float* px = input.data();
+  float* p = out->data();
+  for (size_t i = 0; i < out->size(); ++i) p[i] = px[i] > 0.0f ? px[i] : 0.0f;
+  return out;
+}
+
 Tensor Relu::Backward(const Tensor& grad_output) {
   APOTS_CHECK(grad_output.SameShape(cached_input_));
   Tensor grad = grad_output;

@@ -12,6 +12,8 @@ class Relu : public Layer {
  public:
   Relu() = default;
   Tensor Forward(const Tensor& input, bool training) override;
+  const Tensor* Forward(const Tensor& input, bool training,
+                        tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_output) override;
   std::string Name() const override { return "Relu"; }
 

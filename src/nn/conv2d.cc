@@ -58,6 +58,41 @@ Tensor Conv2d::Forward(const Tensor& input, bool training) {
   return output;
 }
 
+const Tensor* Conv2d::Forward(const Tensor& input, bool training,
+                              tensor::Workspace* ws) {
+  if (training) return Layer::Forward(input, training, ws);
+  APOTS_CHECK_EQ(input.rank(), 4u);
+  APOTS_CHECK_EQ(input.dim(1), in_channels_);
+  const size_t batch = input.dim(0);
+  const size_t height = input.dim(2);
+  const size_t width = input.dim(3);
+  const size_t out_h = height + 2 * pad_ - kh_ + 1;
+  const size_t out_w = width + 2 * pad_ - kw_ + 1;
+
+  Tensor* output = ws->Acquire({batch, out_channels_, out_h, out_w});
+  // Per-sample scratch reused across the batch; no column caching (that is
+  // backward-only state) and no member writes, so inference is reentrant.
+  Tensor* sample = ws->Acquire({in_channels_, height, width});
+  Tensor* columns = ws->Acquire({in_channels_ * kh_ * kw_, out_h * out_w});
+  Tensor* out_mat = ws->Acquire({out_channels_, out_h * out_w});
+  const size_t sample_in_size = in_channels_ * height * width;
+  const size_t sample_out_size = out_channels_ * out_h * out_w;
+  for (size_t n = 0; n < batch; ++n) {
+    std::copy(input.data() + n * sample_in_size,
+              input.data() + (n + 1) * sample_in_size, sample->data());
+    ops::Im2ColInto(*sample, kh_, kw_, pad_, columns);
+    ops::MatmulInto(weight_.value, *columns, out_mat);
+    for (size_t oc = 0; oc < out_channels_; ++oc) {
+      float* row = out_mat->data() + oc * out_h * out_w;
+      const float b = bias_.value[oc];
+      for (size_t i = 0; i < out_h * out_w; ++i) row[i] += b;
+    }
+    std::copy(out_mat->data(), out_mat->data() + sample_out_size,
+              output->data() + n * sample_out_size);
+  }
+  return output;
+}
+
 Tensor Conv2d::Backward(const Tensor& grad_output) {
   APOTS_CHECK_EQ(grad_output.rank(), 4u);
   const size_t batch = grad_output.dim(0);

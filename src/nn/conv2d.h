@@ -22,6 +22,8 @@ class Conv2d : public Layer {
          size_t pad, apots::Rng* rng, Init init = Init::kHeNormal);
 
   Tensor Forward(const Tensor& input, bool training) override;
+  const Tensor* Forward(const Tensor& input, bool training,
+                        tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
   std::string Name() const override;

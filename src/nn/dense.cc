@@ -26,6 +26,17 @@ Tensor Dense::Forward(const Tensor& input, bool training) {
   return out;
 }
 
+const Tensor* Dense::Forward(const Tensor& input, bool training,
+                             tensor::Workspace* ws) {
+  if (training) return Layer::Forward(input, training, ws);
+  APOTS_CHECK_EQ(input.rank(), 2u);
+  APOTS_CHECK_EQ(input.cols(), in_features_);
+  Tensor* out = ws->Acquire({input.rows(), out_features_});
+  apots::tensor::MatmulInto(input, weight_.value, out);
+  apots::tensor::AddRowBias(out, bias_.value);
+  return out;
+}
+
 Tensor Dense::Backward(const Tensor& grad_output) {
   APOTS_CHECK_EQ(grad_output.rank(), 2u);
   APOTS_CHECK_EQ(grad_output.cols(), out_features_);

@@ -18,6 +18,8 @@ class Dense : public Layer {
         Init init = Init::kXavierUniform);
 
   Tensor Forward(const Tensor& input, bool training) override;
+  const Tensor* Forward(const Tensor& input, bool training,
+                        tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
   std::string Name() const override;

@@ -26,6 +26,14 @@ Tensor Dropout::Forward(const Tensor& input, bool training) {
   return apots::tensor::Mul(input, mask_);
 }
 
+const Tensor* Dropout::Forward(const Tensor& input, bool training,
+                               tensor::Workspace* ws) {
+  if (training) return Layer::Forward(input, training, ws);
+  // Inference dropout is the identity: pass the input through without
+  // copying or touching mask_valid_ (concurrent forwards share this layer).
+  return &input;
+}
+
 Tensor Dropout::Backward(const Tensor& grad_output) {
   if (!mask_valid_) return grad_output;
   APOTS_CHECK(grad_output.SameShape(mask_));

@@ -17,6 +17,8 @@ class Dropout : public Layer {
   Dropout(float rate, apots::Rng* rng);
 
   Tensor Forward(const Tensor& input, bool training) override;
+  const Tensor* Forward(const Tensor& input, bool training,
+                        tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_output) override;
   std::string Name() const override;
 

@@ -14,6 +14,8 @@ class Flatten : public Layer {
   Flatten() = default;
 
   Tensor Forward(const Tensor& input, bool training) override;
+  const Tensor* Forward(const Tensor& input, bool training,
+                        tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_output) override;
   std::string Name() const override { return "Flatten"; }
 

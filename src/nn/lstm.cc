@@ -103,6 +103,65 @@ Tensor Lstm::Forward(const Tensor& input, bool training) {
   return return_sequences_ ? sequence_out : h;
 }
 
+const Tensor* Lstm::Forward(const Tensor& input, bool training,
+                            tensor::Workspace* ws) {
+  if (training) return Layer::Forward(input, training, ws);
+  APOTS_CHECK_EQ(input.rank(), 3u);
+  APOTS_CHECK_EQ(input.dim(2), input_size_);
+  const size_t batch = input.dim(0);
+  const size_t time = input.dim(1);
+  const size_t H = hidden_size_;
+
+  // All state lives in the arena: no StepCache (backward-only) and no
+  // member writes, so concurrent inference forwards are safe. The scalar
+  // recurrence below performs exactly the operations of the allocating
+  // Forward in the same order, so results are bitwise identical.
+  Tensor* h = ws->Acquire({batch, H});
+  Tensor* c = ws->Acquire({batch, H});
+  h->Fill(0.0f);
+  c->Fill(0.0f);
+  Tensor* x_t = ws->Acquire({batch, input_size_});
+  Tensor* gates = ws->Acquire({batch, 4 * H});
+  Tensor* gates_h = ws->Acquire({batch, 4 * H});
+  Tensor* sequence_out =
+      return_sequences_ ? ws->Acquire({batch, time, H}) : nullptr;
+
+  for (size_t t = 0; t < time; ++t) {
+    // Slice x_t: [batch, input].
+    for (size_t n = 0; n < batch; ++n) {
+      const float* src = input.data() + (n * time + t) * input_size_;
+      std::copy(src, src + input_size_, x_t->data() + n * input_size_);
+    }
+    ops::MatmulInto(*x_t, weight_x_.value, gates);
+    ops::MatmulInto(*h, weight_h_.value, gates_h);
+    ops::AddInPlace(gates, *gates_h);
+    ops::AddRowBias(gates, bias_.value);
+
+    // Activate and update h/c in place: [i | f | g | o].
+    for (size_t n = 0; n < batch; ++n) {
+      float* g_row = gates->data() + n * 4 * H;
+      float* c_row = c->data() + n * H;
+      float* h_row = h->data() + n * H;
+      for (size_t j = 0; j < H; ++j) {
+        const float i_gate = SigmoidScalar(g_row[j]);
+        const float f_gate = SigmoidScalar(g_row[H + j]);
+        const float g_cand = TanhScalar(g_row[2 * H + j]);
+        const float o_gate = SigmoidScalar(g_row[3 * H + j]);
+        const float new_c = f_gate * c_row[j] + i_gate * g_cand;
+        c_row[j] = new_c;
+        h_row[j] = o_gate * TanhScalar(new_c);
+      }
+    }
+    if (return_sequences_) {
+      for (size_t n = 0; n < batch; ++n) {
+        std::copy(h->data() + n * H, h->data() + (n + 1) * H,
+                  sequence_out->data() + (n * time + t) * H);
+      }
+    }
+  }
+  return return_sequences_ ? sequence_out : h;
+}
+
 Tensor Lstm::Backward(const Tensor& grad_output) {
   const size_t batch = cached_batch_;
   const size_t time = cached_time_;

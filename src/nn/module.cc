@@ -4,6 +4,11 @@
 
 namespace apots::nn {
 
+const Tensor* Layer::Forward(const Tensor& input, bool training,
+                             tensor::Workspace* ws) {
+  return ws->Materialize(Forward(input, training));
+}
+
 void ZeroAllGrads(const std::vector<Parameter*>& params) {
   for (Parameter* p : params) p->ZeroGrad();
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 
 namespace apots::nn {
 
@@ -45,6 +46,17 @@ class Layer {
   /// Computes the layer output. `training` toggles train-only behaviour
   /// (e.g. dropout).
   virtual Tensor Forward(const Tensor& input, bool training) = 0;
+
+  /// Workspace variant: borrows the output (and any scratch) from `ws`
+  /// instead of allocating, and — when `training` is false — must not
+  /// mutate layer state, so concurrent inference forwards on a shared
+  /// layer are safe. Bitwise identical to the allocating Forward. The
+  /// returned pointer lives until `ws->Reset()`; it may alias `&input`
+  /// for identity layers. The default implementation materializes the
+  /// allocating Forward into the arena; layers on the inference hot path
+  /// override it with a zero-allocation body.
+  virtual const Tensor* Forward(const Tensor& input, bool training,
+                                tensor::Workspace* ws);
 
   /// Backpropagates `grad_output` (gradient of the loss w.r.t. this layer's
   /// output), accumulating into parameter grads, and returns the gradient

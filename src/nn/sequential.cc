@@ -15,6 +15,15 @@ Tensor Sequential::Forward(const Tensor& input, bool training) {
   return current;
 }
 
+const Tensor* Sequential::Forward(const Tensor& input, bool training,
+                                  tensor::Workspace* ws) {
+  const Tensor* current = &input;
+  for (auto& layer : layers_) {
+    current = layer->Forward(*current, training, ws);
+  }
+  return current;
+}
+
 Tensor Sequential::Backward(const Tensor& grad_output) {
   Tensor current = grad_output;
   for (size_t i = layers_.size(); i-- > 0;) {

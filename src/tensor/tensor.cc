@@ -48,6 +48,12 @@ Tensor Tensor::Reshape(std::vector<size_t> new_shape) const {
   return t;
 }
 
+void Tensor::ResetShape(std::vector<size_t> new_shape) {
+  const size_t n = NumElements(new_shape);
+  shape_ = std::move(new_shape);
+  data_.resize(n);
+}
+
 std::string Tensor::ShapeString() const {
   std::string out = "[";
   for (size_t i = 0; i < shape_.size(); ++i) {

@@ -3,12 +3,44 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "util/logging.h"
 
 namespace apots::tensor {
+
+/// Allocator that over-aligns tensor storage to `Alignment` bytes so every
+/// tensor's data() starts on a cache-line boundary — the blocked kernels can
+/// then use aligned vector loads, and arena-borrowed buffers never straddle
+/// a line shared with a neighbouring allocation.
+template <typename T, size_t Alignment = 64>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  bool operator==(const AlignedAllocator&) const { return true; }
+  bool operator!=(const AlignedAllocator&) const { return false; }
+};
+
+/// Tensor backing storage: 64-byte-aligned floats.
+using AlignedFloatVector = std::vector<float, AlignedAllocator<float>>;
 
 /// Dense row-major float32 n-dimensional array. This is the numeric
 /// substrate of the neural-network stack: contiguous storage, explicit
@@ -94,6 +126,12 @@ class Tensor {
   /// Returns a tensor with the same data and a new shape of equal size.
   Tensor Reshape(std::vector<size_t> new_shape) const;
 
+  /// In-place re-dimension to `new_shape`, reusing the existing buffer
+  /// when its capacity suffices (contents become unspecified). This is the
+  /// Workspace slot-recycling hook; ordinary code should construct a new
+  /// Tensor instead.
+  void ResetShape(std::vector<size_t> new_shape);
+
   /// True when shapes are identical.
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
 
@@ -105,7 +143,7 @@ class Tensor {
 
  private:
   std::vector<size_t> shape_;
-  std::vector<float> data_;
+  AlignedFloatVector data_;
 };
 
 /// Number of elements implied by `shape`.

@@ -89,6 +89,54 @@ void MatmulRowRange(const float* pa, const float* pb, float* po, size_t r0,
                    pb, po, r0, r1, k, n);
 }
 
+/// Reference im2col triple loop writing every element of `pc`.
+void ReferenceIm2ColInto(const Tensor& input, size_t kh, size_t kw,
+                         size_t pad, float* pc) {
+  const size_t channels = input.dim(0);
+  const size_t height = input.dim(1);
+  const size_t width = input.dim(2);
+  const size_t out_h = height + 2 * pad - kh + 1;
+  const size_t out_w = width + 2 * pad - kw + 1;
+  const size_t col_width = out_h * out_w;
+  for (size_t c = 0; c < channels; ++c) {
+    for (size_t ki = 0; ki < kh; ++ki) {
+      for (size_t kj = 0; kj < kw; ++kj) {
+        const size_t row = (c * kh + ki) * kw + kj;
+        float* dst = pc + row * col_width;
+        for (size_t oi = 0; oi < out_h; ++oi) {
+          const long src_i =
+              static_cast<long>(oi + ki) - static_cast<long>(pad);
+          for (size_t oj = 0; oj < out_w; ++oj) {
+            const long src_j =
+                static_cast<long>(oj + kj) - static_cast<long>(pad);
+            float value = 0.0f;
+            if (src_i >= 0 && src_i < static_cast<long>(height) &&
+                src_j >= 0 && src_j < static_cast<long>(width)) {
+              value = input.At3(c, static_cast<size_t>(src_i),
+                                static_cast<size_t>(src_j));
+            }
+            dst[oi * out_w + oj] = value;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Reference ikj matmul accumulating into `po`, which must be zeroed.
+void ReferenceMatmulAccumulate(const float* pa, const float* pb, float* po,
+                               size_t m, size_t k, size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    float* out_row = po + i * n;
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* b_row = pb + kk * n;
+      for (size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+}
+
 }  // namespace
 
 void SetKernelMode(KernelMode mode) {
@@ -173,19 +221,8 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
   APOTS_CHECK_EQ(a.cols(), b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
   Tensor out({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
   // ikj loop order: the inner loop streams both b and out rows.
-  for (size_t i = 0; i < m; ++i) {
-    float* out_row = po + i * n;
-    for (size_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* b_row = pb + kk * n;
-      for (size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
-    }
-  }
+  ReferenceMatmulAccumulate(a.data(), b.data(), out.data(), m, k, n);
   return out;
 }
 
@@ -243,30 +280,7 @@ Tensor Im2Col(const Tensor& input, size_t kh, size_t kw, size_t pad) {
   const size_t out_h = height + 2 * pad - kh + 1;
   const size_t out_w = width + 2 * pad - kw + 1;
   Tensor columns({channels * kh * kw, out_h * out_w});
-  float* pc = columns.data();
-  const size_t col_width = out_h * out_w;
-  for (size_t c = 0; c < channels; ++c) {
-    for (size_t ki = 0; ki < kh; ++ki) {
-      for (size_t kj = 0; kj < kw; ++kj) {
-        const size_t row = (c * kh + ki) * kw + kj;
-        float* dst = pc + row * col_width;
-        for (size_t oi = 0; oi < out_h; ++oi) {
-          const long src_i = static_cast<long>(oi + ki) - static_cast<long>(pad);
-          for (size_t oj = 0; oj < out_w; ++oj) {
-            const long src_j =
-                static_cast<long>(oj + kj) - static_cast<long>(pad);
-            float value = 0.0f;
-            if (src_i >= 0 && src_i < static_cast<long>(height) &&
-                src_j >= 0 && src_j < static_cast<long>(width)) {
-              value = input.At3(c, static_cast<size_t>(src_i),
-                                static_cast<size_t>(src_j));
-            }
-            dst[oi * out_w + oj] = value;
-          }
-        }
-      }
-    }
-  }
+  ReferenceIm2ColInto(input, kh, kw, pad, columns.data());
   return columns;
 }
 
@@ -347,6 +361,46 @@ Tensor MatmulTransposeB(const Tensor& a, const Tensor& b) {
                              MatmulRowRange(pa, pbt, po, r0, r1, k, n);
                            });
   return out;
+}
+
+void MatmulInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  APOTS_CHECK_EQ(a.rank(), 2u);
+  APOTS_CHECK_EQ(b.rank(), 2u);
+  APOTS_CHECK_EQ(a.cols(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  APOTS_CHECK_EQ(out->rank(), 2u);
+  APOTS_CHECK_EQ(out->rows(), m);
+  APOTS_CHECK_EQ(out->cols(), n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out->data();
+  if (GetKernelMode() == KernelMode::kReference) {
+    out->Fill(0.0f);
+    ReferenceMatmulAccumulate(pa, pb, po, m, k, n);
+    return;
+  }
+  GlobalPool().ParallelFor(0, m, RowGrain(k * n),
+                           [&](size_t r0, size_t r1, size_t) {
+                             MatmulRowRange(pa, pb, po, r0, r1, k, n);
+                           });
+}
+
+void Transpose12Into(const Tensor& a, Tensor* out) {
+  APOTS_CHECK_EQ(a.rank(), 3u);
+  const size_t n = a.dim(0), rows = a.dim(1), cols = a.dim(2);
+  APOTS_CHECK_EQ(out->rank(), 3u);
+  APOTS_CHECK_EQ(out->dim(0), n);
+  APOTS_CHECK_EQ(out->dim(1), cols);
+  APOTS_CHECK_EQ(out->dim(2), rows);
+  const float* pa = a.data();
+  float* po = out->data();
+  for (size_t i = 0; i < n; ++i) {
+    const float* src = pa + i * rows * cols;
+    float* dst = po + i * rows * cols;
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) dst[c * rows + r] = src[r * cols + c];
+    }
+  }
 }
 
 Tensor Transpose(const Tensor& a) {
@@ -451,10 +505,8 @@ void FillNormal(Tensor* t, apots::Rng* rng, float mean, float stddev) {
   }
 }
 
-Tensor Im2Col(const Tensor& input, size_t kh, size_t kw, size_t pad) {
-  if (GetKernelMode() == KernelMode::kReference) {
-    return reference::Im2Col(input, kh, kw, pad);
-  }
+void Im2ColInto(const Tensor& input, size_t kh, size_t kw, size_t pad,
+                Tensor* out) {
   APOTS_CHECK_EQ(input.rank(), 3u);
   const size_t channels = input.dim(0);
   const size_t height = input.dim(1);
@@ -463,8 +515,14 @@ Tensor Im2Col(const Tensor& input, size_t kh, size_t kw, size_t pad) {
   APOTS_CHECK_GE(width + 2 * pad + 1, kw);
   const size_t out_h = height + 2 * pad - kh + 1;
   const size_t out_w = width + 2 * pad - kw + 1;
-  Tensor columns({channels * kh * kw, out_h * out_w});
-  float* pc = columns.data();
+  APOTS_CHECK_EQ(out->rank(), 2u);
+  APOTS_CHECK_EQ(out->rows(), channels * kh * kw);
+  APOTS_CHECK_EQ(out->cols(), out_h * out_w);
+  if (GetKernelMode() == KernelMode::kReference) {
+    ReferenceIm2ColInto(input, kh, kw, pad, out->data());
+    return;
+  }
+  float* pc = out->data();
   const float* pi = input.data();
   const size_t col_width = out_h * out_w;
   // Each output row is the sweep of one (channel, ki, kj) tap: disjoint
@@ -497,6 +555,19 @@ Tensor Im2Col(const Tensor& input, size_t kh, size_t kw, size_t pad) {
           }
         }
       });
+}
+
+Tensor Im2Col(const Tensor& input, size_t kh, size_t kw, size_t pad) {
+  APOTS_CHECK_EQ(input.rank(), 3u);
+  const size_t channels = input.dim(0);
+  const size_t height = input.dim(1);
+  const size_t width = input.dim(2);
+  APOTS_CHECK_GE(height + 2 * pad + 1, kh);
+  APOTS_CHECK_GE(width + 2 * pad + 1, kw);
+  const size_t out_h = height + 2 * pad - kh + 1;
+  const size_t out_w = width + 2 * pad - kw + 1;
+  Tensor columns({channels * kh * kw, out_h * out_w});
+  Im2ColInto(input, kh, kw, pad, &columns);
   return columns;
 }
 

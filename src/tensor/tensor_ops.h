@@ -54,6 +54,15 @@ Tensor MatmulTransposeB(const Tensor& a, const Tensor& b);
 Tensor Im2Col(const Tensor& input, size_t kh, size_t kw, size_t pad);
 }  // namespace reference
 
+/// Workspace-friendly kernel variants: write into a preallocated output of
+/// the correct shape instead of returning a fresh tensor. Bitwise identical
+/// to the allocating forms in both kernel modes; `out` contents may be
+/// dirty (every element is overwritten).
+void MatmulInto(const Tensor& a, const Tensor& b, Tensor* out);
+void Im2ColInto(const Tensor& input, size_t kh, size_t kw, size_t pad,
+                Tensor* out);
+void Transpose12Into(const Tensor& a, Tensor* out);
+
 /// Transpose of a rank-2 tensor.
 Tensor Transpose(const Tensor& a);
 

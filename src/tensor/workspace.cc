@@ -1,0 +1,40 @@
+#include "tensor/workspace.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace apots::tensor {
+
+Tensor* Workspace::NextSlot() {
+  if (cursor_ == slots_.size()) {
+    slots_.push_back(std::make_unique<Tensor>());
+  }
+  return slots_[cursor_++].get();
+}
+
+Tensor* Workspace::Acquire(std::vector<size_t> shape) {
+  Tensor* slot = NextSlot();
+  slot->ResetShape(std::move(shape));
+  high_water_floats_ = std::max(high_water_floats_, capacity_floats());
+  return slot;
+}
+
+Tensor* Workspace::Materialize(Tensor&& t) {
+  Tensor* slot = NextSlot();
+  *slot = std::move(t);
+  high_water_floats_ = std::max(high_water_floats_, capacity_floats());
+  return slot;
+}
+
+void Workspace::Reset() {
+  cursor_ = 0;
+  ++generation_;
+}
+
+size_t Workspace::capacity_floats() const {
+  size_t total = 0;
+  for (const auto& slot : slots_) total += slot->size();
+  return total;
+}
+
+}  // namespace apots::tensor

@@ -1,0 +1,221 @@
+// Bitwise-equivalence and accounting tests for the batched inference
+// runtime (S2/S6): batched predictions must equal per-anchor predictions
+// bit for bit at any batch size, thread count, and cache temperature, for
+// every predictor family; fallback counts must not depend on whether the
+// batch grid was walked serially or in parallel.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/apots_model.h"
+#include "data/windowing.h"
+#include "traffic/dataset_generator.h"
+#include "traffic/fault_injector.h"
+#include "util/thread_pool.h"
+
+namespace apots::core {
+namespace {
+
+struct Env {
+  traffic::TrafficDataset dataset;
+  std::vector<long> train;
+  std::vector<long> test;
+
+  Env() : dataset(traffic::GenerateDataset(traffic::DatasetSpec::Small(3))) {
+    auto split = data::MakeSplit(dataset, 12, 3, 0.2,
+                                 data::SplitStrategy::kBlockedByDay, 11);
+    train = split.train;
+    test.assign(split.test.begin(),
+                split.test.begin() + std::min<size_t>(48, split.test.size()));
+  }
+};
+
+Env& GetEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+ApotsConfig ConfigFor(PredictorType type) {
+  ApotsConfig config;
+  config.predictor = PredictorHparams::Scaled(type, 2);
+  config.features = data::FeatureConfig::Both();
+  config.features.num_adjacent = 1;  // the Small dataset has 3 roads
+  config.features.beta = 3;
+  config.seed = 99;
+  return config;
+}
+
+InferenceConfig PerAnchorArm() {
+  InferenceConfig cfg;
+  cfg.batch_size = 1;
+  cfg.parallel = false;
+  cfg.use_workspace = false;
+  cfg.use_feature_cache = false;
+  return cfg;
+}
+
+// Exact double comparison on purpose: the contract is bitwise identity,
+// not tolerance-level agreement.
+void ExpectIdentical(const std::vector<double>& got,
+                     const std::vector<double>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << what << " diverges at anchor " << i;
+  }
+}
+
+TEST(InferenceRuntimeTest, BatchGridCoversAnchorsInAscendingOrder) {
+  Env& env = GetEnv();
+  ApotsModel model(&env.dataset, ConfigFor(PredictorType::kFc));
+  for (size_t batch_size : {1u, 7u, 64u, 1000u}) {
+    InferenceConfig cfg;
+    cfg.batch_size = batch_size;
+    model.SetInferenceConfig(cfg);
+    InferenceRuntime& rt = model.inference_runtime();
+
+    const size_t count = 48;
+    size_t expected_index = 0;
+    size_t expected_lo = 0;
+    rt.ForEachBatch(count, [&](size_t index, size_t lo, size_t hi) {
+      EXPECT_EQ(index, expected_index);
+      EXPECT_EQ(lo, expected_lo);
+      EXPECT_GT(hi, lo);
+      EXPECT_LE(hi - lo, batch_size);
+      expected_index += 1;
+      expected_lo = hi;
+    });
+    EXPECT_EQ(expected_lo, count);
+    EXPECT_EQ(expected_index, rt.NumBatches(count));
+  }
+}
+
+TEST(InferenceRuntimeTest, AssembleBatchIntoMatchesBatchMatrix) {
+  Env& env = GetEnv();
+  ApotsModel model(&env.dataset, ConfigFor(PredictorType::kFc));
+  const data::FeatureAssembler& assembler = model.assembler();
+  const Tensor want = assembler.BatchMatrix(env.test);
+
+  const std::vector<size_t> shape{env.test.size(),
+                                  static_cast<size_t>(assembler.NumRows()),
+                                  static_cast<size_t>(assembler.alpha())};
+  // Uncached, then cold cache, then warm cache — all bitwise equal, even
+  // into a dirty destination buffer.
+  data::FeatureCache cache(4096);
+  data::FeatureCache* caches[] = {nullptr, &cache, &cache};
+  for (data::FeatureCache* c : caches) {
+    Tensor got = Tensor::Full(shape, -123.0f);
+    assembler.AssembleBatchInto(env.test.data(), env.test.size(), c, &got);
+    ASSERT_EQ(got.shape(), want.shape());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i], want[i])
+          << "element " << i << (c ? " (cached)" : " (uncached)");
+    }
+  }
+  EXPECT_GT(cache.stats().hits, 0u);  // the overlap actually got exploited
+}
+
+TEST(InferenceRuntimeTest, BatchedMatchesPerAnchorBitwiseAllPredictors) {
+  Env& env = GetEnv();
+  const PredictorType types[] = {PredictorType::kFc, PredictorType::kLstm,
+                                 PredictorType::kCnn, PredictorType::kHybrid};
+  for (PredictorType type : types) {
+    ApotsModel model(&env.dataset, ConfigFor(type));
+    model.SetInferenceConfig(PerAnchorArm());
+    const std::vector<double> baseline = model.PredictKmh(env.test);
+
+    struct Arm {
+      const char* name;
+      size_t batch_size;
+      bool parallel;
+      bool cache;
+      size_t threads;
+    };
+    const Arm arms[] = {
+        {"batch1_serial", 1, false, true, 1},
+        {"batch7_serial_nocache", 7, false, false, 1},
+        {"batch64_serial", 64, false, true, 1},
+        {"batch7_parallel_4t", 7, true, true, 4},
+    };
+    for (const Arm& arm : arms) {
+      ResetGlobalPool(arm.threads);
+      InferenceConfig cfg;
+      cfg.batch_size = arm.batch_size;
+      cfg.parallel = arm.parallel;
+      cfg.use_workspace = true;
+      cfg.use_feature_cache = arm.cache;
+      model.SetInferenceConfig(cfg);
+      ExpectIdentical(model.PredictKmh(env.test), baseline, arm.name);
+      // Second pass: warm feature cache and recycled arena slots.
+      ExpectIdentical(model.PredictKmh(env.test), baseline, arm.name);
+    }
+    ResetGlobalPool(1);
+  }
+}
+
+TEST(InferenceRuntimeTest, SteadyStateStopsGrowingTheArena) {
+  Env& env = GetEnv();
+  ApotsModel model(&env.dataset, ConfigFor(PredictorType::kLstm));
+  (void)model.PredictKmh(env.test);  // warm-up sizes every slot
+  const size_t high_water =
+      model.inference_runtime().workspace_high_water_floats();
+  EXPECT_GT(high_water, 0u);
+  for (int round = 0; round < 3; ++round) (void)model.PredictKmh(env.test);
+  EXPECT_EQ(model.inference_runtime().workspace_high_water_floats(),
+            high_water);
+}
+
+TEST(InferenceRuntimeTest, MaskChangeInvalidatesFeatureCache) {
+  Env& env = GetEnv();
+  ApotsModel model(&env.dataset, ConfigFor(PredictorType::kFc));
+  (void)model.PredictKmh(env.test);
+  data::FeatureCache* cache = model.inference_runtime().feature_cache();
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GT(cache->size(), 0u);
+  model.SetValidityMask(nullptr);
+  EXPECT_EQ(cache->size(), 0u);
+}
+
+TEST(InferenceRuntimeTest, FallbackCountIndependentOfBatchGridAndThreads) {
+  Env& env = GetEnv();
+  ApotsConfig config = ConfigFor(PredictorType::kFc);
+  config.fallback.enabled = true;
+  config.fallback.min_validity_ratio = 0.9;
+  ApotsModel model(&env.dataset, config);
+
+  // Knock out the target road's speed row over the windows of the first
+  // dozen test anchors: their validity ratio drops to ~2/3 < 0.9 while the
+  // train targets stay observed, so exactly those anchors fall back.
+  traffic::ValidityMask mask(env.dataset.num_roads(),
+                             env.dataset.num_intervals());
+  const long alpha = 12;
+  const long first = env.test.front() - alpha + 1;
+  const long last = env.test[11];
+  const int target_road = model.assembler().target_road();
+  for (long t = first; t <= last; ++t) mask.Set(target_road, t, false);
+  model.SetValidityMask(&mask);
+  model.FitFallback(env.train);
+
+  model.SetInferenceConfig(PerAnchorArm());
+  const std::vector<double> baseline = model.PredictKmh(env.test);
+  const size_t baseline_fallbacks = model.last_fallback_count();
+  EXPECT_GT(baseline_fallbacks, 0u);
+  EXPECT_LT(baseline_fallbacks, env.test.size());
+
+  for (size_t batch_size : {7u, 64u}) {
+    for (bool parallel : {false, true}) {
+      ResetGlobalPool(parallel ? 4 : 1);
+      InferenceConfig cfg;
+      cfg.batch_size = batch_size;
+      cfg.parallel = parallel;
+      model.SetInferenceConfig(cfg);
+      ExpectIdentical(model.PredictKmh(env.test), baseline, "fallback arm");
+      EXPECT_EQ(model.last_fallback_count(), baseline_fallbacks)
+          << "batch_size=" << batch_size << " parallel=" << parallel;
+    }
+  }
+  ResetGlobalPool(1);
+}
+
+}  // namespace
+}  // namespace apots::core
