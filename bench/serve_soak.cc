@@ -1,0 +1,320 @@
+// Fault-storm soak of the online serving stack (PR 4). Four arms, one
+// machine-readable report (default bench_out/perf_pr4.json) that CI
+// archives and gates on:
+//   storm           full delivery-fault storm (delays, duplicates, drops,
+//                   outages, torn ticks) end to end; gates: availability
+//                   >= 0.999, zero crashes (reaching the report at all),
+//                   bounded deadline-miss rate
+//   clean_bitwise   faults disabled; every supervisor response must be
+//                   bitwise identical to InferenceRuntime::Predict via
+//                   the model facade
+//   kill_recover    checkpoint mid-storm, kill the stack, cold-restart
+//                   with different init weights, recover; parameters must
+//                   match the pre-kill snapshot bit for bit and the
+//                   watermark must be consistent
+//   corrupt_fallback flip one byte in the newest checkpoint generation;
+//                   recovery must fall back to the previous generation,
+//                   not crash
+//
+// Flags: --perf_json[=path] selects the output file; --quick shrinks the
+// simulated stream for CI smoke runs.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "serve/harness.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace apots;
+
+double Quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t idx = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(samples.size() - 1)));
+  return samples[idx];
+}
+
+serve::HarnessConfig BaseConfig(bool quick) {
+  serve::HarnessConfig config;
+  traffic::DatasetSpec spec;
+  spec.num_roads = 5;
+  spec.num_days = quick ? 4 : 10;
+  spec.intervals_per_day = quick ? 96 : 288;
+  spec.seed = 4242;
+  spec.hyundai_calendar = false;
+  config.spec = spec;
+  config.warmup_fraction = 0.5;
+  config.predictor = core::PredictorType::kFc;
+  config.width_divisor = 16;
+  config.train_epochs = 0;  // serving mechanics do not need a trained model
+  config.model_seed = 7;
+  config.anchors_per_tick = 4;
+  return config;
+}
+
+struct SoakResult {
+  serve::ServeReport report;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  long ticks = 0;
+};
+
+SoakResult RunStream(serve::SimulationHarness* harness) {
+  SoakResult result;
+  std::vector<double> tick_ms;
+  bool more = true;
+  while (more) {
+    Stopwatch watch;
+    more = harness->RunTick();
+    tick_ms.push_back(watch.ElapsedMillis());
+    ++result.ticks;
+  }
+  result.report = harness->report();
+  result.p50_ms = Quantile(tick_ms, 0.50);
+  result.p99_ms = Quantile(tick_ms, 0.99);
+  return result;
+}
+
+// Arm 2: with faults disabled every anchor must stay on the full tier and
+// match the direct runtime path bit for bit, warm or cold cache.
+bool RunCleanBitwise(bool quick, uint64_t* compared) {
+  serve::HarnessConfig config = BaseConfig(quick);
+  config.feed = serve::FeedFaultSpec::Clean();
+  serve::SimulationHarness harness(std::move(config));
+  bool all_match = true;
+  bool more = true;
+  while (more) {
+    more = harness.RunTick();
+    const auto& anchors = harness.last_anchors();
+    const auto& responses = harness.last_responses();
+    const std::vector<double> direct = harness.DirectPredictKmh(anchors);
+    for (size_t i = 0; i < anchors.size(); ++i) {
+      ++*compared;
+      if (responses[i].tier != serve::ServeTier::kFull ||
+          responses[i].kmh != direct[i]) {
+        all_match = false;
+      }
+    }
+  }
+  return all_match;
+}
+
+struct RecoverResult {
+  bool params_bitwise = false;
+  bool watermark_consistent = false;
+  bool recovered_ok = false;
+  uint64_t generation = 0;
+};
+
+// Arm 3: checkpoint under storm, kill, cold-restart with different init
+// weights, recover, compare.
+RecoverResult RunKillRecover(bool quick, const std::string& dir) {
+  std::filesystem::remove_all(dir);
+  serve::HarnessConfig config = BaseConfig(quick);
+  config.feed = serve::FeedFaultSpec::Storm(17);
+  config.serve.checkpoint_dir = dir;
+  config.serve.checkpoint_every = quick ? 16 : 64;
+  config.serve.checkpoint_keep = 3;
+  serve::SimulationHarness harness(std::move(config));
+
+  const long kill_after = quick ? 40 : 160;
+  for (long tick = 0; tick < kill_after; ++tick) {
+    if (!harness.RunTick()) break;
+  }
+  // Align the durable state with the in-memory state we snapshot: no
+  // training happens while serving, so weights cannot drift afterwards.
+  const Status ckpt = harness.supervisor().CheckpointNow();
+  if (!ckpt.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n", ckpt.ToString().c_str());
+    return {};
+  }
+  const auto before_params = harness.ParamSnapshot();
+  const long before_watermark = harness.ingestor().watermark();
+
+  RecoverResult result;
+  auto recovered = harness.KillAndRecover(/*new_seed=*/999);
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "recover failed: %s\n",
+                 recovered.status().ToString().c_str());
+    return {};
+  }
+  result.recovered_ok = true;
+  result.generation = recovered.value().generation;
+  result.params_bitwise = harness.ParamSnapshot() == before_params;
+  result.watermark_consistent =
+      harness.ingestor().watermark() == before_watermark;
+
+  // The recovered stack must keep serving.
+  for (int tick = 0; tick < 8; ++tick) {
+    if (!harness.RunTick()) break;
+  }
+  return result;
+}
+
+// Arm 4: corrupt the newest generation; recovery must fall back.
+bool RunCorruptFallback(bool quick, const std::string& dir,
+                        uint64_t* fell_back_to) {
+  std::filesystem::remove_all(dir);
+  serve::HarnessConfig config = BaseConfig(quick);
+  config.feed = serve::FeedFaultSpec::Storm(23);
+  config.serve.checkpoint_dir = dir;
+  serve::SimulationHarness harness(std::move(config));
+
+  const long ticks = quick ? 24 : 96;
+  for (long tick = 0; tick < ticks / 2; ++tick) harness.RunTick();
+  if (!harness.supervisor().CheckpointNow().ok()) return false;
+  for (long tick = 0; tick < ticks / 2; ++tick) harness.RunTick();
+  if (!harness.supervisor().CheckpointNow().ok()) return false;
+
+  auto* store = harness.supervisor().checkpoint_store();
+  const uint64_t newest = store->LatestGeneration();
+  const std::string victim = store->GenerationPath(newest);
+  {
+    // Flip one byte in the middle of the newest generation.
+    std::fstream file(victim,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    if (!file) return false;
+    file.seekg(0, std::ios::end);
+    const std::streamoff size = file.tellg();
+    file.seekp(size / 2);
+    char byte = 0;
+    file.seekg(size / 2);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    file.seekp(size / 2);
+    file.write(&byte, 1);
+  }
+
+  auto recovered = harness.KillAndRecover(/*new_seed=*/1234);
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "corrupt-fallback recover failed: %s\n",
+                 recovered.status().ToString().c_str());
+    return false;
+  }
+  *fell_back_to = recovered.value().generation;
+  return recovered.value().fell_back() &&
+         recovered.value().generation < newest;
+}
+
+int Run(const std::string& path, bool quick) {
+  // Arm 1: the storm.
+  serve::HarnessConfig storm_config = BaseConfig(quick);
+  storm_config.feed = serve::FeedFaultSpec::Storm(99);
+  storm_config.serve.deadline_ms = 250.0;
+  serve::SimulationHarness storm_harness(std::move(storm_config));
+  const SoakResult storm = RunStream(&storm_harness);
+  const serve::ServeReport& report = storm.report;
+  const double deadline_miss_rate =
+      storm.ticks == 0 ? 0.0
+                       : static_cast<double>(report.deadline_misses) /
+                             static_cast<double>(storm.ticks);
+  std::fprintf(
+      stderr,
+      "storm: %llu requests over %ld ticks, availability %.5f, tiers "
+      "[%llu %llu %llu %llu], p99 %.2fms\n",
+      static_cast<unsigned long long>(report.requests), storm.ticks,
+      report.availability(),
+      static_cast<unsigned long long>(report.tier_counts[0]),
+      static_cast<unsigned long long>(report.tier_counts[1]),
+      static_cast<unsigned long long>(report.tier_counts[2]),
+      static_cast<unsigned long long>(report.tier_counts[3]), storm.p99_ms);
+
+  // Arm 2.
+  uint64_t compared = 0;
+  const bool bitwise_clean = RunCleanBitwise(quick, &compared);
+  std::fprintf(stderr, "clean_bitwise: %llu anchors compared, match=%d\n",
+               static_cast<unsigned long long>(compared),
+               bitwise_clean ? 1 : 0);
+
+  // Arms 3 + 4.
+  const RecoverResult recover =
+      RunKillRecover(quick, "bench_out/soak_ckpt");
+  std::fprintf(stderr,
+               "kill_recover: ok=%d params_bitwise=%d watermark=%d "
+               "(generation %llu)\n",
+               recover.recovered_ok ? 1 : 0, recover.params_bitwise ? 1 : 0,
+               recover.watermark_consistent ? 1 : 0,
+               static_cast<unsigned long long>(recover.generation));
+  uint64_t fell_back_to = 0;
+  const bool corrupt_ok =
+      RunCorruptFallback(quick, "bench_out/soak_ckpt_corrupt",
+                         &fell_back_to);
+  std::fprintf(stderr, "corrupt_fallback: ok=%d (restored generation %llu)\n",
+               corrupt_ok ? 1 : 0,
+               static_cast<unsigned long long>(fell_back_to));
+
+  const std::filesystem::path out_path(path);
+  if (out_path.has_parent_path()) {
+    std::filesystem::create_directories(out_path.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"serve_soak\",\n"
+      << "  \"config\": {\"quick\": " << (quick ? "true" : "false")
+      << ", \"ticks\": " << storm.ticks << "},\n"
+      << "  \"storm\": {\n"
+      << "    \"requests\": " << report.requests << ",\n"
+      << "    \"availability\": " << report.availability() << ",\n"
+      << "    \"tier_full\": " << report.tier_counts[0] << ",\n"
+      << "    \"tier_imputed\": " << report.tier_counts[1] << ",\n"
+      << "    \"tier_historical\": " << report.tier_counts[2] << ",\n"
+      << "    \"tier_last_known_good\": " << report.tier_counts[3] << ",\n"
+      << "    \"failures\": " << report.failures << ",\n"
+      << "    \"deadline_miss_rate\": " << deadline_miss_rate << ",\n"
+      << "    \"max_staleness\": " << report.max_staleness << ",\n"
+      << "    \"p50_tick_ms\": " << storm.p50_ms << ",\n"
+      << "    \"p99_tick_ms\": " << storm.p99_ms << "\n"
+      << "  },\n"
+      << "  \"bitwise_match_clean\": " << (bitwise_clean ? "true" : "false")
+      << ",\n"
+      << "  \"recover_ok\": " << (recover.recovered_ok ? "true" : "false")
+      << ",\n"
+      << "  \"recover_params_bitwise\": "
+      << (recover.params_bitwise ? "true" : "false") << ",\n"
+      << "  \"recover_watermark_match\": "
+      << (recover.watermark_consistent ? "true" : "false") << ",\n"
+      << "  \"corrupt_fallback_ok\": " << (corrupt_ok ? "true" : "false")
+      << ",\n"
+      << "  \"crashes\": 0\n"
+      << "}\n";
+  out.close();
+
+  const bool healthy = report.availability() >= 0.999 && bitwise_clean &&
+                       recover.recovered_ok && recover.params_bitwise &&
+                       recover.watermark_consistent && corrupt_ok;
+  std::fprintf(stderr, "wrote %s (availability %.5f, healthy=%d)\n",
+               path.c_str(), report.availability(), healthy ? 1 : 0);
+  return healthy ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path = "bench_out/perf_pr4.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--perf_json", 11) == 0) {
+      if (argv[i][11] == '=') path = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+  return Run(path, quick);
+}

@@ -2,13 +2,16 @@
 # Three-lane verification:
 #   lane 1 — tier-1: full Release build + complete ctest suite
 #   lane 2 — sanitized: ASan+UBSan build of the robustness-critical suites
-#            (fault injection / imputation, the training guard, and the
+#            (fault injection / imputation, the training guard, the
+#            checkpoint/serialization layer, the serving stack, and the
 #            parallel execution layer), which exercise the code paths that
-#            write through masks, restore checkpointed tensors, and share
-#            work across pool threads.
-#   lane 3 — TSan: -DAPOTS_SANITIZE=thread build of the thread-pool and
-#            parallel-determinism suites, the only code that runs more than
-#            one thread.
+#            write through masks, restore checkpointed tensors, parse
+#            untrusted checkpoint bytes, and share work across pool threads.
+#   lane 3 — TSan: -DAPOTS_SANITIZE=thread build of the thread-pool,
+#            parallel-determinism, and serving-watchdog suites (the code
+#            that runs more than one thread), plus one --quick serving
+#            soak so the watchdog sampler races the live inference path
+#            under the race detector.
 # Usage: scripts/verify.sh [--tier1-only | --asan-only | --tsan-only] [--ci]
 #   --ci  non-interactive CI profile: pins APOTS_NUM_THREADS=2 so pool-backed
 #         code runs multi-threaded even on small runners, and echoes every
@@ -54,17 +57,22 @@ if [[ ${lane_asan} -eq 1 ]]; then
   echo "=== lane 2: ASan+UBSan (fault injector, train guard, parallel suites) ==="
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPOTS_SANITIZE=address
   cmake --build build-asan -j --target fault_injector_test train_guard_test \
-    thread_pool_test parallel_determinism_test
+    thread_pool_test parallel_determinism_test checkpoint_test \
+    feature_cache_stream_test serve_test
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R "FaultInjector|FaultKinds|ValidityMask|Imputation|FeatureAssemblerMask|TrafficDatasetBounds|TrainGuard|GuardedTraining|${parallel_regex}"
+    -R "FaultInjector|FaultKinds|ValidityMask|Imputation|FeatureAssemblerMask|TrafficDatasetBounds|TrainGuard|GuardedTraining|SerializeV2|CheckpointStore|KillRestore|FeatureCacheKey|FeatureCacheStream|FaultyFeed|StreamIngestor|ServeWatchdog|Supervisor|Harness|${parallel_regex}"
 fi
 
 if [[ ${lane_tsan} -eq 1 ]]; then
   echo "=== lane 3: TSan (thread pool + parallel determinism suites) ==="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPOTS_SANITIZE=thread
-  cmake --build build-tsan -j --target thread_pool_test parallel_determinism_test
+  cmake --build build-tsan -j --target thread_pool_test parallel_determinism_test \
+    serve_test serve_soak
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R "${parallel_regex}"
+    -R "${parallel_regex}|ServeWatchdog|Supervisor"
+  # One quick soak under TSan: the watchdog sampler thread races the
+  # serving thread's arm/disarm window on every neural batch.
+  ./build-tsan/bench/serve_soak --quick --perf_json=build-tsan/perf_pr4_tsan.json
 fi
 
 echo "verify: all requested lanes passed"

@@ -174,20 +174,20 @@ std::vector<double> ApotsModel::TrueKmh(
   return out;
 }
 
-Status ApotsModel::Save(const std::string& path) {
+std::vector<apots::nn::Parameter*> ApotsModel::TrainableParameters() {
   std::vector<apots::nn::Parameter*> params = predictor_->Parameters();
   if (discriminator_ != nullptr) {
     for (auto* p : discriminator_->Parameters()) params.push_back(p);
   }
-  return apots::nn::SaveParameters(params, path);
+  return params;
+}
+
+Status ApotsModel::Save(const std::string& path) {
+  return apots::nn::SaveParameters(TrainableParameters(), path);
 }
 
 Status ApotsModel::Load(const std::string& path) {
-  std::vector<apots::nn::Parameter*> params = predictor_->Parameters();
-  if (discriminator_ != nullptr) {
-    for (auto* p : discriminator_->Parameters()) params.push_back(p);
-  }
-  return apots::nn::LoadParameters(params, path);
+  return apots::nn::LoadParameters(TrainableParameters(), path);
 }
 
 size_t ApotsModel::NumWeights() {

@@ -106,6 +106,11 @@ class ApotsModel {
   Status Save(const std::string& path);
   Status Load(const std::string& path);
 
+  /// Every trainable parameter (predictor, then discriminator when
+  /// adversarial) in a stable order — the serialization / checkpoint /
+  /// weight-copy contract.
+  std::vector<apots::nn::Parameter*> TrainableParameters();
+
   const ApotsConfig& config() const { return config_; }
   const apots::data::FeatureAssembler& assembler() const {
     return assembler_;

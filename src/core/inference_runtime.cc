@@ -10,13 +10,43 @@ namespace apots::core {
 using apots::tensor::Tensor;
 using apots::tensor::Workspace;
 
+Status ValidateInferenceConfig(const InferenceConfig& config) {
+  if (config.batch_size == 0) {
+    return Status::InvalidArgument(
+        "InferenceConfig.batch_size must be positive (the batch grid "
+        "divides the anchor count by it)");
+  }
+  if (config.use_feature_cache && config.cache_capacity == 0) {
+    return Status::InvalidArgument(
+        "InferenceConfig.cache_capacity must be positive when "
+        "use_feature_cache is set (an LRU of capacity 0 cannot hold any "
+        "column); either raise it or disable the cache");
+  }
+  return Status::Ok();
+}
+
+InferenceConfig SanitizeInferenceConfig(InferenceConfig config) {
+  if (config.batch_size == 0) {
+    APOTS_LOG(Warning)
+        << "InferenceConfig.batch_size of 0 clamped to 1 (per-anchor)";
+    config.batch_size = 1;
+  }
+  if (config.use_feature_cache && config.cache_capacity == 0) {
+    APOTS_LOG(Warning) << "InferenceConfig.cache_capacity of 0 disables the "
+                          "feature cache";
+    config.use_feature_cache = false;
+  }
+  return config;
+}
+
 InferenceRuntime::InferenceRuntime(
     Predictor* predictor, const apots::data::FeatureAssembler* assembler,
     InferenceConfig config)
-    : predictor_(predictor), assembler_(assembler), config_(config) {
+    : predictor_(predictor),
+      assembler_(assembler),
+      config_(SanitizeInferenceConfig(config)) {
   APOTS_CHECK(predictor != nullptr);
   APOTS_CHECK(assembler != nullptr);
-  APOTS_CHECK_GT(config_.batch_size, 0u);
   if (config_.use_feature_cache) {
     cache_ = std::make_unique<apots::data::FeatureCache>(
         config_.cache_capacity);

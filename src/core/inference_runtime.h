@@ -9,6 +9,7 @@
 #include "data/feature_cache.h"
 #include "data/features.h"
 #include "tensor/workspace.h"
+#include "util/status.h"
 
 namespace apots::core {
 
@@ -34,6 +35,17 @@ struct InferenceConfig {
   /// Cache entries (per-interval columns) kept before LRU eviction.
   size_t cache_capacity = 8192;
 };
+
+/// Rejects configurations the runtime cannot honor as written:
+/// `batch_size == 0` (the batch grid divides by it) and
+/// `cache_capacity == 0` with the cache enabled (an LRU that can hold
+/// nothing). Returns InvalidArgument naming the offending field.
+Status ValidateInferenceConfig(const InferenceConfig& config);
+
+/// Clamps edge values to the nearest working configuration instead of
+/// rejecting: `batch_size` 0 → 1, and `cache_capacity` 0 disables the
+/// feature cache. The result always passes ValidateInferenceConfig.
+InferenceConfig SanitizeInferenceConfig(InferenceConfig config);
 
 /// Batched multi-anchor inference engine: packs anchor windows into
 /// [batch_size, rows, alpha] tensors, forwards whole batches through the

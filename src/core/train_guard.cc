@@ -4,9 +4,17 @@
 #include <cmath>
 
 #include "core/adversarial_trainer.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace apots::core {
+
+TrainGuard::TrainGuard(GuardConfig config) : config_(std::move(config)) {
+  if (!config_.spill_dir.empty()) {
+    spill_ = std::make_unique<apots::nn::CheckpointStore>(
+        config_.spill_dir, config_.spill_generations);
+  }
+}
 
 const char* GuardVerdictName(GuardVerdict verdict) {
   switch (verdict) {
@@ -27,6 +35,16 @@ void TrainGuard::Snapshot(const std::vector<apots::nn::Parameter*>& params) {
   checkpoint_.reserve(params.size());
   for (const apots::nn::Parameter* p : params) {
     checkpoint_.push_back({p->name, p->value});
+  }
+  if (spill_ != nullptr) {
+    auto spilled = spill_->Save(params);
+    last_spill_status_ = spilled.status();
+    if (!spilled.ok()) {
+      // The in-memory checkpoint still protects this run; only crash
+      // recovery across processes is degraded.
+      APOTS_LOG(Warning) << "guard checkpoint spill failed: "
+                         << spilled.status().ToString();
+    }
   }
 }
 

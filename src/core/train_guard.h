@@ -1,9 +1,11 @@
 #ifndef APOTS_CORE_TRAIN_GUARD_H_
 #define APOTS_CORE_TRAIN_GUARD_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "nn/checkpoint.h"
 #include "nn/module.h"
 #include "util/status.h"
 
@@ -44,6 +46,14 @@ struct GuardConfig {
   int max_rollbacks = 3;
   /// Multiplier applied to both learning rates on every rollback.
   float lr_backoff = 0.1f;
+  /// When non-empty, every Snapshot also spills an atomic, checksummed
+  /// checkpoint to this directory (generation-retained; see
+  /// nn::CheckpointStore) so a process kill mid-training loses at most one
+  /// epoch instead of the whole run. A spill failure degrades to the
+  /// in-memory checkpoint with a warning — it never aborts training.
+  std::string spill_dir;
+  /// On-disk generations retained when spilling.
+  int spill_generations = 2;
 };
 
 /// Epoch-granular checkpoint + divergence detector for AdversarialTrainer.
@@ -52,7 +62,7 @@ struct GuardConfig {
 /// divergence. All fallible paths report Status instead of aborting.
 class TrainGuard {
  public:
-  explicit TrainGuard(GuardConfig config) : config_(config) {}
+  explicit TrainGuard(GuardConfig config);
 
   const GuardConfig& config() const { return config_; }
 
@@ -80,6 +90,13 @@ class TrainGuard {
   int rollbacks() const { return rollbacks_; }
   bool RetryBudgetLeft() const { return rollbacks_ < config_.max_rollbacks; }
 
+  /// Outcome of the last disk spill (Ok when spilling is disabled).
+  const Status& last_spill_status() const { return last_spill_status_; }
+  /// Null unless `config.spill_dir` is set.
+  const apots::nn::CheckpointStore* spill_store() const {
+    return spill_.get();
+  }
+
  private:
   struct Entry {
     std::string name;
@@ -88,6 +105,8 @@ class TrainGuard {
 
   GuardConfig config_;
   std::vector<Entry> checkpoint_;
+  std::unique_ptr<apots::nn::CheckpointStore> spill_;
+  Status last_spill_status_;
   double best_mse_ = -1.0;  ///< best healthy epoch MSE; < 0 = none yet
   int collapse_streak_ = 0;
   int rollbacks_ = 0;

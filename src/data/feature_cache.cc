@@ -10,29 +10,44 @@ FeatureCache::FeatureCache(size_t capacity) : capacity_(capacity) {
   APOTS_CHECK_GT(capacity, 0u);
 }
 
+uint64_t FeatureCache::CurrentGeneration(const Key& key) const {
+  auto it = generations_.find(key);
+  return it == generations_.end() ? 0 : it->second;
+}
+
 void FeatureCache::GetOrCompute(const Key& key, size_t column_size,
                                 float* dst,
                                 const std::function<void(float*)>& fill) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    ++stats_.hits;
     lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-    const std::vector<float>& column = it->second->second;
-    APOTS_CHECK_EQ(column.size(), column_size);
-    std::copy(column.begin(), column.end(), dst);
+    Entry& entry = *it->second;
+    APOTS_CHECK_EQ(entry.column.size(), column_size);
+    const uint64_t current = CurrentGeneration(key);
+    if (entry.generation != current) {
+      // The underlying interval changed since this column was computed;
+      // refresh in place rather than serving the stale bytes.
+      ++stats_.stale_rejects;
+      fill(entry.column.data());
+      entry.generation = current;
+    } else {
+      ++stats_.hits;
+    }
+    std::copy(entry.column.begin(), entry.column.end(), dst);
     return;
   }
   ++stats_.misses;
-  lru_.emplace_front(key, std::vector<float>(column_size));
-  fill(lru_.front().second.data());
+  lru_.emplace_front(Entry{key, CurrentGeneration(key),
+                           std::vector<float>(column_size)});
+  fill(lru_.front().column.data());
   index_[key] = lru_.begin();
   if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
+    index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
   }
-  const std::vector<float>& column = lru_.front().second;
+  const std::vector<float>& column = lru_.front().column;
   std::copy(column.begin(), column.end(), dst);
 }
 
@@ -40,6 +55,15 @@ void FeatureCache::Invalidate() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  // With no resident entries every lookup recomputes anyway, so the
+  // per-key generation history can be dropped too.
+  generations_.clear();
+}
+
+void FeatureCache::InvalidateKey(const Key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++generations_[key];
+  ++stats_.key_invalidations;
 }
 
 size_t FeatureCache::size() const {

@@ -2,11 +2,11 @@
 #define APOTS_DATA_FEATURE_CACHE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <list>
 #include <mutex>
 #include <unordered_map>
-#include <utility>
 #include <vector>
 
 namespace apots::data {
@@ -25,6 +25,13 @@ namespace apots::data {
 /// take one internal mutex; concurrent GetOrCompute calls are safe
 /// (misses compute under the lock — columns are cheap relative to the
 /// forward pass they feed).
+///
+/// Two invalidation granularities exist. Invalidate() drops everything —
+/// right after a wholesale dataset rewrite. InvalidateKey() marks one
+/// (road, interval) stale by bumping its generation; the entry stays
+/// resident and is recomputed in place on its next lookup. Streaming
+/// ingestion uses the latter so one late record does not evict thousands
+/// of unrelated warm columns.
 class FeatureCache {
  public:
   struct Key {
@@ -39,6 +46,10 @@ class FeatureCache {
     size_t hits = 0;
     size_t misses = 0;
     size_t evictions = 0;
+    /// Lookups that found a resident entry whose generation was behind —
+    /// i.e. stale reads that InvalidateKey prevented.
+    size_t stale_rejects = 0;
+    size_t key_invalidations = 0;
   };
 
   explicit FeatureCache(size_t capacity);
@@ -53,6 +64,11 @@ class FeatureCache {
   /// fault injection). Stats are preserved.
   void Invalidate();
 
+  /// Marks one key's cached column stale. O(1): the entry (if resident)
+  /// is recomputed in place on its next GetOrCompute instead of being
+  /// erased now. Safe to call for keys never cached.
+  void InvalidateKey(const Key& key);
+
   size_t size() const;
   size_t capacity() const { return capacity_; }
   Stats stats() const;
@@ -63,12 +79,22 @@ class FeatureCache {
       return std::hash<long>()(key.interval * 31 + key.road);
     }
   };
-  using Entry = std::pair<Key, std::vector<float>>;
+  struct Entry {
+    Key key;
+    uint64_t generation;
+    std::vector<float> column;
+  };
+
+  /// Current generation for `key`; 0 for keys never invalidated.
+  uint64_t CurrentGeneration(const Key& key) const;
 
   const size_t capacity_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  /// Only keys that have been invalidated at least once appear here, so
+  /// the map stays proportional to churn rather than to cache traffic.
+  std::unordered_map<Key, uint64_t, KeyHash> generations_;
   Stats stats_;
 };
 

@@ -1,7 +1,9 @@
 #include "data/imputation.h"
 
+#include <utility>
 #include <vector>
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace apots::data {
@@ -136,6 +138,42 @@ Result<ImputationReport> ImputeSpeeds(TrafficDataset* dataset,
     }
   }
   return report;
+}
+
+StreamingImputer::StreamingImputer(
+    int num_roads, ImputationConfig config,
+    std::function<float(int road, long t)> profile)
+    : config_(config), profile_(std::move(profile)) {
+  APOTS_CHECK_GT(num_roads, 0);
+  APOTS_CHECK(profile_ != nullptr);
+  last_t_.assign(static_cast<size_t>(num_roads), -1);
+  last_val_.assign(static_cast<size_t>(num_roads), 0.0f);
+}
+
+void StreamingImputer::Observe(int road, long t, float value) {
+  APOTS_CHECK(road >= 0 && road < num_roads());
+  if (t < last_t_[static_cast<size_t>(road)]) return;  // stale arrival
+  last_t_[static_cast<size_t>(road)] = t;
+  last_val_[static_cast<size_t>(road)] = value;
+}
+
+float StreamingImputer::Fill(int road, long t) const {
+  APOTS_CHECK(road >= 0 && road < num_roads());
+  const long last = last_t_[static_cast<size_t>(road)];
+  if (last >= 0 && t > last && t - last <= config_.locf_max_gap) {
+    return last_val_[static_cast<size_t>(road)];
+  }
+  return profile_(road, t);
+}
+
+long StreamingImputer::last_observed(int road) const {
+  APOTS_CHECK(road >= 0 && road < num_roads());
+  return last_t_[static_cast<size_t>(road)];
+}
+
+float StreamingImputer::last_value(int road) const {
+  APOTS_CHECK(road >= 0 && road < num_roads());
+  return last_val_[static_cast<size_t>(road)];
 }
 
 }  // namespace apots::data

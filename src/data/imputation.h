@@ -1,6 +1,9 @@
 #ifndef APOTS_DATA_IMPUTATION_H_
 #define APOTS_DATA_IMPUTATION_H_
 
+#include <functional>
+#include <vector>
+
 #include "traffic/fault_injector.h"
 #include "traffic/traffic_dataset.h"
 #include "util/status.h"
@@ -33,6 +36,42 @@ Result<ImputationReport> ImputeSpeeds(
     apots::traffic::TrafficDataset* dataset,
     const apots::traffic::ValidityMask& mask,
     const ImputationConfig& config = ImputationConfig());
+
+/// Incremental cousin of ImputeSpeeds for live feeds: tracks the newest
+/// observation per road and answers "what should this missing cell hold"
+/// one cell at a time, applying the same policy — LOCF while the gap since
+/// the last observation is at most `locf_max_gap`, historical profile
+/// beyond that. The profile is supplied by the caller (fitted on warmup
+/// data) so the imputer itself stays O(roads) state and O(1) per call.
+class StreamingImputer {
+ public:
+  /// `profile(road, t)` must return a finite fallback speed for any
+  /// in-range (road, t); it is only consulted when LOCF does not apply.
+  StreamingImputer(int num_roads, ImputationConfig config,
+                   std::function<float(int road, long t)> profile);
+
+  /// Records a delivered reading. Out-of-order observations older than the
+  /// newest one already seen for the road are ignored — LOCF must carry
+  /// the *latest* value forward.
+  void Observe(int road, long t, float value);
+
+  /// Value for a cell with no observation at `t`: LOCF when the road's
+  /// newest observation is recent enough (and strictly older than `t`),
+  /// otherwise the historical profile.
+  float Fill(int road, long t) const;
+
+  /// Newest observed interval of `road`; -1 before any observation.
+  long last_observed(int road) const;
+  /// Speed of the newest observation; meaningless before any observation.
+  float last_value(int road) const;
+  int num_roads() const { return static_cast<int>(last_t_.size()); }
+
+ private:
+  ImputationConfig config_;
+  std::function<float(int, long)> profile_;
+  std::vector<long> last_t_;     ///< newest observed interval, -1 = none
+  std::vector<float> last_val_;  ///< value at last_t_
+};
 
 }  // namespace apots::data
 

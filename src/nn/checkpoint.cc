@@ -1,0 +1,129 @@
+#include "nn/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
+#include "nn/serialize.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace apots::nn {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kPrefix = "ckpt_";
+constexpr const char* kSuffix = ".apot";
+
+/// Parses "ckpt_<digits>.apot" into the generation; false for other names.
+bool ParseGeneration(const std::string& filename, uint64_t* generation) {
+  const size_t prefix_len = std::strlen(kPrefix);
+  const size_t suffix_len = std::strlen(kSuffix);
+  if (filename.size() <= prefix_len + suffix_len) return false;
+  if (filename.compare(0, prefix_len, kPrefix) != 0) return false;
+  if (filename.compare(filename.size() - suffix_len, suffix_len, kSuffix) !=
+      0) {
+    return false;
+  }
+  const std::string digits =
+      filename.substr(prefix_len, filename.size() - prefix_len - suffix_len);
+  if (digits.empty()) return false;
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *generation = value;
+  return true;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string dir, int keep_generations)
+    : dir_(std::move(dir)), keep_(std::max(1, keep_generations)) {}
+
+std::string CheckpointStore::GenerationPath(uint64_t generation) const {
+  return (fs::path(dir_) /
+          StrFormat("%s%08llu%s", kPrefix,
+                    static_cast<unsigned long long>(generation), kSuffix))
+      .string();
+}
+
+std::vector<uint64_t> CheckpointStore::ListGenerations() const {
+  std::vector<uint64_t> generations;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    uint64_t generation = 0;
+    if (ParseGeneration(entry.path().filename().string(), &generation)) {
+      generations.push_back(generation);
+    }
+  }
+  std::sort(generations.begin(), generations.end());
+  return generations;
+}
+
+uint64_t CheckpointStore::LatestGeneration() const {
+  const std::vector<uint64_t> generations = ListGenerations();
+  return generations.empty() ? 0 : generations.back();
+}
+
+Result<uint64_t> CheckpointStore::Save(const std::vector<Parameter*>& params,
+                                       const std::string& aux) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IoError(StrFormat("cannot create checkpoint dir %s: %s",
+                                     dir_.c_str(), ec.message().c_str()));
+  }
+  const uint64_t generation = LatestGeneration() + 1;
+  APOTS_RETURN_IF_ERROR(
+      SaveParameters(params, GenerationPath(generation), aux));
+
+  // Prune: keep the newest `keep_` generations. A prune failure is not a
+  // save failure — the new checkpoint is already durable.
+  const std::vector<uint64_t> generations = ListGenerations();
+  if (generations.size() > static_cast<size_t>(keep_)) {
+    const size_t excess = generations.size() - static_cast<size_t>(keep_);
+    for (size_t i = 0; i < excess; ++i) {
+      std::error_code rm_ec;
+      fs::remove(GenerationPath(generations[i]), rm_ec);
+      if (rm_ec) {
+        APOTS_LOG(Warning) << "cannot prune checkpoint generation "
+                           << generations[i] << ": " << rm_ec.message();
+      }
+    }
+  }
+  return generation;
+}
+
+Result<CheckpointStore::RecoverInfo> CheckpointStore::Recover(
+    const std::vector<Parameter*>& params) const {
+  const std::vector<uint64_t> generations = ListGenerations();
+  if (generations.empty()) {
+    return Status::NotFound("no checkpoint in " + dir_);
+  }
+  RecoverInfo info;
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    const std::string path = GenerationPath(*it);
+    std::string aux;
+    const Status status = LoadParameters(params, path, &aux);
+    if (status.ok()) {
+      info.generation = *it;
+      info.aux = std::move(aux);
+      return info;
+    }
+    // LoadParameters validates before writing, so `params` is untouched
+    // and the previous generation is a safe fallback.
+    APOTS_LOG(Warning) << "checkpoint " << path
+                       << " unusable, falling back a generation: "
+                       << status.ToString();
+    info.skipped.push_back(path + ": " + status.ToString());
+  }
+  return Status::IoError(StrFormat(
+      "all %zu retained checkpoint generations in %s are corrupt",
+      generations.size(), dir_.c_str()));
+}
+
+}  // namespace apots::nn

@@ -1,0 +1,69 @@
+#ifndef APOTS_NN_CHECKPOINT_H_
+#define APOTS_NN_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace apots::nn {
+
+/// Generation-retained, crash-safe checkpoint directory.
+///
+/// Each Save writes `ckpt_<generation>.apot` (SaveParameters: atomic
+/// temp-file + rename, CRC32 footer) with a monotonically increasing
+/// generation number, then prunes all but the newest `keep_generations`
+/// files. Recover walks generations newest-first and restores the first
+/// one that loads cleanly — a checkpoint torn by a crash or corrupted on
+/// disk is skipped (and reported) instead of poisoning the model, which is
+/// the property the serving supervisor's kill-and-restore path depends on.
+///
+/// Not internally synchronized: callers serialize Save/Recover themselves
+/// (the supervisor checkpoints from its serving thread only).
+class CheckpointStore {
+ public:
+  /// `dir` is created on first Save if missing. `keep_generations` >= 1.
+  CheckpointStore(std::string dir, int keep_generations = 3);
+
+  struct RecoverInfo {
+    uint64_t generation = 0;  ///< the generation actually restored
+    std::string aux;          ///< aux blob stored with that generation
+    /// "path: error" for every newer generation that failed to load.
+    std::vector<std::string> skipped;
+    bool fell_back() const { return !skipped.empty(); }
+  };
+
+  /// Writes generation latest+1 and prunes old generations. Returns the
+  /// new generation number.
+  Result<uint64_t> Save(const std::vector<Parameter*>& params,
+                        const std::string& aux = std::string());
+
+  /// Restores the newest loadable generation into `params` (all-or-
+  /// nothing per generation, see LoadParameters). Fails with NotFound
+  /// when the directory holds no checkpoint and IoError when every
+  /// retained generation is corrupt.
+  Result<RecoverInfo> Recover(const std::vector<Parameter*>& params) const;
+
+  /// Generations currently on disk, ascending. Empty on a fresh/missing
+  /// directory.
+  std::vector<uint64_t> ListGenerations() const;
+
+  /// Newest generation on disk, 0 when none.
+  uint64_t LatestGeneration() const;
+
+  /// Path of `generation`'s file (whether or not it exists).
+  std::string GenerationPath(uint64_t generation) const;
+
+  const std::string& dir() const { return dir_; }
+  int keep_generations() const { return keep_; }
+
+ private:
+  std::string dir_;
+  int keep_;
+};
+
+}  // namespace apots::nn
+
+#endif  // APOTS_NN_CHECKPOINT_H_

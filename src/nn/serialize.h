@@ -9,16 +9,30 @@
 
 namespace apots::nn {
 
-/// Writes all parameter tensors to a binary file. Format: magic "APOT1",
-/// parameter count, then per parameter: name length+bytes, rank, dims,
-/// float32 payload. Load requires identical names and shapes (i.e. the
-/// model must be constructed with the same architecture first).
+/// Writes all parameter tensors to a binary file, crash-safely.
+///
+/// Format v2 (magic "APOT2"): parameter count, then per parameter
+/// name length+bytes, rank, dims, float32 payload; then an opaque `aux`
+/// blob (length+bytes) for caller state (e.g. a serving watermark), and
+/// finally a CRC32 footer over every preceding byte. The file is written
+/// to `path + ".tmp"` and atomically renamed into place, so a crash mid-
+/// write never leaves a half-written file at `path` and readers observe
+/// either the old generation or the new one, never a torn mix.
 Status SaveParameters(const std::vector<Parameter*>& params,
-                      const std::string& path);
+                      const std::string& path,
+                      const std::string& aux = std::string());
 
-/// Loads parameters saved by SaveParameters into an equally-shaped model.
+/// Loads parameters saved by SaveParameters into an equally-shaped model
+/// (identical parameter names and shapes; construct the architecture
+/// first). Reads both the current "APOT2" format (CRC-verified: a
+/// truncated or bit-flipped file fails with a descriptive Status before
+/// any parameter is touched) and the legacy "APOT1" format (no checksum;
+/// structural bounds checks only). The load is all-or-nothing: every
+/// record is validated against the model before the first write, so a
+/// failed load never leaves `params` partially overwritten. When `aux` is
+/// non-null it receives the stored aux blob (empty for APOT1 files).
 Status LoadParameters(const std::vector<Parameter*>& params,
-                      const std::string& path);
+                      const std::string& path, std::string* aux = nullptr);
 
 }  // namespace apots::nn
 

@@ -1,0 +1,134 @@
+#include "serve/feed.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace apots::serve {
+
+FeedFaultSpec FeedFaultSpec::Clean() {
+  FeedFaultSpec spec;
+  spec.enabled = false;
+  return spec;
+}
+
+FeedFaultSpec FeedFaultSpec::Storm(uint64_t seed) {
+  FeedFaultSpec spec;
+  spec.enabled = true;
+  spec.delay_prob = 0.15;
+  spec.delay_min = 1;
+  spec.delay_max = 12;
+  spec.duplicate_prob = 0.08;
+  spec.drop_prob = 0.04;
+  spec.outage_prob = 0.01;
+  spec.outage_min = 12;
+  spec.outage_max = 60;
+  spec.torn_tick_prob = 0.10;
+  spec.seed = seed;
+  return spec;
+}
+
+FaultyFeed::FaultyFeed(const apots::traffic::TrafficDataset* truth,
+                       long start_interval, FeedFaultSpec spec)
+    : truth_(truth),
+      spec_(spec),
+      rng_(spec.seed),
+      next_generate_(start_interval) {
+  APOTS_CHECK(truth != nullptr);
+  APOTS_CHECK(start_interval >= 0);
+  outage_until_.assign(static_cast<size_t>(truth_->num_roads()), -1);
+}
+
+void FaultyFeed::GenerateTick(long t) {
+  const int roads = truth_->num_roads();
+  // A torn tick delays a random suffix of the batch by one tick, so the
+  // consumer sees a partial interval on time and the rest trickles in.
+  const bool torn =
+      spec_.enabled && roads > 1 && rng_.Bernoulli(spec_.torn_tick_prob);
+  const int torn_from =
+      torn ? 1 + static_cast<int>(rng_.UniformInt(
+                     static_cast<uint64_t>(roads - 1)))
+           : roads;
+  if (torn) ++stats_.torn_ticks;
+
+  for (int road = 0; road < roads; ++road) {
+    FeedRecord rec;
+    rec.interval = t;
+    rec.road = road;
+    rec.speed_kmh = truth_->Speed(road, t);
+    rec.seq = next_seq_++;
+    ++stats_.generated;
+
+    if (spec_.enabled) {
+      if (outage_until_[static_cast<size_t>(road)] >= t) {
+        ++stats_.dropped;  // road is dark; reading lost on the floor
+        continue;
+      }
+      if (rng_.Bernoulli(spec_.outage_prob)) {
+        const long len =
+            spec_.outage_min +
+            static_cast<long>(rng_.UniformInt(static_cast<uint64_t>(
+                spec_.outage_max - spec_.outage_min + 1)));
+        outage_until_[static_cast<size_t>(road)] = t + len - 1;
+        ++stats_.dropped;
+        continue;
+      }
+      if (rng_.Bernoulli(spec_.drop_prob)) {
+        ++stats_.dropped;
+        continue;
+      }
+      long arrival = t;
+      if (road >= torn_from) {
+        arrival = t + 1;
+        ++stats_.delayed;
+      } else if (rng_.Bernoulli(spec_.delay_prob)) {
+        arrival = t + spec_.delay_min +
+                  static_cast<long>(rng_.UniformInt(static_cast<uint64_t>(
+                      spec_.delay_max - spec_.delay_min + 1)));
+        ++stats_.delayed;
+      }
+      pending_[arrival].push_back(rec);
+      if (rng_.Bernoulli(spec_.duplicate_prob)) {
+        FeedRecord dup = rec;
+        dup.seq = next_seq_++;
+        pending_[arrival +
+                 static_cast<long>(rng_.UniformInt(3))].push_back(dup);
+        ++stats_.duplicated;
+      }
+    } else {
+      pending_[t].push_back(rec);
+    }
+  }
+}
+
+std::vector<FeedRecord> FaultyFeed::Poll(long tick) {
+  while (next_generate_ <= tick &&
+         next_generate_ < truth_->num_intervals()) {
+    GenerateTick(next_generate_);
+    ++next_generate_;
+  }
+  std::vector<FeedRecord> batch;
+  // Everything due at or before `tick` is delivered now, so a caller that
+  // skips ticks still sees every record exactly once.
+  while (!pending_.empty() && pending_.begin()->first <= tick) {
+    auto node = pending_.begin();
+    batch.insert(batch.end(), node->second.begin(), node->second.end());
+    pending_.erase(node);
+  }
+  if (spec_.enabled && batch.size() > 1) {
+    // Within-tick arrival order is arbitrary in a real feed.
+    std::vector<size_t> order(batch.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng_.Shuffle(&order);
+    std::vector<FeedRecord> shuffled(batch.size());
+    for (size_t i = 0; i < order.size(); ++i) shuffled[i] = batch[order[i]];
+    batch.swap(shuffled);
+  }
+  return batch;
+}
+
+bool FaultyFeed::Exhausted() const {
+  return next_generate_ >= truth_->num_intervals() && pending_.empty();
+}
+
+}  // namespace apots::serve

@@ -1,0 +1,93 @@
+#ifndef APOTS_SERVE_FEED_H_
+#define APOTS_SERVE_FEED_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "traffic/traffic_dataset.h"
+#include "util/rng.h"
+
+namespace apots::serve {
+
+/// One speed reading as delivered by the (simulated) roadside feed.
+struct FeedRecord {
+  long interval = 0;       ///< dataset interval the reading describes
+  int road = 0;            ///< reporting road
+  float speed_kmh = 0.0f;  ///< measured speed
+  uint64_t seq = 0;        ///< feed-assigned emission sequence number
+};
+
+/// Delivery-fault model for the simulated feed — the transport-layer
+/// counterpart of traffic::FaultSpec (which corrupts *values*; this one
+/// corrupts *delivery*): late arrival, reordering, duplicates, silent
+/// drops, whole-road outages, and torn ticks where only part of an
+/// interval's records show up on time.
+struct FeedFaultSpec {
+  bool enabled = true;
+  double delay_prob = 0.05;      ///< record arrives late
+  int delay_min = 1;             ///< ticks of lateness (uniform)
+  int delay_max = 8;
+  double duplicate_prob = 0.02;  ///< record delivered twice
+  double drop_prob = 0.01;       ///< record never delivered
+  double outage_prob = 0.002;    ///< per (road, tick): outage starts
+  int outage_min = 12;           ///< outage length in ticks (uniform)
+  int outage_max = 48;
+  double torn_tick_prob = 0.02;  ///< tick delivers only a partial batch
+  uint64_t seed = 99;
+
+  /// Everything off: the feed delivers each interval's records exactly
+  /// once, in road order, at their own tick.
+  static FeedFaultSpec Clean();
+  /// An aggressive storm for soak tests.
+  static FeedFaultSpec Storm(uint64_t seed);
+};
+
+/// Deterministic simulated ingestion feed: replays `truth` one interval
+/// ("tick") at a time through the fault model. Two feeds built from equal
+/// (dataset, start, spec) deliver bit-identical record streams, so every
+/// fault scenario is a reproducible experiment axis.
+class FaultyFeed {
+ public:
+  /// `truth` is borrowed and must outlive the feed. Delivery starts at
+  /// `start_interval` (earlier intervals are presumed already ingested).
+  FaultyFeed(const apots::traffic::TrafficDataset* truth,
+             long start_interval, FeedFaultSpec spec);
+
+  /// Records arriving at `tick`. Ticks must be polled in nondecreasing
+  /// order; each tick's batch mixes on-time records with late arrivals
+  /// and duplicates from earlier ticks, shuffled when faults are enabled.
+  std::vector<FeedRecord> Poll(long tick);
+
+  /// True once every interval has been generated and every pending record
+  /// delivered by a Poll.
+  bool Exhausted() const;
+
+  struct Stats {
+    uint64_t generated = 0;   ///< readings emitted by the sensors
+    uint64_t delayed = 0;     ///< delivered later than their interval
+    uint64_t duplicated = 0;  ///< extra copies injected
+    uint64_t dropped = 0;     ///< never delivered (incl. outage losses)
+    uint64_t torn_ticks = 0;  ///< ticks that delivered a partial batch
+  };
+  const Stats& stats() const { return stats_; }
+  const FeedFaultSpec& spec() const { return spec_; }
+
+ private:
+  /// Emits interval `t`'s readings into the pending queue.
+  void GenerateTick(long t);
+
+  const apots::traffic::TrafficDataset* truth_;  // not owned
+  FeedFaultSpec spec_;
+  apots::Rng rng_;
+  long next_generate_;  ///< first interval not yet emitted
+  uint64_t next_seq_ = 0;
+  std::vector<long> outage_until_;  ///< per road: silent through this tick
+  /// arrival tick -> records landing then.
+  std::map<long, std::vector<FeedRecord>> pending_;
+  Stats stats_;
+};
+
+}  // namespace apots::serve
+
+#endif  // APOTS_SERVE_FEED_H_

@@ -1,0 +1,166 @@
+#include "serve/harness.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace apots::serve {
+
+using apots::core::ApotsConfig;
+using apots::core::ApotsModel;
+using apots::core::PredictorHparams;
+using apots::data::FeatureConfig;
+using apots::traffic::GenerateDataset;
+
+SimulationHarness::SimulationHarness(HarnessConfig config)
+    : config_(std::move(config)),
+      truth_(GenerateDataset(config_.spec)),
+      live_(truth_) {
+  const long intervals = truth_.num_intervals();
+  warm_end_ = static_cast<long>(static_cast<double>(intervals) *
+                                config_.warmup_fraction);
+  // The warmup must cover at least one full feature window and leave at
+  // least one servable tick.
+  warm_end_ = std::max<long>(warm_end_, config_.alpha + config_.beta + 1);
+  APOTS_CHECK(warm_end_ < intervals);
+
+  // The streamed region starts unknown: zeroed, to be filled by ingestion.
+  // The speed scaler uses physical bounds (not data range), so zeros do
+  // not perturb scaling.
+  for (int road = 0; road < live_.num_roads(); ++road) {
+    for (long t = warm_end_; t < intervals; ++t) {
+      live_.SetSpeed(road, t, 0.0f);
+    }
+  }
+
+  // Per-road time-of-day profiles fitted on warmup ground truth; they
+  // back both the streaming imputer and the degraded serving tiers.
+  std::vector<long> warmup(static_cast<size_t>(warm_end_));
+  for (long t = 0; t < warm_end_; ++t) warmup[static_cast<size_t>(t)] = t;
+  profiles_.resize(static_cast<size_t>(live_.num_roads()));
+  for (int road = 0; road < live_.num_roads(); ++road) {
+    const Status fitted =
+        profiles_[static_cast<size_t>(road)].Fit(live_, road, warmup);
+    APOTS_CHECK(fitted.ok());
+  }
+
+  BuildStack(config_.model_seed);
+
+  if (config_.train_epochs > 0) {
+    std::vector<long> anchors;
+    for (long a = config_.alpha; a + config_.beta < warm_end_; ++a) {
+      anchors.push_back(a);
+    }
+    model_->Train(anchors);
+  }
+
+  feed_ = std::make_unique<FaultyFeed>(&truth_, warm_end_, config_.feed);
+  next_tick_ = warm_end_;
+}
+
+void SimulationHarness::BuildStack(uint64_t model_seed) {
+  ApotsConfig cfg;
+  cfg.predictor =
+      PredictorHparams::Scaled(config_.predictor, config_.width_divisor);
+  cfg.features = FeatureConfig::Both(config_.alpha, config_.beta);
+  cfg.features.num_adjacent = (live_.num_roads() - 1) / 2;
+  cfg.training.adversarial = false;
+  cfg.training.epochs = config_.train_epochs;
+  cfg.training.verbose = false;
+  cfg.fallback.enabled = false;  // the supervisor owns degradation
+  cfg.seed = model_seed;
+  model_ = std::make_unique<ApotsModel>(&live_, cfg);
+  target_road_ = model_->assembler().target_road();
+
+  ingestor_ = std::make_unique<StreamIngestor>(
+      &live_, warm_end_, apots::data::ImputationConfig(),
+      [this](int road, long t) {
+        return static_cast<float>(
+            profiles_[static_cast<size_t>(road)].Predict(live_, t));
+      });
+  ingestor_->AttachCache(model_->inference_runtime().feature_cache(),
+                         target_road_);
+
+  supervisor_ = std::make_unique<ServingSupervisor>(
+      model_.get(), ingestor_.get(),
+      &profiles_[static_cast<size_t>(target_road_)], config_.serve);
+}
+
+long SimulationHarness::last_servable_tick() const {
+  return truth_.num_intervals() - config_.beta - 1;
+}
+
+std::vector<long> SimulationHarness::TickAnchors(long tick) const {
+  std::vector<long> anchors;
+  const long intervals = truth_.num_intervals();
+  for (int k = 0; k < config_.anchors_per_tick; ++k) {
+    const long anchor = tick - k;
+    if (anchor - config_.alpha < 0) break;
+    if (anchor + config_.beta >= intervals) continue;
+    anchors.push_back(anchor);
+  }
+  return anchors;
+}
+
+bool SimulationHarness::RunTick() {
+  if (next_tick_ > last_servable_tick()) return false;
+  for (const FeedRecord& record : feed_->Poll(next_tick_)) {
+    // Rejections are counted in the ingestor stats; a bad record must
+    // never take the serving loop down.
+    (void)ingestor_->Ingest(record);
+  }
+  ingestor_->AdvanceWatermark(next_tick_);
+  last_anchors_ = TickAnchors(next_tick_);
+  last_responses_ = supervisor_->Predict(last_anchors_);
+  supervisor_->MaybeCheckpoint(next_tick_);
+  ++next_tick_;
+  return next_tick_ <= last_servable_tick();
+}
+
+std::vector<std::vector<float>> SimulationHarness::ParamSnapshot() {
+  std::vector<std::vector<float>> snapshot;
+  for (const auto* param : model_->TrainableParameters()) {
+    snapshot.emplace_back(param->value.data(),
+                          param->value.data() + param->value.size());
+  }
+  return snapshot;
+}
+
+Result<apots::nn::CheckpointStore::RecoverInfo>
+SimulationHarness::KillAndRecover(uint64_t new_seed) {
+  merged_report_.MergeFrom(supervisor_->report());
+  // Simulated kill: every piece of in-memory serving state dies.
+  supervisor_.reset();
+  ingestor_.reset();
+  model_.reset();
+  feed_.reset();
+
+  // Cold restart: the live dataset reverts to warmup-only knowledge and
+  // the model comes up with different (seed-dependent) initial weights —
+  // recovery must overwrite both from the checkpoint.
+  live_ = truth_;
+  for (int road = 0; road < live_.num_roads(); ++road) {
+    for (long t = warm_end_; t < live_.num_intervals(); ++t) {
+      live_.SetSpeed(road, t, 0.0f);
+    }
+  }
+  BuildStack(new_seed);
+
+  auto recovered = supervisor_->Recover();
+  if (recovered.ok()) {
+    next_tick_ = ingestor_->watermark() + 1;
+  } else {
+    next_tick_ = warm_end_;
+  }
+  feed_ = std::make_unique<FaultyFeed>(&truth_, next_tick_, config_.feed);
+  return recovered;
+}
+
+ServeReport SimulationHarness::report() const {
+  ServeReport merged = merged_report_;
+  if (supervisor_ != nullptr) merged.MergeFrom(supervisor_->report());
+  return merged;
+}
+
+}  // namespace apots::serve

@@ -1,0 +1,108 @@
+#ifndef APOTS_SERVE_HARNESS_H_
+#define APOTS_SERVE_HARNESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baseline/historical_average.h"
+#include "core/apots_model.h"
+#include "serve/feed.h"
+#include "serve/serving_supervisor.h"
+#include "serve/stream_ingestor.h"
+#include "traffic/dataset_generator.h"
+
+namespace apots::serve {
+
+/// One self-contained serving simulation: ground truth, a live dataset
+/// fed through the fault model, a model trained (or just initialized) on
+/// the warmup window, and the full ingestor + supervisor stack.
+struct HarnessConfig {
+  apots::traffic::DatasetSpec spec = apots::traffic::DatasetSpec::Small();
+  /// Leading fraction of the dataset treated as already-ingested history:
+  /// profiles are fitted and the model is trained on it.
+  double warmup_fraction = 0.5;
+  apots::core::PredictorType predictor = apots::core::PredictorType::kFc;
+  /// Width divisor for PredictorHparams::Scaled (CPU-friendly sims).
+  size_t width_divisor = 16;
+  /// 0 = serve with initialized weights (mechanics-only runs).
+  int train_epochs = 0;
+  uint64_t model_seed = 42;
+  int alpha = 12;
+  int beta = 3;
+  FeedFaultSpec feed = FeedFaultSpec::Clean();
+  ServeConfig serve;
+  /// Trailing anchors served per tick (tick, tick-1, ...).
+  int anchors_per_tick = 4;
+};
+
+class SimulationHarness {
+ public:
+  explicit SimulationHarness(HarnessConfig config);
+
+  /// Runs one tick: polls the feed, ingests, advances the watermark,
+  /// serves this tick's anchors, and maybe checkpoints. Returns false
+  /// once the simulation has consumed every servable tick.
+  bool RunTick();
+
+  /// Anchors RunTick serves at `tick` (in-range trailing window).
+  std::vector<long> TickAnchors(long tick) const;
+
+  /// Responses of the most recent RunTick.
+  const std::vector<ServeResponse>& last_responses() const {
+    return last_responses_;
+  }
+  /// Anchors of the most recent RunTick.
+  const std::vector<long>& last_anchors() const { return last_anchors_; }
+
+  /// The bitwise-identity arm: the model facade's direct prediction path
+  /// (fallback disabled, so exactly InferenceRuntime + UnscaleSpeed).
+  std::vector<double> DirectPredictKmh(const std::vector<long>& anchors) {
+    return model_->PredictKmh(anchors);
+  }
+
+  /// Flat copy of every trainable parameter, for bitwise comparisons.
+  std::vector<std::vector<float>> ParamSnapshot();
+
+  /// Simulates a process kill and cold restart: tears down the model,
+  /// ingestor and supervisor, rebuilds them with `new_seed` (different
+  /// init weights, empty live stream state) and recovers both from the
+  /// checkpoint store. The feed resumes at the recovered watermark + 1.
+  Result<apots::nn::CheckpointStore::RecoverInfo> KillAndRecover(
+      uint64_t new_seed);
+
+  /// Serving report accumulated across restarts.
+  ServeReport report() const;
+
+  long next_tick() const { return next_tick_; }
+  long warmup_end() const { return warm_end_; }
+  long last_servable_tick() const;
+  const apots::traffic::TrafficDataset& truth() const { return truth_; }
+  apots::core::ApotsModel& model() { return *model_; }
+  StreamIngestor& ingestor() { return *ingestor_; }
+  ServingSupervisor& supervisor() { return *supervisor_; }
+  FaultyFeed& feed() { return *feed_; }
+  int target_road() const { return target_road_; }
+
+ private:
+  void BuildStack(uint64_t model_seed);
+
+  HarnessConfig config_;
+  apots::traffic::TrafficDataset truth_;
+  apots::traffic::TrafficDataset live_;
+  long warm_end_;
+  int target_road_;
+  std::vector<apots::baseline::HistoricalAverage> profiles_;
+  std::unique_ptr<apots::core::ApotsModel> model_;
+  std::unique_ptr<StreamIngestor> ingestor_;
+  std::unique_ptr<ServingSupervisor> supervisor_;
+  std::unique_ptr<FaultyFeed> feed_;
+  long next_tick_;
+  ServeReport merged_report_;  ///< reports of torn-down supervisors
+  std::vector<long> last_anchors_;
+  std::vector<ServeResponse> last_responses_;
+};
+
+}  // namespace apots::serve
+
+#endif  // APOTS_SERVE_HARNESS_H_

@@ -1,0 +1,325 @@
+#include "serve/serving_supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace apots::serve {
+
+using apots::tensor::Tensor;
+
+const char* ServeTierName(ServeTier tier) {
+  switch (tier) {
+    case ServeTier::kFull:
+      return "full";
+    case ServeTier::kImputed:
+      return "imputed";
+    case ServeTier::kHistorical:
+      return "historical";
+    case ServeTier::kLastKnownGood:
+      return "last-known-good";
+  }
+  return "unknown";
+}
+
+void ServeReport::MergeFrom(const ServeReport& other) {
+  requests += other.requests;
+  for (int i = 0; i < kNumServeTiers; ++i) {
+    tier_counts[i] += other.tier_counts[i];
+  }
+  failures += other.failures;
+  deadline_misses += other.deadline_misses;
+  deadline_degraded += other.deadline_degraded;
+  watchdog_trips += other.watchdog_trips;
+  checkpoints_written += other.checkpoints_written;
+  max_staleness = std::max(max_staleness, other.max_staleness);
+}
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ServeWatchdog::ServeWatchdog(double timeout_ms) : timeout_ms_(timeout_ms) {
+  APOTS_CHECK(timeout_ms_ > 0.0);
+  thread_ = std::thread([this] { Run(); });
+}
+
+ServeWatchdog::~ServeWatchdog() {
+  quit_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void ServeWatchdog::Arm() {
+  armed_at_ns_.store(NowNs(), std::memory_order_release);
+  tripped_this_flight_.store(false, std::memory_order_release);
+  in_flight_.store(true, std::memory_order_release);
+}
+
+void ServeWatchdog::Disarm() {
+  in_flight_.store(false, std::memory_order_release);
+}
+
+bool ServeWatchdog::ConsumeStuck() {
+  return stuck_.exchange(false, std::memory_order_acq_rel);
+}
+
+void ServeWatchdog::Run() {
+  // Sample at a quarter of the timeout so a stall is noticed within ~1.25
+  // timeouts; floor the period to keep the sampler from busy-spinning.
+  const auto period = std::chrono::microseconds(
+      std::max<int64_t>(200, static_cast<int64_t>(timeout_ms_ * 250.0)));
+  while (!quit_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(period);
+    if (!in_flight_.load(std::memory_order_acquire)) continue;
+    if (tripped_this_flight_.load(std::memory_order_acquire)) continue;
+    const double elapsed_ms =
+        static_cast<double>(NowNs() -
+                            armed_at_ns_.load(std::memory_order_acquire)) /
+        1e6;
+    if (elapsed_ms > timeout_ms_) {
+      tripped_this_flight_.store(true, std::memory_order_release);
+      stuck_.store(true, std::memory_order_release);
+      trips_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+ServingSupervisor::ServingSupervisor(
+    apots::core::ApotsModel* model, StreamIngestor* ingestor,
+    const apots::baseline::HistoricalAverage* fallback, ServeConfig config)
+    : model_(model),
+      ingestor_(ingestor),
+      fallback_(fallback),
+      config_(std::move(config)),
+      last_checkpoint_tick_(ingestor == nullptr ? 0 : ingestor->watermark()) {
+  APOTS_CHECK(model != nullptr);
+  APOTS_CHECK(ingestor != nullptr);
+  APOTS_CHECK(fallback != nullptr);
+  APOTS_CHECK(config_.t1_fresh <= config_.t2_imputed &&
+              config_.t2_imputed <= config_.t3_outage);
+  const auto& features = model_->config().features;
+  const int target = model_->assembler().target_road();
+  const int roads = model_->assembler().dataset().num_roads();
+  const int m = features.use_adjacent ? features.num_adjacent : 0;
+  window_lo_road_ = std::max(0, target - m);
+  window_hi_road_ = std::min(roads - 1, target + m);
+  if (!config_.checkpoint_dir.empty()) {
+    store_ = std::make_unique<apots::nn::CheckpointStore>(
+        config_.checkpoint_dir, config_.checkpoint_keep);
+  }
+  if (config_.watchdog_timeout_ms > 0.0) {
+    watchdog_ = std::make_unique<ServeWatchdog>(config_.watchdog_timeout_ms);
+  }
+}
+
+long ServingSupervisor::WindowStaleness(long anchor) const {
+  // Staleness is tracked at the watermark; shift to the anchor's frame so
+  // backfill anchors (older than the watermark) are not over-penalized.
+  const long shift = anchor - ingestor_->watermark();
+  long worst = 0;
+  for (int road = window_lo_road_; road <= window_hi_road_; ++road) {
+    worst = std::max(worst, ingestor_->Staleness(road) + shift);
+  }
+  return std::max(0L, worst);
+}
+
+ServeTier ServingSupervisor::TierFor(long anchor) const {
+  const long staleness = WindowStaleness(anchor);
+  if (staleness <= config_.t1_fresh) return ServeTier::kFull;
+  if (staleness <= config_.t2_imputed) return ServeTier::kImputed;
+  if (staleness <= config_.t3_outage) return ServeTier::kHistorical;
+  return ServeTier::kLastKnownGood;
+}
+
+double ServingSupervisor::LastKnownGood(long target_interval) {
+  const auto& dataset = model_->assembler().dataset();
+  const double profile = fallback_->Predict(dataset, target_interval);
+  if (!has_lkg_) return profile;
+  // Carry the last fresh neural residual over the profile, decayed toward
+  // pure profile as the outage ages — the standard "decay to climatology"
+  // rule for dead sensors.
+  const long age = std::max(0L, target_interval - lkg_interval_);
+  const double residual = lkg_kmh_ - lkg_profile_kmh_;
+  return profile + residual * std::pow(config_.lkg_decay, age);
+}
+
+std::vector<ServeResponse> ServingSupervisor::Predict(
+    const std::vector<long>& anchors) {
+  Stopwatch call_watch;
+  const auto& assembler = model_->assembler();
+  const auto& dataset = assembler.dataset();
+  const long intervals = dataset.num_intervals();
+  const long alpha = assembler.alpha();
+  const long beta = assembler.beta();
+
+  std::vector<ServeResponse> responses(anchors.size());
+  report_.requests += anchors.size();
+
+  // A watchdog trip reported since the last call means the inference path
+  // stalled; protect this call by keeping it off the neural tiers.
+  const bool stuck = watchdog_ != nullptr && watchdog_->ConsumeStuck();
+
+  std::vector<size_t> neural_index;
+  std::vector<long> neural_anchors;
+  neural_index.reserve(anchors.size());
+  neural_anchors.reserve(anchors.size());
+
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    const long anchor = anchors[i];
+    ServeResponse& resp = responses[i];
+    resp.staleness = WindowStaleness(anchor);
+    report_.max_staleness = std::max(report_.max_staleness, resp.staleness);
+    if (anchor - alpha < 0 || anchor + beta >= intervals) {
+      // No tier can honestly serve this anchor: the window or the target
+      // falls outside the dataset.
+      ++report_.failures;
+      const long clamped =
+          std::min(std::max(anchor + beta, 0L), intervals - 1);
+      resp.kmh = intervals > 0 ? fallback_->Predict(dataset, clamped) : 0.0;
+      resp.tier = ServeTier::kHistorical;
+      continue;
+    }
+    resp.tier = TierFor(anchor);
+    if (stuck && (resp.tier == ServeTier::kFull ||
+                  resp.tier == ServeTier::kImputed)) {
+      resp.tier = ServeTier::kHistorical;
+    }
+    if (resp.tier == ServeTier::kFull || resp.tier == ServeTier::kImputed) {
+      neural_index.push_back(i);
+      neural_anchors.push_back(anchor);
+    }
+  }
+
+  // Deadline pre-check: when the EMA cost model projects the neural batch
+  // over budget, serve those anchors from the (cheap) historical tier
+  // instead of blowing the deadline on a forward pass.
+  if (config_.deadline_ms > 0.0 && ema_ms_per_anchor_ > 0.0 &&
+      !neural_anchors.empty()) {
+    const double projected =
+        ema_ms_per_anchor_ * static_cast<double>(neural_anchors.size());
+    if (projected > config_.deadline_ms) {
+      report_.deadline_degraded += neural_anchors.size();
+      for (const size_t i : neural_index) {
+        responses[i].tier = ServeTier::kHistorical;
+      }
+      neural_index.clear();
+      neural_anchors.clear();
+    }
+  }
+
+  if (!neural_anchors.empty()) {
+    Stopwatch neural_watch;
+    if (watchdog_ != nullptr) watchdog_->Arm();
+    if (inference_delay_for_test_) inference_delay_for_test_();
+    const Tensor scaled = model_->inference_runtime().Predict(neural_anchors);
+    if (watchdog_ != nullptr) watchdog_->Disarm();
+    const double per_anchor =
+        neural_watch.ElapsedMillis() /
+        static_cast<double>(neural_anchors.size());
+    ema_ms_per_anchor_ = ema_ms_per_anchor_ == 0.0
+                             ? per_anchor
+                             : 0.7 * ema_ms_per_anchor_ + 0.3 * per_anchor;
+    for (size_t j = 0; j < neural_index.size(); ++j) {
+      // Same float->double conversion as ApotsModel::PredictKmh: bitwise
+      // identical to the direct runtime path.
+      responses[neural_index[j]].kmh =
+          assembler.UnscaleSpeed(scaled[j]);
+    }
+  }
+
+  long freshest_full = -1;
+  size_t freshest_idx = 0;
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    ServeResponse& resp = responses[i];
+    switch (resp.tier) {
+      case ServeTier::kFull:
+        if (anchors[i] > freshest_full) {
+          freshest_full = anchors[i];
+          freshest_idx = i;
+        }
+        break;
+      case ServeTier::kImputed:
+        break;  // neural value already written
+      case ServeTier::kHistorical:
+        // Failure anchors (window/target out of range) already hold the
+        // clamped profile value; in-range anchors get the real one.
+        if (anchors[i] - alpha >= 0 && anchors[i] + beta < intervals) {
+          resp.kmh = fallback_->Predict(dataset, anchors[i] + beta);
+        }
+        break;
+      case ServeTier::kLastKnownGood:
+        resp.kmh = LastKnownGood(anchors[i] + beta);
+        break;
+    }
+    ++report_.tier_counts[static_cast<int>(resp.tier)];
+  }
+
+  // Remember the freshest full-tier response as last-known-good.
+  if (freshest_full >= 0) {
+    const long target = freshest_full + beta;
+    has_lkg_ = true;
+    lkg_kmh_ = responses[freshest_idx].kmh;
+    lkg_profile_kmh_ = fallback_->Predict(dataset, target);
+    lkg_interval_ = target;
+  }
+
+  const double elapsed = call_watch.ElapsedMillis();
+  if (config_.deadline_ms > 0.0 && elapsed > config_.deadline_ms) {
+    ++report_.deadline_misses;
+    for (ServeResponse& resp : responses) resp.deadline_miss = true;
+  }
+  return responses;
+}
+
+bool ServingSupervisor::MaybeCheckpoint(long tick) {
+  if (store_ == nullptr || config_.checkpoint_every <= 0) return false;
+  if (tick - last_checkpoint_tick_ < config_.checkpoint_every) return false;
+  const Status status = CheckpointNow();
+  if (!status.ok()) {
+    APOTS_LOG(Warning) << "serving checkpoint failed: " << status.ToString();
+  }
+  return status.ok();
+}
+
+Status ServingSupervisor::CheckpointNow() {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no checkpoint store configured (ServeConfig.checkpoint_dir empty)");
+  }
+  auto saved = store_->Save(model_->TrainableParameters(),
+                            ingestor_->SerializeState());
+  last_checkpoint_status_ = saved.status();
+  if (!saved.ok()) return saved.status();
+  ++report_.checkpoints_written;
+  last_checkpoint_tick_ = ingestor_->watermark();
+  return Status::Ok();
+}
+
+Result<apots::nn::CheckpointStore::RecoverInfo> ServingSupervisor::Recover() {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no checkpoint store configured (ServeConfig.checkpoint_dir empty)");
+  }
+  auto recovered = store_->Recover(model_->TrainableParameters());
+  if (!recovered.ok()) return recovered.status();
+  APOTS_RETURN_IF_ERROR(
+      ingestor_->RestoreState(recovered.value().aux));
+  return std::move(recovered).value();
+}
+
+const ServeReport& ServingSupervisor::report() const {
+  if (watchdog_ != nullptr) report_.watchdog_trips = watchdog_->trips();
+  return report_;
+}
+
+}  // namespace apots::serve

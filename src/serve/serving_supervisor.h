@@ -1,0 +1,202 @@
+#ifndef APOTS_SERVE_SERVING_SUPERVISOR_H_
+#define APOTS_SERVE_SERVING_SUPERVISOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/historical_average.h"
+#include "core/apots_model.h"
+#include "nn/checkpoint.h"
+#include "serve/stream_ingestor.h"
+#include "util/status.h"
+
+namespace apots::serve {
+
+/// How a prediction was produced, from best to worst. The ladder degrades
+/// by *input staleness*: a model is only as good as the window it reads.
+enum class ServeTier {
+  kFull = 0,       ///< fresh window, full APOTS prediction
+  kImputed,        ///< APOTS over an imputed window — flagged degraded
+  kHistorical,     ///< window too stale for the model: time-of-day profile
+  kLastKnownGood,  ///< total outage: last good residual, decayed
+};
+constexpr int kNumServeTiers = 4;
+const char* ServeTierName(ServeTier tier);
+
+/// Ladder thresholds and protection limits, in watermark ticks / wall ms.
+struct ServeConfig {
+  /// Worst window-road staleness up to which the window counts as fresh.
+  long t1_fresh = 2;
+  /// ... up to which APOTS still runs over the imputed window (LOCF keeps
+  /// short gaps honest; beyond this the window is mostly fabricated).
+  long t2_imputed = 12;
+  /// ... up to which the historical profile is served; beyond it the road
+  /// is in total outage and only the decayed last-known-good remains.
+  long t3_outage = 96;
+
+  /// Per-Predict wall budget in ms; 0 = unbounded. When the cost model
+  /// projects an overrun, neural anchors are served from the historical
+  /// tier instead (cheap, no forward pass).
+  double deadline_ms = 0.0;
+  /// Stuck-worker watchdog: a neural inference exceeding this trips the
+  /// watchdog thread and the *next* Predict degrades to historical while
+  /// the flag is up. 0 disables the watchdog.
+  double watchdog_timeout_ms = 0.0;
+
+  /// Checkpoint every N watermark ticks through MaybeCheckpoint; 0 never.
+  long checkpoint_every = 0;
+  std::string checkpoint_dir;
+  int checkpoint_keep = 3;
+
+  /// Last-known-good residual decay per tick of age.
+  double lkg_decay = 0.9;
+};
+
+/// One served prediction.
+struct ServeResponse {
+  double kmh = 0.0;
+  ServeTier tier = ServeTier::kFull;
+  long staleness = 0;        ///< worst window-road staleness at serve time
+  bool deadline_miss = false;
+};
+
+/// Aggregate serving health; availability is the headline SLO.
+struct ServeReport {
+  uint64_t requests = 0;
+  uint64_t tier_counts[kNumServeTiers] = {0, 0, 0, 0};
+  uint64_t failures = 0;           ///< anchors no tier could serve
+  uint64_t deadline_misses = 0;    ///< Predict calls over budget
+  uint64_t deadline_degraded = 0;  ///< anchors pre-degraded to meet it
+  uint64_t watchdog_trips = 0;
+  uint64_t checkpoints_written = 0;
+  long max_staleness = 0;
+
+  /// Fraction of requests answered by *some* tier.
+  double availability() const {
+    return requests == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(failures) / requests;
+  }
+  void MergeFrom(const ServeReport& other);
+};
+
+/// Background stall detector for the inference path. The serving thread
+/// arms it around each neural batch; a sampler thread trips when one
+/// batch overstays the timeout. Communication is lock-free (atomics
+/// only) so the hot path never blocks on the watchdog.
+class ServeWatchdog {
+ public:
+  explicit ServeWatchdog(double timeout_ms);
+  ~ServeWatchdog();
+
+  ServeWatchdog(const ServeWatchdog&) = delete;
+  ServeWatchdog& operator=(const ServeWatchdog&) = delete;
+
+  void Arm();
+  void Disarm();
+  /// True when a stall was detected since the last call; clears the flag.
+  bool ConsumeStuck();
+  uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+
+ private:
+  void Run();
+
+  const double timeout_ms_;
+  std::atomic<bool> quit_{false};
+  std::atomic<bool> in_flight_{false};
+  std::atomic<bool> tripped_this_flight_{false};
+  std::atomic<bool> stuck_{false};
+  std::atomic<int64_t> armed_at_ns_{0};
+  std::atomic<uint64_t> trips_{0};
+  std::thread thread_;
+};
+
+/// Fault-tolerant serving facade over a trained ApotsModel.
+///
+/// Per anchor, the supervisor reads the worst staleness across the roads
+/// feeding the anchor's input window and picks the tier (see ServeTier).
+/// Fresh and imputed anchors share one batched pass through the model's
+/// InferenceRuntime — with faults disabled, responses are bitwise
+/// identical to InferenceRuntime::Predict because subset batching is
+/// bitwise-stable (DESIGN.md §10) and the km/h conversion is the same
+/// float->double path ApotsModel::PredictKmh uses.
+///
+/// Protection: a per-call deadline degrades neural anchors to the
+/// historical tier when the EMA cost model projects an overrun, and the
+/// watchdog degrades the call after a stuck inference. Checkpoints
+/// (weights + ingestor state as the aux blob) are atomic and
+/// generation-retained; Recover() restores the newest uncorrupted
+/// generation and the ingestor watermark.
+class ServingSupervisor {
+ public:
+  /// All borrowed; must outlive the supervisor. `fallback` must be fitted
+  /// (it backs the historical and last-known-good tiers).
+  ServingSupervisor(apots::core::ApotsModel* model, StreamIngestor* ingestor,
+                    const apots::baseline::HistoricalAverage* fallback,
+                    ServeConfig config);
+
+  /// Serves one batch of anchors. Never throws and never aborts on a
+  /// servable anchor; anchors whose window or target falls outside the
+  /// dataset are counted as failures and answered with the profile's
+  /// nearest in-range value (or 0 when even that is impossible).
+  std::vector<ServeResponse> Predict(const std::vector<long>& anchors);
+
+  /// Tier the ladder would assign to `anchor` right now.
+  ServeTier TierFor(long anchor) const;
+  /// Worst staleness across the roads feeding `anchor`'s window.
+  long WindowStaleness(long anchor) const;
+
+  /// Writes a checkpoint when `checkpoint_every` ticks elapsed since the
+  /// last one. Returns true when a checkpoint was written.
+  bool MaybeCheckpoint(long tick);
+  /// Unconditional checkpoint (weights + ingestor state).
+  Status CheckpointNow();
+  /// Restores weights and ingestor state from the newest readable
+  /// generation; falls back generation by generation on corruption.
+  Result<apots::nn::CheckpointStore::RecoverInfo> Recover();
+
+  const ServeReport& report() const;
+  const ServeConfig& config() const { return config_; }
+  const Status& last_checkpoint_status() const {
+    return last_checkpoint_status_;
+  }
+  apots::nn::CheckpointStore* checkpoint_store() { return store_.get(); }
+
+  /// Test hook: runs inside every neural inference section (e.g. a sleep
+  /// to trip the watchdog). Not for production use.
+  void set_inference_delay_for_test(std::function<void()> hook) {
+    inference_delay_for_test_ = std::move(hook);
+  }
+
+ private:
+  double LastKnownGood(long target_interval);
+
+  apots::core::ApotsModel* model_;                          // not owned
+  StreamIngestor* ingestor_;                                // not owned
+  const apots::baseline::HistoricalAverage* fallback_;      // not owned
+  ServeConfig config_;
+  int window_lo_road_;
+  int window_hi_road_;
+  std::unique_ptr<apots::nn::CheckpointStore> store_;
+  std::unique_ptr<ServeWatchdog> watchdog_;
+  mutable ServeReport report_;
+  Status last_checkpoint_status_;
+  long last_checkpoint_tick_;
+  /// EMA of neural cost per anchor, feeding the deadline projection.
+  double ema_ms_per_anchor_ = 0.0;
+  /// Last-known-good state: the newest fresh neural response.
+  bool has_lkg_ = false;
+  double lkg_kmh_ = 0.0;
+  double lkg_profile_kmh_ = 0.0;
+  long lkg_interval_ = 0;
+  std::function<void()> inference_delay_for_test_;
+};
+
+}  // namespace apots::serve
+
+#endif  // APOTS_SERVE_SERVING_SUPERVISOR_H_

@@ -1,0 +1,209 @@
+#include "serve/stream_ingestor.h"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace apots::serve {
+
+namespace {
+
+constexpr uint32_t kStateMagic = 0x53494731;  // "SIG1"
+
+template <typename T>
+void AppendPod(std::string* blob, const T& value) {
+  blob->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(const std::string& blob, size_t* cursor, T* value) {
+  if (blob.size() - *cursor < sizeof(T)) return false;
+  std::memcpy(value, blob.data() + *cursor, sizeof(T));
+  *cursor += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+StreamIngestor::StreamIngestor(
+    apots::traffic::TrafficDataset* live, long start_interval,
+    apots::data::ImputationConfig imputation,
+    std::function<float(int road, long t)> profile)
+    : live_(live),
+      start_(start_interval),
+      watermark_(start_interval - 1),
+      imputer_(live == nullptr ? 1 : live->num_roads(), imputation,
+               std::move(profile)),
+      observed_(live == nullptr ? 1 : live->num_roads(),
+                live == nullptr ? 1 : live->num_intervals()) {
+  APOTS_CHECK(live != nullptr);
+  APOTS_CHECK(start_ > 0 && start_ <= live_->num_intervals());
+  observed_.SetAll(false);
+  for (int road = 0; road < live_->num_roads(); ++road) {
+    for (long t = 0; t < start_; ++t) observed_.Set(road, t, true);
+    // Seed LOCF with the newest warmup value so the first streamed gap can
+    // carry forward across the warmup boundary.
+    imputer_.Observe(road, start_ - 1, live_->Speed(road, start_ - 1));
+  }
+}
+
+void StreamIngestor::AttachCache(apots::data::FeatureCache* cache,
+                                 int target_road) {
+  cache_ = cache;
+  cache_road_ = target_road;
+}
+
+void StreamIngestor::TouchCache(long interval) {
+  if (cache_ == nullptr) return;
+  cache_->InvalidateKey({cache_road_, interval});
+  ++stats_.cache_invalidations;
+}
+
+Status StreamIngestor::Ingest(const FeedRecord& record) {
+  const Status bounds = live_->CheckBounds(record.road, record.interval);
+  if (!bounds.ok()) {
+    ++stats_.rejected;
+    return bounds;
+  }
+  if (!std::isfinite(record.speed_kmh) || record.speed_kmh < 0.0f) {
+    ++stats_.rejected;
+    return Status::InvalidArgument(
+        StrFormat("record for road %d interval %ld carries invalid speed",
+                  record.road, record.interval));
+  }
+  if (record.interval < start_) {
+    ++stats_.rejected;
+    return Status::InvalidArgument(
+        StrFormat("record for interval %ld predates the stream start %ld",
+                  record.interval, start_));
+  }
+  if (observed_.Valid(record.road, record.interval)) {
+    ++stats_.duplicates;  // idempotent: the first observation won
+    return Status::Ok();
+  }
+  live_->SetSpeed(record.road, record.interval, record.speed_kmh);
+  observed_.Set(record.road, record.interval, true);
+  imputer_.Observe(record.road, record.interval, record.speed_kmh);
+  ++stats_.applied;
+  if (record.interval <= watermark_) {
+    // Late reconciliation: the cell held an imputed value that cached
+    // feature columns may already embed.
+    ++stats_.late;
+  }
+  TouchCache(record.interval);
+  return Status::Ok();
+}
+
+void StreamIngestor::AdvanceWatermark(long tick) {
+  const long limit = live_->num_intervals() - 1;
+  if (tick > limit) tick = limit;
+  for (long t = watermark_ + 1; t <= tick; ++t) {
+    bool changed = false;
+    for (int road = 0; road < live_->num_roads(); ++road) {
+      if (observed_.Valid(road, t)) continue;
+      live_->SetSpeed(road, t, imputer_.Fill(road, t));
+      ++stats_.imputed;
+      changed = true;
+    }
+    if (changed) TouchCache(t);
+  }
+  if (tick > watermark_) watermark_ = tick;
+}
+
+long StreamIngestor::Staleness(int road) const {
+  const long last = imputer_.last_observed(road);
+  if (last < 0) return watermark_ - start_ + 1;
+  return watermark_ - last;
+}
+
+std::string StreamIngestor::SerializeState() const {
+  std::string blob;
+  AppendPod(&blob, kStateMagic);
+  AppendPod(&blob, static_cast<int32_t>(live_->num_roads()));
+  AppendPod(&blob, static_cast<int64_t>(start_));
+  AppendPod(&blob, static_cast<int64_t>(watermark_));
+  for (int road = 0; road < live_->num_roads(); ++road) {
+    AppendPod(&blob, static_cast<int64_t>(imputer_.last_observed(road)));
+    AppendPod(&blob, imputer_.last_value(road));
+  }
+  AppendPod(&blob, stats_.applied);
+  AppendPod(&blob, stats_.duplicates);
+  AppendPod(&blob, stats_.late);
+  AppendPod(&blob, stats_.rejected);
+  AppendPod(&blob, stats_.imputed);
+  AppendPod(&blob, stats_.cache_invalidations);
+  return blob;
+}
+
+Status StreamIngestor::RestoreState(const std::string& blob) {
+  size_t cursor = 0;
+  uint32_t magic = 0;
+  int32_t roads = 0;
+  int64_t start = 0, watermark = 0;
+  if (!ReadPod(blob, &cursor, &magic) || magic != kStateMagic) {
+    return Status::InvalidArgument("ingestor state: bad magic");
+  }
+  if (!ReadPod(blob, &cursor, &roads) || !ReadPod(blob, &cursor, &start) ||
+      !ReadPod(blob, &cursor, &watermark)) {
+    return Status::InvalidArgument("ingestor state: truncated header");
+  }
+  if (roads != live_->num_roads()) {
+    return Status::InvalidArgument(
+        StrFormat("ingestor state describes %d roads, dataset has %d",
+                  roads, live_->num_roads()));
+  }
+  if (start != static_cast<int64_t>(start_)) {
+    return Status::InvalidArgument(
+        StrFormat("ingestor state starts at %lld, stream at %ld",
+                  static_cast<long long>(start), start_));
+  }
+  if (watermark < start_ - 1 || watermark >= live_->num_intervals()) {
+    return Status::InvalidArgument("ingestor state: watermark out of range");
+  }
+  std::vector<std::pair<int64_t, float>> tails(static_cast<size_t>(roads));
+  for (auto& [last_t, last_val] : tails) {
+    if (!ReadPod(blob, &cursor, &last_t) ||
+        !ReadPod(blob, &cursor, &last_val)) {
+      return Status::InvalidArgument("ingestor state: truncated tails");
+    }
+  }
+  Stats stats;
+  if (!ReadPod(blob, &cursor, &stats.applied) ||
+      !ReadPod(blob, &cursor, &stats.duplicates) ||
+      !ReadPod(blob, &cursor, &stats.late) ||
+      !ReadPod(blob, &cursor, &stats.rejected) ||
+      !ReadPod(blob, &cursor, &stats.imputed) ||
+      !ReadPod(blob, &cursor, &stats.cache_invalidations)) {
+    return Status::InvalidArgument("ingestor state: truncated stats");
+  }
+
+  watermark_ = watermark;
+  stats_ = stats;
+  for (int road = 0; road < roads; ++road) {
+    const auto& [last_t, last_val] = tails[static_cast<size_t>(road)];
+    if (last_t < 0) continue;
+    imputer_.Observe(road, last_t, last_val);
+    if (last_t >= start_) {
+      // The snapshot carries each road's newest real observation; restore
+      // it as observed so LOCF and staleness pick up where they left off.
+      live_->SetSpeed(road, last_t, last_val);
+      observed_.Set(road, last_t, true);
+    }
+  }
+  // The stream before the kill is gone; re-populate every streamed cell up
+  // to the watermark from the imputer so feature windows read consistent
+  // values. Cells stay unobserved, so a re-delivered record still wins.
+  for (long t = start_; t <= watermark_; ++t) {
+    for (int road = 0; road < live_->num_roads(); ++road) {
+      if (observed_.Valid(road, t)) continue;
+      live_->SetSpeed(road, t, imputer_.Fill(road, t));
+    }
+    TouchCache(t);
+  }
+  return Status::Ok();
+}
+
+}  // namespace apots::serve

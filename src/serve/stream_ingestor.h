@@ -1,0 +1,103 @@
+#ifndef APOTS_SERVE_STREAM_INGESTOR_H_
+#define APOTS_SERVE_STREAM_INGESTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/feature_cache.h"
+#include "data/imputation.h"
+#include "serve/feed.h"
+#include "traffic/fault_injector.h"
+#include "traffic/traffic_dataset.h"
+#include "util/status.h"
+
+namespace apots::serve {
+
+/// Applies a (possibly faulty) record stream onto a live TrafficDataset.
+///
+/// The ingestor owns the watermark — the newest interval whose cells are
+/// all populated, by observation or imputation — and guarantees three
+/// invariants the serving layer builds on:
+///   1. idempotence: a duplicate record is a no-op (first write wins);
+///   2. the dataset never exposes an unpopulated cell at or below the
+///      watermark — gaps are filled by the streaming imputer (LOCF within
+///      `locf_max_gap`, historical profile beyond) as the watermark
+///      advances, and reconciled in place when the real record shows up
+///      late;
+///   3. every cell write invalidates exactly the affected (road, interval)
+///      feature-cache key, so cached inference never serves a stale
+///      column and a late record does not flush the whole cache.
+///
+/// Cells before `start_interval` are warmup ground truth and immutable.
+/// The mask tracks *observation*, not validity: imputed cells stay
+/// unobserved so a late real record still wins over the imputed value.
+class StreamIngestor {
+ public:
+  /// `live` is borrowed and mutated in place; it must outlive the
+  /// ingestor. `profile(road, t)` supplies the long-gap fallback value
+  /// (see data::StreamingImputer). The imputer is seeded with each road's
+  /// speed at `start_interval - 1` so LOCF bridges the warmup boundary.
+  StreamIngestor(apots::traffic::TrafficDataset* live, long start_interval,
+                 apots::data::ImputationConfig imputation,
+                 std::function<float(int road, long t)> profile);
+
+  /// Routes cache invalidations for the assembler's target road to
+  /// `cache` (borrowed, may be null to detach).
+  void AttachCache(apots::data::FeatureCache* cache, int target_road);
+
+  /// Applies one record. Returns the Status for *rejected* records
+  /// (out-of-range indices, non-finite or negative speed, pre-warmup
+  /// interval); duplicates and applies return Ok.
+  Status Ingest(const FeedRecord& record);
+
+  /// Raises the watermark to `tick`, imputing every still-unobserved cell
+  /// in (old watermark, tick]. Ticks beyond the dataset are clamped.
+  void AdvanceWatermark(long tick);
+
+  long watermark() const { return watermark_; }
+  long start_interval() const { return start_; }
+
+  /// Ticks since `road` last delivered a real observation, measured at
+  /// the watermark. 0 = fresh this tick.
+  long Staleness(int road) const;
+
+  /// True when (road, t) holds a real observation (warmup counts).
+  bool Observed(int road, long t) const { return observed_.Valid(road, t); }
+  const apots::traffic::ValidityMask& observed_mask() const {
+    return observed_;
+  }
+
+  struct Stats {
+    uint64_t applied = 0;     ///< records written into the dataset
+    uint64_t duplicates = 0;  ///< idempotently skipped re-deliveries
+    uint64_t late = 0;        ///< applied at or below the watermark
+    uint64_t rejected = 0;    ///< malformed / out-of-range records
+    uint64_t imputed = 0;     ///< cells filled by the streaming imputer
+    uint64_t cache_invalidations = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Opaque snapshot of the ingestor's recovery state (watermark,
+  /// per-road imputer tails, counters) — stored as the checkpoint aux
+  /// blob. RestoreState re-fills every unobserved cell up to the restored
+  /// watermark from the imputer, so a recovered process serves from a
+  /// consistent dataset without replaying the stream.
+  std::string SerializeState() const;
+  Status RestoreState(const std::string& blob);
+
+ private:
+  void TouchCache(long interval);
+
+  apots::traffic::TrafficDataset* live_;  // not owned
+  long start_;
+  long watermark_;
+  apots::data::StreamingImputer imputer_;
+  apots::traffic::ValidityMask observed_;
+  apots::data::FeatureCache* cache_ = nullptr;  // not owned
+  int cache_road_ = 0;
+  Stats stats_;
+};
+
+}  // namespace apots::serve
+
+#endif  // APOTS_SERVE_STREAM_INGESTOR_H_

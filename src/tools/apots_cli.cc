@@ -12,6 +12,16 @@
 //                      [--rates 0,0.05,0.15,0.3] [--predictor F|L|C|H]
 //                      [--epochs N] [--divisor N] [--fault-seed S]
 //                      [--fault-kinds drop,stuck,noise,outage]
+//   apots_cli serve    [--days N] [--roads N] [--storm 0|1]
+//                      [--deadline-ms MS] [--watchdog-ms MS]
+//                      [--checkpoint-dir D] [--checkpoint-every N]
+//                      [--kill-at TICK] [--ticks N]
+//
+// `serve` simulates online operation: warmup data trains/fits the stack,
+// the rest streams through a delivery-fault model (delays, duplicates,
+// outages, torn ticks) into the StreamIngestor + ServingSupervisor, which
+// degrades per-road through full -> imputed -> historical ->
+// last-known-good tiers and can checkpoint + kill + recover mid-stream.
 //
 // `train` fits on the day-blocked 80% split and reports test metrics;
 // `evaluate` reloads saved weights and reproduces them. All three data
@@ -20,6 +30,7 @@
 // training or evaluating; `robustness` sweeps the fault rate and prints an
 // accuracy-vs-fault-rate table.
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -30,6 +41,7 @@
 #include "data/windowing.h"
 #include "eval/experiment.h"
 #include "metrics/metrics.h"
+#include "serve/harness.h"
 #include "traffic/dataset_generator.h"
 #include "traffic/fault_injector.h"
 #include "util/csv.h"
@@ -416,6 +428,158 @@ int Robustness(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Online-serving simulation: streams a synthetic corridor through the
+// delivery-fault model into the supervisor stack and reports per-tier
+// volume and accuracy, plus ingestion and checkpoint health.
+int Serve(const std::map<std::string, std::string>& flags) {
+  serve::HarnessConfig hc;
+  traffic::DatasetSpec spec;
+  spec.num_days = 7;
+  spec.num_roads = 5;
+  spec.hyundai_calendar = false;
+  int64_t value = 0;
+  if (ParseInt64(Flag(flags, "days", ""), &value)) {
+    spec.num_days = static_cast<int>(value);
+  }
+  if (ParseInt64(Flag(flags, "roads", ""), &value)) {
+    spec.num_roads = static_cast<int>(value);
+  }
+  if (ParseInt64(Flag(flags, "seed", ""), &value)) {
+    spec.seed = static_cast<uint64_t>(value);
+  }
+  hc.spec = spec;
+  double warmup = 0.5;
+  if (ParseDouble(Flag(flags, "warmup", ""), &warmup)) {
+    hc.warmup_fraction = warmup;
+  }
+  hc.predictor = ParsePredictor(Flag(flags, "predictor", "F"));
+  if (ParseInt64(Flag(flags, "divisor", ""), &value) && value > 0) {
+    hc.width_divisor = static_cast<size_t>(value);
+  }
+  if (ParseInt64(Flag(flags, "epochs", ""), &value)) {
+    hc.train_epochs = static_cast<int>(value);
+  }
+  uint64_t feed_seed = 99;
+  if (ParseInt64(Flag(flags, "feed-seed", ""), &value)) {
+    feed_seed = static_cast<uint64_t>(value);
+  }
+  hc.feed = Flag(flags, "storm", "1") == "1"
+                ? serve::FeedFaultSpec::Storm(feed_seed)
+                : serve::FeedFaultSpec::Clean();
+  double ms = 0.0;
+  if (ParseDouble(Flag(flags, "deadline-ms", ""), &ms)) {
+    hc.serve.deadline_ms = ms;
+  }
+  if (ParseDouble(Flag(flags, "watchdog-ms", ""), &ms)) {
+    hc.serve.watchdog_timeout_ms = ms;
+  }
+  hc.serve.checkpoint_dir = Flag(flags, "checkpoint-dir", "");
+  if (ParseInt64(Flag(flags, "checkpoint-every", ""), &value)) {
+    hc.serve.checkpoint_every = value;
+  }
+  if (ParseInt64(Flag(flags, "anchors-per-tick", ""), &value) && value > 0) {
+    hc.anchors_per_tick = static_cast<int>(value);
+  }
+  long kill_at = 0;  // ticks into the stream; 0 = never
+  if (ParseInt64(Flag(flags, "kill-at", ""), &value)) kill_at = value;
+  long max_ticks = 0;  // 0 = run the whole stream
+  if (ParseInt64(Flag(flags, "ticks", ""), &value)) max_ticks = value;
+
+  serve::SimulationHarness harness(std::move(hc));
+  const int target = harness.target_road();
+  const int beta = harness.model().assembler().beta();
+  std::printf("serving %d roads x %ld intervals, warmup %ld, %s feed\n",
+              spec.num_roads, harness.truth().num_intervals(),
+              harness.warmup_end(),
+              Flag(flags, "storm", "1") == "1" ? "storm" : "clean");
+
+  double abs_err[serve::kNumServeTiers] = {0, 0, 0, 0};
+  uint64_t err_count[serve::kNumServeTiers] = {0, 0, 0, 0};
+  long ticks_run = 0;
+  bool more = true;
+  while (more) {
+    more = harness.RunTick();
+    ++ticks_run;
+    const auto& anchors = harness.last_anchors();
+    const auto& responses = harness.last_responses();
+    for (size_t i = 0; i < anchors.size(); ++i) {
+      const int tier = static_cast<int>(responses[i].tier);
+      abs_err[tier] += std::abs(
+          responses[i].kmh -
+          harness.truth().Speed(target, anchors[i] + beta));
+      ++err_count[tier];
+    }
+    if (kill_at > 0 && ticks_run == kill_at) {
+      auto recovered = harness.KillAndRecover(spec.seed + 1);
+      if (recovered.ok()) {
+        std::printf("killed at tick %ld; recovered generation %llu "
+                    "(watermark %ld)%s\n",
+                    ticks_run,
+                    static_cast<unsigned long long>(
+                        recovered.value().generation),
+                    harness.ingestor().watermark(),
+                    recovered.value().fell_back() ? " after fallback" : "");
+      } else {
+        std::printf("killed at tick %ld; recovery failed: %s\n", ticks_run,
+                    recovered.status().ToString().c_str());
+      }
+    }
+    if (max_ticks > 0 && ticks_run >= max_ticks) break;
+  }
+
+  const serve::ServeReport report = harness.report();
+  TablePrinter table({"tier", "served", "share", "MAE km/h"});
+  for (int tier = 0; tier < serve::kNumServeTiers; ++tier) {
+    const uint64_t n = report.tier_counts[tier];
+    table.AddRow(
+        {serve::ServeTierName(static_cast<serve::ServeTier>(tier)),
+         StrFormat("%llu", static_cast<unsigned long long>(n)),
+         StrFormat("%.1f%%", report.requests == 0
+                                 ? 0.0
+                                 : 100.0 * static_cast<double>(n) /
+                                       static_cast<double>(report.requests)),
+         err_count[tier] == 0
+             ? std::string("-")
+             : StrFormat("%.2f", abs_err[tier] /
+                                     static_cast<double>(err_count[tier]))});
+  }
+  table.Print();
+  const auto& ingest = harness.ingestor().stats();
+  const auto& feed = harness.feed().stats();
+  std::printf(
+      "availability %.4f over %llu requests (%llu failures); "
+      "max staleness %ld\n",
+      report.availability(),
+      static_cast<unsigned long long>(report.requests),
+      static_cast<unsigned long long>(report.failures),
+      report.max_staleness);
+  std::printf(
+      "feed: %llu generated, %llu delayed, %llu dup, %llu dropped, "
+      "%llu torn ticks\n",
+      static_cast<unsigned long long>(feed.generated),
+      static_cast<unsigned long long>(feed.delayed),
+      static_cast<unsigned long long>(feed.duplicated),
+      static_cast<unsigned long long>(feed.dropped),
+      static_cast<unsigned long long>(feed.torn_ticks));
+  std::printf(
+      "ingest: %llu applied (%llu late), %llu dup, %llu rejected, "
+      "%llu imputed, %llu cache invalidations\n",
+      static_cast<unsigned long long>(ingest.applied),
+      static_cast<unsigned long long>(ingest.late),
+      static_cast<unsigned long long>(ingest.duplicates),
+      static_cast<unsigned long long>(ingest.rejected),
+      static_cast<unsigned long long>(ingest.imputed),
+      static_cast<unsigned long long>(ingest.cache_invalidations));
+  std::printf(
+      "protection: %llu deadline misses, %llu degraded, %llu watchdog "
+      "trips, %llu checkpoints\n",
+      static_cast<unsigned long long>(report.deadline_misses),
+      static_cast<unsigned long long>(report.deadline_degraded),
+      static_cast<unsigned long long>(report.watchdog_trips),
+      static_cast<unsigned long long>(report.checkpoints_written));
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -430,7 +594,13 @@ int Usage() {
       "           [--epochs N] [--divisor N] [--adversarial 0|1]\n"
       "           [--fault-seed S] [--fault-kinds drop,stuck,noise,outage]\n"
       "  train/evaluate also take --fault-rate R --fault-seed S\n"
-      "           --fault-kinds K to corrupt + repair the dataset first\n");
+      "           --fault-kinds K to corrupt + repair the dataset first\n"
+      "  serve    [--days N] [--roads N] [--seed S] [--warmup F]\n"
+      "           [--predictor F|L|C|H] [--epochs N] [--divisor N]\n"
+      "           [--storm 0|1] [--feed-seed S] [--deadline-ms MS]\n"
+      "           [--watchdog-ms MS] [--checkpoint-dir D]\n"
+      "           [--checkpoint-every N] [--kill-at TICK] [--ticks N]\n"
+      "           [--anchors-per-tick N]\n");
   return 2;
 }
 
@@ -444,5 +614,6 @@ int main(int argc, char** argv) {
   if (command == "train") return Train(flags);
   if (command == "evaluate") return Evaluate(flags);
   if (command == "robustness") return Robustness(flags);
+  if (command == "serve") return Serve(flags);
   return Usage();
 }

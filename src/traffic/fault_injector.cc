@@ -68,6 +68,10 @@ void ValidityMask::Set(int road, long t, bool valid) {
   valid_[static_cast<size_t>(road) * num_intervals_ + t] = valid ? 1 : 0;
 }
 
+void ValidityMask::SetAll(bool valid) {
+  std::fill(valid_.begin(), valid_.end(), static_cast<uint8_t>(valid ? 1 : 0));
+}
+
 double ValidityMask::ValidRatio() const {
   if (valid_.empty()) return 1.0;
   return 1.0 - static_cast<double>(CountInvalid()) /

@@ -46,6 +46,10 @@ class ValidityMask {
   bool Valid(int road, long t) const;
   void Set(int road, long t, bool valid);
 
+  /// Sets every cell at once. Streaming consumers repurpose the mask as an
+  /// "observed" bitmap: start all-false, flip cells true as records land.
+  void SetAll(bool valid);
+
   /// Fraction of valid cells over the whole mask (1.0 when empty).
   double ValidRatio() const;
 

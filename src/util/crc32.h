@@ -1,0 +1,20 @@
+#ifndef APOTS_UTIL_CRC32_H_
+#define APOTS_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace apots {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected). Used as the
+/// integrity footer of on-disk artifacts (parameter checkpoints, ingestor
+/// state blobs) so torn writes and bit rot are detected at load time
+/// instead of silently corrupting model state.
+///
+/// `seed` allows incremental computation: pass the previous return value to
+/// continue a running checksum over a split buffer.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace apots
+
+#endif  // APOTS_UTIL_CRC32_H_

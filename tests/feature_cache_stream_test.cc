@@ -1,0 +1,149 @@
+// FeatureCache per-key generation invalidation under streaming appends:
+// a late record must make exactly its own (road, interval) column stale —
+// recomputed in place on the next lookup — without evicting unrelated warm
+// columns, and the whole ingest→invalidate→predict chain must stay bitwise
+// identical to a cold cache.
+
+#include "data/feature_cache.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/apots_model.h"
+#include "serve/stream_ingestor.h"
+#include "traffic/dataset_generator.h"
+
+namespace apots::data {
+namespace {
+
+using Key = FeatureCache::Key;
+
+TEST(FeatureCacheKeyTest, InvalidateKeyRecomputesInPlace) {
+  FeatureCache cache(8);
+  float backing = 1.0f;
+  const auto fill = [&backing](float* dst) { *dst = backing; };
+  float out = 0.0f;
+
+  const Key key{0, 5};
+  cache.GetOrCompute(key, 1, &out, fill);  // miss, caches 1.0
+  EXPECT_EQ(out, 1.0f);
+  backing = 2.0f;
+  cache.GetOrCompute(key, 1, &out, fill);  // hit, still the cached 1.0
+  EXPECT_EQ(out, 1.0f);
+
+  cache.InvalidateKey(key);
+  cache.GetOrCompute(key, 1, &out, fill);  // stale → recomputed in place
+  EXPECT_EQ(out, 2.0f);
+  cache.GetOrCompute(key, 1, &out, fill);  // fresh again
+  EXPECT_EQ(out, 2.0f);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stale_rejects, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.key_invalidations, 1u);
+  EXPECT_EQ(cache.size(), 1u);  // never evicted, recomputed in place
+}
+
+TEST(FeatureCacheKeyTest, OtherKeysStayWarm) {
+  FeatureCache cache(8);
+  int fills = 0;
+  const auto fill = [&fills](float* dst) { *dst = static_cast<float>(++fills); };
+  float out = 0.0f;
+  for (long t = 0; t < 4; ++t) {
+    cache.GetOrCompute(Key{0, t}, 1, &out, fill);
+  }
+  ASSERT_EQ(fills, 4);
+
+  cache.InvalidateKey(Key{0, 2});
+  for (long t = 0; t < 4; ++t) {
+    cache.GetOrCompute(Key{0, t}, 1, &out, fill);
+  }
+  // Only the invalidated column recomputed; the other three were hits.
+  EXPECT_EQ(fills, 5);
+  EXPECT_EQ(cache.stats().hits, 3u);
+  EXPECT_EQ(cache.stats().stale_rejects, 1u);
+}
+
+TEST(FeatureCacheKeyTest, InvalidateKeyOnUncachedKeyIsSafe) {
+  FeatureCache cache(4);
+  cache.InvalidateKey(Key{7, 99});  // never cached — must not throw
+  EXPECT_EQ(cache.stats().key_invalidations, 1u);
+
+  // A later first lookup of that key is a plain miss, not a stale reject.
+  float out = 0.0f;
+  cache.GetOrCompute(Key{7, 99}, 1, &out, [](float* dst) { *dst = 3.0f; });
+  EXPECT_EQ(out, 3.0f);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().stale_rejects, 0u);
+}
+
+TEST(FeatureCacheKeyTest, WholesaleInvalidateResetsGenerations) {
+  FeatureCache cache(4);
+  float out = 0.0f;
+  cache.GetOrCompute(Key{0, 1}, 1, &out, [](float* dst) { *dst = 1.0f; });
+  cache.InvalidateKey(Key{0, 1});
+  cache.Invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  // After the wholesale drop the key's generation restarts at zero, so a
+  // re-fill followed by a lookup is a clean miss + hit with no stale reads.
+  cache.GetOrCompute(Key{0, 1}, 1, &out, [](float* dst) { *dst = 5.0f; });
+  cache.GetOrCompute(Key{0, 1}, 1, &out, [](float* dst) { *dst = 9.0f; });
+  EXPECT_EQ(out, 5.0f);
+  EXPECT_EQ(cache.stats().stale_rejects, 0u);
+}
+
+// End to end: a late record flowing through StreamIngestor must invalidate
+// exactly the touched intervals in the model's feature cache, and warm-
+// cache predictions afterwards must be bitwise identical to a model that
+// assembled everything cold from the same dataset.
+TEST(FeatureCacheStreamTest, LateRecordReconcilesBitwise) {
+  apots::traffic::DatasetSpec spec;
+  spec.num_roads = 3;
+  spec.num_days = 2;
+  spec.intervals_per_day = 96;
+  spec.hyundai_calendar = false;
+  auto dataset = apots::traffic::GenerateDataset(spec);
+
+  apots::core::ApotsConfig cfg;
+  cfg.predictor = apots::core::PredictorHparams::Scaled(
+      apots::core::PredictorType::kFc, 16);
+  cfg.features = apots::data::FeatureConfig::Both(12, 3);
+  cfg.features.num_adjacent = 1;  // the tiny dataset has 3 roads
+  cfg.training.adversarial = false;
+  cfg.training.verbose = false;
+
+  apots::core::ApotsModel model(&dataset, cfg);
+  const int target = model.assembler().target_road();
+  const long start = 96;
+  apots::serve::StreamIngestor ingestor(
+      &dataset, start, ImputationConfig(),
+      [](int, long) { return 50.0f; });
+  ingestor.AttachCache(model.inference_runtime().feature_cache(), target);
+
+  // Warm the cache over a window that covers interval `late_t`.
+  const long late_t = start + 4;
+  const std::vector<long> anchors = {late_t + 6, late_t + 7, late_t + 8};
+  for (long t = start; t <= anchors.back(); ++t) {
+    ingestor.AdvanceWatermark(t);  // all cells imputed at 50 km/h
+  }
+  const std::vector<double> before = model.PredictKmh(anchors);
+
+  // The real measurement for (target, late_t) arrives late.
+  apots::serve::FeedRecord record{late_t, target, 91.0f, 0};
+  ASSERT_TRUE(ingestor.Ingest(record).ok());
+  EXPECT_EQ(ingestor.stats().late, 1u);
+  EXPECT_GE(ingestor.stats().cache_invalidations, 1u);
+
+  const std::vector<double> warm = model.PredictKmh(anchors);
+  EXPECT_NE(warm, before);  // the stale column did not survive
+
+  // Cold model over the identical (reconciled) dataset: bitwise match.
+  apots::core::ApotsModel cold(&dataset, cfg);
+  cold.CopyWeightsFrom(model);
+  EXPECT_EQ(cold.PredictKmh(anchors), warm);
+}
+
+}  // namespace
+}  // namespace apots::data

@@ -217,5 +217,50 @@ TEST(InferenceRuntimeTest, FallbackCountIndependentOfBatchGridAndThreads) {
   ResetGlobalPool(1);
 }
 
+TEST(InferenceConfigGuardTest, ValidateRejectsDegenerateConfigs) {
+  InferenceConfig zero_batch;
+  zero_batch.batch_size = 0;
+  EXPECT_EQ(ValidateInferenceConfig(zero_batch).code(),
+            StatusCode::kInvalidArgument);
+
+  InferenceConfig zero_cache;
+  zero_cache.use_feature_cache = true;
+  zero_cache.cache_capacity = 0;
+  EXPECT_EQ(ValidateInferenceConfig(zero_cache).code(),
+            StatusCode::kInvalidArgument);
+
+  // Capacity 0 is fine when the cache is off, and defaults are valid.
+  zero_cache.use_feature_cache = false;
+  EXPECT_TRUE(ValidateInferenceConfig(zero_cache).ok());
+  EXPECT_TRUE(ValidateInferenceConfig(InferenceConfig()).ok());
+}
+
+TEST(InferenceConfigGuardTest, SanitizeClampsInsteadOfCrashing) {
+  InferenceConfig degenerate;
+  degenerate.batch_size = 0;
+  degenerate.use_feature_cache = true;
+  degenerate.cache_capacity = 0;
+  const InferenceConfig fixed = SanitizeInferenceConfig(degenerate);
+  EXPECT_EQ(fixed.batch_size, 1u);
+  EXPECT_FALSE(fixed.use_feature_cache);
+  EXPECT_TRUE(ValidateInferenceConfig(fixed).ok());
+}
+
+TEST(InferenceConfigGuardTest, DegenerateConfigStillPredictsIdentically) {
+  // A runtime built from batch_size=0 / cache_capacity=0 must serve (via
+  // the sanitized config) and stay on the bitwise contract.
+  Env& env = GetEnv();
+  ApotsModel model(&env.dataset, ConfigFor(PredictorType::kFc));
+  model.SetInferenceConfig(PerAnchorArm());
+  const std::vector<double> baseline = model.PredictKmh(env.test);
+
+  InferenceConfig degenerate;
+  degenerate.batch_size = 0;
+  degenerate.use_feature_cache = true;
+  degenerate.cache_capacity = 0;
+  model.SetInferenceConfig(degenerate);
+  ExpectIdentical(model.PredictKmh(env.test), baseline, "sanitized arm");
+}
+
 }  // namespace
 }  // namespace apots::core
