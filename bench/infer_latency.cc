@@ -15,7 +15,6 @@
 // anchor set and round counts for CI smoke runs.
 
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +26,7 @@
 
 #include "core/apots_model.h"
 #include "data/windowing.h"
+#include "obs/metrics.h"
 #include "traffic/dataset_generator.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -77,13 +77,6 @@ struct ArmResult {
   size_t cache_misses = 0;
 };
 
-double Quantile(std::vector<double> samples, double q) {
-  std::sort(samples.begin(), samples.end());
-  const size_t idx = static_cast<size_t>(
-      std::ceil(q * static_cast<double>(samples.size() - 1)));
-  return samples[idx];
-}
-
 ArmResult RunArm(core::ApotsModel* model, const std::vector<long>& anchors,
                  const ArmSpec& spec,
                  const std::vector<double>& baseline) {
@@ -92,21 +85,26 @@ ArmResult RunArm(core::ApotsModel* model, const std::vector<long>& anchors,
   ResetGlobalPool(spec.threads);
   model->SetInferenceConfig(spec.cfg);  // fresh runtime: cold cache + arenas
 
-  std::vector<double> latencies_ms;
-  latencies_ms.reserve(spec.rounds);
+  // Per-arm latency histogram from the shared registry: percentiles come
+  // from one definition (obs::Histogram) instead of a local sort-and-index,
+  // and land in any --metrics-json dump alongside the runtime's own
+  // instruments.
+  obs::Histogram& latency_ms = obs::MetricsRegistry::Default().GetHistogram(
+      std::string("bench.infer_latency.") + spec.name + ".call_ms");
+  latency_ms.Reset();
   double total_seconds = 0.0;
   for (size_t round = 0; round < spec.rounds; ++round) {
     Stopwatch watch;
     const std::vector<double> pred = model->PredictKmh(anchors);
     const double seconds = watch.ElapsedSeconds();
-    latencies_ms.push_back(seconds * 1e3);
+    latency_ms.Record(seconds * 1e3);
     total_seconds += seconds;
     const bool match = !baseline.empty() && pred == baseline;
     if (round == 0) result.bitwise_cold = match;
     result.bitwise_warm = match;
   }
-  result.p50_ms = Quantile(latencies_ms, 0.50);
-  result.p99_ms = Quantile(latencies_ms, 0.99);
+  result.p50_ms = latency_ms.Percentile(0.50);
+  result.p99_ms = latency_ms.Percentile(0.99);
   result.anchors_per_sec =
       static_cast<double>(anchors.size() * spec.rounds) / total_seconds;
   if (auto* cache = model->inference_runtime().feature_cache()) {

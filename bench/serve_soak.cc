@@ -19,8 +19,6 @@
 // Flags: --perf_json[=path] selects the output file; --quick shrinks the
 // simulated stream for CI smoke runs.
 
-#include <algorithm>
-#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -29,20 +27,13 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/harness.h"
 #include "util/stopwatch.h"
 
 namespace {
 
 using namespace apots;
-
-double Quantile(std::vector<double> samples, double q) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  const size_t idx = static_cast<size_t>(
-      std::ceil(q * static_cast<double>(samples.size() - 1)));
-  return samples[idx];
-}
 
 serve::HarnessConfig BaseConfig(bool quick) {
   serve::HarnessConfig config;
@@ -71,17 +62,21 @@ struct SoakResult {
 
 SoakResult RunStream(serve::SimulationHarness* harness) {
   SoakResult result;
-  std::vector<double> tick_ms;
+  // Shared percentile definition (obs::Histogram) instead of a local
+  // sort-and-index; the histogram also shows up in --metrics-json dumps.
+  obs::Histogram& tick_ms = obs::MetricsRegistry::Default().GetHistogram(
+      "bench.serve_soak.tick_ms");
+  tick_ms.Reset();
   bool more = true;
   while (more) {
     Stopwatch watch;
     more = harness->RunTick();
-    tick_ms.push_back(watch.ElapsedMillis());
+    tick_ms.Record(watch.ElapsedMillis());
     ++result.ticks;
   }
   result.report = harness->report();
-  result.p50_ms = Quantile(tick_ms, 0.50);
-  result.p99_ms = Quantile(tick_ms, 0.99);
+  result.p50_ms = tick_ms.Percentile(0.50);
+  result.p99_ms = tick_ms.Percentile(0.99);
   return result;
 }
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Prints ccache statistics plus a single computed hit-rate line that is
+# easy to eyeball in CI logs. Pair with `ccache -z` right after the cache
+# restore so the rate covers exactly this workflow run.
+set -euo pipefail
+
+if ! command -v ccache > /dev/null 2>&1; then
+  echo "ccache not installed; skipping stats"
+  exit 0
+fi
+
+ccache --show-stats
+
+# --print-stats emits machine-readable "key\tvalue" lines on ccache >= 4.
+stats=$(ccache --print-stats 2> /dev/null || true)
+if [[ -z "${stats}" ]]; then
+  echo "ccache hit rate: unavailable (ccache too old for --print-stats)"
+  exit 0
+fi
+hits=$(awk -F'\t' '$1 == "direct_cache_hit" || $1 == "preprocessed_cache_hit" { s += $2 } END { print s + 0 }' <<< "${stats}")
+misses=$(awk -F'\t' '$1 == "cache_miss" { s += $2 } END { print s + 0 }' <<< "${stats}")
+total=$((hits + misses))
+if [[ "${total}" -eq 0 ]]; then
+  echo "ccache hit rate: n/a (no compilations recorded)"
+else
+  echo "ccache hit rate: $((100 * hits / total))% (${hits}/${total} compilations)"
+fi

@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Gate fresh bench reports against committed baselines.
+
+Usage:
+    check_perf_regression.py [--fresh DIR] [--baselines DIR]
+                             [--threshold FRACTION] [--self-test]
+
+Every ``perf_*.json`` in the baselines directory is matched by filename
+against the fresh directory, both files are flattened to ``path -> value``
+maps (array elements are keyed by their ``name``/``arm`` entry so
+reordering arms never breaks the diff), and each numeric metric whose name
+declares a direction (see PERF_METRICS) is compared:
+
+* higher-is-better metrics fail when fresh < baseline * (1 - threshold)
+* lower-is-better metrics fail when fresh > baseline * (1 + threshold)
+
+Everything else — configuration echoes, counters, booleans — is reported
+only when it disappears, because a vanished metric usually means a bench
+arm silently stopped running. The default threshold is 15%: wide enough
+for shared-runner noise on the --quick workloads, narrow enough to catch a
+real pessimization (the obs:: layer's own budget is 2%, enforced by
+bench/obs_overhead, not here).
+
+``--self-test`` exercises the comparator itself: it builds a synthetic
+baseline, verifies an identical report passes, then injects a 20%
+throughput regression and a 20% latency regression and asserts both are
+caught. CI runs it via ctest so a broken comparator cannot silently turn
+the perf gate green.
+
+Exit codes: 0 clean, 1 regression or missing metric, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Suffix -> direction. A metric participates in gating iff its final path
+# component (or that component's prefix before a numeric suffix) appears
+# here. "up" = higher is better, "down" = lower is better.
+PERF_METRICS = {
+    "anchors_per_sec": "up",
+    "samples_per_sec": "up",
+    "availability": "up",
+    "speedup_batched_vs_per_anchor": "up",
+    "speedup_batched_parallel_vs_per_anchor": "up",
+    "seconds": "down",
+    "seconds_per_call": "down",
+    "p50_ms": "down",
+    "p99_ms": "down",
+    "p50_tick_ms": "down",
+    "p99_tick_ms": "down",
+    "deadline_miss_rate": "down",
+}
+
+# Latency metrics additionally need the absolute delta to clear this floor
+# (in the metric's own unit, ms for *_ms) before a relative regression
+# counts: a 0.02ms -> 0.03ms tick is +50% but pure scheduler noise.
+ABS_SLACK = {
+    "p50_ms": 1.0,
+    "p99_ms": 1.0,
+    "p50_tick_ms": 1.0,
+    "p99_tick_ms": 1.0,
+}
+
+# NOTE: obs_overhead's metrics_overhead / metrics_trace_overhead are
+# deliberately absent — they are signed ratios hovering around zero, where
+# relative comparison is meaningless; bench/obs_overhead gates them in
+# absolute terms (<2%) itself.
+
+
+def flatten(node, prefix=""):
+    """JSON tree -> {path: leaf}. List elements with a 'name' or 'arm'
+    field are keyed by it; bare lists fall back to the index."""
+    out = {}
+    if isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            out.update(flatten(value, f"{prefix}{key}."))
+    elif isinstance(node, list):
+        for idx, value in enumerate(node):
+            key = str(idx)
+            if isinstance(value, dict):
+                for tag in ("name", "arm"):
+                    if isinstance(value.get(tag), str):
+                        key = value[tag]
+                        break
+            out.update(flatten(value, f"{prefix}{key}."))
+    else:
+        out[prefix[:-1]] = node
+    return out
+
+
+def direction_for(path):
+    leaf = path.rsplit(".", 1)[-1]
+    return PERF_METRICS.get(leaf)
+
+
+def compare_report(name, baseline, fresh, threshold):
+    """Returns a list of failure strings for one report pair."""
+    failures = []
+    base_flat = flatten(baseline)
+    fresh_flat = flatten(fresh)
+    for path, base_value in sorted(base_flat.items()):
+        direction = direction_for(path)
+        if direction is None:
+            continue
+        if path not in fresh_flat:
+            failures.append(f"{name}: metric {path} vanished from the "
+                            "fresh report (bench arm not running?)")
+            continue
+        fresh_value = fresh_flat[path]
+        if not isinstance(base_value, (int, float)) or \
+                not isinstance(fresh_value, (int, float)):
+            continue
+        if base_value == 0:
+            continue  # ratio undefined; overhead metrics near 0 are noise
+        if direction == "up" and fresh_value < base_value * (1 - threshold):
+            failures.append(
+                f"{name}: {path} regressed {base_value:.6g} -> "
+                f"{fresh_value:.6g} "
+                f"({100 * (fresh_value / base_value - 1):+.1f}%, "
+                f"allowed -{threshold:.0%})")
+        elif direction == "down" and \
+                fresh_value > base_value * (1 + threshold) and \
+                fresh_value - base_value > \
+                ABS_SLACK.get(path.rsplit(".", 1)[-1], 0.0):
+            failures.append(
+                f"{name}: {path} regressed {base_value:.6g} -> "
+                f"{fresh_value:.6g} "
+                f"({100 * (fresh_value / base_value - 1):+.1f}%, "
+                f"allowed +{threshold:.0%})")
+    return failures
+
+
+def run(fresh_dir, baseline_dir, threshold):
+    baseline_paths = sorted(Path(baseline_dir).glob("perf_*.json"))
+    if not baseline_paths:
+        print(f"no baselines under {baseline_dir}; nothing to gate",
+              file=sys.stderr)
+        return 0
+    rc = 0
+    compared = 0
+    for baseline_path in baseline_paths:
+        fresh_path = Path(fresh_dir) / baseline_path.name
+        if not fresh_path.exists():
+            print(f"FAIL {baseline_path.name}: no fresh report at "
+                  f"{fresh_path}", file=sys.stderr)
+            rc = 1
+            continue
+        try:
+            baseline = json.loads(baseline_path.read_text())
+            fresh = json.loads(fresh_path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"FAIL {baseline_path.name}: {err}", file=sys.stderr)
+            return 2
+        failures = compare_report(baseline_path.name, baseline, fresh,
+                                  threshold)
+        gated = sum(1 for p in flatten(baseline) if direction_for(p))
+        compared += gated
+        if failures:
+            rc = 1
+            for failure in failures:
+                print(f"FAIL {failure}", file=sys.stderr)
+        else:
+            print(f"OK   {baseline_path.name}: {gated} metrics within "
+                  f"{threshold:.0%}")
+    print(f"checked {compared} gated metrics across "
+          f"{len(baseline_paths)} reports -> "
+          f"{'FAIL' if rc else 'PASS'}")
+    return rc
+
+
+def self_test(threshold):
+    """The comparator must pass an identical report and fail a 20%
+    regression in either direction."""
+    baseline = {
+        "bench": "self_test",
+        "arms": [
+            {"name": "batched", "anchors_per_sec": 1000.0, "p99_ms": 10.0},
+            {"name": "per_anchor", "anchors_per_sec": 100.0,
+             "p99_ms": 80.0},
+        ],
+        "storm": {"availability": 0.9995, "deadline_miss_rate": 0.01},
+    }
+    identical = json.loads(json.dumps(baseline))
+    if compare_report("identical", baseline, identical, threshold):
+        print("self-test FAIL: identical report flagged", file=sys.stderr)
+        return 1
+
+    throughput_hit = json.loads(json.dumps(baseline))
+    throughput_hit["arms"][0]["anchors_per_sec"] = 800.0  # -20%
+    failures = compare_report("throughput", baseline, throughput_hit,
+                              threshold)
+    if not any("arms.batched.anchors_per_sec" in f for f in failures):
+        print("self-test FAIL: -20% throughput not caught",
+              file=sys.stderr)
+        return 1
+
+    latency_hit = json.loads(json.dumps(baseline))
+    latency_hit["arms"][1]["p99_ms"] = 96.0  # +20%
+    failures = compare_report("latency", baseline, latency_hit, threshold)
+    if not any("arms.per_anchor.p99_ms" in f for f in failures):
+        print("self-test FAIL: +20% latency not caught", file=sys.stderr)
+        return 1
+
+    # Arm order must not matter, and a vanished arm must fail.
+    reordered = json.loads(json.dumps(baseline))
+    reordered["arms"].reverse()
+    if compare_report("reordered", baseline, reordered, threshold):
+        print("self-test FAIL: reordered arms flagged", file=sys.stderr)
+        return 1
+    dropped = json.loads(json.dumps(baseline))
+    dropped["arms"] = dropped["arms"][:1]
+    if not compare_report("dropped", baseline, dropped, threshold):
+        print("self-test FAIL: vanished arm not caught", file=sys.stderr)
+        return 1
+
+    print("self-test PASS: identical ok, -20% throughput and +20% latency "
+          "caught, arm order ignored, vanished arm caught")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", default="bench_out",
+                        help="directory with freshly produced perf_*.json")
+    parser.add_argument("--baselines", default="bench_out/baselines",
+                        help="directory with committed baseline perf_*.json")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed relative regression (default 0.15)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the comparator catches a synthetic "
+                             "20%% regression, then exit")
+    args = parser.parse_args()
+    if not 0 < args.threshold < 1:
+        parser.error("--threshold must be in (0, 1)")
+    if args.self_test:
+        return self_test(args.threshold)
+    return run(args.fresh, args.baselines, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

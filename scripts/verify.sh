@@ -45,6 +45,9 @@ fi
 # The thread-pool and data-parallel trainer suites, shared by the sanitizer
 # lanes.
 parallel_regex='ThreadPool|GlobalPool|PoolSizeSweep'
+# The observability layer's concurrent suites: counters/histograms written
+# from many threads, trace buffers racing snapshot/emit.
+obs_regex='CounterTest|GaugeTest|HistogramTest|RegistryTest|MetricsEnabled|TraceSpan|TraceRecorder'
 
 if [[ ${lane_tier1} -eq 1 ]]; then
   echo "=== lane 1: tier-1 (Release build + full ctest) ==="
@@ -58,18 +61,18 @@ if [[ ${lane_asan} -eq 1 ]]; then
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPOTS_SANITIZE=address
   cmake --build build-asan -j --target fault_injector_test train_guard_test \
     thread_pool_test parallel_determinism_test checkpoint_test \
-    feature_cache_stream_test serve_test
+    feature_cache_stream_test serve_test obs_metrics_test obs_trace_test
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R "FaultInjector|FaultKinds|ValidityMask|Imputation|FeatureAssemblerMask|TrafficDatasetBounds|TrainGuard|GuardedTraining|SerializeV2|CheckpointStore|KillRestore|FeatureCacheKey|FeatureCacheStream|FaultyFeed|StreamIngestor|ServeWatchdog|Supervisor|Harness|${parallel_regex}"
+    -R "FaultInjector|FaultKinds|ValidityMask|Imputation|FeatureAssemblerMask|TrafficDatasetBounds|TrainGuard|GuardedTraining|SerializeV2|CheckpointStore|KillRestore|FeatureCacheKey|FeatureCacheStream|FaultyFeed|StreamIngestor|ServeWatchdog|Supervisor|Harness|${parallel_regex}|${obs_regex}"
 fi
 
 if [[ ${lane_tsan} -eq 1 ]]; then
   echo "=== lane 3: TSan (thread pool + parallel determinism suites) ==="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPOTS_SANITIZE=thread
   cmake --build build-tsan -j --target thread_pool_test parallel_determinism_test \
-    serve_test serve_soak
+    serve_test serve_soak obs_metrics_test obs_trace_test
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R "${parallel_regex}|ServeWatchdog|Supervisor"
+    -R "${parallel_regex}|ServeWatchdog|Supervisor|${obs_regex}"
   # One quick soak under TSan: the watchdog sampler thread races the
   # serving thread's arm/disarm window on every neural batch.
   ./build-tsan/bench/serve_soak --quick --perf_json=build-tsan/perf_pr4_tsan.json

@@ -5,6 +5,8 @@
 
 #include "nn/activations.h"
 #include "nn/loss.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -16,6 +18,44 @@ namespace apots::core {
 using apots::data::FeatureAssembler;
 using apots::nn::LossResult;
 using apots::tensor::Tensor;
+
+namespace {
+
+/// Training-loop instruments (DESIGN.md §12): per-step latency
+/// histograms, per-epoch loss gauges, and guard counters.
+struct TrainMetrics {
+  obs::Histogram& mse_step_ms;
+  obs::Histogram& adv_round_ms;
+  obs::Histogram& epoch_seconds;
+  obs::Gauge& loss_mse;
+  obs::Gauge& loss_adv_p;
+  obs::Gauge& loss_d;
+  obs::Counter& epochs;
+  obs::Counter& rollbacks;
+  obs::Counter& incidents;
+  static TrainMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Default();
+    // Epochs run minutes, not milliseconds: widen that histogram's range
+    // so long epochs do not pile into the overflow bucket.
+    obs::HistogramOptions epoch_opts;
+    epoch_opts.min = 1e-3;
+    epoch_opts.max = 36e3;  // seconds scale: 1ms .. 10h
+    static TrainMetrics* metrics = new TrainMetrics{
+        registry.GetHistogram("train.mse_step_ms"),
+        registry.GetHistogram("train.adv_round_ms"),
+        registry.GetHistogram("train.epoch_seconds", epoch_opts),
+        registry.GetGauge("train.loss_mse"),
+        registry.GetGauge("train.loss_adv_p"),
+        registry.GetGauge("train.loss_d"),
+        registry.GetCounter("train.epochs"),
+        registry.GetCounter("train.rollbacks"),
+        registry.GetCounter("train.incidents"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 AdversarialTrainer::AdversarialTrainer(Predictor* predictor,
                                        Discriminator* discriminator,
@@ -153,6 +193,8 @@ Tensor AdversarialTrainer::PredictedSequences(
 }
 
 double AdversarialTrainer::MseStep(const std::vector<long>& batch) {
+  obs::TraceSpan span("train.mse_step");
+  obs::ScopedTimer timer(TrainMetrics::Get().mse_step_ms);
   if (config_.micro_batch > 0 && batch.size() > config_.micro_batch) {
     return ShardedMseStep(batch);
   }
@@ -171,6 +213,8 @@ void AdversarialTrainer::AdversarialRound(const std::vector<long>& anchors,
                                           EpochStats* stats,
                                           int* round_count) {
   if (anchors.empty()) return;
+  obs::TraceSpan span("train.adv_round");
+  obs::ScopedTimer timer(TrainMetrics::Get().adv_round_ms);
   const size_t n = anchors.size();
   // Shared conditioning context (E_{t-alpha:t-1} of Eq. 4, without the
   // target road's own speed history — see FeatureAssembler::BatchContext).
@@ -264,6 +308,7 @@ void AdversarialTrainer::AdversarialRound(const std::vector<long>& anchors,
 EpochStats AdversarialTrainer::RunEpoch(
     const std::vector<long>& train_anchors) {
   APOTS_CHECK(!train_anchors.empty());
+  obs::TraceSpan span("train.epoch");
   apots::Stopwatch watch;
   EpochStats stats;
 
@@ -313,6 +358,12 @@ EpochStats AdversarialTrainer::RunEpoch(
     stats.d_fake_accuracy /= adv_rounds;
   }
   stats.seconds = watch.ElapsedSeconds();
+  TrainMetrics& metrics = TrainMetrics::Get();
+  metrics.epochs.Add();
+  metrics.epoch_seconds.Record(stats.seconds);
+  metrics.loss_mse.Set(stats.mse_loss);
+  metrics.loss_adv_p.Set(stats.adv_loss_p);
+  metrics.loss_d.Set(stats.loss_d);
   return stats;
 }
 
@@ -372,6 +423,7 @@ Result<TrainReport> AdversarialTrainer::TrainGuarded(
       // than the diverged ones, and report the truncated run.
       APOTS_RETURN_IF_ERROR(guard.RestoreCheckpoint(AllParameters()));
       report.stopped_early = true;
+      TrainMetrics::Get().incidents.Add();
       report.incidents.push_back(StrFormat(
           "epoch %d: %s, retry budget exhausted — stopping at last good "
           "checkpoint",
@@ -388,6 +440,8 @@ Result<TrainReport> AdversarialTrainer::TrainGuarded(
                                          config_.guard.lr_backoff);
     discriminator_opt_.ResetState();
     ++report.rollbacks;
+    TrainMetrics::Get().rollbacks.Add();
+    TrainMetrics::Get().incidents.Add();
     report.incidents.push_back(
         StrFormat("epoch %d: %s, rolled back, lr -> %g", epoch + 1,
                   GuardVerdictName(verdict), static_cast<double>(p_lr)));

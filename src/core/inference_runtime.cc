@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -9,6 +11,29 @@ namespace apots::core {
 
 using apots::tensor::Tensor;
 using apots::tensor::Workspace;
+
+namespace {
+
+/// Inference-path instruments (DESIGN.md §12). Pre-registered once; the
+/// per-call and per-batch hot paths touch only the cached references.
+struct InferMetrics {
+  obs::Histogram& predict_ms;
+  obs::Histogram& batch_ms;
+  obs::Counter& anchors;
+  obs::Counter& batches;
+  static InferMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Default();
+    static InferMetrics* metrics = new InferMetrics{
+        registry.GetHistogram("infer.predict_ms"),
+        registry.GetHistogram("infer.batch_ms"),
+        registry.GetCounter("infer.anchors"),
+        registry.GetCounter("infer.batches"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 Status ValidateInferenceConfig(const InferenceConfig& config) {
   if (config.batch_size == 0) {
@@ -80,6 +105,9 @@ Tensor InferenceRuntime::Predict(const std::vector<long>& anchors) {
   const size_t count = anchors.size();
   Tensor out({count, 1});
   if (count == 0) return out;
+  obs::TraceSpan span("infer.predict");
+  obs::ScopedTimer call_timer(InferMetrics::Get().predict_ms);
+  InferMetrics::Get().anchors.Add(count);
 
   const size_t rows = static_cast<size_t>(assembler_->NumRows());
   const size_t alpha = static_cast<size_t>(assembler_->alpha());
@@ -90,6 +118,9 @@ Tensor InferenceRuntime::Predict(const std::vector<long>& anchors) {
     // forward. The allocating forward writes layer caches, so this path is
     // strictly serial regardless of `parallel`.
     ForEachBatch(count, [&](size_t, size_t lo, size_t hi) {
+      obs::TraceSpan batch_span("infer.batch");
+      obs::ScopedTimer batch_timer(InferMetrics::Get().batch_ms);
+      InferMetrics::Get().batches.Add();
       Tensor inputs({hi - lo, rows, alpha});
       assembler_->AssembleBatchInto(anchors.data() + lo, hi - lo,
                                     cache_.get(), &inputs);
@@ -111,6 +142,9 @@ Tensor InferenceRuntime::Predict(const std::vector<long>& anchors) {
   }
 
   const auto run_batch = [&](size_t lo, size_t hi, size_t worker) {
+    obs::TraceSpan batch_span("infer.batch");
+    obs::ScopedTimer batch_timer(InferMetrics::Get().batch_ms);
+    InferMetrics::Get().batches.Add();
     Workspace* ws = workspaces_[worker].get();
     ws->Reset();
     Tensor* inputs = ws->Acquire({hi - lo, rows, alpha});

@@ -2,9 +2,33 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace apots::data {
+
+namespace {
+
+/// Process-wide hit/miss/eviction counters across every cache instance;
+/// the per-instance Stats struct stays the precise per-cache view.
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Counter& stale_rejects;
+  static CacheMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Default();
+    static CacheMetrics* metrics = new CacheMetrics{
+        registry.GetCounter("data.feature_cache.hits"),
+        registry.GetCounter("data.feature_cache.misses"),
+        registry.GetCounter("data.feature_cache.evictions"),
+        registry.GetCounter("data.feature_cache.stale_rejects"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 FeatureCache::FeatureCache(size_t capacity) : capacity_(capacity) {
   APOTS_CHECK_GT(capacity, 0u);
@@ -29,15 +53,18 @@ void FeatureCache::GetOrCompute(const Key& key, size_t column_size,
       // The underlying interval changed since this column was computed;
       // refresh in place rather than serving the stale bytes.
       ++stats_.stale_rejects;
+      CacheMetrics::Get().stale_rejects.Add();
       fill(entry.column.data());
       entry.generation = current;
     } else {
       ++stats_.hits;
+      CacheMetrics::Get().hits.Add();
     }
     std::copy(entry.column.begin(), entry.column.end(), dst);
     return;
   }
   ++stats_.misses;
+  CacheMetrics::Get().misses.Add();
   lru_.emplace_front(Entry{key, CurrentGeneration(key),
                            std::vector<float>(column_size)});
   fill(lru_.front().column.data());
@@ -46,6 +73,7 @@ void FeatureCache::GetOrCompute(const Key& key, size_t column_size,
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
+    CacheMetrics::Get().evictions.Add();
   }
   const std::vector<float>& column = lru_.front().column;
   std::copy(column.begin(), column.end(), dst);

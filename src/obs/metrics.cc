@@ -1,0 +1,211 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace apots::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+/// Formats a double the way the perf JSON writers do: shortest
+/// round-trippable representation is overkill, %.17g is noisy — %.6g
+/// keeps files diffable while far exceeding bucket resolution.
+std::string FormatDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+Histogram::Histogram(HistogramOptions options) : options_(options) {
+  double bound = options_.min;
+  bounds_.push_back(bound);  // underflow bucket: [0, min]
+  const double growth = std::max(1.0001, options_.growth);
+  while (bound < options_.max) {
+    bound *= growth;
+    bounds_.push_back(std::min(bound, options_.max));
+  }
+  // Overflow bucket (max, +inf); Percentile clamps it to max.
+  bounds_.push_back(std::numeric_limits<double>::infinity());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size());
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t Histogram::BucketIndex(double value) const {
+  // First bucket whose upper bound contains `value`. bounds_ is sorted
+  // and immutable, so the search is race-free.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return it == bounds_.end() ? bounds_.size() - 1
+                             : static_cast<size_t>(it - bounds_.begin());
+}
+
+void Histogram::Record(double value) {
+  if (!MetricsEnabled()) return;
+  if (!std::isfinite(value)) return;
+  if (value < 0.0) value = 0.0;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double observed = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(observed, observed + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::Percentile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  // Snapshot the cells once so the rank and the walk agree even while
+  // writers keep recording.
+  std::vector<uint64_t> counts(bounds_.size());
+  uint64_t total = 0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (cumulative + counts[i] >= rank) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi =
+          std::isinf(bounds_[i]) ? options_.max : bounds_[i];
+      const double frac = static_cast<double>(rank - cumulative) /
+                          static_cast<double>(counts[i]);
+      return lo + (hi - lo) * frac;
+    }
+    cumulative += counts[i];
+  }
+  return options_.max;  // unreachable unless a writer raced past us
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.count = count();
+  snap.sum = sum();
+  snap.mean = snap.count == 0
+                  ? 0.0
+                  : snap.sum / static_cast<double>(snap.count);
+  snap.p50 = Percentile(0.50);
+  snap.p95 = Percentile(0.95);
+  snap.p99 = Percentile(0.99);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         HistogramOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(options);
+  return *slot;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": " << counter->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": " << FormatDouble(gauge->value());
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->TakeSnapshot();
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": {\"count\": " << snap.count
+        << ", \"sum\": " << FormatDouble(snap.sum)
+        << ", \"mean\": " << FormatDouble(snap.mean)
+        << ", \"p50\": " << FormatDouble(snap.p50)
+        << ", \"p95\": " << FormatDouble(snap.p95)
+        << ", \"p99\": " << FormatDouble(snap.p99) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+bool MetricsRegistry::WriteJson(const std::string& path) const {
+  const std::filesystem::path out_path(path);
+  std::error_code ec;
+  if (out_path.has_parent_path()) {
+    std::filesystem::create_directories(out_path.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToJson();
+  return static_cast<bool>(out);
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+size_t MetricsRegistry::num_instruments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace apots::obs

@@ -1,0 +1,192 @@
+#ifndef APOTS_OBS_METRICS_H_
+#define APOTS_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace apots::obs {
+
+/// Process-wide kill switch for the metric write paths. Defaults to on:
+/// every instrument is an atomic relaxed add, cheap enough to leave
+/// enabled in production (bench/obs_overhead gates the cost at < 2% of
+/// the batched inference path). Disabling turns every Add/Set/Record into
+/// a single relaxed load + branch; the registry and its values survive so
+/// re-enabling resumes counting where it left off.
+void SetMetricsEnabled(bool enabled);
+bool MetricsEnabled();
+
+/// Monotonic event counter. Add is wait-free (one relaxed fetch_add);
+/// value() is a relaxed load, so a reader racing writers sees some valid
+/// intermediate total — never a torn value.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (loss, watermark lag, queue
+/// depth). Set/value are single atomic stores/loads.
+class Gauge {
+ public:
+  void Set(double v) {
+    if (!MetricsEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Bucket layout of a Histogram: log-spaced upper bounds covering
+/// [min, max] with `growth` ratio between adjacent bounds, plus an
+/// underflow bucket [0, min] and an overflow bucket (max, +inf). The
+/// defaults suit latencies in milliseconds — 1us to 60s at ~5% bucket
+/// width, 270-odd buckets — and bound the percentile quantization error
+/// at `growth - 1` relative.
+struct HistogramOptions {
+  double min = 1e-3;
+  double max = 60e3;
+  double growth = 1.05;
+};
+
+/// Fixed-bucket latency histogram with lock-free recording. Record is a
+/// branchless bucket search (binary, over an immutable bounds table) plus
+/// one relaxed fetch_add; no allocation ever happens after construction,
+/// so the hot path is safe inside parallel regions. Percentiles are
+/// estimated by linear interpolation inside the bucket that contains the
+/// requested rank — the single definition every bench and serving report
+/// shares (see DESIGN.md §12). Readers may snapshot while writers record:
+/// all cells are relaxed atomics, so a concurrent snapshot is a valid
+/// (if slightly stale) set of counts.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+  /// Rank definition: for q in [0, 1] and n recorded samples, the value
+  /// at rank ceil(q * n) (1-based), linearly interpolated between the
+  /// containing bucket's bounds. Empty histogram -> 0.
+  double Percentile(double q) const;
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  Snapshot TakeSnapshot() const;
+
+  void Reset();
+
+  const HistogramOptions& options() const { return options_; }
+  size_t num_buckets() const { return bounds_.size(); }
+
+ private:
+  /// Index of the bucket that owns `value` (0 = underflow, last =
+  /// overflow).
+  size_t BucketIndex(double value) const;
+
+  const HistogramOptions options_;
+  /// Upper bound of bucket i; bucket buckets_.size()-1 is the overflow
+  /// bucket with bound +inf. Immutable after construction.
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  /// CAS-accumulated so pre-C++20-fetch_add toolchains stay lock-free.
+  std::atomic<double> sum_{0.0};
+};
+
+/// Wall-clock scope timer that records elapsed milliseconds into a
+/// Histogram at scope exit. The enabled check happens once at
+/// construction; when metrics are off neither clock is read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram)
+      : histogram_(MetricsEnabled() ? &histogram : nullptr) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->Record(
+        std::chrono::duration<double, std::milli>(elapsed).count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Name -> instrument directory. Instruments are registered once (first
+/// GetX call wins; subsequent calls return the same node, so handles may
+/// be cached in function-local statics) and live as long as the registry:
+/// the hot path touches only the returned reference, never the registry
+/// lock. Snapshots serialize deterministically — std::map iteration
+/// yields names in sorted order.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every built-in instrument registers with.
+  static MetricsRegistry& Default();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name,
+                          HistogramOptions options = {});
+
+  /// Deterministic JSON document: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, mean, p50, p95, p99}}}, keys
+  /// sorted. Safe to call while writers are recording.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`, creating parent directories. Returns
+  /// false when the file cannot be written.
+  bool WriteJson(const std::string& path) const;
+
+  /// Zeroes every registered instrument (registrations survive, so cached
+  /// handles stay valid). For benches and tests that isolate runs.
+  void ResetValues();
+
+  size_t num_instruments() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace apots::obs
+
+#endif  // APOTS_OBS_METRICS_H_

@@ -1,0 +1,225 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace apots::obs {
+
+std::atomic<bool> TraceRecorder::g_enabled{false};
+
+namespace {
+
+/// SplitMix64 — the same mixer the repo's Rng uses for seeding; here it
+/// turns (seed, thread index, sequence) into well-spread span ids.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Per-thread nesting depth; maintained only while tracing is enabled.
+thread_local int32_t tls_depth = 0;
+
+/// Cache of the last (recorder, buffer) pair this thread resolved.
+/// Recorder instance ids are never reused, so a stale cache entry can
+/// only miss, never alias a destroyed recorder's buffer.
+struct TlsCache {
+  uint64_t recorder_id = 0;
+  void* buffer = nullptr;
+};
+thread_local TlsCache tls_cache;
+
+std::atomic<uint64_t> g_next_recorder_id{1};
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string EscapeJson(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == '"' || *p == '\\') out.push_back('\\');
+    out.push_back(*p);
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder()
+    : instance_id_(g_next_recorder_id.fetch_add(1)) {}
+
+TraceRecorder& TraceRecorder::Default() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Enable(TraceOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  seed_.store(options.seed, std::memory_order_relaxed);
+  capacity_.store(std::max<size_t>(1, options.events_per_thread),
+                  std::memory_order_relaxed);
+  epoch_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->ring.clear();
+    buffer->head = 0;
+    buffer->next_seq = 0;
+    buffer->written = 0;
+  }
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Disable() {
+  g_enabled.store(false, std::memory_order_release);
+}
+
+int64_t TraceRecorder::NowNs() const {
+  // A span racing an Enable may observe a pre-epoch timestamp; Emit
+  // clamps it to zero rather than rejecting the event.
+  return SteadyNowNs() - epoch_ns_.load(std::memory_order_relaxed);
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  if (tls_cache.recorder_id == instance_id_ &&
+      tls_cache.buffer != nullptr) {
+    return static_cast<ThreadBuffer*>(tls_cache.buffer);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::thread::id me = std::this_thread::get_id();
+  for (auto& buffer : buffers_) {
+    if (buffer->owner == me) {
+      tls_cache = {instance_id_, buffer.get()};
+      return buffer.get();
+    }
+  }
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->tid = static_cast<uint32_t>(buffers_.size());
+  buffer->owner = me;
+  buffer->ring.reserve(options_.events_per_thread);
+  buffers_.push_back(std::move(buffer));
+  tls_cache = {instance_id_, buffers_.back().get()};
+  return buffers_.back().get();
+}
+
+void TraceRecorder::Emit(const char* name, int64_t start_ns, int64_t dur_ns,
+                         int32_t depth) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  const size_t capacity = capacity_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  TraceEvent event;
+  event.name = name;
+  event.tid = buffer->tid;
+  event.depth = depth;
+  event.start_ns = std::max<int64_t>(0, start_ns);
+  event.dur_ns = std::max<int64_t>(0, dur_ns);
+  event.id = Mix64(seed_.load(std::memory_order_relaxed) ^
+                   (static_cast<uint64_t>(buffer->tid) << 32) ^
+                   buffer->next_seq);
+  ++buffer->next_seq;
+  ++buffer->written;
+  if (buffer->ring.size() < capacity) {
+    buffer->ring.push_back(event);
+  } else {
+    buffer->ring[buffer->head] = event;
+    buffer->head = (buffer->head + 1) % capacity;
+  }
+}
+
+size_t TraceRecorder::EventCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->ring.size();
+  }
+  return total;
+}
+
+uint64_t TraceRecorder::DroppedEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    dropped += buffer->written - buffer->ring.size();
+  }
+  return dropped;
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    // Oldest-first: once the ring has wrapped (lifetime writes exceed
+    // retained events) the oldest retained event sits at head.
+    const bool wrapped = buffer->written > buffer->ring.size();
+    for (size_t i = 0; i < buffer->ring.size(); ++i) {
+      const size_t idx =
+          wrapped ? (buffer->head + i) % buffer->ring.size() : i;
+      events.push_back(buffer->ring[idx]);
+    }
+  }
+  return events;
+}
+
+std::string TraceRecorder::ToJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  const uint64_t dropped = DroppedEvents();
+  std::ostringstream out;
+  out << "{\n  \"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "{\"name\": \"%s\", \"cat\": \"apots\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
+                  "\"args\": {\"id\": \"%016" PRIx64 "\", \"depth\": %d}}",
+                  EscapeJson(event.name).c_str(),
+                  static_cast<double>(event.start_ns) / 1e3,
+                  static_cast<double>(event.dur_ns) / 1e3, event.tid,
+                  event.id, event.depth);
+    out << (i == 0 ? "\n    " : ",\n    ") << line;
+  }
+  out << (events.empty() ? "" : "\n  ") << "],\n"
+      << "  \"displayTimeUnit\": \"ms\",\n"
+      << "  \"otherData\": {\"dropped_events\": " << dropped
+      << ", \"seed\": " << seed_.load(std::memory_order_relaxed)
+      << "}\n}\n";
+  return out.str();
+}
+
+bool TraceRecorder::WriteJson(const std::string& path) const {
+  const std::filesystem::path out_path(path);
+  std::error_code ec;
+  if (out_path.has_parent_path()) {
+    std::filesystem::create_directories(out_path.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToJson();
+  return static_cast<bool>(out);
+}
+
+void TraceSpan::Begin(const char* name) {
+  name_ = name;
+  depth_ = tls_depth++;
+  start_ns_ = TraceRecorder::Default().NowNs();
+}
+
+void TraceSpan::End() {
+  --tls_depth;
+  TraceRecorder& recorder = TraceRecorder::Default();
+  recorder.Emit(name_, start_ns_,
+                recorder.NowNs() - start_ns_, depth_);
+}
+
+}  // namespace apots::obs

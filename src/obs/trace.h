@@ -1,0 +1,144 @@
+#ifndef APOTS_OBS_TRACE_H_
+#define APOTS_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace apots::obs {
+
+/// One completed span, Chrome trace_event "X" phase. `name` must point at
+/// static storage (string literals at the instrumentation sites) — the
+/// recorder stores the pointer, never a copy, so recording allocates
+/// nothing.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t id = 0;       ///< seeded-deterministic span id
+  uint32_t tid = 0;      ///< recorder-assigned thread index
+  int32_t depth = 0;     ///< nesting depth on the recording thread
+  int64_t start_ns = 0;  ///< nanoseconds since Enable()
+  int64_t dur_ns = 0;
+};
+
+struct TraceOptions {
+  /// Seed mixed into every span id, so two runs with the same seed and
+  /// the same per-thread span sequence emit identical ids.
+  uint64_t seed = 1;
+  /// Ring capacity per recording thread; the newest events win when a
+  /// thread overflows (dropped count is reported in the JSON metadata).
+  size_t events_per_thread = 1 << 14;
+};
+
+/// Per-thread ring-buffer trace recorder emitting Chrome trace_event
+/// JSON (load the file in chrome://tracing or https://ui.perfetto.dev).
+///
+/// Disabled (the default) it is zero-cost by construction: TraceSpan's
+/// constructor reads one relaxed atomic and stops — no clock read, no
+/// allocation, no stores (tests pin the no-allocation claim down with an
+/// operator-new counter). Enabled, each span costs two steady_clock
+/// reads and one write into the calling thread's ring buffer behind an
+/// uncontended per-thread mutex; buffers are only merged at WriteJson
+/// time. Ids are deterministic per (thread index, span sequence, seed) —
+/// thread indices follow first-record order, which is stable for
+/// single-threaded sections and documented best-effort under races.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Default();
+
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Clears all buffers, re-arms the epoch clock, and starts recording.
+  void Enable(TraceOptions options = {});
+  void Disable();
+
+  static bool enabled() {
+    return g_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Events currently retained across all thread buffers.
+  size_t EventCount() const;
+  /// Events overwritten by ring wrap-around since Enable().
+  uint64_t DroppedEvents() const;
+
+  /// Copies every retained event out, oldest-first per thread. Intended
+  /// for tests; WriteJson is the production exit.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Chrome trace_event JSON: {"traceEvents": [...], "displayTimeUnit":
+  /// "ms", "otherData": {...}}. Returns false when the file cannot be
+  /// written. Safe while recording (buffers lock individually).
+  bool WriteJson(const std::string& path) const;
+  std::string ToJson() const;
+
+  /// Internal: called by TraceSpan's destructor.
+  void Emit(const char* name, int64_t start_ns, int64_t dur_ns,
+            int32_t depth);
+
+  /// Nanoseconds since Enable() on the recorder's monotonic epoch.
+  int64_t NowNs() const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::thread::id owner;  ///< set once at registration, under mu_
+    uint32_t tid = 0;
+    uint64_t next_seq = 0;  ///< feeds the deterministic span id
+    uint64_t written = 0;   ///< lifetime events, for the drop count
+    size_t head = 0;
+    std::vector<TraceEvent> ring;
+  };
+
+  ThreadBuffer* BufferForThisThread();
+
+  static std::atomic<bool> g_enabled;
+
+  /// Never-reused instance id keying the per-thread buffer cache, so a
+  /// stale cache entry for a destroyed recorder can only miss.
+  const uint64_t instance_id_;
+
+  mutable std::mutex mu_;
+  TraceOptions options_;  ///< written under mu_; hot-path copies below
+  /// Relaxed-read copies of the options the hot path needs, so Emit never
+  /// takes the registry lock and never races Enable.
+  std::atomic<uint64_t> seed_{1};
+  std::atomic<size_t> capacity_{1 << 14};
+  /// Absolute steady_clock nanoseconds at Enable() time.
+  std::atomic<int64_t> epoch_ns_{0};
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: times the enclosing scope and emits one TraceEvent on the
+/// recording thread. `name` must be a string literal. When tracing is
+/// disabled construction and destruction do nothing measurable.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (!TraceRecorder::enabled()) return;
+    Begin(name);
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) End();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  const char* name_ = nullptr;
+  int64_t start_ns_ = 0;
+  int32_t depth_ = 0;
+};
+
+}  // namespace apots::obs
+
+#endif  // APOTS_OBS_TRACE_H_

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -11,6 +13,43 @@
 namespace apots::serve {
 
 using apots::tensor::Tensor;
+
+namespace {
+
+/// Serving-path instruments (DESIGN.md §12): one counter per degradation
+/// tier, the deadline-miss latency histogram, and protection counters.
+struct ServeMetrics {
+  obs::Counter* tiers[kNumServeTiers];  // pointers: arrays of references
+                                        // are not a thing
+  obs::Histogram& predict_ms;
+  obs::Counter& requests;
+  obs::Counter& failures;
+  obs::Counter& deadline_misses;
+  obs::Counter& deadline_degraded;
+  obs::Counter& watchdog_trips;
+  obs::Counter& checkpoints;
+  obs::Gauge& max_staleness;
+  static ServeMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Default();
+    static ServeMetrics* metrics = new ServeMetrics{
+        {&registry.GetCounter("serve.tier_full"),
+         &registry.GetCounter("serve.tier_imputed"),
+         &registry.GetCounter("serve.tier_historical"),
+         &registry.GetCounter("serve.tier_last_known_good")},
+        registry.GetHistogram("serve.predict_ms"),
+        registry.GetCounter("serve.requests"),
+        registry.GetCounter("serve.failures"),
+        registry.GetCounter("serve.deadline_misses"),
+        registry.GetCounter("serve.deadline_degraded"),
+        registry.GetCounter("serve.watchdog_trips"),
+        registry.GetCounter("serve.checkpoints_written"),
+        registry.GetGauge("serve.max_staleness"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 const char* ServeTierName(ServeTier tier) {
   switch (tier) {
@@ -90,6 +129,7 @@ void ServeWatchdog::Run() {
       tripped_this_flight_.store(true, std::memory_order_release);
       stuck_.store(true, std::memory_order_release);
       trips_.fetch_add(1, std::memory_order_relaxed);
+      ServeMetrics::Get().watchdog_trips.Add();
     }
   }
 }
@@ -156,6 +196,9 @@ double ServingSupervisor::LastKnownGood(long target_interval) {
 std::vector<ServeResponse> ServingSupervisor::Predict(
     const std::vector<long>& anchors) {
   Stopwatch call_watch;
+  obs::TraceSpan span("serve.predict");
+  obs::ScopedTimer call_timer(ServeMetrics::Get().predict_ms);
+  ServeMetrics::Get().requests.Add(anchors.size());
   const auto& assembler = model_->assembler();
   const auto& dataset = assembler.dataset();
   const long intervals = dataset.num_intervals();
@@ -183,6 +226,7 @@ std::vector<ServeResponse> ServingSupervisor::Predict(
       // No tier can honestly serve this anchor: the window or the target
       // falls outside the dataset.
       ++report_.failures;
+      ServeMetrics::Get().failures.Add();
       const long clamped =
           std::min(std::max(anchor + beta, 0L), intervals - 1);
       resp.kmh = intervals > 0 ? fallback_->Predict(dataset, clamped) : 0.0;
@@ -209,6 +253,7 @@ std::vector<ServeResponse> ServingSupervisor::Predict(
         ema_ms_per_anchor_ * static_cast<double>(neural_anchors.size());
     if (projected > config_.deadline_ms) {
       report_.deadline_degraded += neural_anchors.size();
+      ServeMetrics::Get().deadline_degraded.Add(neural_anchors.size());
       for (const size_t i : neural_index) {
         responses[i].tier = ServeTier::kHistorical;
       }
@@ -262,7 +307,10 @@ std::vector<ServeResponse> ServingSupervisor::Predict(
         break;
     }
     ++report_.tier_counts[static_cast<int>(resp.tier)];
+    ServeMetrics::Get().tiers[static_cast<int>(resp.tier)]->Add();
   }
+  ServeMetrics::Get().max_staleness.Set(
+      static_cast<double>(report_.max_staleness));
 
   // Remember the freshest full-tier response as last-known-good.
   if (freshest_full >= 0) {
@@ -276,6 +324,7 @@ std::vector<ServeResponse> ServingSupervisor::Predict(
   const double elapsed = call_watch.ElapsedMillis();
   if (config_.deadline_ms > 0.0 && elapsed > config_.deadline_ms) {
     ++report_.deadline_misses;
+    ServeMetrics::Get().deadline_misses.Add();
     for (ServeResponse& resp : responses) resp.deadline_miss = true;
   }
   return responses;
@@ -301,6 +350,7 @@ Status ServingSupervisor::CheckpointNow() {
   last_checkpoint_status_ = saved.status();
   if (!saved.ok()) return saved.status();
   ++report_.checkpoints_written;
+  ServeMetrics::Get().checkpoints.Add();
   last_checkpoint_tick_ = ingestor_->watermark();
   return Status::Ok();
 }

@@ -1,15 +1,44 @@
 #include "serve/stream_ingestor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace apots::serve {
 
 namespace {
+
+/// Stream-health instruments (DESIGN.md §12). The watermark gauges are the
+/// serving dashboard's primary freshness signal.
+struct IngestMetrics {
+  obs::Counter& applied;
+  obs::Counter& duplicates;
+  obs::Counter& late;
+  obs::Counter& rejected;
+  obs::Counter& imputed;
+  obs::Counter& cache_invalidations;
+  obs::Gauge& watermark;
+  obs::Gauge& watermark_lag;
+  static IngestMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Default();
+    static IngestMetrics* metrics = new IngestMetrics{
+        registry.GetCounter("serve.ingest.applied"),
+        registry.GetCounter("serve.ingest.duplicates"),
+        registry.GetCounter("serve.ingest.late"),
+        registry.GetCounter("serve.ingest.rejected"),
+        registry.GetCounter("serve.ingest.imputed"),
+        registry.GetCounter("serve.ingest.cache_invalidations"),
+        registry.GetGauge("serve.ingest.watermark"),
+        registry.GetGauge("serve.ingest.watermark_lag"),
+    };
+    return *metrics;
+  }
+};
 
 constexpr uint32_t kStateMagic = 0x53494731;  // "SIG1"
 
@@ -60,38 +89,45 @@ void StreamIngestor::TouchCache(long interval) {
   if (cache_ == nullptr) return;
   cache_->InvalidateKey({cache_road_, interval});
   ++stats_.cache_invalidations;
+  IngestMetrics::Get().cache_invalidations.Add();
 }
 
 Status StreamIngestor::Ingest(const FeedRecord& record) {
   const Status bounds = live_->CheckBounds(record.road, record.interval);
   if (!bounds.ok()) {
     ++stats_.rejected;
+    IngestMetrics::Get().rejected.Add();
     return bounds;
   }
   if (!std::isfinite(record.speed_kmh) || record.speed_kmh < 0.0f) {
     ++stats_.rejected;
+    IngestMetrics::Get().rejected.Add();
     return Status::InvalidArgument(
         StrFormat("record for road %d interval %ld carries invalid speed",
                   record.road, record.interval));
   }
   if (record.interval < start_) {
     ++stats_.rejected;
+    IngestMetrics::Get().rejected.Add();
     return Status::InvalidArgument(
         StrFormat("record for interval %ld predates the stream start %ld",
                   record.interval, start_));
   }
   if (observed_.Valid(record.road, record.interval)) {
     ++stats_.duplicates;  // idempotent: the first observation won
+    IngestMetrics::Get().duplicates.Add();
     return Status::Ok();
   }
   live_->SetSpeed(record.road, record.interval, record.speed_kmh);
   observed_.Set(record.road, record.interval, true);
   imputer_.Observe(record.road, record.interval, record.speed_kmh);
   ++stats_.applied;
+  IngestMetrics::Get().applied.Add();
   if (record.interval <= watermark_) {
     // Late reconciliation: the cell held an imputed value that cached
     // feature columns may already embed.
     ++stats_.late;
+    IngestMetrics::Get().late.Add();
   }
   TouchCache(record.interval);
   return Status::Ok();
@@ -106,11 +142,18 @@ void StreamIngestor::AdvanceWatermark(long tick) {
       if (observed_.Valid(road, t)) continue;
       live_->SetSpeed(road, t, imputer_.Fill(road, t));
       ++stats_.imputed;
+      IngestMetrics::Get().imputed.Add();
       changed = true;
     }
     if (changed) TouchCache(t);
   }
   if (tick > watermark_) watermark_ = tick;
+  IngestMetrics::Get().watermark.Set(static_cast<double>(watermark_));
+  long lag = 0;
+  for (int road = 0; road < live_->num_roads(); ++road) {
+    lag = std::max(lag, Staleness(road));
+  }
+  IngestMetrics::Get().watermark_lag.Set(static_cast<double>(lag));
 }
 
 long StreamIngestor::Staleness(int road) const {

@@ -38,6 +38,8 @@
 
 #include "core/apots_model.h"
 #include "data/imputation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "data/windowing.h"
 #include "eval/experiment.h"
 #include "metrics/metrics.h"
@@ -600,8 +602,40 @@ int Usage() {
       "           [--storm 0|1] [--feed-seed S] [--deadline-ms MS]\n"
       "           [--watchdog-ms MS] [--checkpoint-dir D]\n"
       "           [--checkpoint-every N] [--kill-at TICK] [--ticks N]\n"
-      "           [--anchors-per-tick N]\n");
+      "           [--anchors-per-tick N]\n"
+      "  every command also takes --metrics-json PATH (dump the metrics\n"
+      "           registry as JSON on exit) and --trace PATH (record\n"
+      "           chrome://tracing spans; open the file in a trace viewer)\n");
   return 2;
+}
+
+// Writes the metrics registry and/or the trace ring to the paths named by
+// --metrics-json / --trace. Failures demote the exit code to 1 so scripts
+// notice the missing artifact, but never mask a command's own failure.
+int EmitObservability(const std::map<std::string, std::string>& flags,
+                      int rc) {
+  const std::string metrics_path = Flag(flags, "metrics-json", "");
+  if (!metrics_path.empty()) {
+    if (obs::MetricsRegistry::Default().WriteJson(metrics_path)) {
+      std::printf("wrote metrics to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   metrics_path.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  const std::string trace_path = Flag(flags, "trace", "");
+  if (!trace_path.empty()) {
+    if (obs::TraceRecorder::Default().WriteJson(trace_path)) {
+      std::printf("wrote %zu trace events to %s\n",
+                  obs::TraceRecorder::Default().EventCount(),
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace
@@ -610,10 +644,15 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const auto flags = ParseFlags(argc, argv, 2);
-  if (command == "generate") return Generate(flags);
-  if (command == "train") return Train(flags);
-  if (command == "evaluate") return Evaluate(flags);
-  if (command == "robustness") return Robustness(flags);
-  if (command == "serve") return Serve(flags);
-  return Usage();
+  if (!Flag(flags, "trace", "").empty()) {
+    obs::TraceRecorder::Default().Enable({});
+  }
+  int rc = -1;
+  if (command == "generate") rc = Generate(flags);
+  else if (command == "train") rc = Train(flags);
+  else if (command == "evaluate") rc = Evaluate(flags);
+  else if (command == "robustness") rc = Robustness(flags);
+  else if (command == "serve") rc = Serve(flags);
+  if (rc < 0) return Usage();
+  return EmitObservability(flags, rc);
 }

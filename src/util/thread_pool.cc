@@ -4,11 +4,32 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace apots {
 
 namespace {
+
+/// Pool health instruments (see DESIGN.md §12). Handles are resolved once
+/// and shared by every pool instance: the registry is process-wide, like
+/// the global pool the metrics describe.
+struct PoolMetrics {
+  obs::Counter& regions;
+  obs::Counter& chunks;
+  obs::Counter& inline_runs;
+  obs::Gauge& queue_depth;
+  static PoolMetrics& Get() {
+    static PoolMetrics* metrics = new PoolMetrics{
+        obs::MetricsRegistry::Default().GetCounter("pool.regions"),
+        obs::MetricsRegistry::Default().GetCounter("pool.chunks"),
+        obs::MetricsRegistry::Default().GetCounter("pool.inline_runs"),
+        obs::MetricsRegistry::Default().GetGauge("pool.queue_depth"),
+    };
+    return *metrics;
+  }
+};
 
 /// Set while a pool worker (or a caller draining chunks) is inside a
 /// parallel region; nested ParallelFor calls check it and run inline.
@@ -54,10 +75,16 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::RunChunks(Job* job, size_t worker) {
   const bool was_in_region = tls_in_parallel_region;
   tls_in_parallel_region = true;
+  // One span per worker per region: the gaps between workers' spans in
+  // the trace view are the utilization picture.
+  obs::TraceSpan span("pool.worker");
   size_t completed = 0;
   for (;;) {
     const size_t chunk = job->next_chunk.fetch_add(1);
     if (chunk >= job->num_chunks) break;
+    PoolMetrics::Get().queue_depth.Set(static_cast<double>(
+        job->num_chunks -
+        std::min(job->num_chunks, chunk + 1)));
     const size_t lo = job->begin + chunk * job->chunk_size;
     const size_t hi = std::min(job->range_end, lo + job->chunk_size);
     try {
@@ -101,9 +128,11 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   const size_t n = end - begin;
   grain = std::max<size_t>(1, grain);
   if (num_threads_ == 1 || n <= grain || tls_in_parallel_region) {
+    PoolMetrics::Get().inline_runs.Add();
     fn(begin, end, 0);
     return;
   }
+  obs::TraceSpan span("pool.parallel_for");
 
   // Chunk boundaries depend only on (n, grain) — never on the pool size —
   // so callers that accumulate per chunk stay deterministic across pool
@@ -118,6 +147,10 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   job->range_end = end;
   job->chunk_size = chunk_size;
   job->num_chunks = (n + chunk_size - 1) / chunk_size;
+  PoolMetrics::Get().regions.Add();
+  PoolMetrics::Get().chunks.Add(job->num_chunks);
+  PoolMetrics::Get().queue_depth.Set(
+      static_cast<double>(job->num_chunks));
 
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -1,0 +1,249 @@
+// Tests for the obs:: metrics layer: exact concurrent counting, the
+// shared percentile definition (with its documented growth-bounded
+// quantization error), snapshot-while-writing safety, the kill switch,
+// and the registry's deterministic JSON dump.
+
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace apots::obs {
+namespace {
+
+// The relative slack every percentile assertion gets: one bucket of a
+// log-spaced histogram is (growth - 1) wide, so the interpolated estimate
+// can be off by at most that ratio (plus float noise).
+double Slack(const Histogram& h) { return h.options().growth - 1.0 + 1e-9; }
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, AddWithWeightAndReset) {
+  Counter counter;
+  counter.Add(41);
+  counter.Add();
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge gauge;
+  gauge.Set(3.25);
+  gauge.Set(-7.5);
+  EXPECT_EQ(gauge.value(), -7.5);
+  gauge.Reset();
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(MetricsEnabledTest, DisabledInstrumentsAreInert) {
+  ASSERT_TRUE(MetricsEnabled());  // the documented default
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+  SetMetricsEnabled(false);
+  counter.Add(100);
+  gauge.Set(5.0);
+  histogram.Record(1.0);
+  {
+    ScopedTimer timer(histogram);  // must not record at scope exit either
+  }
+  SetMetricsEnabled(true);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.count(), 0u);
+  counter.Add();  // re-enabling resumes counting on the same cells
+  EXPECT_EQ(counter.value(), 1u);
+}
+
+TEST(HistogramTest, PercentileOfUniformRampWithinBucketError) {
+  Histogram histogram;
+  for (int i = 1; i <= 1000; ++i) {
+    histogram.Record(static_cast<double>(i) * 0.01);  // 0.01ms .. 10ms
+  }
+  EXPECT_EQ(histogram.count(), 1000u);
+  EXPECT_NEAR(histogram.sum(), 5005.0 * 0.01 * 100, 1e-6);
+  const double slack = Slack(histogram);
+  EXPECT_NEAR(histogram.Percentile(0.50), 5.0, 5.0 * slack + 0.01);
+  EXPECT_NEAR(histogram.Percentile(0.95), 9.5, 9.5 * slack + 0.01);
+  EXPECT_NEAR(histogram.Percentile(0.99), 9.9, 9.9 * slack + 0.01);
+}
+
+TEST(HistogramTest, PercentileEdges) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.Percentile(0.5), 0.0);  // empty -> 0 by contract
+
+  histogram.Record(2.0);
+  // One sample: every quantile must land in the bucket holding it.
+  const double slack = Slack(histogram);
+  EXPECT_NEAR(histogram.Percentile(0.0), 2.0, 2.0 * slack);
+  EXPECT_NEAR(histogram.Percentile(0.5), 2.0, 2.0 * slack);
+  EXPECT_NEAR(histogram.Percentile(1.0), 2.0, 2.0 * slack);
+}
+
+TEST(HistogramTest, UnderflowOverflowAndGarbage) {
+  Histogram histogram;  // bounds [1e-3, 60e3]
+  histogram.Record(0.0);             // underflow bucket
+  histogram.Record(1e-9);            // underflow bucket
+  histogram.Record(-5.0);            // clamped to 0, underflow bucket
+  histogram.Record(1e9);             // overflow bucket
+  histogram.Record(std::nan(""));    // dropped
+  histogram.Record(INFINITY);        // dropped
+  EXPECT_EQ(histogram.count(), 4u);
+  // Low quantiles sit in the underflow bucket, the top one in overflow;
+  // the overflow estimate is clamped to the max bound.
+  EXPECT_LE(histogram.Percentile(0.5), histogram.options().min);
+  EXPECT_GE(histogram.Percentile(1.0), histogram.options().max);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram histogram;
+  histogram.Record(1.0);
+  histogram.Record(2.0);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.sum(), 0.0);
+  EXPECT_EQ(histogram.Percentile(0.99), 0.0);
+}
+
+TEST(HistogramTest, SnapshotWhileWritingIsConsistent) {
+  Histogram histogram;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      histogram.Record(static_cast<double>(i % 100) * 0.1);
+      ++i;
+    }
+  });
+  // Snapshots taken mid-stream must be internally sane: count monotonic,
+  // percentiles finite and ordered, mean within the recorded range.
+  uint64_t last_count = 0;
+  for (int round = 0; round < 200; ++round) {
+    const Histogram::Snapshot snap = histogram.TakeSnapshot();
+    EXPECT_GE(snap.count, last_count);
+    last_count = snap.count;
+    EXPECT_TRUE(std::isfinite(snap.p50));
+    EXPECT_TRUE(std::isfinite(snap.p99));
+    EXPECT_LE(snap.p50, snap.p95 + 1e-9);
+    EXPECT_LE(snap.p95, snap.p99 + 1e-9);
+    if (snap.count > 0) {
+      EXPECT_GE(snap.mean, 0.0);
+      EXPECT_LE(snap.mean, 10.0 + 1e-9);
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(HistogramTest, ScopedTimerRecordsElapsedMillis) {
+  Histogram histogram;
+  {
+    ScopedTimer timer(histogram);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(histogram.count(), 1u);
+  EXPECT_GE(histogram.sum(), 1.0);   // at least ~the sleep
+  EXPECT_LT(histogram.sum(), 60e3);  // and not garbage
+}
+
+TEST(RegistryTest, HandlesAreStableAndShared) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x.count");
+  Counter& b = registry.GetCounter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3u);
+  registry.GetGauge("x.gauge");
+  registry.GetHistogram("x.hist");
+  EXPECT_EQ(registry.num_instruments(), 3u);
+}
+
+TEST(RegistryTest, ConcurrentRegistrationAndWrites) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("shared").Add();
+        registry.GetHistogram("lat").Record(0.5);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("shared").value(), kThreads * 1000u);
+  EXPECT_EQ(registry.GetHistogram("lat").count(), kThreads * 1000u);
+}
+
+TEST(RegistryTest, ToJsonIsDeterministicAndSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.count").Add(2);
+  registry.GetCounter("a.count").Add(1);
+  registry.GetGauge("g").Set(1.5);
+  registry.GetHistogram("h").Record(1.0);
+  const std::string json = registry.ToJson();
+  EXPECT_EQ(json, registry.ToJson());  // stable across calls
+  EXPECT_LT(json.find("\"a.count\""), json.find("\"b.count\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(RegistryTest, WriteJsonCreatesParentDirs) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Add();
+  const std::string dir = "obs_metrics_test_out";
+  const std::string path = dir + "/nested/metrics.json";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(registry.WriteJson(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), registry.ToJson());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RegistryTest, ResetValuesKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("c");
+  Histogram& histogram = registry.GetHistogram("h");
+  counter.Add(5);
+  histogram.Record(1.0);
+  registry.ResetValues();
+  EXPECT_EQ(counter.value(), 0u);       // same handle, zeroed
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(registry.num_instruments(), 2u);
+}
+
+TEST(RegistryTest, DefaultIsProcessWide) {
+  Counter& a = MetricsRegistry::Default().GetCounter("obs_test.default");
+  Counter& b = MetricsRegistry::Default().GetCounter("obs_test.default");
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace apots::obs

@@ -1,0 +1,345 @@
+// Tests for the obs:: trace layer: span nesting and containment, the
+// zero-allocation claim for disabled spans (pinned down with a counting
+// operator new in this TU), deterministic seeded span ids, ring-buffer
+// wrap-around, and that the emitted Chrome trace_event JSON actually
+// parses.
+
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+// ---------------------------------------------------------------------------
+// Counting global allocator: every operator new in this binary bumps the
+// counter, so a window with zero delta proves a code path allocated
+// nothing on this thread or any other.
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* ptr = std::malloc(size ? size : 1)) return ptr;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* ptr = std::malloc(size ? size : 1)) return ptr;
+  throw std::bad_alloc();
+}
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+
+namespace apots::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON syntax validator (no tree, no allocation beyond the
+// input): enough to prove the trace output is well-formed JSON, which is
+// what chrome://tracing requires before it looks at any field.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* word) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  bool String() {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;  // skip the escaped char
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': {
+        ++pos_;
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') { ++pos_; return true; }
+        for (;;) {
+          SkipSpace();
+          if (!String()) return false;
+          SkipSpace();
+          if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+          ++pos_;
+          if (!Value()) return false;
+          SkipSpace();
+          if (pos_ < text_.size() && text_[pos_] == ',') { ++pos_; continue; }
+          break;
+        }
+        SkipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != '}') return false;
+        ++pos_;
+        return true;
+      }
+      case '[': {
+        ++pos_;
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') { ++pos_; return true; }
+        for (;;) {
+          if (!Value()) return false;
+          SkipSpace();
+          if (pos_ < text_.size() && text_[pos_] == ',') { ++pos_; continue; }
+          break;
+        }
+        SkipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != ']') return false;
+        ++pos_;
+        return true;
+      }
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void SpinForNs(int64_t ns) {
+  const auto start = std::chrono::steady_clock::now();
+  while ((std::chrono::steady_clock::now() - start).count() < ns) {
+  }
+}
+
+TEST(TraceSpanTest, DisabledModeRecordsNothingAndAllocatesNothing) {
+  TraceRecorder& recorder = TraceRecorder::Default();
+  recorder.Disable();
+  ASSERT_FALSE(TraceRecorder::enabled());
+  // Warm up: any lazy statics on this path initialize now, not inside the
+  // measured window.
+  { TraceSpan warmup("warmup"); }
+  const size_t events_before = recorder.EventCount();
+  const uint64_t allocs_before = g_alloc_count.load();
+  for (int i = 0; i < 10000; ++i) {
+    TraceSpan span("disabled");
+  }
+  EXPECT_EQ(g_alloc_count.load(), allocs_before)
+      << "a disabled TraceSpan must not allocate";
+  EXPECT_EQ(recorder.EventCount(), events_before);
+}
+
+TEST(TraceSpanTest, NestedSpansAreContainedAndDepthTagged) {
+  TraceRecorder& recorder = TraceRecorder::Default();
+  recorder.Enable({.seed = 7});
+  {
+    TraceSpan outer("outer");
+    SpinForNs(200000);
+    {
+      TraceSpan inner("inner");
+      SpinForNs(200000);
+    }
+    SpinForNs(200000);
+  }
+  recorder.Disable();
+
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* inner = nullptr;
+  for (const TraceEvent& event : events) {
+    if (std::string(event.name) == "outer") outer = &event;
+    if (std::string(event.name) == "inner") inner = &event;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(inner->depth, 1);
+  // Containment: the inner span's interval lies inside the outer's.
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->start_ns + inner->dur_ns,
+            outer->start_ns + outer->dur_ns);
+  EXPECT_GT(inner->dur_ns, 0);
+}
+
+TEST(TraceRecorderTest, SeededIdsAreDeterministicAcrossRuns) {
+  TraceRecorder& recorder = TraceRecorder::Default();
+  const auto run = [&recorder](uint64_t seed) {
+    recorder.Enable({.seed = seed});
+    { TraceSpan a("a"); }
+    { TraceSpan b("b"); }
+    { TraceSpan c("c"); }
+    recorder.Disable();
+    std::vector<uint64_t> ids;
+    for (const TraceEvent& event : recorder.Snapshot()) {
+      ids.push_back(event.id);
+    }
+    return ids;
+  };
+  const std::vector<uint64_t> first = run(42);
+  const std::vector<uint64_t> second = run(42);
+  const std::vector<uint64_t> other = run(43);
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first, second) << "same seed, same spans -> same ids";
+  EXPECT_NE(first, other) << "different seed -> different ids";
+  // Ids within a run must be distinct (SplitMix64 is a bijection over
+  // distinct sequence numbers).
+  EXPECT_NE(first[0], first[1]);
+  EXPECT_NE(first[1], first[2]);
+}
+
+TEST(TraceRecorderTest, RingWrapKeepsNewestAndCountsDrops) {
+  TraceRecorder recorder;  // private instance: no interference
+  recorder.Enable({.seed = 1, .events_per_thread = 4});
+  for (int64_t i = 0; i < 10; ++i) {
+    recorder.Emit("e", /*start_ns=*/i, /*dur_ns=*/1, /*depth=*/0);
+  }
+  recorder.Disable();
+  EXPECT_EQ(recorder.EventCount(), 4u);
+  EXPECT_EQ(recorder.DroppedEvents(), 6u);
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first of the newest four: starts 6, 7, 8, 9.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].start_ns, static_cast<int64_t>(6 + i));
+  }
+}
+
+TEST(TraceRecorderTest, MultiThreadedSpansLandInPerThreadBuffers) {
+  TraceRecorder& recorder = TraceRecorder::Default();
+  recorder.Enable({.seed = 5});
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span("worker");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  recorder.Disable();
+  // Every span retained (well under per-thread capacity), none dropped.
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  size_t worker_events = 0;
+  for (const TraceEvent& event : events) {
+    if (std::string(event.name) == "worker") ++worker_events;
+  }
+  EXPECT_EQ(worker_events,
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(recorder.DroppedEvents(), 0u);
+}
+
+TEST(TraceRecorderTest, JsonIsValidAndRoundTripsEventData) {
+  TraceRecorder& recorder = TraceRecorder::Default();
+  recorder.Enable({.seed = 11});
+  {
+    TraceSpan span("alpha");
+    SpinForNs(100000);
+  }
+  { TraceSpan span("beta \"quoted\\name\""); }
+  recorder.Disable();
+
+  const std::string json = recorder.ToJson();
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid()) << json;
+  // Chrome trace_event requirements: the traceEvents array, complete
+  // ("X") phase markers, and our metadata.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 11"), std::string::npos);
+  EXPECT_NE(json.find("alpha"), std::string::npos);
+  // The quote and backslash in the name must arrive escaped.
+  EXPECT_NE(json.find("beta \\\"quoted\\\\name\\\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, EmptyTraceIsStillValidJson) {
+  TraceRecorder recorder;
+  recorder.Enable({});
+  recorder.Disable();
+  const std::string json = recorder.ToJson();
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\": []"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, WriteJsonCreatesParentDirsAndMatchesToJson) {
+  TraceRecorder& recorder = TraceRecorder::Default();
+  recorder.Enable({.seed = 3});
+  { TraceSpan span("filed"); }
+  recorder.Disable();
+  const std::string dir = "obs_trace_test_out";
+  const std::string path = dir + "/nested/trace.json";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(recorder.WriteJson(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), recorder.ToJson());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceRecorderTest, EnableClearsPreviousRun) {
+  TraceRecorder& recorder = TraceRecorder::Default();
+  recorder.Enable({});
+  { TraceSpan span("first_run"); }
+  recorder.Disable();
+  ASSERT_GE(recorder.EventCount(), 1u);
+  recorder.Enable({});
+  recorder.Disable();
+  EXPECT_EQ(recorder.EventCount(), 0u);
+  EXPECT_EQ(recorder.DroppedEvents(), 0u);
+}
+
+}  // namespace
+}  // namespace apots::obs
