@@ -3,7 +3,8 @@
 
 Usage:
     check_perf_regression.py [--fresh DIR] [--baselines DIR]
-                             [--threshold FRACTION] [--self-test]
+                             [--threshold FRACTION] [--require-baselines]
+                             [--self-test]
 
 Every ``perf_*.json`` in the baselines directory is matched by filename
 against the fresh directory, both files are flattened to ``path -> value``
@@ -33,6 +34,7 @@ Exit codes: 0 clean, 1 regression or missing metric, 2 usage/IO error.
 import argparse
 import json
 import sys
+import tempfile
 from pathlib import Path
 
 # Suffix -> direction. A metric participates in gating iff its final path
@@ -132,9 +134,17 @@ def compare_report(name, baseline, fresh, threshold):
     return failures
 
 
-def run(fresh_dir, baseline_dir, threshold):
+def run(fresh_dir, baseline_dir, threshold, require_baselines=False):
     baseline_paths = sorted(Path(baseline_dir).glob("perf_*.json"))
     if not baseline_paths:
+        # In CI the baselines are committed, so an empty directory means
+        # the checkout (or the gate's wiring) is broken — a silent pass
+        # here would disable the whole perf gate without anyone noticing.
+        if require_baselines:
+            print(f"FAIL no baselines under {baseline_dir}; the perf gate "
+                  "requires committed baselines (git add -f "
+                  "bench_out/baselines/*.json)", file=sys.stderr)
+            return 1
         print(f"no baselines under {baseline_dir}; nothing to gate",
               file=sys.stderr)
         return 0
@@ -215,8 +225,23 @@ def self_test(threshold):
         print("self-test FAIL: vanished arm not caught", file=sys.stderr)
         return 1
 
+    # --require-baselines must turn "no baselines" from a silent pass
+    # into a failure (the CI gate relies on this to detect a broken
+    # checkout), while the default stays permissive for local runs.
+    with tempfile.TemporaryDirectory() as tmp:
+        missing = Path(tmp) / "baselines"
+        if run(tmp, missing, threshold) != 0:
+            print("self-test FAIL: missing baselines dir failed without "
+                  "--require-baselines", file=sys.stderr)
+            return 1
+        if run(tmp, missing, threshold, require_baselines=True) != 1:
+            print("self-test FAIL: --require-baselines passed with no "
+                  "baselines dir", file=sys.stderr)
+            return 1
+
     print("self-test PASS: identical ok, -20% throughput and +20% latency "
-          "caught, arm order ignored, vanished arm caught")
+          "caught, arm order ignored, vanished arm caught, missing "
+          "baselines fail under --require-baselines")
     return 0
 
 
@@ -228,6 +253,11 @@ def main():
                         help="directory with committed baseline perf_*.json")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="allowed relative regression (default 0.15)")
+    parser.add_argument("--require-baselines", action="store_true",
+                        help="fail (exit 1) when the baselines directory "
+                             "is empty or missing instead of passing; CI "
+                             "uses this so a bad checkout cannot silently "
+                             "disable the gate")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the comparator catches a synthetic "
                              "20%% regression, then exit")
@@ -236,7 +266,8 @@ def main():
         parser.error("--threshold must be in (0, 1)")
     if args.self_test:
         return self_test(args.threshold)
-    return run(args.fresh, args.baselines, args.threshold)
+    return run(args.fresh, args.baselines, args.threshold,
+               args.require_baselines)
 
 
 if __name__ == "__main__":

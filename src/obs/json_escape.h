@@ -1,0 +1,57 @@
+#ifndef APOTS_OBS_JSON_ESCAPE_H_
+#define APOTS_OBS_JSON_ESCAPE_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace apots::obs {
+
+/// Escapes a string for embedding inside a JSON string literal: quotes,
+/// backslashes, and every control character below 0x20 (named escapes for
+/// the common ones, \u00XX otherwise). Shared by the trace and metrics
+/// JSON writers so span names and metric names can never produce an
+/// invalid document.
+inline std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace apots::obs
+
+#endif  // APOTS_OBS_JSON_ESCAPE_H_

@@ -8,6 +8,8 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/json_escape.h"
+
 namespace apots::obs {
 
 namespace {
@@ -24,6 +26,17 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+/// Defends against degenerate bucket layouts: min <= 0 (or NaN) would
+/// make the bound-building loop spin forever (0 * growth == 0) or grow
+/// bounds_ without limit, and growth <= 1 would never reach max. The
+/// negated comparisons also route NaNs to the fallback values.
+HistogramOptions Sanitize(HistogramOptions options) {
+  if (!(options.min > 0.0)) options.min = 1e-9;
+  if (!(options.max >= options.min)) options.max = options.min;
+  if (!(options.growth >= 1.0001)) options.growth = 1.0001;
+  return options;
+}
+
 }  // namespace
 
 void SetMetricsEnabled(bool enabled) {
@@ -34,12 +47,12 @@ bool MetricsEnabled() {
   return g_metrics_enabled.load(std::memory_order_relaxed);
 }
 
-Histogram::Histogram(HistogramOptions options) : options_(options) {
+Histogram::Histogram(HistogramOptions options)
+    : options_(Sanitize(options)) {
   double bound = options_.min;
   bounds_.push_back(bound);  // underflow bucket: [0, min]
-  const double growth = std::max(1.0001, options_.growth);
   while (bound < options_.max) {
-    bound *= growth;
+    bound *= options_.growth;
     bounds_.push_back(std::min(bound, options_.max));
   }
   // Overflow bucket (max, +inf); Percentile clamps it to max.
@@ -156,14 +169,14 @@ std::string MetricsRegistry::ToJson() const {
   out << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
-    out << (first ? "\n" : ",\n") << "    \"" << name
+    out << (first ? "\n" : ",\n") << "    \"" << EscapeJson(name)
         << "\": " << counter->value();
     first = false;
   }
   out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
   first = true;
   for (const auto& [name, gauge] : gauges_) {
-    out << (first ? "\n" : ",\n") << "    \"" << name
+    out << (first ? "\n" : ",\n") << "    \"" << EscapeJson(name)
         << "\": " << FormatDouble(gauge->value());
     first = false;
   }
@@ -171,7 +184,7 @@ std::string MetricsRegistry::ToJson() const {
   first = true;
   for (const auto& [name, histogram] : histograms_) {
     const Histogram::Snapshot snap = histogram->TakeSnapshot();
-    out << (first ? "\n" : ",\n") << "    \"" << name
+    out << (first ? "\n" : ",\n") << "    \"" << EscapeJson(name)
         << "\": {\"count\": " << snap.count
         << ", \"sum\": " << FormatDouble(snap.sum)
         << ", \"mean\": " << FormatDouble(snap.mean)

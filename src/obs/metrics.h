@@ -58,7 +58,9 @@ class Gauge {
 /// underflow bucket [0, min] and an overflow bucket (max, +inf). The
 /// defaults suit latencies in milliseconds — 1us to 60s at ~5% bucket
 /// width, 270-odd buckets — and bound the percentile quantization error
-/// at `growth - 1` relative.
+/// at `growth - 1` relative. Degenerate layouts are sanitized at
+/// construction (min clamped positive, max raised to min, growth raised
+/// to 1.0001) so no option combination can hang or exhaust memory.
 struct HistogramOptions {
   double min = 1e-3;
   double max = 60e3;

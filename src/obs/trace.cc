@@ -5,7 +5,8 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <thread>
+
+#include "obs/json_escape.h"
 
 namespace apots::obs {
 
@@ -36,19 +37,21 @@ thread_local TlsCache tls_cache;
 
 std::atomic<uint64_t> g_next_recorder_id{1};
 
+/// Never-reused identity for the calling thread. The OS recycles
+/// std::thread::id values after a thread exits, so buffer ownership keyed
+/// on them would let a new thread silently adopt a dead thread's buffer;
+/// a monotonically assigned thread_local token cannot be handed down.
+uint64_t ThisThreadToken() {
+  static std::atomic<uint64_t> next_token{1};
+  thread_local const uint64_t token =
+      next_token.fetch_add(1, std::memory_order_relaxed);
+  return token;
+}
+
 int64_t SteadyNowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
-}
-
-std::string EscapeJson(const char* s) {
-  std::string out;
-  for (const char* p = s; *p != '\0'; ++p) {
-    if (*p == '"' || *p == '\\') out.push_back('\\');
-    out.push_back(*p);
-  }
-  return out;
 }
 
 }  // namespace
@@ -68,6 +71,11 @@ void TraceRecorder::Enable(TraceOptions options) {
   capacity_.store(std::max<size_t>(1, options.events_per_thread),
                   std::memory_order_relaxed);
   epoch_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+  // Bump the generation BEFORE clearing: an in-flight span from the old
+  // epoch either lands before its buffer is cleared (wiped here) or after
+  // (its buffer lock then makes the new generation visible and Emit drops
+  // it). Either way the fresh trace stays clean.
+  generation_.fetch_add(1, std::memory_order_relaxed);
   for (auto& buffer : buffers_) {
     std::lock_guard<std::mutex> buffer_lock(buffer->mu);
     buffer->ring.clear();
@@ -94,16 +102,16 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
     return static_cast<ThreadBuffer*>(tls_cache.buffer);
   }
   std::lock_guard<std::mutex> lock(mu_);
-  const std::thread::id me = std::this_thread::get_id();
+  const uint64_t me = ThisThreadToken();
   for (auto& buffer : buffers_) {
-    if (buffer->owner == me) {
+    if (buffer->owner_token == me) {
       tls_cache = {instance_id_, buffer.get()};
       return buffer.get();
     }
   }
   auto buffer = std::make_unique<ThreadBuffer>();
   buffer->tid = static_cast<uint32_t>(buffers_.size());
-  buffer->owner = me;
+  buffer->owner_token = me;
   buffer->ring.reserve(options_.events_per_thread);
   buffers_.push_back(std::move(buffer));
   tls_cache = {instance_id_, buffers_.back().get()};
@@ -112,9 +120,19 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
 
 void TraceRecorder::Emit(const char* name, int64_t start_ns, int64_t dur_ns,
                          int32_t depth) {
+  Emit(name, start_ns, dur_ns, depth, generation());
+}
+
+void TraceRecorder::Emit(const char* name, int64_t start_ns, int64_t dur_ns,
+                         int32_t depth, uint64_t generation) {
+  if (!enabled()) return;
   ThreadBuffer* buffer = BufferForThisThread();
   const size_t capacity = capacity_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(buffer->mu);
+  // Checked under the buffer lock: Enable bumps the generation before it
+  // clears this buffer, so a span from a previous epoch is either wiped
+  // by the clear or rejected here — never recorded into the new trace.
+  if (generation != generation_.load(std::memory_order_relaxed)) return;
   TraceEvent event;
   event.name = name;
   event.tid = buffer->tid;
@@ -178,16 +196,22 @@ std::string TraceRecorder::ToJson() const {
   out << "{\n  \"traceEvents\": [";
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& event = events[i];
-    char line[256];
-    std::snprintf(line, sizeof(line),
-                  "{\"name\": \"%s\", \"cat\": \"apots\", \"ph\": \"X\", "
-                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
-                  "\"args\": {\"id\": \"%016" PRIx64 "\", \"depth\": %d}}",
-                  EscapeJson(event.name).c_str(),
-                  static_cast<double>(event.start_ns) / 1e3,
-                  static_cast<double>(event.dur_ns) / 1e3, event.tid,
-                  event.id, event.depth);
-    out << (i == 0 ? "\n    " : ",\n    ") << line;
+    // Only the bounded numeric fields go through fixed buffers; the name
+    // is streamed, so arbitrarily long span names cannot truncate the
+    // object mid-brace.
+    char num[64];
+    out << (i == 0 ? "\n    " : ",\n    ") << "{\"name\": \""
+        << EscapeJson(event.name)
+        << "\", \"cat\": \"apots\", \"ph\": \"X\", \"ts\": ";
+    std::snprintf(num, sizeof(num), "%.3f",
+                  static_cast<double>(event.start_ns) / 1e3);
+    out << num << ", \"dur\": ";
+    std::snprintf(num, sizeof(num), "%.3f",
+                  static_cast<double>(event.dur_ns) / 1e3);
+    out << num << ", \"pid\": 1, \"tid\": " << event.tid
+        << ", \"args\": {\"id\": \"";
+    std::snprintf(num, sizeof(num), "%016" PRIx64, event.id);
+    out << num << "\", \"depth\": " << event.depth << "}}";
   }
   out << (events.empty() ? "" : "\n  ") << "],\n"
       << "  \"displayTimeUnit\": \"ms\",\n"
@@ -210,16 +234,18 @@ bool TraceRecorder::WriteJson(const std::string& path) const {
 }
 
 void TraceSpan::Begin(const char* name) {
+  TraceRecorder& recorder = TraceRecorder::Default();
   name_ = name;
   depth_ = tls_depth++;
-  start_ns_ = TraceRecorder::Default().NowNs();
+  generation_ = recorder.generation();
+  start_ns_ = recorder.NowNs();
 }
 
 void TraceSpan::End() {
   --tls_depth;
   TraceRecorder& recorder = TraceRecorder::Default();
   recorder.Emit(name_, start_ns_,
-                recorder.NowNs() - start_ns_, depth_);
+                recorder.NowNs() - start_ns_, depth_, generation_);
 }
 
 }  // namespace apots::obs

@@ -7,7 +7,6 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 namespace apots::obs {
@@ -77,17 +76,33 @@ class TraceRecorder {
   bool WriteJson(const std::string& path) const;
   std::string ToJson() const;
 
-  /// Internal: called by TraceSpan's destructor.
+  /// Internal: called by TraceSpan's destructor. The `generation` is the
+  /// value of generation() captured when the span began; the event is
+  /// dropped if tracing was disabled or re-enabled since (a stale span
+  /// must not pollute a freshly started trace). The convenience overload
+  /// stamps the current generation.
+  void Emit(const char* name, int64_t start_ns, int64_t dur_ns,
+            int32_t depth, uint64_t generation);
   void Emit(const char* name, int64_t start_ns, int64_t dur_ns,
             int32_t depth);
 
   /// Nanoseconds since Enable() on the recorder's monotonic epoch.
   int64_t NowNs() const;
 
+  /// Bumped by every Enable(); spans stamp it at Begin so Emit can drop
+  /// events that straddle a Disable()/Enable() boundary.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct ThreadBuffer {
     mutable std::mutex mu;
-    std::thread::id owner;  ///< set once at registration, under mu_
+    /// Never-reused per-thread token (see ThisThreadToken in trace.cc);
+    /// set once at registration, under mu_. OS thread ids are recycled
+    /// after a thread exits, so identity has to come from a token a dead
+    /// thread can never hand down.
+    uint64_t owner_token = 0;
     uint32_t tid = 0;
     uint64_t next_seq = 0;  ///< feeds the deterministic span id
     uint64_t written = 0;   ///< lifetime events, for the drop count
@@ -111,6 +126,7 @@ class TraceRecorder {
   std::atomic<size_t> capacity_{1 << 14};
   /// Absolute steady_clock nanoseconds at Enable() time.
   std::atomic<int64_t> epoch_ns_{0};
+  std::atomic<uint64_t> generation_{0};
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
 };
 
@@ -137,6 +153,7 @@ class TraceSpan {
   const char* name_ = nullptr;
   int64_t start_ns_ = 0;
   int32_t depth_ = 0;
+  uint64_t generation_ = 0;  ///< recorder generation at Begin
 };
 
 }  // namespace apots::obs

@@ -117,6 +117,32 @@ TEST(HistogramTest, UnderflowOverflowAndGarbage) {
   EXPECT_GE(histogram.Percentile(1.0), histogram.options().max);
 }
 
+TEST(HistogramTest, DegenerateOptionsAreSanitized) {
+  // min == 0 used to spin the bound-building loop forever (0 * growth ==
+  // 0); min < 0 diverged; growth <= 1 never reached max. All must now
+  // construct promptly and record sanely.
+  Histogram zero_min({.min = 0.0, .max = 10.0});
+  EXPECT_GT(zero_min.options().min, 0.0);
+  zero_min.Record(1.0);
+  EXPECT_EQ(zero_min.count(), 1u);
+
+  Histogram negative_min({.min = -5.0, .max = 1.0});
+  EXPECT_GT(negative_min.options().min, 0.0);
+  negative_min.Record(0.5);
+  EXPECT_EQ(negative_min.count(), 1u);
+
+  Histogram inverted({.min = 10.0, .max = 1.0});
+  EXPECT_GE(inverted.options().max, inverted.options().min);
+  inverted.Record(5.0);
+  EXPECT_EQ(inverted.count(), 1u);
+
+  Histogram flat_growth({.min = 1.0, .max = 10.0, .growth = 0.5});
+  EXPECT_GT(flat_growth.options().growth, 1.0);
+  flat_growth.Record(3.0);
+  EXPECT_EQ(flat_growth.count(), 1u);
+  EXPECT_TRUE(std::isfinite(flat_growth.Percentile(0.99)));
+}
+
 TEST(HistogramTest, ResetClearsEverything) {
   Histogram histogram;
   histogram.Record(1.0);
@@ -210,6 +236,19 @@ TEST(RegistryTest, ToJsonIsDeterministicAndSorted) {
   EXPECT_NE(json.find("\"gauges\""), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(RegistryTest, MetricNamesAreJsonEscaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("weird\"name\\with\nctrl").Add();
+  registry.GetGauge("g\t").Set(1.0);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\nctrl"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"g\\t\""), std::string::npos) << json;
+  // The raw (unescaped) control character must not survive into the
+  // document.
+  EXPECT_EQ(json.find("with\nctrl"), std::string::npos) << json;
 }
 
 TEST(RegistryTest, WriteJsonCreatesParentDirs) {

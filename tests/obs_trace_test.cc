@@ -329,6 +329,72 @@ TEST(TraceRecorderTest, WriteJsonCreatesParentDirsAndMatchesToJson) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(TraceSpanTest, SpanEndingAfterDisableIsDropped) {
+  TraceRecorder& recorder = TraceRecorder::Default();
+  recorder.Enable({.seed = 9});
+  {
+    TraceSpan straddler("straddler");
+    recorder.Disable();
+  }  // destroyed with tracing off: must not record
+  EXPECT_EQ(recorder.EventCount(), 0u);
+}
+
+TEST(TraceSpanTest, SpanFromPreviousEpochDoesNotPolluteNewTrace) {
+  TraceRecorder& recorder = TraceRecorder::Default();
+  recorder.Enable({.seed = 10});
+  {
+    TraceSpan stale("stale");
+    recorder.Disable();
+    recorder.Enable({.seed = 10});  // new epoch, buffers cleared
+  }  // stale ends inside the new epoch with an old-epoch start time
+  { TraceSpan fresh("fresh"); }
+  recorder.Disable();
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "fresh");
+}
+
+TEST(TraceRecorderTest, SequentialThreadsNeverShareABuffer) {
+  // Thread ids are recycled by the OS; buffer ownership is keyed on a
+  // never-reused token, so a thread started after another exits must get
+  // its own buffer (and thread index), never adopt the dead thread's.
+  TraceRecorder recorder;
+  recorder.Enable({.seed = 12});
+  for (int t = 0; t < 2; ++t) {
+    std::thread([&recorder] {
+      recorder.Emit("seq", /*start_ns=*/0, /*dur_ns=*/1, /*depth=*/0);
+    }).join();
+  }
+  recorder.Disable();
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(TraceRecorderTest, LongAndControlCharNamesStayValidJson) {
+  // A span name far beyond any fixed formatting buffer, plus embedded
+  // control characters: the JSON must stay valid and the name complete.
+  static constexpr char kLongName[] =
+      "0123456789012345678901234567890123456789012345678901234567890123"
+      "0123456789012345678901234567890123456789012345678901234567890123"
+      "0123456789012345678901234567890123456789012345678901234567890123"
+      "0123456789012345678901234567890123456789012345678901234567890123"
+      "0123456789012345678901234567890123456789012345678901234567890123";
+  TraceRecorder recorder;
+  recorder.Enable({.seed = 2});
+  recorder.Emit(kLongName, /*start_ns=*/0, /*dur_ns=*/1, /*depth=*/0);
+  recorder.Emit("tab\there\nnewline", /*start_ns=*/0, /*dur_ns=*/1,
+                /*depth=*/0);
+  recorder.Disable();
+  const std::string json = recorder.ToJson();
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid()) << json;
+  EXPECT_NE(json.find(kLongName), std::string::npos)
+      << "long span name truncated";
+  EXPECT_NE(json.find("tab\\there\\nnewline"), std::string::npos)
+      << "control characters must arrive escaped";
+}
+
 TEST(TraceRecorderTest, EnableClearsPreviousRun) {
   TraceRecorder& recorder = TraceRecorder::Default();
   recorder.Enable({});
