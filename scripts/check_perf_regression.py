@@ -12,8 +12,18 @@ maps (array elements are keyed by their ``name``/``arm`` entry so
 reordering arms never breaks the diff), and each numeric metric whose name
 declares a direction (see PERF_METRICS) is compared:
 
-* higher-is-better metrics fail when fresh < baseline * (1 - threshold)
-* lower-is-better metrics fail when fresh > baseline * (1 + threshold)
+* higher-is-better ("up") metrics fail when fresh < baseline*(1-threshold)
+* lower-is-better ("down") metrics fail when fresh > baseline*(1+threshold)
+* two-sided ("band") metrics fail when fresh deviates from baseline by
+  more than the threshold in either direction — for quantities like
+  attacked-MAE inflation where drift either way means the experiment
+  changed, not just got slower
+
+A baseline file may carry a top-level ``"_directions"`` object mapping a
+full flattened path or a bare leaf name to a direction; annotations win
+over the global PERF_METRICS table and let one report gate a metric whose
+suffix is too generic to gate everywhere. The ``_directions`` block is
+metadata: it is never flattened or compared itself.
 
 Everything else — configuration echoes, counters, booleans — is reported
 only when it disappears, because a vanished metric usually means a bench
@@ -25,8 +35,9 @@ bench/obs_overhead, not here).
 ``--self-test`` exercises the comparator itself: it builds a synthetic
 baseline, verifies an identical report passes, then injects a 20%
 throughput regression and a 20% latency regression and asserts both are
-caught. CI runs it via ctest so a broken comparator cannot silently turn
-the perf gate green.
+caught — plus band deviations in both directions and a ``_directions``
+annotation override. CI runs it via ctest so a broken comparator cannot
+silently turn the perf gate green.
 
 Exit codes: 0 clean, 1 regression or missing metric, 2 usage/IO error.
 """
@@ -39,13 +50,15 @@ from pathlib import Path
 
 # Suffix -> direction. A metric participates in gating iff its final path
 # component (or that component's prefix before a numeric suffix) appears
-# here. "up" = higher is better, "down" = lower is better.
+# here. "up" = higher is better, "down" = lower is better, "band" = any
+# deviation beyond the threshold fails (two-sided).
 PERF_METRICS = {
     "anchors_per_sec": "up",
     "samples_per_sec": "up",
     "availability": "up",
     "speedup_batched_vs_per_anchor": "up",
     "speedup_batched_parallel_vs_per_anchor": "up",
+    "recovery_ratio": "up",
     "seconds": "down",
     "seconds_per_call": "down",
     "p50_ms": "down",
@@ -53,6 +66,8 @@ PERF_METRICS = {
     "p50_tick_ms": "down",
     "p99_tick_ms": "down",
     "deadline_miss_rate": "down",
+    "clean_mae": "down",
+    "mae_inflation": "band",
 }
 
 # Latency metrics additionally need the absolute delta to clear this floor
@@ -73,10 +88,13 @@ ABS_SLACK = {
 
 def flatten(node, prefix=""):
     """JSON tree -> {path: leaf}. List elements with a 'name' or 'arm'
-    field are keyed by it; bare lists fall back to the index."""
+    field are keyed by it; bare lists fall back to the index. The
+    ``_directions`` annotation block is metadata, not metrics."""
     out = {}
     if isinstance(node, dict):
         for key, value in sorted(node.items()):
+            if key == "_directions":
+                continue
             out.update(flatten(value, f"{prefix}{key}."))
     elif isinstance(node, list):
         for idx, value in enumerate(node):
@@ -92,18 +110,33 @@ def flatten(node, prefix=""):
     return out
 
 
-def direction_for(path):
+def direction_for(path, overrides=None):
+    """Resolution order: full-path annotation, leaf annotation, global
+    suffix table."""
     leaf = path.rsplit(".", 1)[-1]
+    if overrides:
+        direction = overrides.get(path, overrides.get(leaf))
+        if direction is not None:
+            return direction if direction in ("up", "down", "band") else None
     return PERF_METRICS.get(leaf)
+
+
+def directions_of(report):
+    """The report's ``_directions`` annotation block, if well-formed."""
+    if isinstance(report, dict) and isinstance(
+            report.get("_directions"), dict):
+        return report["_directions"]
+    return None
 
 
 def compare_report(name, baseline, fresh, threshold):
     """Returns a list of failure strings for one report pair."""
     failures = []
+    overrides = directions_of(baseline)
     base_flat = flatten(baseline)
     fresh_flat = flatten(fresh)
     for path, base_value in sorted(base_flat.items()):
-        direction = direction_for(path)
+        direction = direction_for(path, overrides)
         if direction is None:
             continue
         if path not in fresh_flat:
@@ -131,6 +164,13 @@ def compare_report(name, baseline, fresh, threshold):
                 f"{fresh_value:.6g} "
                 f"({100 * (fresh_value / base_value - 1):+.1f}%, "
                 f"allowed +{threshold:.0%})")
+        elif direction == "band" and \
+                abs(fresh_value - base_value) > abs(base_value) * threshold:
+            failures.append(
+                f"{name}: {path} drifted {base_value:.6g} -> "
+                f"{fresh_value:.6g} "
+                f"({100 * (fresh_value / base_value - 1):+.1f}%, "
+                f"allowed ±{threshold:.0%})")
     return failures
 
 
@@ -165,7 +205,8 @@ def run(fresh_dir, baseline_dir, threshold, require_baselines=False):
             return 2
         failures = compare_report(baseline_path.name, baseline, fresh,
                                   threshold)
-        gated = sum(1 for p in flatten(baseline) if direction_for(p))
+        gated = sum(1 for p in flatten(baseline)
+                    if direction_for(p, directions_of(baseline)))
         compared += gated
         if failures:
             rc = 1
@@ -191,6 +232,7 @@ def self_test(threshold):
              "p99_ms": 80.0},
         ],
         "storm": {"availability": 0.9995, "deadline_miss_rate": 0.01},
+        "attack": {"mae_inflation": 2.4, "recovery_ratio": 0.55},
     }
     identical = json.loads(json.dumps(baseline))
     if compare_report("identical", baseline, identical, threshold):
@@ -211,6 +253,47 @@ def self_test(threshold):
     failures = compare_report("latency", baseline, latency_hit, threshold)
     if not any("arms.per_anchor.p99_ms" in f for f in failures):
         print("self-test FAIL: +20% latency not caught", file=sys.stderr)
+        return 1
+
+    # A band metric must fail on a 20% drift in EITHER direction and
+    # tolerate drift inside the threshold.
+    for factor, tag in ((1.2, "upward"), (0.8, "downward")):
+        drifted = json.loads(json.dumps(baseline))
+        drifted["attack"]["mae_inflation"] = 2.4 * factor
+        failures = compare_report("band", baseline, drifted, threshold)
+        if not any("attack.mae_inflation" in f for f in failures):
+            print(f"self-test FAIL: {tag} band drift not caught",
+                  file=sys.stderr)
+            return 1
+    within = json.loads(json.dumps(baseline))
+    within["attack"]["mae_inflation"] = 2.4 * 1.05
+    if compare_report("band-ok", baseline, within, threshold):
+        print("self-test FAIL: in-band drift flagged", file=sys.stderr)
+        return 1
+
+    # A _directions annotation must gate an otherwise-ungated leaf, win
+    # over the global table (up -> band here), and never be compared as a
+    # metric itself.
+    annotated = json.loads(json.dumps(baseline))
+    annotated["_directions"] = {"queries_per_plan": "down",
+                                "storm.availability": "band"}
+    annotated["attack"]["queries_per_plan"] = 128.0
+    worse = json.loads(json.dumps(annotated))
+    worse["attack"]["queries_per_plan"] = 200.0
+    worse["storm"]["availability"] = 0.9995 * 1.3
+    failures = compare_report("annotated", annotated, worse, threshold)
+    if not any("attack.queries_per_plan" in f for f in failures):
+        print("self-test FAIL: _directions leaf annotation not applied",
+              file=sys.stderr)
+        return 1
+    if not any("storm.availability" in f and "drifted" in f
+               for f in failures):
+        print("self-test FAIL: _directions path override did not beat the "
+              "global table", file=sys.stderr)
+        return 1
+    if any("_directions" in f for f in failures):
+        print("self-test FAIL: _directions block compared as a metric",
+              file=sys.stderr)
         return 1
 
     # Arm order must not matter, and a vanished arm must fail.
@@ -240,7 +323,8 @@ def self_test(threshold):
             return 1
 
     print("self-test PASS: identical ok, -20% throughput and +20% latency "
-          "caught, arm order ignored, vanished arm caught, missing "
+          "caught, band drift caught both ways, _directions annotations "
+          "honored, arm order ignored, vanished arm caught, missing "
           "baselines fail under --require-baselines")
     return 0
 

@@ -1,0 +1,157 @@
+#include "attack/budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace apots::attack {
+
+Status PlausibilityBudget::Validate() const {
+  if (!std::isfinite(epsilon_kmh) || epsilon_kmh <= 0.0f) {
+    return Status::InvalidArgument(
+        StrFormat("budget epsilon_kmh %.3f must be finite and positive",
+                  epsilon_kmh));
+  }
+  if (!std::isfinite(smooth_kmh) || smooth_kmh <= 0.0f) {
+    return Status::InvalidArgument(
+        StrFormat("budget smooth_kmh %.3f must be finite and positive",
+                  smooth_kmh));
+  }
+  if (!std::isfinite(min_kmh) || !std::isfinite(max_kmh) ||
+      min_kmh < 0.0f || max_kmh <= min_kmh) {
+    return Status::InvalidArgument(
+        StrFormat("budget physical clamps [%.1f, %.1f] are not ordered",
+                  min_kmh, max_kmh));
+  }
+  return Status::Ok();
+}
+
+PerturbationPlan::PerturbationPlan(int road_lo, int road_hi, long t_lo,
+                                   long t_hi)
+    : road_lo_(road_lo), road_hi_(road_hi), t_lo_(t_lo), t_hi_(t_hi) {
+  APOTS_CHECK(road_lo >= 0 && road_hi >= road_lo);
+  APOTS_CHECK(t_lo >= 0 && t_hi >= t_lo);
+  delta_.assign(static_cast<size_t>(road_hi - road_lo + 1) *
+                    static_cast<size_t>(t_hi - t_lo + 1),
+                0.0f);
+}
+
+size_t PerturbationPlan::Index(int road, long t) const {
+  return static_cast<size_t>(road - road_lo_) *
+             static_cast<size_t>(t_hi_ - t_lo_ + 1) +
+         static_cast<size_t>(t - t_lo_);
+}
+
+bool PerturbationPlan::Covers(int road, long t) const {
+  return road >= road_lo_ && road <= road_hi_ && t >= t_lo_ && t <= t_hi_;
+}
+
+float PerturbationPlan::Delta(int road, long t) const {
+  if (!Covers(road, t)) return 0.0f;
+  return delta_[Index(road, t)];
+}
+
+void PerturbationPlan::SetDelta(int road, long t, float delta_kmh) {
+  APOTS_CHECK(Covers(road, t));
+  delta_[Index(road, t)] = delta_kmh;
+}
+
+void PerturbationPlan::AddDelta(int road, long t, float delta_kmh) {
+  APOTS_CHECK(Covers(road, t));
+  delta_[Index(road, t)] += delta_kmh;
+}
+
+void PerturbationPlan::Project(const PlausibilityBudget& budget,
+                               const apots::traffic::TrafficDataset& truth) {
+  if (empty()) return;
+  APOTS_CHECK(budget.Validate().ok());
+  APOTS_CHECK(road_hi_ < truth.num_roads());
+  APOTS_CHECK(t_hi_ < truth.num_intervals());
+  const float eps = budget.epsilon_kmh;
+  const float smooth = budget.smooth_kmh;
+  const size_t cells = static_cast<size_t>(t_hi_ - t_lo_ + 1);
+  std::vector<float> reach_lo(cells), reach_hi(cells);
+  for (int road = road_lo_; road <= road_hi_; ++road) {
+    // Per-cell bounds from L-inf and the physical clamp. 0 is always
+    // feasible here because clean speeds already lie inside the clamp
+    // (collapsed to 0 defensively for out-of-model datasets).
+    for (long t = t_lo_; t <= t_hi_; ++t) {
+      const float speed = truth.Speed(road, t);
+      const size_t i = static_cast<size_t>(t - t_lo_);
+      reach_lo[i] = std::max(-eps, budget.min_kmh - speed);
+      reach_hi[i] = std::min(eps, budget.max_kmh - speed);
+      if (reach_lo[i] > reach_hi[i]) reach_lo[i] = reach_hi[i] = 0.0f;
+    }
+    // Backward reachability: shrink each cell's interval to the deltas
+    // from which every later cell stays smooth-reachable. A greedy
+    // forward pass alone can paint itself into a corner — ride at +eps
+    // into a cell whose clamp margin is tiny and the forced drop busts
+    // the smoothness bound. Every interval stays nonempty because 0 is
+    // feasible in every cell.
+    for (size_t i = cells - 1; i-- > 0;) {
+      reach_lo[i] = std::max(reach_lo[i], reach_lo[i + 1] - smooth);
+      reach_hi[i] = std::min(reach_hi[i], reach_hi[i + 1] + smooth);
+    }
+    // Forward greedy projection within the reachable tube; the smoothness
+    // window around `prev` always intersects the next cell's interval.
+    float prev = 0.0f;  // the un-attacked past anchors the chain
+    for (long t = t_lo_; t <= t_hi_; ++t) {
+      const size_t i = static_cast<size_t>(t - t_lo_);
+      const float lo = std::max(reach_lo[i], prev - smooth);
+      const float hi = std::min(reach_hi[i], prev + smooth);
+      float& d = delta_[Index(road, t)];
+      d = std::clamp(d, lo, std::max(lo, hi));
+      prev = d;
+    }
+  }
+}
+
+void PerturbationPlan::ApplyTo(apots::traffic::TrafficDataset* dataset,
+                               const PlausibilityBudget& budget) const {
+  APOTS_CHECK(dataset != nullptr);
+  if (empty()) return;
+  APOTS_CHECK(road_hi_ < dataset->num_roads());
+  APOTS_CHECK(t_hi_ < dataset->num_intervals());
+  for (int road = road_lo_; road <= road_hi_; ++road) {
+    for (long t = t_lo_; t <= t_hi_; ++t) {
+      const float delta = delta_[Index(road, t)];
+      if (delta == 0.0f) continue;
+      const float poisoned = std::clamp(dataset->Speed(road, t) + delta,
+                                        budget.min_kmh, budget.max_kmh);
+      dataset->SetSpeed(road, t, poisoned);
+    }
+  }
+}
+
+float PerturbationPlan::MaxAbsDelta() const {
+  float max_abs = 0.0f;
+  for (const float d : delta_) max_abs = std::max(max_abs, std::fabs(d));
+  return max_abs;
+}
+
+float PerturbationPlan::MaxTemporalStep() const {
+  float max_step = 0.0f;
+  for (int road = road_lo_; road <= road_hi_; ++road) {
+    float prev = 0.0f;
+    for (long t = t_lo_; t <= t_hi_; ++t) {
+      const float d = delta_[Index(road, t)];
+      max_step = std::max(max_step, std::fabs(d - prev));
+      prev = d;
+    }
+  }
+  return max_step;
+}
+
+long PerturbationPlan::NonzeroCells() const {
+  long count = 0;
+  for (const float d : delta_) count += d != 0.0f ? 1 : 0;
+  return count;
+}
+
+void PerturbationPlan::Scale(float factor) {
+  for (float& d : delta_) d *= factor;
+}
+
+}  // namespace apots::attack

@@ -1,0 +1,103 @@
+#ifndef APOTS_ATTACK_BUDGET_H_
+#define APOTS_ATTACK_BUDGET_H_
+
+#include <vector>
+
+#include "traffic/traffic_dataset.h"
+#include "util/status.h"
+
+namespace apots::attack {
+
+/// Sensor-plausibility budget: the envelope inside which a perturbed
+/// speed reading is indistinguishable from an honest (if noisy) loop
+/// detector. An attacker constrained to this envelope cannot be caught by
+/// simple range or rate-of-change validation — which is exactly why the
+/// detection path (ResidualDetector) scores *statistical* deviation from
+/// the historical profile instead.
+struct PlausibilityBudget {
+  /// Per-cell L-infinity bound on the perturbation, in km/h.
+  float epsilon_kmh = 15.0f;
+  /// Temporal smoothness: max change of the perturbation between two
+  /// consecutive intervals of one road, in km/h. Keeps the injected
+  /// series free of physically implausible jumps.
+  float smooth_kmh = 8.0f;
+  /// Physical clamps: perturbed speed must stay in [min_kmh, max_kmh]
+  /// (the speed scaler's own range — readings outside it would be
+  /// rejected upstream anyway).
+  float min_kmh = 0.0f;
+  float max_kmh = 110.0f;
+
+  /// InvalidArgument on non-finite, negative, or inverted bounds.
+  Status Validate() const;
+};
+
+/// A dense (road, interval) rectangle of additive speed perturbations in
+/// km/h — the artifact every attacker produces and the poisoned feed
+/// consumes. Cells outside the rectangle are implicitly zero. Plans are
+/// plain data: deterministic to build, cheap to copy, and independent of
+/// the model that produced them (so one plan can poison a feed, corrupt a
+/// dataset copy, and be audited by tests).
+class PerturbationPlan {
+ public:
+  PerturbationPlan() = default;
+
+  /// Covers roads [road_lo, road_hi] and intervals [t_lo, t_hi], both
+  /// inclusive, all deltas zero.
+  PerturbationPlan(int road_lo, int road_hi, long t_lo, long t_hi);
+
+  bool empty() const { return delta_.empty(); }
+  int road_lo() const { return road_lo_; }
+  int road_hi() const { return road_hi_; }
+  long t_lo() const { return t_lo_; }
+  long t_hi() const { return t_hi_; }
+
+  /// True when (road, t) lies inside the plan rectangle.
+  bool Covers(int road, long t) const;
+
+  /// Perturbation of (road, t) in km/h; 0 outside the rectangle.
+  float Delta(int road, long t) const;
+  void SetDelta(int road, long t, float delta_kmh);
+  void AddDelta(int road, long t, float delta_kmh);
+
+  /// Projects every road's delta sequence onto the budget against the
+  /// clean speeds in `truth`, enforcing jointly (a) |delta| <= epsilon,
+  /// (b) the physical clamp min <= truth + delta <= max, and (c) the
+  /// smoothness chain |delta(t) - delta(t-1)| <= smooth, anchored at
+  /// delta = 0 before the rectangle (the un-attacked past). Two
+  /// deterministic passes per road: a backward reachability pass shrinks
+  /// each cell's feasible interval so no later clamp edge can force a
+  /// smoothness violation, then a forward greedy pass clamps the desired
+  /// delta into the reachable tube. A projected plan always satisfies
+  /// the budget exactly (asserted by tests across seeds).
+  void Project(const PlausibilityBudget& budget,
+               const apots::traffic::TrafficDataset& truth);
+
+  /// Adds the plan onto `dataset` speeds, clamping into
+  /// [budget.min_kmh, budget.max_kmh].
+  void ApplyTo(apots::traffic::TrafficDataset* dataset,
+               const PlausibilityBudget& budget) const;
+
+  /// Budget-audit helpers (tests and bench self-checks).
+  float MaxAbsDelta() const;
+  /// Largest |delta(t) - delta(t-1)| over every road, including the
+  /// implicit 0 before t_lo.
+  float MaxTemporalStep() const;
+  /// Number of non-zero cells.
+  long NonzeroCells() const;
+
+  /// Scales every delta by `factor` (e.g. to build sub-budget variants).
+  void Scale(float factor);
+
+ private:
+  size_t Index(int road, long t) const;
+
+  int road_lo_ = 0;
+  int road_hi_ = -1;
+  long t_lo_ = 0;
+  long t_hi_ = -1;
+  std::vector<float> delta_;  ///< road-major [roads x intervals]
+};
+
+}  // namespace apots::attack
+
+#endif  // APOTS_ATTACK_BUDGET_H_

@@ -1,0 +1,94 @@
+#ifndef APOTS_ATTACK_DEFENSE_H_
+#define APOTS_ATTACK_DEFENSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/attacker.h"
+#include "core/apots_model.h"
+#include "util/status.h"
+
+namespace apots::attack {
+
+/// Knobs of the RDAT-style adversarial fine-tuning loop.
+struct DefenseConfig {
+  /// Attack used to manufacture training-time adversaries. Usually the
+  /// deployment threat model's budget with white-box PGD (the defender
+  /// owns the model, so it can afford gradients the attacker may not).
+  AttackConfig attack;
+  /// Attack -> rank -> resample -> fine-tune rounds.
+  int rounds = 2;
+  /// Fine-tune epochs per round.
+  int finetune_epochs = 2;
+  /// Fraction of the train anchors attacked per round (subsampling keeps
+  /// plan construction affordable on big anchor sets).
+  float attack_fraction = 0.5f;
+  /// Hard cap on attacked anchors per round, after subsampling.
+  int max_attack_anchors = 512;
+  /// Fraction of attacked anchors counted as "hardest" (largest attacked
+  /// error) and duplicated into the fine-tune set.
+  float resample_fraction = 0.25f;
+  /// Duplicates per hardest anchor — the "reinforced" part of RDAT:
+  /// training mass concentrates where the attack bites.
+  int resample_copies = 2;
+  /// Fine-tune learning rate = model lr * this (fine-tuning at full lr
+  /// tears up the clean optimum the model converged to).
+  float finetune_lr_scale = 0.5f;
+  uint64_t seed = 11;
+
+  Status Validate() const;
+};
+
+/// Per-round accounting.
+struct DefenseRoundStats {
+  double clean_mse = 0.0;     ///< scaled MSE before this round's attack
+  double attacked_mse = 0.0;  ///< scaled MSE under this round's plan
+  int attacked_anchors = 0;
+  int resampled_anchors = 0;  ///< duplicates added to the fine-tune set
+  int finetune_rollbacks = 0;
+};
+
+struct DefenseReport {
+  std::vector<DefenseRoundStats> rounds;
+  uint64_t attack_queries = 0;
+  uint64_t attack_grad_passes = 0;
+};
+
+/// RDAT-style adversarial fine-tuning (Liu et al.): repeatedly attack the
+/// current weights, then fine-tune on the attacked data with the hardest
+/// anchors resampled, so the model relearns the cells the attack exploits
+/// while the clean data keeps it anchored.
+///
+/// Each round: (1) subsample train anchors and build a PGD plan against
+/// the *current* weights — the "dynamic" part, a static pre-computed
+/// attack goes stale after the first round; (2) apply the plan to a
+/// dataset copy, with the fine-tune anchors' target cells restored to
+/// clean truth (training toward poisoned targets would teach the model
+/// the attacker's answers); (3) rank attacked anchors by attacked-model
+/// error through the InferenceRuntime and duplicate the hardest into the
+/// fine-tune set; (4) fine-tune a model bound to the attacked copy —
+/// plain MSE, reduced learning rate, supervised by the existing
+/// TrainGuard — and copy the weights back.
+///
+/// The defended model keeps its architecture and dataset binding; only
+/// weights change.
+class RdatDefense {
+ public:
+  explicit RdatDefense(DefenseConfig config) : config_(config) {}
+
+  /// Fine-tunes `model` in place. `train_anchors` is the clean training
+  /// split. Returns per-round stats, or the first hard error (attack
+  /// construction failure, guard exhaustion, weight-copy mismatch).
+  Result<DefenseReport> Run(apots::core::ApotsModel* model,
+                            const std::vector<long>& train_anchors);
+
+  const DefenseConfig& config() const { return config_; }
+
+ private:
+  DefenseConfig config_;
+};
+
+}  // namespace apots::attack
+
+#endif  // APOTS_ATTACK_DEFENSE_H_

@@ -1,0 +1,133 @@
+#include "attack/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace apots::attack {
+
+namespace {
+
+struct DetectorMetrics {
+  obs::Histogram& z_score;
+  obs::Counter& observed;
+  obs::Counter& anomalous;
+  obs::Gauge& flagged_roads;
+  static DetectorMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Default();
+    // z-scores live in single digits, not milliseconds: use a layout
+    // covering [0.01, 100] so percentiles resolve around the threshold.
+    static DetectorMetrics* metrics = new DetectorMetrics{
+        registry.GetHistogram("attack.detector.z_score",
+                              obs::HistogramOptions{0.01, 100.0, 1.05}),
+        registry.GetCounter("attack.detector.observed"),
+        registry.GetCounter("attack.detector.anomalous"),
+        registry.GetGauge("attack.detector.flagged_roads"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+Status DetectorConfig::Validate() const {
+  if (!std::isfinite(z_threshold) || z_threshold <= 0.0f) {
+    return Status::InvalidArgument("detector z_threshold must be positive");
+  }
+  if (!std::isfinite(ema_alpha) || ema_alpha <= 0.0f || ema_alpha >= 1.0f) {
+    return Status::InvalidArgument("detector ema_alpha must be in (0, 1)");
+  }
+  if (min_observations < 1) {
+    return Status::InvalidArgument("detector min_observations must be >= 1");
+  }
+  if (flag_after < 1) {
+    return Status::InvalidArgument("detector flag_after must be >= 1");
+  }
+  if (!std::isfinite(dev_floor_kmh) || dev_floor_kmh <= 0.0f) {
+    return Status::InvalidArgument("detector dev_floor_kmh must be positive");
+  }
+  return Status::Ok();
+}
+
+ResidualDetector::ResidualDetector(int num_roads, DetectorConfig config)
+    : config_(config) {
+  APOTS_CHECK(num_roads > 0);
+  APOTS_CHECK(config_.Validate().ok());
+  roads_.resize(static_cast<size_t>(num_roads));
+}
+
+void ResidualDetector::Update(RoadState* state, double residual) {
+  const double alpha = config_.ema_alpha;
+  if (state->observations == 0) {
+    state->mean = residual;
+    state->abs_dev = config_.dev_floor_kmh;
+  } else {
+    state->mean += alpha * (residual - state->mean);
+    state->abs_dev += alpha * (std::fabs(residual - state->mean) -
+                               state->abs_dev);
+  }
+  ++state->observations;
+}
+
+void ResidualDetector::Prime(int road, float speed_kmh, float profile_kmh) {
+  APOTS_CHECK(road >= 0 && road < num_roads());
+  Update(&roads_[static_cast<size_t>(road)],
+         static_cast<double>(speed_kmh) - static_cast<double>(profile_kmh));
+}
+
+double ResidualDetector::Observe(int road, float speed_kmh,
+                                 float profile_kmh) {
+  APOTS_CHECK(road >= 0 && road < num_roads());
+  RoadState& state = roads_[static_cast<size_t>(road)];
+  const double residual =
+      static_cast<double>(speed_kmh) - static_cast<double>(profile_kmh);
+  ++stats_.observed;
+  DetectorMetrics::Get().observed.Add();
+  if (state.observations < config_.min_observations) {
+    Update(&state, residual);
+    return 0.0;
+  }
+  const double scale =
+      std::max(state.abs_dev, static_cast<double>(config_.dev_floor_kmh));
+  const double z = std::fabs(residual - state.mean) / scale;
+  DetectorMetrics::Get().z_score.Record(z);
+  if (z > config_.z_threshold) {
+    ++stats_.anomalous;
+    DetectorMetrics::Get().anomalous.Add();
+    ++state.consecutive;
+    if (!state.flagged && state.consecutive >= config_.flag_after) {
+      state.flagged = true;
+      ++stats_.flagged_roads;
+      DetectorMetrics::Get().flagged_roads.Set(stats_.flagged_roads);
+    }
+    // No EMA update: anomalous records must not recalibrate the baseline.
+  } else {
+    state.consecutive = 0;
+    Update(&state, residual);
+  }
+  return z;
+}
+
+bool ResidualDetector::Flagged(int road) const {
+  APOTS_CHECK(road >= 0 && road < num_roads());
+  return roads_[static_cast<size_t>(road)].flagged;
+}
+
+std::vector<int> ResidualDetector::FlaggedRoads() const {
+  std::vector<int> flagged;
+  for (size_t road = 0; road < roads_.size(); ++road) {
+    if (roads_[road].flagged) flagged.push_back(static_cast<int>(road));
+  }
+  return flagged;
+}
+
+void ResidualDetector::Reset() {
+  std::fill(roads_.begin(), roads_.end(), RoadState{});
+  stats_ = Stats{};
+  DetectorMetrics::Get().flagged_roads.Set(0.0);
+}
+
+}  // namespace apots::attack

@@ -1,0 +1,94 @@
+#ifndef APOTS_ATTACK_DETECTOR_H_
+#define APOTS_ATTACK_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace apots::attack {
+
+/// Knobs of the residual anomaly detector.
+struct DetectorConfig {
+  /// Robust z-score above which a residual counts as anomalous.
+  float z_threshold = 3.5f;
+  /// EMA smoothing factor for the per-road residual mean / deviation.
+  float ema_alpha = 0.05f;
+  /// Observations a road needs before it can score anomalies — until
+  /// then every record just calibrates the EMAs.
+  int min_observations = 24;
+  /// Consecutive anomalous records before a road is flagged. One outlier
+  /// is weather; a run of them is a signal shaped like an attack.
+  int flag_after = 3;
+  /// Deviation floor in km/h — stops a freakishly quiet road from
+  /// flagging on noise-level residuals.
+  float dev_floor_kmh = 1.0f;
+
+  Status Validate() const;
+};
+
+/// Residual-vs-historical-profile anomaly scorer: the attack-aware
+/// detection hook the serving stack runs on every applied feed record.
+///
+/// The plausibility budget is designed so a poisoned reading passes range
+/// and rate-of-change checks; what an attacker cannot cheaply fake is the
+/// *statistical* relationship between a road's live speed and its
+/// historical profile. The detector tracks, per road, an EMA of the
+/// residual (speed - profile) and of its absolute deviation, scores each
+/// record with a robust z-score, and flags a road after `flag_after`
+/// consecutive anomalous records. EMAs are NOT updated on anomalous
+/// records — otherwise a patient attacker walks the baseline toward the
+/// poisoned distribution and the detector calibrates itself blind.
+///
+/// Scores, counts, and the flagged-road gauge are exported through
+/// `obs::` metrics (attack.detector.*). Not thread-safe; the serving
+/// stack observes from the single ingest thread.
+class ResidualDetector {
+ public:
+  ResidualDetector(int num_roads, DetectorConfig config);
+
+  /// Warmup calibration: updates the road's residual EMAs without anomaly
+  /// scoring (the record is trusted ground truth).
+  void Prime(int road, float speed_kmh, float profile_kmh);
+
+  /// Scores one live record and updates state. Returns the robust
+  /// z-score of the residual (0 while the road is still calibrating).
+  double Observe(int road, float speed_kmh, float profile_kmh);
+
+  /// True once `road` has seen flag_after consecutive anomalies. Sticky
+  /// until Reset — a road that was being poisoned stays suspect.
+  bool Flagged(int road) const;
+  std::vector<int> FlaggedRoads() const;
+
+  struct Stats {
+    uint64_t observed = 0;   ///< records scored (excludes Prime)
+    uint64_t anomalous = 0;  ///< records past the z threshold
+    int flagged_roads = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  const DetectorConfig& config() const { return config_; }
+  int num_roads() const { return static_cast<int>(roads_.size()); }
+
+  /// Clears flags, counters, and EMAs.
+  void Reset();
+
+ private:
+  struct RoadState {
+    double mean = 0.0;      ///< EMA of the residual
+    double abs_dev = 0.0;   ///< EMA of |residual - mean|
+    long observations = 0;  ///< calibration + clean observations
+    int consecutive = 0;
+    bool flagged = false;
+  };
+
+  void Update(RoadState* state, double residual);
+
+  DetectorConfig config_;
+  std::vector<RoadState> roads_;
+  Stats stats_;
+};
+
+}  // namespace apots::attack
+
+#endif  // APOTS_ATTACK_DETECTOR_H_

@@ -56,6 +56,19 @@ void FaultyFeed::GenerateTick(long t) {
     rec.interval = t;
     rec.road = road;
     rec.speed_kmh = truth_->Speed(road, t);
+    // Poisoning compromises the sensor itself, before any delivery fault,
+    // and deliberately consumes no RNG draws — the delivery pattern is
+    // bit-identical with poisoning on or off, so attack experiments
+    // isolate the value corruption from the transport behavior.
+    if (spec_.poison && poison_plan_ != nullptr) {
+      const float delta = poison_plan_->Delta(road, t);
+      if (delta != 0.0f) {
+        rec.speed_kmh =
+            std::clamp(rec.speed_kmh + delta, poison_budget_.min_kmh,
+                       poison_budget_.max_kmh);
+        ++stats_.poisoned;
+      }
+    }
     rec.seq = next_seq_++;
     ++stats_.generated;
 
@@ -129,6 +142,12 @@ std::vector<FeedRecord> FaultyFeed::Poll(long tick) {
 
 bool FaultyFeed::Exhausted() const {
   return next_generate_ >= truth_->num_intervals() && pending_.empty();
+}
+
+void FaultyFeed::AttachPoison(const apots::attack::PerturbationPlan* plan,
+                              apots::attack::PlausibilityBudget budget) {
+  poison_plan_ = plan;
+  poison_budget_ = budget;
 }
 
 }  // namespace apots::serve

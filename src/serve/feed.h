@@ -5,6 +5,7 @@
 #include <map>
 #include <vector>
 
+#include "attack/budget.h"
 #include "traffic/traffic_dataset.h"
 #include "util/rng.h"
 
@@ -34,6 +35,12 @@ struct FeedFaultSpec {
   int outage_min = 12;           ///< outage length in ticks (uniform)
   int outage_max = 48;
   double torn_tick_prob = 0.02;  ///< tick delivers only a partial batch
+  /// Adversarial poisoning: readings are shifted by an attached
+  /// PerturbationPlan (see FaultyFeed::AttachPoison) before delivery.
+  /// Independent of `enabled` — a poisoned feed can otherwise deliver
+  /// cleanly, and a stormy feed can also be poisoned. Draws no RNG, so
+  /// the delivery pattern is identical with poisoning on or off.
+  bool poison = false;
   uint64_t seed = 99;
 
   /// Everything off: the feed delivers each interval's records exactly
@@ -63,12 +70,22 @@ class FaultyFeed {
   /// delivered by a Poll.
   bool Exhausted() const;
 
+  /// Attaches the poisoning plan consulted when `spec.poison` is set
+  /// (borrowed; null detaches). Poisoning happens at *generation* time —
+  /// the sensor reading itself is compromised — so delayed and duplicated
+  /// copies carry the same poisoned value, exactly like a real tampered
+  /// detector. Perturbed readings are clamped into `budget`'s physical
+  /// range.
+  void AttachPoison(const apots::attack::PerturbationPlan* plan,
+                    apots::attack::PlausibilityBudget budget = {});
+
   struct Stats {
     uint64_t generated = 0;   ///< readings emitted by the sensors
     uint64_t delayed = 0;     ///< delivered later than their interval
     uint64_t duplicated = 0;  ///< extra copies injected
     uint64_t dropped = 0;     ///< never delivered (incl. outage losses)
     uint64_t torn_ticks = 0;  ///< ticks that delivered a partial batch
+    uint64_t poisoned = 0;    ///< readings shifted by the attack plan
   };
   const Stats& stats() const { return stats_; }
   const FeedFaultSpec& spec() const { return spec_; }
@@ -78,6 +95,8 @@ class FaultyFeed {
   void GenerateTick(long t);
 
   const apots::traffic::TrafficDataset* truth_;  // not owned
+  const apots::attack::PerturbationPlan* poison_plan_ = nullptr;  // not owned
+  apots::attack::PlausibilityBudget poison_budget_;
   FeedFaultSpec spec_;
   apots::Rng rng_;
   long next_generate_;  ///< first interval not yet emitted

@@ -55,8 +55,58 @@ SimulationHarness::SimulationHarness(HarnessConfig config)
     model_->Train(anchors);
   }
 
+  if (config_.attack.enabled) BuildAttack();
+
   feed_ = std::make_unique<FaultyFeed>(&truth_, warm_end_, config_.feed);
+  if (config_.attack.enabled) {
+    feed_->AttachPoison(&attack_plan_, config_.attack.attack.budget);
+  }
   next_tick_ = warm_end_;
+}
+
+void SimulationHarness::BuildAttack() {
+  // The plan targets the anchors the harness will actually serve, and
+  // only streamed cells — warmup ground truth stays honest.
+  std::vector<long> anchors;
+  for (long a = warm_end_; a <= last_servable_tick(); ++a) {
+    anchors.push_back(a);
+  }
+  APOTS_CHECK(!anchors.empty());
+  // The harness model is bound to `live_`, whose streamed region is still
+  // zeroed; the attacker needs the readings the sensors will emit. Build
+  // a proxy with the same architecture + weights bound to truth — the
+  // omniscient-attacker convention for constructing a poisoned feed
+  // offline.
+  apots::core::ApotsModel proxy(&truth_, model_->config());
+  APOTS_CHECK(proxy.CopyWeightsFrom(*model_).ok());
+  apots::attack::Attacker attacker(config_.attack.attack);
+  auto plan = config_.attack.use_spsa
+                  ? attacker.BuildSpsaPlan(&proxy, anchors, warm_end_,
+                                           &attack_stats_)
+                  : attacker.BuildPgdPlan(&proxy, anchors, warm_end_,
+                                          &attack_stats_);
+  APOTS_CHECK(plan.ok());
+  attack_plan_ = std::move(plan).value();
+
+  detector_ = std::make_unique<apots::attack::ResidualDetector>(
+      live_.num_roads(), config_.attack.detector);
+  for (int road = 0; road < live_.num_roads(); ++road) {
+    for (long t = 0; t < warm_end_; ++t) {
+      detector_->Prime(
+          road, truth_.Speed(road, t),
+          static_cast<float>(
+              profiles_[static_cast<size_t>(road)].Predict(truth_, t)));
+    }
+  }
+  AttachDetector();
+}
+
+void SimulationHarness::AttachDetector() {
+  if (detector_ == nullptr) return;
+  ingestor_->AttachDetector(detector_.get(), [this](int road, long t) {
+    return static_cast<float>(
+        profiles_[static_cast<size_t>(road)].Predict(live_, t));
+  });
 }
 
 void SimulationHarness::BuildStack(uint64_t model_seed) {
@@ -146,6 +196,7 @@ SimulationHarness::KillAndRecover(uint64_t new_seed) {
     }
   }
   BuildStack(new_seed);
+  AttachDetector();
 
   auto recovered = supervisor_->Recover();
   if (recovered.ok()) {
@@ -154,6 +205,9 @@ SimulationHarness::KillAndRecover(uint64_t new_seed) {
     next_tick_ = warm_end_;
   }
   feed_ = std::make_unique<FaultyFeed>(&truth_, next_tick_, config_.feed);
+  if (config_.attack.enabled) {
+    feed_->AttachPoison(&attack_plan_, config_.attack.attack.budget);
+  }
   return recovered;
 }
 

@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "attack/attacker.h"
+#include "attack/detector.h"
 #include "baseline/historical_average.h"
 #include "core/apots_model.h"
 #include "serve/feed.h"
@@ -34,6 +36,21 @@ struct HarnessConfig {
   ServeConfig serve;
   /// Trailing anchors served per tick (tick, tick-1, ...).
   int anchors_per_tick = 4;
+
+  /// Adversarial-attack wiring (see DESIGN.md §13). When `enabled`, the
+  /// harness builds a perturbation plan against the trained weights over
+  /// the streamed region, attaches it to the feed, and stands up a
+  /// ResidualDetector primed on warmup truth. Whether readings are
+  /// actually poisoned is still `feed.poison` — machinery attached with
+  /// poisoning off is the bitwise-identity arm of the robustness bench.
+  struct AttackSetup {
+    bool enabled = false;
+    /// Black-box SPSA instead of white-box PGD.
+    bool use_spsa = false;
+    apots::attack::AttackConfig attack;
+    apots::attack::DetectorConfig detector;
+  };
+  AttackSetup attack;
 };
 
 class SimulationHarness {
@@ -84,8 +101,24 @@ class SimulationHarness {
   FaultyFeed& feed() { return *feed_; }
   int target_road() const { return target_road_; }
 
+  /// Attack surface (valid only when `config.attack.enabled`).
+  const apots::attack::PerturbationPlan& attack_plan() const {
+    return attack_plan_;
+  }
+  const apots::attack::AttackStats& attack_stats() const {
+    return attack_stats_;
+  }
+  /// Null unless the attack setup is enabled. The detector deliberately
+  /// survives KillAndRecover: it models external monitoring, not process
+  /// state.
+  apots::attack::ResidualDetector* detector() { return detector_.get(); }
+
  private:
   void BuildStack(uint64_t model_seed);
+  /// Builds the perturbation plan and detector against the trained model.
+  void BuildAttack();
+  /// (Re-)attaches the detector to the current ingestor.
+  void AttachDetector();
 
   HarnessConfig config_;
   apots::traffic::TrafficDataset truth_;
@@ -97,6 +130,9 @@ class SimulationHarness {
   std::unique_ptr<StreamIngestor> ingestor_;
   std::unique_ptr<ServingSupervisor> supervisor_;
   std::unique_ptr<FaultyFeed> feed_;
+  apots::attack::PerturbationPlan attack_plan_;
+  apots::attack::AttackStats attack_stats_;
+  std::unique_ptr<apots::attack::ResidualDetector> detector_;
   long next_tick_;
   ServeReport merged_report_;  ///< reports of torn-down supervisors
   std::vector<long> last_anchors_;

@@ -85,6 +85,14 @@ void StreamIngestor::AttachCache(apots::data::FeatureCache* cache,
   cache_road_ = target_road;
 }
 
+void StreamIngestor::AttachDetector(
+    apots::attack::ResidualDetector* detector,
+    std::function<float(int road, long t)> profile) {
+  APOTS_CHECK(detector == nullptr || profile != nullptr);
+  detector_ = detector;
+  detector_profile_ = std::move(profile);
+}
+
 void StreamIngestor::TouchCache(long interval) {
   if (cache_ == nullptr) return;
   cache_->InvalidateKey({cache_road_, interval});
@@ -123,6 +131,10 @@ Status StreamIngestor::Ingest(const FeedRecord& record) {
   imputer_.Observe(record.road, record.interval, record.speed_kmh);
   ++stats_.applied;
   IngestMetrics::Get().applied.Add();
+  if (detector_ != nullptr) {
+    detector_->Observe(record.road, record.speed_kmh,
+                       detector_profile_(record.road, record.interval));
+  }
   if (record.interval <= watermark_) {
     // Late reconciliation: the cell held an imputed value that cached
     // feature columns may already embed.

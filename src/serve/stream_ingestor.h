@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "attack/detector.h"
 #include "data/feature_cache.h"
 #include "data/imputation.h"
 #include "serve/feed.h"
@@ -44,6 +45,15 @@ class StreamIngestor {
   /// Routes cache invalidations for the assembler's target road to
   /// `cache` (borrowed, may be null to detach).
   void AttachCache(apots::data::FeatureCache* cache, int target_road);
+
+  /// Attaches the attack-aware anomaly detector (borrowed, may be null to
+  /// detach). Every *applied* record — duplicates and rejects carry no new
+  /// information — is scored against `profile(road, interval)`, the same
+  /// historical-profile signature the imputer uses. Detection is
+  /// observational: records are never blocked, the detector's flags and
+  /// obs:: metrics are the response surface.
+  void AttachDetector(apots::attack::ResidualDetector* detector,
+                      std::function<float(int road, long t)> profile);
 
   /// Applies one record. Returns the Status for *rejected* records
   /// (out-of-range indices, non-finite or negative speed, pre-warmup
@@ -95,6 +105,8 @@ class StreamIngestor {
   apots::traffic::ValidityMask observed_;
   apots::data::FeatureCache* cache_ = nullptr;  // not owned
   int cache_road_ = 0;
+  apots::attack::ResidualDetector* detector_ = nullptr;  // not owned
+  std::function<float(int road, long t)> detector_profile_;
   Stats stats_;
 };
 

@@ -16,6 +16,19 @@
 //                      [--deadline-ms MS] [--watchdog-ms MS]
 //                      [--checkpoint-dir D] [--checkpoint-every N]
 //                      [--kill-at TICK] [--ticks N]
+//                      [--attack 0|1] [--attack-method pgd|spsa]
+//                      [--eps-kmh E] [--smooth-kmh S] [--attack-steps N]
+//   apots_cli attack   [--days N] [--roads N] [--seed S]
+//                      [--predictor F|L|C|H] [--epochs N] [--divisor N]
+//                      [--method pgd|spsa] [--eps-kmh E] [--smooth-kmh S]
+//                      [--steps N] [--spsa-samples N] [--attack-seed S]
+//                      [--defend 0|1] [--defense-rounds N]
+//                      [--finetune-epochs N]
+//
+// `attack` trains a model, perturbs its speed inputs under the
+// sensor-plausibility budget (white-box PGD or black-box SPSA), and
+// reports clean vs attacked accuracy — with `--defend 1`, also after
+// RDAT-style adversarial fine-tuning, re-attacked adaptively.
 //
 // `serve` simulates online operation: warmup data trains/fits the stack,
 // the rest streams through a delivery-fault model (delays, duplicates,
@@ -36,6 +49,8 @@
 #include <map>
 #include <string>
 
+#include "attack/attacker.h"
+#include "attack/defense.h"
 #include "core/apots_model.h"
 #include "data/imputation.h"
 #include "obs/metrics.h"
@@ -430,6 +445,208 @@ int Robustness(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Reads the shared attack flags into an AttackConfig. `steps_flag` names
+// the PGD/SPSA iteration flag ("steps" for the attack command,
+// "attack-steps" for serve, which already uses --steps-adjacent names).
+attack::AttackConfig ParseAttackConfig(
+    const std::map<std::string, std::string>& flags,
+    const std::string& steps_flag) {
+  attack::AttackConfig config;
+  double real = 0.0;
+  int64_t value = 0;
+  if (ParseDouble(Flag(flags, "eps-kmh", ""), &real)) {
+    config.budget.epsilon_kmh = static_cast<float>(real);
+  }
+  if (ParseDouble(Flag(flags, "smooth-kmh", ""), &real)) {
+    config.budget.smooth_kmh = static_cast<float>(real);
+  }
+  if (ParseInt64(Flag(flags, steps_flag, ""), &value) && value > 0) {
+    config.steps = static_cast<int>(value);
+  }
+  if (ParseInt64(Flag(flags, "spsa-samples", ""), &value) && value > 0) {
+    config.spsa_samples = static_cast<int>(value);
+  }
+  if (ParseInt64(Flag(flags, "attack-seed", ""), &value)) {
+    config.seed = static_cast<uint64_t>(value);
+  }
+  return config;
+}
+
+// Adversarial attack/defense demo: train, attack the speed matrix under
+// the plausibility budget, optionally defend by RDAT-style fine-tuning,
+// and report the accuracy at each stage (truths always from clean data).
+int Attack(const std::map<std::string, std::string>& flags) {
+  traffic::DatasetSpec spec;
+  spec.num_days = 14;
+  spec.num_roads = 5;
+  spec.hyundai_calendar = false;
+  int64_t value = 0;
+  if (ParseInt64(Flag(flags, "days", ""), &value)) {
+    spec.num_days = static_cast<int>(value);
+  }
+  if (ParseInt64(Flag(flags, "roads", ""), &value)) {
+    spec.num_roads = static_cast<int>(value);
+  }
+  if (ParseInt64(Flag(flags, "seed", ""), &value)) {
+    spec.seed = static_cast<uint64_t>(value);
+  }
+  Session session;
+  session.dataset = traffic::GenerateDataset(spec);
+  size_t divisor = 8;
+  if (ParseInt64(Flag(flags, "divisor", ""), &value) && value > 0) {
+    divisor = static_cast<size_t>(value);
+  }
+  const core::PredictorType type =
+      ParsePredictor(Flag(flags, "predictor", "F"));
+  session.config.predictor =
+      divisor <= 1 ? core::PredictorHparams::Paper(type)
+                   : core::PredictorHparams::Scaled(type, divisor);
+  session.config.discriminator =
+      core::DiscriminatorHparams::Scaled(std::max<size_t>(1, divisor / 4));
+  session.config.features = data::FeatureConfig::Both();
+  session.config.features.num_adjacent =
+      (session.dataset.num_roads() - 1) / 2;
+  session.config.features.beta = 3;
+  if (ParseInt64(Flag(flags, "epochs", ""), &value)) {
+    session.config.training.epochs = static_cast<int>(value);
+  }
+  session.config.training.guard.enabled = true;
+  session.split = data::MakeSplit(session.dataset, 12, 3, 0.2,
+                                  data::SplitStrategy::kBlockedByDay, 42);
+
+  core::ApotsModel model(&session.dataset, session.config);
+  std::printf("training %s on %zu anchors (%zu weights)...\n",
+              session.config.Tag().c_str(), session.split.train.size(),
+              model.NumWeights());
+  auto trained = model.TrainGuarded(session.split.train);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 trained.status().ToString().c_str());
+    return 1;
+  }
+
+  const attack::AttackConfig attack_config = ParseAttackConfig(flags, "steps");
+  const bool spsa = Flag(flags, "method", "pgd") == "spsa";
+  attack::Attacker attacker(attack_config);
+
+  const auto truths = model.TrueKmh(session.split.test);
+  const double clean_mae =
+      metrics::Compute(model.PredictKmh(session.split.test), truths).mae;
+
+  // MAE of `weights`'s predictions over the test split when its inputs
+  // come from `dataset` (targets stay clean truth).
+  const auto attacked_mae_of = [&](const traffic::TrafficDataset& dataset,
+                                   core::ApotsModel& weights,
+                                   double* out) -> bool {
+    core::ApotsModel eval_model(&dataset, session.config);
+    if (const Status st = eval_model.CopyWeightsFrom(weights); !st.ok()) {
+      std::fprintf(stderr, "weight transfer failed: %s\n",
+                   st.ToString().c_str());
+      return false;
+    }
+    *out =
+        metrics::Compute(eval_model.PredictKmh(session.split.test), truths)
+            .mae;
+    return true;
+  };
+
+  const auto build_plan = [&](core::ApotsModel* victim,
+                              attack::AttackStats* stats) {
+    return spsa ? attacker.BuildSpsaPlan(victim, session.split.test, 0, stats)
+                : attacker.BuildPgdPlan(victim, session.split.test, 0, stats);
+  };
+
+  attack::AttackStats stats;
+  auto plan = build_plan(&model, &stats);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "attack failed: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+  traffic::TrafficDataset attacked = session.dataset;
+  plan.value().ApplyTo(&attacked, attack_config.budget);
+  double attacked_mae = 0.0;
+  if (!attacked_mae_of(attacked, model, &attacked_mae)) return 1;
+
+  std::printf(
+      "%s attack: eps %.1f km/h, smooth %.1f km/h, %d steps; "
+      "max|delta| %.2f, max step %.2f, %ld cells, %llu queries\n",
+      spsa ? "spsa" : "pgd", attack_config.budget.epsilon_kmh,
+      attack_config.budget.smooth_kmh, attack_config.steps,
+      plan.value().MaxAbsDelta(), plan.value().MaxTemporalStep(),
+      plan.value().NonzeroCells(),
+      static_cast<unsigned long long>(stats.queries));
+
+  TablePrinter table({"arm", "MAE km/h", "vs clean"});
+  const auto ratio = [&](double mae) {
+    return clean_mae <= 0.0 ? std::string("-")
+                            : StrFormat("%.2fx", mae / clean_mae);
+  };
+  table.AddRow({"clean", FormatMetric(clean_mae), "1.00x"});
+  table.AddRow({"attacked", FormatMetric(attacked_mae),
+                ratio(attacked_mae)});
+
+  if (Flag(flags, "defend", "0") == "1") {
+    attack::DefenseConfig defense_config;
+    defense_config.attack = attack_config;
+    if (ParseInt64(Flag(flags, "defense-rounds", ""), &value) && value > 0) {
+      defense_config.rounds = static_cast<int>(value);
+    }
+    if (ParseInt64(Flag(flags, "finetune-epochs", ""), &value) &&
+        value > 0) {
+      defense_config.finetune_epochs = static_cast<int>(value);
+    }
+    attack::RdatDefense defense(defense_config);
+    auto defended = defense.Run(&model, session.split.train);
+    if (!defended.ok()) {
+      std::fprintf(stderr, "defense failed: %s\n",
+                   defended.status().ToString().c_str());
+      return 1;
+    }
+    const double defended_clean_mae =
+        metrics::Compute(model.PredictKmh(session.split.test), truths).mae;
+    // Transfer arm: the attacker's plan was fixed against the deployed
+    // (undefended) weights — the poisoned-feed scenario — and the defense
+    // fine-tuned after. This is the recovery the robustness bench gates.
+    double defended_transfer_mae = 0.0;
+    if (!attacked_mae_of(attacked, model, &defended_transfer_mae)) return 1;
+    // Adaptive re-attack: the attacker gets a fresh plan against the
+    // defended weights — the honest robustness measure.
+    attack::AttackStats defended_stats;
+    auto defended_plan = build_plan(&model, &defended_stats);
+    if (!defended_plan.ok()) {
+      std::fprintf(stderr, "re-attack failed: %s\n",
+                   defended_plan.status().ToString().c_str());
+      return 1;
+    }
+    traffic::TrafficDataset reattacked = session.dataset;
+    defended_plan.value().ApplyTo(&reattacked, attack_config.budget);
+    double defended_attacked_mae = 0.0;
+    if (!attacked_mae_of(reattacked, model, &defended_attacked_mae)) {
+      return 1;
+    }
+    table.AddRow({"defended clean", FormatMetric(defended_clean_mae),
+                  ratio(defended_clean_mae)});
+    table.AddRow({"defended (transfer)", FormatMetric(defended_transfer_mae),
+                  ratio(defended_transfer_mae)});
+    table.AddRow({"defended (adaptive)", FormatMetric(defended_attacked_mae),
+                  ratio(defended_attacked_mae)});
+    const double gap = attacked_mae - clean_mae;
+    if (gap > 0.0) {
+      std::printf("defense recovered %.0f%% of the MAE gap against the "
+                  "original plan (%.0f%% under adaptive re-attack; "
+                  "%d rounds, %llu attack queries)\n",
+                  100.0 * (attacked_mae - defended_transfer_mae) / gap,
+                  100.0 * (attacked_mae - defended_attacked_mae) / gap,
+                  defense_config.rounds,
+                  static_cast<unsigned long long>(
+                      defended.value().attack_queries));
+    }
+  }
+  table.Print();
+  return 0;
+}
+
 // Online-serving simulation: streams a synthetic corridor through the
 // delivery-fault model into the supervisor stack and reports per-tier
 // volume and accuracy, plus ingestion and checkpoint health.
@@ -486,6 +703,16 @@ int Serve(const std::map<std::string, std::string>& flags) {
   if (ParseInt64(Flag(flags, "kill-at", ""), &value)) kill_at = value;
   long max_ticks = 0;  // 0 = run the whole stream
   if (ParseInt64(Flag(flags, "ticks", ""), &value)) max_ticks = value;
+
+  const bool attack_on = Flag(flags, "attack", "0") == "1";
+  if (attack_on) {
+    hc.attack.enabled = true;
+    hc.feed.poison = true;
+    hc.attack.use_spsa = Flag(flags, "attack-method", "pgd") == "spsa";
+    hc.attack.attack = ParseAttackConfig(flags, "attack-steps");
+    // A poisoned feed needs trained weights to aim at.
+    if (hc.train_epochs <= 0) hc.train_epochs = 2;
+  }
 
   serve::SimulationHarness harness(std::move(hc));
   const int target = harness.target_road();
@@ -579,13 +806,30 @@ int Serve(const std::map<std::string, std::string>& flags) {
       static_cast<unsigned long long>(report.deadline_degraded),
       static_cast<unsigned long long>(report.watchdog_trips),
       static_cast<unsigned long long>(report.checkpoints_written));
+  if (attack_on) {
+    const auto& detector = *harness.detector();
+    std::string flagged;
+    for (const int road : detector.FlaggedRoads()) {
+      if (!flagged.empty()) flagged += ",";
+      flagged += StrFormat("%d", road);
+    }
+    std::printf(
+        "attack: %llu readings poisoned (max|delta| %.2f km/h); detector "
+        "scored %llu records, %llu anomalous, flagged roads [%s]\n",
+        static_cast<unsigned long long>(feed.poisoned),
+        harness.attack_plan().MaxAbsDelta(),
+        static_cast<unsigned long long>(detector.stats().observed),
+        static_cast<unsigned long long>(detector.stats().anomalous),
+        flagged.c_str());
+  }
   return 0;
 }
 
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: apots_cli <generate|train|evaluate|robustness> [--flag value]\n"
+      "usage: apots_cli <generate|train|evaluate|robustness|serve|attack>"
+      " [--flag value]\n"
       "  generate --out d.csv [--days N] [--roads N] [--seed S]\n"
       "  train    --data d.csv [--model m.bin] [--predictor F|L|C|H]\n"
       "           [--adversarial 0|1] [--epochs N] [--divisor N]\n"
@@ -602,7 +846,14 @@ int Usage() {
       "           [--storm 0|1] [--feed-seed S] [--deadline-ms MS]\n"
       "           [--watchdog-ms MS] [--checkpoint-dir D]\n"
       "           [--checkpoint-every N] [--kill-at TICK] [--ticks N]\n"
-      "           [--anchors-per-tick N]\n"
+      "           [--anchors-per-tick N] [--attack 0|1]\n"
+      "           [--attack-method pgd|spsa] [--eps-kmh E]\n"
+      "           [--smooth-kmh S] [--attack-steps N]\n"
+      "  attack   [--days N] [--roads N] [--seed S] [--predictor F|L|C|H]\n"
+      "           [--epochs N] [--divisor N] [--method pgd|spsa]\n"
+      "           [--eps-kmh E] [--smooth-kmh S] [--steps N]\n"
+      "           [--spsa-samples N] [--attack-seed S] [--defend 0|1]\n"
+      "           [--defense-rounds N] [--finetune-epochs N]\n"
       "  every command also takes --metrics-json PATH (dump the metrics\n"
       "           registry as JSON on exit) and --trace PATH (record\n"
       "           chrome://tracing spans; open the file in a trace viewer)\n");
@@ -653,6 +904,7 @@ int main(int argc, char** argv) {
   else if (command == "evaluate") rc = Evaluate(flags);
   else if (command == "robustness") rc = Robustness(flags);
   else if (command == "serve") rc = Serve(flags);
+  else if (command == "attack") rc = Attack(flags);
   if (rc < 0) return Usage();
   return EmitObservability(flags, rc);
 }

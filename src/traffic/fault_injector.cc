@@ -24,12 +24,18 @@ Result<unsigned> ParseFaultKinds(const std::string& spec) {
       kinds |= kFaultNoise;
     } else if (name == "outage") {
       kinds |= kFaultOutage;
+    } else if (name == "poison") {
+      kinds |= kFaultPoison;
     } else {
-      return Status::InvalidArgument("unknown fault kind: " + name);
+      return Status::InvalidArgument(
+          "unknown fault kind: " + name +
+          " (valid kinds: drop, stuck, noise, outage, poison, all)");
     }
   }
   if (kinds == 0) {
-    return Status::InvalidArgument("no fault kinds in: " + spec);
+    return Status::InvalidArgument(
+        "no fault kinds in: " + spec +
+        " (valid kinds: drop, stuck, noise, outage, poison, all)");
   }
   return kinds;
 }
@@ -44,6 +50,7 @@ std::string FaultKindsToString(unsigned kinds) {
   if (kinds & kFaultStuck) append("stuck");
   if (kinds & kFaultNoise) append("noise");
   if (kinds & kFaultOutage) append("outage");
+  if (kinds & kFaultPoison) append("poison");
   return out.empty() ? "none" : out;
 }
 
@@ -123,6 +130,12 @@ Result<ValidityMask> FaultInjector::Inject(TrafficDataset* dataset) const {
   if (!(spec_.rate >= 0.0 && spec_.rate <= 1.0)) {
     return Status::InvalidArgument(
         StrFormat("fault rate %.3f outside [0, 1]", spec_.rate));
+  }
+  if (spec_.kinds & kFaultPoison) {
+    return Status::InvalidArgument(
+        "poison is an adversarial fault, not a random one: the injector "
+        "cannot synthesize it — use `apots_cli attack` or the serving "
+        "harness attack setup");
   }
   if ((spec_.kinds & kFaultAll) == 0) {
     return Status::InvalidArgument("fault spec enables no kinds");

@@ -18,11 +18,18 @@ enum FaultKind : unsigned {
   kFaultStuck = 1u << 1,   ///< sensor repeats its last value for a stretch
   kFaultNoise = 1u << 2,   ///< burst of heavy-tailed measurement noise
   kFaultOutage = 1u << 3,  ///< whole-road blackout lasting hours
+  /// Adversarial poisoning (attack::PerturbationPlan through the serving
+  /// feed). A recognized kind name, but NOT part of kFaultAll and not
+  /// injectable by FaultInjector: poison is crafted against a model, not
+  /// drawn from a random process — route it through `apots_cli attack` or
+  /// the serving harness's attack setup.
+  kFaultPoison = 1u << 4,
   kFaultAll = kFaultDrop | kFaultStuck | kFaultNoise | kFaultOutage,
 };
 
-/// Parses a comma-separated kind list ("drop,stuck,noise,outage" or "all")
-/// into a FaultKind bitmask.
+/// Parses a comma-separated kind list ("drop,stuck,noise,outage,poison"
+/// or "all") into a FaultKind bitmask. Unknown names are an
+/// InvalidArgument listing the valid kinds.
 Result<unsigned> ParseFaultKinds(const std::string& spec);
 
 /// Human-readable "drop|stuck" style rendering of a kind bitmask.

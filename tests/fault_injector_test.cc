@@ -120,6 +120,41 @@ TEST(FaultKindsTest, ParseRoundTrip) {
   EXPECT_FALSE(ParseFaultKinds("").ok());
 }
 
+TEST(FaultKindsTest, UnknownKindErrorListsValidKinds) {
+  const auto unknown = ParseFaultKinds("banana");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().ToString().find(
+                "valid kinds: drop, stuck, noise, outage, poison, all"),
+            std::string::npos)
+      << unknown.status().ToString();
+  const auto empty = ParseFaultKinds(" , ");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.status().ToString().find("valid kinds"),
+            std::string::npos);
+}
+
+TEST(FaultKindsTest, PoisonParsesButIsNotPartOfAll) {
+  EXPECT_EQ(ParseFaultKinds("poison").value(), kFaultPoison);
+  EXPECT_EQ(ParseFaultKinds("drop,poison").value(),
+            kFaultDrop | kFaultPoison);
+  EXPECT_EQ(FaultKindsToString(kFaultPoison), "poison");
+  // "all" means every *random* fault; poison is adversarial and opt-in.
+  EXPECT_EQ(kFaultAll & kFaultPoison, 0u);
+}
+
+TEST(FaultKindsTest, InjectorRejectsPoison) {
+  TrafficDataset dataset = SmallDataset();
+  FaultSpec spec;
+  spec.kinds = kFaultPoison;
+  auto result = FaultInjector(spec).Inject(&dataset);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("adversarial"),
+            std::string::npos);
+  // Even mixed with random kinds: the injector cannot honor half a spec.
+  spec.kinds = kFaultDrop | kFaultPoison;
+  EXPECT_FALSE(FaultInjector(spec).Inject(&dataset).ok());
+}
+
 TEST(ValidityMaskTest, WindowRatio) {
   ValidityMask mask(2, 10);
   EXPECT_DOUBLE_EQ(mask.WindowRatio(0, 0, 9), 1.0);
