@@ -23,7 +23,11 @@ A baseline file may carry a top-level ``"_directions"`` object mapping a
 full flattened path or a bare leaf name to a direction; annotations win
 over the global PERF_METRICS table and let one report gate a metric whose
 suffix is too generic to gate everywhere. The ``_directions`` block is
-metadata: it is never flattened or compared itself.
+metadata: it is never flattened or compared itself. Every annotation must
+resolve against the baseline's own metrics — a key that matches no
+flattened path and no leaf name fails the gate loudly instead of silently
+gating nothing (the typo/renamed-arm failure mode), as does a direction
+outside {up, down, band}.
 
 Everything else — configuration echoes, counters, booleans — is reported
 only when it disappears, because a vanished metric usually means a bench
@@ -56,6 +60,8 @@ PERF_METRICS = {
     "anchors_per_sec": "up",
     "samples_per_sec": "up",
     "availability": "up",
+    "qps": "up",
+    "max_sustainable_qps": "up",
     "speedup_batched_vs_per_anchor": "up",
     "speedup_batched_parallel_vs_per_anchor": "up",
     "recovery_ratio": "up",
@@ -135,6 +141,21 @@ def compare_report(name, baseline, fresh, threshold):
     overrides = directions_of(baseline)
     base_flat = flatten(baseline)
     fresh_flat = flatten(fresh)
+    if overrides:
+        # An annotation that resolves to nothing gates nothing: a typo'd
+        # key or a renamed bench arm would silently drop the metric from
+        # the gate forever. Fail loudly instead.
+        leaves = {p.rsplit(".", 1)[-1] for p in base_flat}
+        for key, direction in sorted(overrides.items()):
+            if direction not in ("up", "down", "band"):
+                failures.append(
+                    f"{name}: _directions[{key!r}] has unknown direction "
+                    f"{direction!r} (want up/down/band)")
+            elif key not in base_flat and key not in leaves:
+                failures.append(
+                    f"{name}: _directions[{key!r}] matches no metric in "
+                    "the baseline (typo, or the bench arm stopped emitting "
+                    "it?) — the annotation would silently gate nothing")
     for path, base_value in sorted(base_flat.items()):
         direction = direction_for(path, overrides)
         if direction is None:
@@ -296,6 +317,37 @@ def self_test(threshold):
               file=sys.stderr)
         return 1
 
+    # An annotation whose key matches nothing in the baseline must fail
+    # loudly — both when the metric never existed and when the bench arm
+    # that emitted it was dropped — instead of silently gating nothing.
+    ghost = json.loads(json.dumps(baseline))
+    ghost["_directions"] = {"open_loop.max_sustainable_qps": "up"}
+    failures = compare_report("ghost", ghost,
+                              json.loads(json.dumps(ghost)), threshold)
+    if not any("matches no metric" in f and "max_sustainable_qps" in f
+               for f in failures):
+        print("self-test FAIL: _directions key absent from the baseline "
+              "not caught", file=sys.stderr)
+        return 1
+    orphaned = json.loads(json.dumps(baseline))
+    orphaned["_directions"] = {"storm.availability": "band"}
+    del orphaned["storm"]
+    failures = compare_report("orphaned", orphaned,
+                              json.loads(json.dumps(orphaned)), threshold)
+    if not any("matches no metric" in f for f in failures):
+        print("self-test FAIL: annotation orphaned by a dropped arm not "
+              "caught", file=sys.stderr)
+        return 1
+    bad_direction = json.loads(json.dumps(baseline))
+    bad_direction["_directions"] = {"storm.availability": "sideways"}
+    failures = compare_report("bad-direction", bad_direction,
+                              json.loads(json.dumps(bad_direction)),
+                              threshold)
+    if not any("unknown direction" in f for f in failures):
+        print("self-test FAIL: unknown _directions value not caught",
+              file=sys.stderr)
+        return 1
+
     # Arm order must not matter, and a vanished arm must fail.
     reordered = json.loads(json.dumps(baseline))
     reordered["arms"].reverse()
@@ -324,7 +376,8 @@ def self_test(threshold):
 
     print("self-test PASS: identical ok, -20% throughput and +20% latency "
           "caught, band drift caught both ways, _directions annotations "
-          "honored, arm order ignored, vanished arm caught, missing "
+          "honored and validated (ghost keys and unknown directions fail "
+          "loudly), arm order ignored, vanished arm caught, missing "
           "baselines fail under --require-baselines")
     return 0
 

@@ -1,18 +1,29 @@
 #!/usr/bin/env bash
 # Three-lane verification:
-#   lane 1 — tier-1: full Release build + complete ctest suite
+#   lane 1 — tier-1: full Release build + the `tier1`-labeled ctest suite.
+#            Test tiers (tests/CMakeLists.txt + bench/CMakeLists.txt):
+#              tier1  every gtest suite + the perf-comparator self-test;
+#                     the PR lane, run here and in ci.yml via `ctest -L tier1`
+#              soak   quick arms of serve_soak / attack_robustness
+#              bench  quick arm of frontend_qps
+#            The non-tier1 labels are nightly material; pass --all-tests to
+#            run the whole label set locally (what ci-nightly.yml does).
 #   lane 2 — sanitized: ASan+UBSan build of the robustness-critical suites
 #            (fault injection / imputation, the training guard, the
-#            checkpoint/serialization layer, the serving stack, and the
-#            parallel execution layer), which exercise the code paths that
-#            write through masks, restore checkpointed tensors, parse
+#            checkpoint/serialization layer, the serving stack + front door,
+#            and the parallel execution layer), which exercise the code paths
+#            that write through masks, restore checkpointed tensors, parse
 #            untrusted checkpoint bytes, and share work across pool threads.
 #   lane 3 — TSan: -DAPOTS_SANITIZE=thread build of the thread-pool,
-#            parallel-determinism, and serving-watchdog suites (the code
-#            that runs more than one thread), plus one --quick serving
-#            soak so the watchdog sampler races the live inference path
-#            under the race detector.
-# Usage: scripts/verify.sh [--tier1-only | --asan-only | --tsan-only] [--ci]
+#            parallel-determinism, serving-watchdog, MPSC-queue, and
+#            frontend suites (the code that runs more than one thread), plus
+#            one --quick serving soak and one --quick frontend load run so
+#            the concurrent producers race the serving thread under the race
+#            detector.
+# Usage: scripts/verify.sh [--tier1-only | --asan-only | --tsan-only]
+#                          [--all-tests] [--ci]
+#   --all-tests  lane 1 runs every ctest label (tier1 + soak + bench)
+#                instead of just tier1.
 #   --ci  non-interactive CI profile: pins APOTS_NUM_THREADS=2 so pool-backed
 #         code runs multi-threaded even on small runners, and echoes every
 #         command for the job log.
@@ -22,15 +33,17 @@ cd "$(dirname "$0")/.."
 lane_tier1=1
 lane_asan=1
 lane_tsan=1
+all_tests=0
 ci_mode=0
 for arg in "$@"; do
   case "${arg}" in
     --tier1-only) lane_asan=0; lane_tsan=0 ;;
     --asan-only) lane_tier1=0; lane_tsan=0 ;;
     --tsan-only) lane_tier1=0; lane_asan=0 ;;
+    --all-tests) all_tests=1 ;;
     --ci) ci_mode=1 ;;
     *)
-      echo "usage: $0 [--tier1-only | --asan-only | --tsan-only] [--ci]" >&2
+      echo "usage: $0 [--tier1-only | --asan-only | --tsan-only] [--all-tests] [--ci]" >&2
       exit 2
       ;;
   esac
@@ -48,12 +61,19 @@ parallel_regex='ThreadPool|GlobalPool|PoolSizeSweep'
 # The observability layer's concurrent suites: counters/histograms written
 # from many threads, trace buffers racing snapshot/emit.
 obs_regex='CounterTest|GaugeTest|HistogramTest|RegistryTest|MetricsEnabled|TraceSpan|TraceRecorder'
+# The front-door request path: the lock-free MPSC ring and the frontend's
+# producers racing the background serving thread.
+frontdoor_regex='MpscQueue|Frontend'
 
 if [[ ${lane_tier1} -eq 1 ]]; then
-  echo "=== lane 1: tier-1 (Release build + full ctest) ==="
+  echo "=== lane 1: tier-1 (Release build + labeled ctest) ==="
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build -j
-  ctest --test-dir build --output-on-failure -j "$(nproc)"
+  if [[ ${all_tests} -eq 1 ]]; then
+    ctest --test-dir build --output-on-failure -j "$(nproc)"
+  else
+    ctest --test-dir build --output-on-failure -j "$(nproc)" -L tier1
+  fi
 fi
 
 if [[ ${lane_asan} -eq 1 ]]; then
@@ -61,21 +81,26 @@ if [[ ${lane_asan} -eq 1 ]]; then
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPOTS_SANITIZE=address
   cmake --build build-asan -j --target fault_injector_test train_guard_test \
     thread_pool_test parallel_determinism_test checkpoint_test \
-    feature_cache_stream_test serve_test obs_metrics_test obs_trace_test
+    feature_cache_stream_test serve_test obs_metrics_test obs_trace_test \
+    mpsc_queue_test frontend_test
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R "FaultInjector|FaultKinds|ValidityMask|Imputation|FeatureAssemblerMask|TrafficDatasetBounds|TrainGuard|GuardedTraining|SerializeV2|CheckpointStore|KillRestore|FeatureCacheKey|FeatureCacheStream|FaultyFeed|StreamIngestor|ServeWatchdog|Supervisor|Harness|${parallel_regex}|${obs_regex}"
+    -R "FaultInjector|FaultKinds|ValidityMask|Imputation|FeatureAssemblerMask|TrafficDatasetBounds|TrainGuard|GuardedTraining|SerializeV2|CheckpointStore|KillRestore|FeatureCacheKey|FeatureCacheStream|FaultyFeed|StreamIngestor|ServeWatchdog|Supervisor|Harness|${parallel_regex}|${obs_regex}|${frontdoor_regex}"
 fi
 
 if [[ ${lane_tsan} -eq 1 ]]; then
   echo "=== lane 3: TSan (thread pool + parallel determinism suites) ==="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPOTS_SANITIZE=thread
   cmake --build build-tsan -j --target thread_pool_test parallel_determinism_test \
-    serve_test serve_soak obs_metrics_test obs_trace_test
+    serve_test serve_soak obs_metrics_test obs_trace_test \
+    mpsc_queue_test frontend_test frontend_qps
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R "${parallel_regex}|ServeWatchdog|Supervisor|${obs_regex}"
+    -R "${parallel_regex}|ServeWatchdog|Supervisor|${obs_regex}|${frontdoor_regex}"
   # One quick soak under TSan: the watchdog sampler thread races the
   # serving thread's arm/disarm window on every neural batch.
   ./build-tsan/bench/serve_soak --quick --perf_json=build-tsan/perf_pr4_tsan.json
+  # One quick frontend load run under TSan: closed-loop producers, the
+  # open-loop dispatcher, and overload shedding all race the consumer.
+  ./build-tsan/bench/frontend_qps --quick --perf_json=build-tsan/perf_frontend_tsan.json
 fi
 
 echo "verify: all requested lanes passed"

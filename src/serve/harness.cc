@@ -153,19 +153,55 @@ std::vector<long> SimulationHarness::TickAnchors(long tick) const {
   return anchors;
 }
 
-bool SimulationHarness::RunTick() {
-  if (next_tick_ > last_servable_tick()) return false;
-  for (const FeedRecord& record : feed_->Poll(next_tick_)) {
+void SimulationHarness::IngestAt(long tick) {
+  for (const FeedRecord& record : feed_->Poll(tick)) {
     // Rejections are counted in the ingestor stats; a bad record must
     // never take the serving loop down.
     (void)ingestor_->Ingest(record);
   }
-  ingestor_->AdvanceWatermark(next_tick_);
+  ingestor_->AdvanceWatermark(tick);
+}
+
+bool SimulationHarness::RunTick() {
+  if (next_tick_ > last_servable_tick()) return false;
+  IngestAt(next_tick_);
   last_anchors_ = TickAnchors(next_tick_);
-  last_responses_ = supervisor_->Predict(last_anchors_);
+  if (frontend_ != nullptr) {
+    // Front-door mode: the tick's anchors go through the concurrent
+    // request path (admission, coalescing, deadlines) and the background
+    // serving thread owns the supervisor. Results arrive in submit order.
+    std::vector<std::shared_ptr<PendingResponse>> handles;
+    handles.reserve(last_anchors_.size());
+    for (const long anchor : last_anchors_) {
+      FrontendRequest request;
+      request.anchor = anchor;
+      handles.push_back(frontend_->SubmitAsync(request));
+    }
+    last_responses_.clear();
+    last_responses_.reserve(handles.size());
+    for (auto& handle : handles) {
+      last_responses_.push_back(handle->Wait().serve);
+    }
+  } else {
+    last_responses_ = supervisor_->Predict(last_anchors_);
+  }
   supervisor_->MaybeCheckpoint(next_tick_);
   ++next_tick_;
   return next_tick_ <= last_servable_tick();
+}
+
+bool SimulationHarness::IngestTick() {
+  if (next_tick_ > last_servable_tick()) return false;
+  IngestAt(next_tick_);
+  supervisor_->MaybeCheckpoint(next_tick_);
+  ++next_tick_;
+  return next_tick_ <= last_servable_tick();
+}
+
+void SimulationHarness::EnableFrontend(FrontendConfig config) {
+  frontend_enabled_ = true;
+  frontend_config_ = config;
+  frontend_ = std::make_unique<Frontend>(supervisor_.get(), config);
 }
 
 std::vector<std::vector<float>> SimulationHarness::ParamSnapshot() {
@@ -180,7 +216,9 @@ std::vector<std::vector<float>> SimulationHarness::ParamSnapshot() {
 Result<apots::nn::CheckpointStore::RecoverInfo>
 SimulationHarness::KillAndRecover(uint64_t new_seed) {
   merged_report_.MergeFrom(supervisor_->report());
-  // Simulated kill: every piece of in-memory serving state dies.
+  // Simulated kill: every piece of in-memory serving state dies. The
+  // frontend goes first — its serving thread borrows the supervisor.
+  frontend_.reset();
   supervisor_.reset();
   ingestor_.reset();
   model_.reset();
@@ -197,6 +235,10 @@ SimulationHarness::KillAndRecover(uint64_t new_seed) {
   }
   BuildStack(new_seed);
   AttachDetector();
+  if (frontend_enabled_) {
+    frontend_ =
+        std::make_unique<Frontend>(supervisor_.get(), frontend_config_);
+  }
 
   auto recovered = supervisor_->Recover();
   if (recovered.ok()) {

@@ -10,6 +10,7 @@
 #include "baseline/historical_average.h"
 #include "core/apots_model.h"
 #include "serve/feed.h"
+#include "serve/frontend.h"
 #include "serve/serving_supervisor.h"
 #include "serve/stream_ingestor.h"
 #include "traffic/dataset_generator.h"
@@ -61,6 +62,19 @@ class SimulationHarness {
   /// serves this tick's anchors, and maybe checkpoints. Returns false
   /// once the simulation has consumed every servable tick.
   bool RunTick();
+
+  /// Advances the stream one tick (poll, ingest, watermark, checkpoint)
+  /// WITHOUT serving. Load benches use it to ingest the whole stream up
+  /// front and then drive the frontend against a fresh, quiescent state.
+  bool IngestTick();
+
+  /// Routes RunTick's serving through a serve::Frontend over the
+  /// supervisor (all tick anchors submitted concurrently, results awaited
+  /// in order). The frontend is rebuilt on KillAndRecover. Call before
+  /// the first tick.
+  void EnableFrontend(FrontendConfig config);
+  /// Null unless EnableFrontend was called.
+  Frontend* frontend() { return frontend_.get(); }
 
   /// Anchors RunTick serves at `tick` (in-range trailing window).
   std::vector<long> TickAnchors(long tick) const;
@@ -119,6 +133,9 @@ class SimulationHarness {
   void BuildAttack();
   /// (Re-)attaches the detector to the current ingestor.
   void AttachDetector();
+  /// Poll + ingest + watermark for one tick (shared by RunTick and
+  /// IngestTick).
+  void IngestAt(long tick);
 
   HarnessConfig config_;
   apots::traffic::TrafficDataset truth_;
@@ -129,6 +146,9 @@ class SimulationHarness {
   std::unique_ptr<apots::core::ApotsModel> model_;
   std::unique_ptr<StreamIngestor> ingestor_;
   std::unique_ptr<ServingSupervisor> supervisor_;
+  std::unique_ptr<Frontend> frontend_;
+  bool frontend_enabled_ = false;
+  FrontendConfig frontend_config_;
   std::unique_ptr<FaultyFeed> feed_;
   apots::attack::PerturbationPlan attack_plan_;
   apots::attack::AttackStats attack_stats_;

@@ -195,6 +195,11 @@ double ServingSupervisor::LastKnownGood(long target_interval) {
 
 std::vector<ServeResponse> ServingSupervisor::Predict(
     const std::vector<long>& anchors) {
+  return Predict(anchors, config_.deadline_ms);
+}
+
+std::vector<ServeResponse> ServingSupervisor::Predict(
+    const std::vector<long>& anchors, double deadline_ms) {
   Stopwatch call_watch;
   obs::TraceSpan span("serve.predict");
   obs::ScopedTimer call_timer(ServeMetrics::Get().predict_ms);
@@ -247,11 +252,11 @@ std::vector<ServeResponse> ServingSupervisor::Predict(
   // Deadline pre-check: when the EMA cost model projects the neural batch
   // over budget, serve those anchors from the (cheap) historical tier
   // instead of blowing the deadline on a forward pass.
-  if (config_.deadline_ms > 0.0 && ema_ms_per_anchor_ > 0.0 &&
+  if (deadline_ms > 0.0 && ema_ms_per_anchor_ > 0.0 &&
       !neural_anchors.empty()) {
     const double projected =
         ema_ms_per_anchor_ * static_cast<double>(neural_anchors.size());
-    if (projected > config_.deadline_ms) {
+    if (projected > deadline_ms) {
       report_.deadline_degraded += neural_anchors.size();
       ServeMetrics::Get().deadline_degraded.Add(neural_anchors.size());
       for (const size_t i : neural_index) {
@@ -322,7 +327,7 @@ std::vector<ServeResponse> ServingSupervisor::Predict(
   }
 
   const double elapsed = call_watch.ElapsedMillis();
-  if (config_.deadline_ms > 0.0 && elapsed > config_.deadline_ms) {
+  if (deadline_ms > 0.0 && elapsed > deadline_ms) {
     ++report_.deadline_misses;
     ServeMetrics::Get().deadline_misses.Add();
     for (ServeResponse& resp : responses) resp.deadline_miss = true;

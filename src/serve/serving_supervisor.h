@@ -146,6 +146,15 @@ class ServingSupervisor {
   /// nearest in-range value (or 0 when even that is impossible).
   std::vector<ServeResponse> Predict(const std::vector<long>& anchors);
 
+  /// Same, under a caller-supplied wall budget instead of the configured
+  /// one — the front door propagates the tightest remaining per-request
+  /// deadline of a coalesced batch through here so the EMA pre-degradation
+  /// model protects real request deadlines, not just the static config.
+  /// `deadline_ms <= 0` means unbounded (identical to deadline-free
+  /// config; the clean path stays bitwise unchanged).
+  std::vector<ServeResponse> Predict(const std::vector<long>& anchors,
+                                     double deadline_ms);
+
   /// Tier the ladder would assign to `anchor` right now.
   ServeTier TierFor(long anchor) const;
   /// Worst staleness across the roads feeding `anchor`'s window.
@@ -162,6 +171,15 @@ class ServingSupervisor {
 
   const ServeReport& report() const;
   const ServeConfig& config() const { return config_; }
+  /// The profile backing the degraded tiers (borrowed). Exposed so the
+  /// front door can answer overload sheds from the ladder's historical
+  /// tier without entering Predict: the profile is immutable after Fit and
+  /// reads only the dataset's calendar, so this is safe from any thread.
+  const apots::baseline::HistoricalAverage& fallback() const {
+    return *fallback_;
+  }
+  /// Read-only view of the served model (window geometry, dataset).
+  const apots::core::ApotsModel& model() const { return *model_; }
   const Status& last_checkpoint_status() const {
     return last_checkpoint_status_;
   }

@@ -714,7 +714,23 @@ int Serve(const std::map<std::string, std::string>& flags) {
     if (hc.train_epochs <= 0) hc.train_epochs = 2;
   }
 
+  // Front-door mode: tick anchors flow through the concurrent request
+  // path (bounded MPSC queue, admission control, coalescing, deadlines)
+  // instead of calling the supervisor inline.
+  const bool frontend_on = Flag(flags, "frontend", "0") == "1";
+  serve::FrontendConfig fc;
+  if (ParseInt64(Flag(flags, "frontend-queue", ""), &value) && value > 0) {
+    fc.queue_capacity = static_cast<size_t>(value);
+  }
+  if (ParseInt64(Flag(flags, "frontend-batch", ""), &value) && value > 0) {
+    fc.max_batch = static_cast<size_t>(value);
+  }
+  if (ParseDouble(Flag(flags, "frontend-deadline-ms", ""), &ms)) {
+    fc.default_deadline_ms = ms;
+  }
+
   serve::SimulationHarness harness(std::move(hc));
+  if (frontend_on) harness.EnableFrontend(fc);
   const int target = harness.target_road();
   const int beta = harness.model().assembler().beta();
   std::printf("serving %d roads x %ld intervals, warmup %ld, %s feed\n",
@@ -806,6 +822,21 @@ int Serve(const std::map<std::string, std::string>& flags) {
       static_cast<unsigned long long>(report.deadline_degraded),
       static_cast<unsigned long long>(report.watchdog_trips),
       static_cast<unsigned long long>(report.checkpoints_written));
+  if (frontend_on && harness.frontend() != nullptr) {
+    const serve::FrontendStats fs = harness.frontend()->stats();
+    std::printf(
+        "frontend: %llu submitted, %llu served, %llu coalesced, "
+        "%llu shed (overload %llu, deadline %llu), max queue depth %llu, "
+        "%llu inference calls\n",
+        static_cast<unsigned long long>(fs.submitted),
+        static_cast<unsigned long long>(fs.served),
+        static_cast<unsigned long long>(fs.coalesce_hits),
+        static_cast<unsigned long long>(fs.sheds()),
+        static_cast<unsigned long long>(fs.shed_overload),
+        static_cast<unsigned long long>(fs.shed_deadline),
+        static_cast<unsigned long long>(fs.max_queue_depth),
+        static_cast<unsigned long long>(fs.inference_calls));
+  }
   if (attack_on) {
     const auto& detector = *harness.detector();
     std::string flagged;
@@ -847,6 +878,8 @@ int Usage() {
       "           [--watchdog-ms MS] [--checkpoint-dir D]\n"
       "           [--checkpoint-every N] [--kill-at TICK] [--ticks N]\n"
       "           [--anchors-per-tick N] [--attack 0|1]\n"
+      "           [--frontend 0|1] [--frontend-queue N]\n"
+      "           [--frontend-batch N] [--frontend-deadline-ms MS]\n"
       "           [--attack-method pgd|spsa] [--eps-kmh E]\n"
       "           [--smooth-kmh S] [--attack-steps N]\n"
       "  attack   [--days N] [--roads N] [--seed S] [--predictor F|L|C|H]\n"

@@ -1,0 +1,124 @@
+#ifndef APOTS_UTIL_MPSC_QUEUE_H_
+#define APOTS_UTIL_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace apots {
+
+/// Bounded lock-free queue (Vyukov's bounded MPMC ring, used here as the
+/// serving front door's MPSC request queue). Every slot carries a sequence
+/// number; producers claim slots with one CAS on the enqueue cursor and
+/// publish with a release store of the sequence, so TryPush never blocks,
+/// never allocates, and fails immediately when the ring is full — the
+/// admission-control property the front door builds on. The consumer
+/// mirrors the protocol on the dequeue cursor; both sides work with any
+/// number of threads, the front door just happens to run one consumer.
+///
+/// Ordering guarantees: pops observe pushes in slot-claim order, which is
+/// FIFO per producer (a producer's later push always claims a later slot)
+/// and globally consistent across producers. Capacity is rounded up to a
+/// power of two, minimum 2.
+template <typename T>
+class MpscBoundedQueue {
+ public:
+  explicit MpscBoundedQueue(size_t capacity)
+      : capacity_(RoundUpPowerOfTwo(capacity < 2 ? 2 : capacity)),
+        mask_(capacity_ - 1),
+        cells_(new Cell[capacity_]) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscBoundedQueue(const MpscBoundedQueue&) = delete;
+  MpscBoundedQueue& operator=(const MpscBoundedQueue&) = delete;
+
+  /// Multi-producer push. Returns false when the ring is full (the caller
+  /// sheds); never blocks or spins on a full queue.
+  bool TryPush(T value) {
+    Cell* cell = nullptr;
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const intptr_t diff = static_cast<intptr_t>(seq) -
+                            static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // the slot one lap behind is still occupied: full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Pop in slot-claim order. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    Cell* cell = nullptr;
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const intptr_t diff = static_cast<intptr_t>(seq) -
+                            static_cast<intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // the slot has not been published: empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = std::move(cell->value);
+    cell->value = T{};  // drop the slot's reference for shared_ptr payloads
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Racy depth snapshot (cursor difference); exact only when quiescent.
+  size_t SizeApprox() const {
+    const size_t tail = enqueue_pos_.load(std::memory_order_relaxed);
+    const size_t head = dequeue_pos_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> sequence{0};
+    T value{};
+  };
+
+  static size_t RoundUpPowerOfTwo(size_t v) {
+    size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  const size_t capacity_;
+  const size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  /// Producers and the consumer hammer different cursors; keep them on
+  /// separate cache lines.
+  alignas(64) std::atomic<size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<size_t> dequeue_pos_{0};
+};
+
+}  // namespace apots
+
+#endif  // APOTS_UTIL_MPSC_QUEUE_H_

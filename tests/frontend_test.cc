@@ -1,0 +1,382 @@
+// The serving front door (serve::Frontend): clean-path bitwise identity
+// with the direct runtime path, coalescing semantics (hit counts, context
+// scoping, bit-identical fan-out), admission-control shedding to the
+// staleness ladder, deterministic deadline sheds under a fake clock and a
+// seeded arrival schedule, stop/straggler handling, harness integration,
+// and concurrent producers against the background serving thread (the
+// TSan target).
+
+#include "serve/frontend.h"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/harness.h"
+
+namespace apots::serve {
+namespace {
+
+HarnessConfig TinyConfig() {
+  HarnessConfig config;
+  apots::traffic::DatasetSpec spec;
+  spec.num_roads = 3;
+  spec.num_days = 2;
+  spec.intervals_per_day = 96;
+  spec.seed = 7;
+  spec.hyundai_calendar = false;
+  config.spec = spec;
+  config.warmup_fraction = 0.5;
+  config.width_divisor = 16;
+  config.train_epochs = 0;
+  config.model_seed = 5;
+  return config;
+}
+
+/// A harness whose whole stream is already ingested: every anchor in the
+/// streamed window is fresh, so clean answers are the full tier.
+std::unique_ptr<SimulationHarness> IngestedHarness() {
+  auto harness = std::make_unique<SimulationHarness>(TinyConfig());
+  while (harness->IngestTick()) {
+  }
+  return harness;
+}
+
+FrontendConfig ManualConfig() {
+  FrontendConfig config;
+  config.background = false;  // the test pumps RunCycle by hand
+  config.queue_capacity = 64;
+  config.max_batch = 64;
+  return config;
+}
+
+TEST(FrontendTest, SanitizeClampsEdgeValues) {
+  FrontendConfig config;
+  config.queue_capacity = 0;
+  config.max_batch = 0;
+  config.default_deadline_ms = -5.0;
+  config.idle_sleep_us = -1.0;
+  const FrontendConfig sane = SanitizeFrontendConfig(config);
+  EXPECT_EQ(sane.queue_capacity, 2u);
+  EXPECT_EQ(sane.max_batch, 1u);
+  EXPECT_EQ(sane.default_deadline_ms, 0.0);
+  EXPECT_EQ(sane.idle_sleep_us, 0.0);
+}
+
+TEST(FrontendTest, CleanPathBitwiseMatchesDirectRuntime) {
+  auto harness = IngestedHarness();
+  Frontend frontend(&harness->supervisor(), ManualConfig());
+
+  std::vector<long> anchors;
+  std::vector<std::shared_ptr<PendingResponse>> handles;
+  for (long anchor = harness->warmup_end();
+       anchor < harness->warmup_end() + 16; ++anchor) {
+    anchors.push_back(anchor);
+    FrontendRequest request;
+    request.anchor = anchor;
+    handles.push_back(frontend.SubmitAsync(request));
+  }
+  while (frontend.RunCycle() > 0) {
+  }
+
+  const std::vector<double> direct = harness->DirectPredictKmh(anchors);
+  for (size_t i = 0; i < handles.size(); ++i) {
+    const FrontendResponse& response = handles[i]->Wait();
+    EXPECT_EQ(response.outcome, RequestOutcome::kServed);
+    EXPECT_EQ(response.serve.tier, ServeTier::kFull);
+    // Bitwise: `==` on the doubles, no tolerance.
+    EXPECT_EQ(response.serve.kmh, direct[i]);
+  }
+  const FrontendStats stats = frontend.stats();
+  EXPECT_EQ(stats.served, handles.size());
+  EXPECT_EQ(stats.sheds(), 0u);
+}
+
+TEST(FrontendTest, DuplicatesCoalesceIntoOneInferenceWithSameBits) {
+  auto harness = IngestedHarness();
+  Frontend frontend(&harness->supervisor(), ManualConfig());
+
+  constexpr int kKeys = 4;
+  constexpr int kDuplicates = 5;
+  std::vector<std::shared_ptr<PendingResponse>> handles;
+  for (int dup = 0; dup < kDuplicates; ++dup) {
+    for (int key = 0; key < kKeys; ++key) {
+      FrontendRequest request;
+      request.anchor = harness->warmup_end() + key;
+      handles.push_back(frontend.SubmitAsync(request));
+    }
+  }
+  while (frontend.RunCycle() > 0) {
+  }
+
+  const FrontendStats stats = frontend.stats();
+  EXPECT_EQ(stats.inference_calls, 1u);
+  EXPECT_EQ(stats.inferred_keys, static_cast<uint64_t>(kKeys));
+  EXPECT_EQ(stats.served, static_cast<uint64_t>(kKeys));
+  EXPECT_EQ(stats.coalesce_hits,
+            static_cast<uint64_t>(kKeys) * (kDuplicates - 1));
+  // Fan-out must hand every duplicate the slot owner's exact bits.
+  for (int key = 0; key < kKeys; ++key) {
+    const double owner_kmh =
+        handles[static_cast<size_t>(key)]->Wait().serve.kmh;
+    for (int dup = 1; dup < kDuplicates; ++dup) {
+      const double dup_kmh =
+          handles[static_cast<size_t>(dup * kKeys + key)]->Wait().serve.kmh;
+      EXPECT_EQ(std::memcmp(&owner_kmh, &dup_kmh, sizeof(double)), 0);
+    }
+  }
+}
+
+TEST(FrontendTest, DistinctContextsDoNotCoalesce) {
+  auto harness = IngestedHarness();
+  Frontend frontend(&harness->supervisor(), ManualConfig());
+
+  FrontendRequest live;
+  live.anchor = harness->warmup_end();
+  live.context = 0;
+  FrontendRequest what_if = live;
+  what_if.context = 1;
+  auto first = frontend.SubmitAsync(live);
+  auto second = frontend.SubmitAsync(what_if);
+  while (frontend.RunCycle() > 0) {
+  }
+
+  const FrontendStats stats = frontend.stats();
+  EXPECT_EQ(stats.coalesce_hits, 0u);
+  EXPECT_EQ(stats.inferred_keys, 2u);
+  // Contexts currently share the live stream, so the bits still agree —
+  // they just must not share an inference slot.
+  EXPECT_EQ(first->Wait().serve.kmh, second->Wait().serve.kmh);
+}
+
+TEST(FrontendTest, FullQueueShedsToLadderWithoutBlocking) {
+  auto harness = IngestedHarness();
+  FrontendConfig config = ManualConfig();
+  config.queue_capacity = 4;
+  Frontend frontend(&harness->supervisor(), config);
+
+  constexpr int kBurst = 10;
+  std::vector<std::shared_ptr<PendingResponse>> handles;
+  for (int i = 0; i < kBurst; ++i) {
+    FrontendRequest request;
+    request.anchor = harness->warmup_end() + i;
+    handles.push_back(frontend.SubmitAsync(request));
+  }
+  // The overflow is answered inline, before any cycle runs.
+  int shed_inline = 0;
+  for (const auto& handle : handles) {
+    if (handle->ready()) {
+      ++shed_inline;
+      EXPECT_EQ(handle->Wait().outcome, RequestOutcome::kShedOverload);
+      EXPECT_EQ(handle->Wait().serve.tier, ServeTier::kHistorical);
+    }
+  }
+  EXPECT_EQ(shed_inline, kBurst - 4);
+
+  while (frontend.RunCycle() > 0) {
+  }
+  const FrontendStats stats = frontend.stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kBurst));
+  EXPECT_EQ(stats.answered(), static_cast<uint64_t>(kBurst));
+  EXPECT_EQ(stats.shed_overload, static_cast<uint64_t>(kBurst - 4));
+  EXPECT_EQ(stats.served, 4u);
+  EXPECT_LE(stats.max_queue_depth, 4u);
+}
+
+TEST(FrontendTest, ExpiredDeadlineAnsweredFromLadderNotBatch) {
+  auto harness = IngestedHarness();
+  Frontend frontend(&harness->supervisor(), ManualConfig());
+  int64_t now_ns = 0;
+  frontend.set_clock_for_test([&now_ns] { return now_ns; });
+
+  FrontendRequest tight;
+  tight.anchor = harness->warmup_end();
+  tight.deadline_ms = 10.0;
+  FrontendRequest unbounded;
+  unbounded.anchor = harness->warmup_end() + 1;
+  auto expired = frontend.SubmitAsync(tight);
+  auto healthy = frontend.SubmitAsync(unbounded);
+
+  now_ns = 20 * 1000 * 1000;  // 20ms later: the tight deadline is gone
+  while (frontend.RunCycle() > 0) {
+  }
+
+  EXPECT_EQ(expired->Wait().outcome, RequestOutcome::kShedDeadline);
+  EXPECT_EQ(expired->Wait().serve.tier, ServeTier::kHistorical);
+  EXPECT_EQ(healthy->Wait().outcome, RequestOutcome::kServed);
+  EXPECT_EQ(healthy->Wait().serve.tier, ServeTier::kFull);
+  const FrontendStats stats = frontend.stats();
+  EXPECT_EQ(stats.shed_deadline, 1u);
+  EXPECT_EQ(stats.inferred_keys, 1u);  // the expired one took no slot
+}
+
+struct ScheduledOutcome {
+  RequestOutcome outcome;
+  double kmh;
+};
+
+/// Replays a seeded arrival schedule (random anchors, a mix of absent,
+/// already-tight and generous deadlines, random arrival gaps) against a
+/// fresh stack under a fake clock and returns every outcome + bits.
+std::vector<ScheduledOutcome> RunSeededSchedule(uint32_t seed) {
+  auto harness = IngestedHarness();
+  FrontendConfig config = ManualConfig();
+  config.max_batch = 8;
+  Frontend frontend(&harness->supervisor(), config);
+  int64_t now_ns = 0;
+  frontend.set_clock_for_test([&now_ns] { return now_ns; });
+
+  std::mt19937 rng(seed);
+  const long lo = harness->warmup_end();
+  const long span = harness->last_servable_tick() - lo + 1;
+  std::vector<std::shared_ptr<PendingResponse>> handles;
+  for (int i = 0; i < 48; ++i) {
+    FrontendRequest request;
+    request.anchor = lo + static_cast<long>(rng() % span);
+    switch (rng() % 3) {
+      case 0:
+        request.deadline_ms = 0.0;  // no deadline
+        break;
+      case 1:
+        // Tight: expires before the drain below, deterministically.
+        request.deadline_ms = 1.0 + static_cast<double>(rng() % 4);
+        break;
+      default:
+        // Generous: survives the drain with a huge margin, so the
+        // supervisor's (real-time) EMA pre-check cannot fire.
+        request.deadline_ms = 500.0;
+        break;
+    }
+    now_ns += static_cast<int64_t>(rng() % 1000000);  // up to 1ms apart
+    handles.push_back(frontend.SubmitAsync(request));
+  }
+  now_ns += 15 * 1000 * 1000;  // 15ms pause: every tight deadline expired
+  while (frontend.RunCycle() > 0) {
+  }
+
+  std::vector<ScheduledOutcome> outcomes;
+  outcomes.reserve(handles.size());
+  for (const auto& handle : handles) {
+    const FrontendResponse& response = handle->Wait();
+    outcomes.push_back({response.outcome, response.serve.kmh});
+  }
+  return outcomes;
+}
+
+TEST(FrontendTest, DeadlineShedsDeterministicUnderSeededSchedule) {
+  const std::vector<ScheduledOutcome> first = RunSeededSchedule(1234);
+  const std::vector<ScheduledOutcome> second = RunSeededSchedule(1234);
+  ASSERT_EQ(first.size(), second.size());
+  int sheds = 0;
+  int served = 0;
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].outcome, second[i].outcome) << "request " << i;
+    EXPECT_EQ(std::memcmp(&first[i].kmh, &second[i].kmh, sizeof(double)),
+              0)
+        << "request " << i;
+    if (first[i].outcome == RequestOutcome::kShedDeadline) ++sheds;
+    if (first[i].outcome == RequestOutcome::kServed ||
+        first[i].outcome == RequestOutcome::kCoalesced) {
+      ++served;
+    }
+  }
+  // The schedule must actually exercise both paths.
+  EXPECT_GT(sheds, 0);
+  EXPECT_GT(served, 0);
+}
+
+TEST(FrontendTest, StopAnswersStragglersAndShedsLateSubmits) {
+  auto harness = IngestedHarness();
+  Frontend frontend(&harness->supervisor(), ManualConfig());
+
+  std::vector<std::shared_ptr<PendingResponse>> handles;
+  for (int i = 0; i < 5; ++i) {
+    FrontendRequest request;
+    request.anchor = harness->warmup_end() + i;
+    handles.push_back(frontend.SubmitAsync(request));
+  }
+  frontend.Stop();
+  for (const auto& handle : handles) {
+    ASSERT_TRUE(handle->ready());
+    EXPECT_EQ(handle->Wait().outcome, RequestOutcome::kServed);
+  }
+  // After Stop the door is closed: submits shed, nobody hangs.
+  FrontendRequest late;
+  late.anchor = harness->warmup_end();
+  auto rejected = frontend.SubmitAsync(late);
+  ASSERT_TRUE(rejected->ready());
+  EXPECT_EQ(rejected->Wait().outcome, RequestOutcome::kShedOverload);
+}
+
+TEST(FrontendTest, ConcurrentProducersAgainstBackgroundThread) {
+  auto harness = IngestedHarness();
+  FrontendConfig config;
+  config.queue_capacity = 4096;  // ample: nothing sheds
+  Frontend frontend(&harness->supervisor(), config);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  const long lo = harness->warmup_end();
+  const long span = harness->last_servable_tick() - lo + 1;
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&frontend, lo, span, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        FrontendRequest request;
+        request.anchor =
+            lo + (static_cast<long>(i) * kThreads + t) % span;
+        const FrontendResponse response = frontend.Submit(request);
+        EXPECT_TRUE(response.outcome == RequestOutcome::kServed ||
+                    response.outcome == RequestOutcome::kCoalesced);
+        EXPECT_EQ(response.serve.tier, ServeTier::kFull);
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  frontend.Stop();
+  const FrontendStats stats = frontend.stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.answered(), stats.submitted);
+  EXPECT_EQ(stats.sheds(), 0u);
+}
+
+TEST(FrontendTest, HarnessRoutesTicksThroughFrontendAndRebuildsOnRecover) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "frontend_recover_ckpt";
+  std::filesystem::remove_all(dir);
+  HarnessConfig config = TinyConfig();
+  config.serve.checkpoint_dir = dir.string();
+  SimulationHarness harness(std::move(config));
+  harness.EnableFrontend(FrontendConfig{});
+  ASSERT_NE(harness.frontend(), nullptr);
+
+  for (int tick = 0; tick < 5; ++tick) ASSERT_TRUE(harness.RunTick());
+  const std::vector<double> direct =
+      harness.DirectPredictKmh(harness.last_anchors());
+  ASSERT_EQ(harness.last_responses().size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(harness.last_responses()[i].tier, ServeTier::kFull);
+    EXPECT_EQ(harness.last_responses()[i].kmh, direct[i]);
+  }
+
+  // A kill tears the frontend down with the stack; recovery must bring
+  // it back and keep serving through it.
+  ASSERT_TRUE(harness.supervisor().CheckpointNow().ok());
+  ASSERT_TRUE(harness.KillAndRecover(/*new_seed=*/99).ok());
+  ASSERT_NE(harness.frontend(), nullptr);
+  ASSERT_TRUE(harness.RunTick());
+  EXPECT_GT(harness.frontend()->stats().served, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace apots::serve
