@@ -15,12 +15,18 @@
 //   overload   burst 4x the ring capacity with the consumer stalled:
 //              sheds are structural, availability must stay 1.0, queue
 //              depth must stay bounded by the ring
+//   quantized  closed loop against a second stack serving int8 inference
+//              weights (run last, own harness — the fp32 arms above are
+//              untouched): throughput plus mae_delta_kmh, the true-MAE
+//              shift vs the fp32 clean arm, which must stay within
+//              0.5 km/h
 //
 // Flags: --perf_json[=path] selects the output file; --quick shrinks the
 // stream and the rate ladder for CI smoke runs.
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -34,6 +40,7 @@
 #include "obs/metrics.h"
 #include "serve/frontend.h"
 #include "serve/harness.h"
+#include "tensor/quant.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -60,9 +67,10 @@ serve::HarnessConfig BaseConfig(bool quick) {
 /// Builds a harness with the whole stream already ingested, so the
 /// frontend serves against a quiescent, fully-fresh live dataset and the
 /// bench measures the request path, not the ingest path.
-std::unique_ptr<serve::SimulationHarness> BuildIngestedHarness(bool quick) {
+std::unique_ptr<serve::SimulationHarness> BuildIngestedHarness(
+    serve::HarnessConfig config) {
   auto harness =
-      std::make_unique<serve::SimulationHarness>(BaseConfig(quick));
+      std::make_unique<serve::SimulationHarness>(std::move(config));
   while (harness->IngestTick()) {
   }
   return harness;
@@ -347,8 +355,22 @@ OverloadResult RunOverload(serve::SimulationHarness* harness, long lo,
   return result;
 }
 
+/// Mean |served km/h - true km/h| over a closed-loop answer set.
+double AnswersMae(serve::SimulationHarness* harness,
+                  const std::vector<ObservedAnswer>& answers) {
+  const int target = harness->target_road();
+  const int beta = harness->model().assembler().beta();
+  double sum = 0.0;
+  for (const ObservedAnswer& answer : answers) {
+    sum += std::fabs(answer.kmh -
+                     harness->truth().Speed(target, answer.anchor + beta));
+  }
+  return answers.empty() ? 0.0
+                         : sum / static_cast<double>(answers.size());
+}
+
 int Run(const std::string& path, bool quick) {
-  auto harness = BuildIngestedHarness(quick);
+  auto harness = BuildIngestedHarness(BaseConfig(quick));
   long lo = 0;
   long span = 0;
   AnchorWindow(*harness, &lo, &span);
@@ -424,6 +446,27 @@ int Run(const std::string& path, bool quick) {
       static_cast<unsigned long long>(overload.stats.max_queue_depth),
       overload.sheds_structural ? 1 : 0, overload.depth_bounded ? 1 : 0);
 
+  // Arm 5 (run last, own harness — the fp32 stack above stays untouched):
+  // closed loop against a stack serving int8 inference weights. Gated on
+  // mae_delta_kmh, the true-MAE shift vs the fp32 clean arm: quantization
+  // noise is near-zero-mean, so a healthy kernel moves accuracy by far
+  // less than the 0.5 km/h band while a broken one blows it immediately.
+  serve::HarnessConfig quant_config = BaseConfig(quick);
+  quant_config.inference.quantize = tensor::QuantMode::kInt8;
+  auto quant_harness = BuildIngestedHarness(std::move(quant_config));
+  ClosedLoopResult quant = RunClosedLoop(quant_harness.get(), threads,
+                                         per_thread, lo, span);
+  const double clean_mae = AnswersMae(harness.get(), clean.answers);
+  const double quant_mae = AnswersMae(quant_harness.get(), quant.answers);
+  const double mae_delta = quant_mae - clean_mae;
+  const bool quant_accuracy_ok = std::fabs(mae_delta) <= 0.5;
+  std::fprintf(stderr,
+               "quantized: %.0f qps, p50 %.3fms p99 %.3fms, sheds %llu, "
+               "mae %.3f (fp32 %.3f, delta %+.4f km/h, ok=%d)\n",
+               quant.qps, quant.p50_ms, quant.p99_ms,
+               static_cast<unsigned long long>(quant.stats.sheds()),
+               quant_mae, clean_mae, mae_delta, quant_accuracy_ok ? 1 : 0);
+
   const std::filesystem::path out_path(path);
   if (out_path.has_parent_path()) {
     std::filesystem::create_directories(out_path.parent_path());
@@ -473,14 +516,27 @@ int Run(const std::string& path, bool quick) {
       << "    \"sheds_structural\": "
       << (overload.sheds_structural ? "true" : "false") << ",\n"
       << "    \"depth_bounded\": "
-      << (overload.depth_bounded ? "true" : "false") << "\n  }\n"
+      << (overload.depth_bounded ? "true" : "false") << "\n  },\n"
+      << "  \"quantized\": {\n"
+      << "    \"quantize\": \""
+      << tensor::QuantModeName(tensor::QuantMode::kInt8) << "\",\n"
+      << "    \"requests\": " << quant.stats.submitted << ",\n"
+      << "    \"qps\": " << quant.qps << ",\n"
+      << "    \"p50_ms\": " << quant.p50_ms << ",\n"
+      << "    \"p99_ms\": " << quant.p99_ms << ",\n"
+      << "    \"sheds\": " << quant.stats.sheds() << ",\n"
+      << "    \"mae_kmh\": " << quant_mae << ",\n"
+      << "    \"mae_delta_kmh\": " << mae_delta << ",\n"
+      << "    \"accuracy_band_ok\": "
+      << (quant_accuracy_ok ? "true" : "false") << "\n  }\n"
       << "}\n";
   out.close();
 
   const bool healthy = bitwise_clean && clean.stats.sheds() == 0 &&
                        coalesce.counts_exact && coalesce.fanout_bitwise &&
                        max_sustainable_qps > 0.0 &&
-                       overload.sheds_structural && overload.depth_bounded;
+                       overload.sheds_structural && overload.depth_bounded &&
+                       quant.qps > 0.0 && quant_accuracy_ok;
   std::fprintf(stderr,
                "wrote %s (max sustainable %.0f qps @ p99<=%.0fms, "
                "healthy=%d)\n",

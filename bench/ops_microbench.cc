@@ -3,10 +3,14 @@
 // family at the quick-profile sizes used by the experiment benches.
 //
 // `--perf_json[=path]` skips google-benchmark and writes a machine-readable
-// Matmul report (default bench_out/perf_pr2_ops.json) with serial (blocked,
-// 1 thread), parallel (blocked, APOTS_NUM_THREADS or 4 threads), and
-// reference (seed kernel, 1 thread) arms per size. CI gates on the 256x256
-// entries: parallel must not be slower than serial.
+// Matmul report (default bench_out/perf_pr2_ops.json) with one arm per
+// (kernel family, thread count): reference (seed kernel, 1 thread),
+// blocked_1t/blocked_4t (cache-blocked), simd_1t/simd_4t (packed-panel
+// microkernels, runtime ISA dispatch), and int8_1t/int8_4t (quantized
+// weights + VNNI/scalar dot products). The report carries the dispatched
+// ISA and derived speedups at the 512x512 gate shape; CI gates that simd
+// is not slower than blocked and that int8 clears 2x over blocked_1t when
+// the host has VNNI.
 
 #include <benchmark/benchmark.h>
 
@@ -22,6 +26,8 @@
 #include "nn/dense.h"
 #include "nn/lstm.h"
 #include "nn/loss.h"
+#include "tensor/cpu_features.h"
+#include "tensor/quant.h"
 #include "tensor/tensor_ops.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -143,6 +149,9 @@ struct MatmulArm {
   const char* name;
   ops::KernelMode mode;
   size_t threads;
+  /// Quantized-inference path: weights packed to int8 panels ahead of
+  /// time (as the inference runtime does), activations quantized per call.
+  bool int8 = false;
 };
 
 // Times n x n Matmul for the given arm: repeats until ~80ms of work has
@@ -152,6 +161,21 @@ double TimeMatmul(const MatmulArm& arm, size_t n) {
   apots::ResetGlobalPool(arm.threads);
   const Tensor a = RandomTensor({n, n}, 1);
   const Tensor b = RandomTensor({n, n}, 2);
+  if (arm.int8) {
+    const ops::Int8Matrix packed = ops::PackInt8Weights(b);
+    Tensor out({n, n});
+    ops::Int8MatmulInto(a, packed, &out, nullptr);  // warm-up
+    size_t iters = 0;
+    apots::Stopwatch watch;
+    double elapsed = 0.0;
+    while (iters < 5 || elapsed < 0.08) {
+      ops::Int8MatmulInto(a, packed, &out, nullptr);
+      benchmark::DoNotOptimize(out.data());
+      ++iters;
+      elapsed = watch.ElapsedSeconds();
+    }
+    return elapsed / static_cast<double>(iters);
+  }
   benchmark::DoNotOptimize(ops::Matmul(a, b));  // warm-up
   size_t iters = 0;
   apots::Stopwatch watch;
@@ -175,11 +199,15 @@ size_t ParallelThreads() {
 int RunPerfJson(const std::string& path) {
   const size_t threads = ParallelThreads();
   const MatmulArm arms[] = {
-      {"serial", ops::KernelMode::kBlocked, 1},
-      {"parallel", ops::KernelMode::kBlocked, threads},
       {"reference", ops::KernelMode::kReference, 1},
+      {"blocked_1t", ops::KernelMode::kBlocked, 1},
+      {"blocked_4t", ops::KernelMode::kBlocked, threads},
+      {"simd_1t", ops::KernelMode::kSimd, 1},
+      {"simd_4t", ops::KernelMode::kSimd, threads},
+      {"int8_1t", ops::KernelMode::kSimd, 1, /*int8=*/true},
+      {"int8_4t", ops::KernelMode::kSimd, threads, /*int8=*/true},
   };
-  const size_t sizes[] = {32, 64, 128, 256};
+  const size_t sizes[] = {32, 64, 128, 256, 512};
 
   struct Row {
     const char* arm;
@@ -195,12 +223,25 @@ int RunPerfJson(const std::string& path) {
       const double gflops =
           2.0 * static_cast<double>(n) * n * n / sec / 1e9;
       rows.push_back({arm.name, arm.threads, n, sec, gflops});
-      std::fprintf(stderr, "matmul %-9s n=%-4zu %10.1f us  %6.2f GFLOP/s\n",
+      std::fprintf(stderr, "matmul %-10s n=%-4zu %10.1f us  %6.2f GFLOP/s\n",
                    arm.name, n, sec * 1e6, gflops);
     }
   }
   ops::SetKernelMode(ops::KernelMode::kBlocked);
   apots::ResetGlobalPool(1);
+
+  // Derived speedups at the gate shape (the largest size, where the
+  // packed-panel and quantized kernels amortize their setup). Name-based
+  // lookup, never positional.
+  const auto seconds_of = [&rows](const char* arm, size_t n) {
+    for (const Row& r : rows) {
+      if (std::strcmp(r.arm, arm) == 0 && r.n == n) return r.seconds_per_call;
+    }
+    std::fprintf(stderr, "missing row %s n=%zu\n", arm, n);
+    std::exit(1);
+  };
+  const size_t gate_n = 512;
+  const double blocked_1t = seconds_of("blocked_1t", gate_n);
 
   const std::filesystem::path out_path(path);
   if (out_path.has_parent_path()) {
@@ -215,6 +256,9 @@ int RunPerfJson(const std::string& path) {
       << "  \"bench\": \"ops_microbench\",\n"
       << "  \"op\": \"matmul\",\n"
       << "  \"parallel_threads\": " << threads << ",\n"
+      << "  \"isa\": \"" << apots::tensor::ActiveIsaLabel() << "\",\n"
+      << "  \"vnni\": " << (apots::tensor::HasVnni() ? "true" : "false")
+      << ",\n"
       << "  \"results\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
@@ -223,7 +267,16 @@ int RunPerfJson(const std::string& path) {
         << r.seconds_per_call << ", \"gflops\": " << r.gflops << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n"
+      << "  \"speedup_simd_1t_vs_blocked_1t_n512\": "
+      << blocked_1t / seconds_of("simd_1t", gate_n) << ",\n"
+      << "  \"speedup_int8_1t_vs_blocked_1t_n512\": "
+      << blocked_1t / seconds_of("int8_1t", gate_n) << ",\n"
+      << "  \"speedup_blocked_4t_vs_blocked_1t_n512\": "
+      << blocked_1t / seconds_of("blocked_4t", gate_n) << ",\n"
+      << "  \"speedup_simd_4t_vs_simd_1t_n512\": "
+      << seconds_of("simd_1t", gate_n) / seconds_of("simd_4t", gate_n)
+      << "\n}\n";
   return 0;
 }
 

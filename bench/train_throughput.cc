@@ -14,6 +14,9 @@
 //   blocked_4t      blocked kernels, multiple threads, full-batch step
 //                   (kernel-level parallelism only — no data-parallel
 //                   sharding, no replica syncing)
+//   simd_1t         packed-panel SIMD microkernels (runtime ISA dispatch),
+//                   1 thread, full-batch step
+//   simd_4t         SIMD microkernels, multiple threads, full-batch step
 //   parallel        blocked kernels, multiple threads, data-parallel
 //                   micro-batches
 // The thread count is APOTS_NUM_THREADS when set (>1), else
@@ -204,6 +207,8 @@ int RunPerfJson(const std::string& path) {
       {"serial", "reference", ops::KernelMode::kReference, 1, 0},
       {"serial_blocked", "blocked", ops::KernelMode::kBlocked, 1, 0},
       {"blocked_4t", "blocked", ops::KernelMode::kBlocked, threads, 0},
+      {"simd_1t", "simd", ops::KernelMode::kSimd, 1, 0},
+      {"simd_4t", "simd", ops::KernelMode::kSimd, threads, 0},
       {"parallel", "blocked", ops::KernelMode::kBlocked, threads, kMicroBatch},
   };
   std::vector<ArmResult> results;
@@ -262,7 +267,11 @@ int RunPerfJson(const std::string& path) {
       << "  \"speedup_blocked_1t_vs_serial\": "
       << serial / arm_seconds("serial_blocked") << ",\n"
       << "  \"speedup_blocked_4t_vs_serial\": "
-      << serial / arm_seconds("blocked_4t") << "\n"
+      << serial / arm_seconds("blocked_4t") << ",\n"
+      << "  \"speedup_simd_1t_vs_serial\": "
+      << serial / arm_seconds("simd_1t") << ",\n"
+      << "  \"speedup_simd_4t_vs_serial\": "
+      << serial / arm_seconds("simd_4t") << "\n"
       << "}\n";
   out.close();
   std::fprintf(stderr, "wrote %s (parallel vs serial: %.2fx)\n", path.c_str(),

@@ -29,6 +29,17 @@ flattened path and no leaf name fails the gate loudly instead of silently
 gating nothing (the typo/renamed-arm failure mode), as does a direction
 outside {up, down, band}.
 
+A baseline may also carry a top-level ``"_epsilons"`` object mapping a
+full flattened path or a bare leaf name to a positive absolute cap: the
+FRESH value's magnitude must satisfy ``|fresh| <= eps``. This is for
+metrics whose healthy value hovers around zero — e.g. ``mae_delta_kmh``,
+the accuracy cost of a quantized kernel — where a relative comparison
+against a near-zero baseline is meaningless but an absolute band is
+exactly the contract ("int8 may move MAE by at most 0.5 km/h"). The same
+loud validation applies: unresolvable keys and non-positive caps fail the
+gate, the block itself is never compared, and a gated metric vanishing
+from the fresh report fails.
+
 Everything else — configuration echoes, counters, booleans — is reported
 only when it disappears, because a vanished metric usually means a bench
 arm silently stopped running. The default threshold is 15%: wide enough
@@ -95,11 +106,12 @@ ABS_SLACK = {
 def flatten(node, prefix=""):
     """JSON tree -> {path: leaf}. List elements with a 'name' or 'arm'
     field are keyed by it; bare lists fall back to the index. The
-    ``_directions`` annotation block is metadata, not metrics."""
+    ``_directions``/``_epsilons`` annotation blocks are metadata, not
+    metrics."""
     out = {}
     if isinstance(node, dict):
         for key, value in sorted(node.items()):
-            if key == "_directions":
+            if key in ("_directions", "_epsilons"):
                 continue
             out.update(flatten(value, f"{prefix}{key}."))
     elif isinstance(node, list):
@@ -135,12 +147,46 @@ def directions_of(report):
     return None
 
 
-def compare_report(name, baseline, fresh, threshold):
-    """Returns a list of failure strings for one report pair."""
+def epsilons_of(report):
+    """The report's ``_epsilons`` annotation block, if well-formed."""
+    if isinstance(report, dict) and isinstance(
+            report.get("_epsilons"), dict):
+        return report["_epsilons"]
+    return None
+
+
+def epsilon_for(path, epsilons):
+    """Absolute cap for a metric: full-path annotation wins over leaf."""
+    if not epsilons:
+        return None
+    leaf = path.rsplit(".", 1)[-1]
+    return epsilons.get(path, epsilons.get(leaf))
+
+
+def compare_report(name, baseline, fresh, threshold, epsilons_only=False):
+    """Returns a list of failure strings for one report pair. With
+    ``epsilons_only`` the relative (direction) gates are skipped and only
+    the ``_epsilons`` absolute caps apply — the mode the baseline-ISA CI
+    job runs in, where the build is portable and the committed timings
+    from another machine are meaningless but the accuracy bands are not."""
     failures = []
-    overrides = directions_of(baseline)
+    overrides = None if epsilons_only else directions_of(baseline)
+    epsilons = epsilons_of(baseline)
     base_flat = flatten(baseline)
     fresh_flat = flatten(fresh)
+    if epsilons:
+        leaves = {p.rsplit(".", 1)[-1] for p in base_flat}
+        for key, eps in sorted(epsilons.items()):
+            if not isinstance(eps, (int, float)) or \
+                    isinstance(eps, bool) or eps <= 0:
+                failures.append(
+                    f"{name}: _epsilons[{key!r}] has invalid cap {eps!r} "
+                    "(want a positive number)")
+            elif key not in base_flat and key not in leaves:
+                failures.append(
+                    f"{name}: _epsilons[{key!r}] matches no metric in the "
+                    "baseline (typo, or the bench arm stopped emitting "
+                    "it?) — the annotation would silently gate nothing")
     if overrides:
         # An annotation that resolves to nothing gates nothing: a typo'd
         # key or a renamed bench arm would silently drop the metric from
@@ -157,8 +203,12 @@ def compare_report(name, baseline, fresh, threshold):
                     "the baseline (typo, or the bench arm stopped emitting "
                     "it?) — the annotation would silently gate nothing")
     for path, base_value in sorted(base_flat.items()):
-        direction = direction_for(path, overrides)
-        if direction is None:
+        direction = None if epsilons_only else direction_for(path, overrides)
+        eps = epsilon_for(path, epsilons)
+        if not isinstance(eps, (int, float)) or isinstance(eps, bool) or \
+                eps <= 0:
+            eps = None  # invalid caps were already reported above
+        if direction is None and eps is None:
             continue
         if path not in fresh_flat:
             failures.append(f"{name}: metric {path} vanished from the "
@@ -167,6 +217,14 @@ def compare_report(name, baseline, fresh, threshold):
         fresh_value = fresh_flat[path]
         if not isinstance(base_value, (int, float)) or \
                 not isinstance(fresh_value, (int, float)):
+            continue
+        # Absolute cap: |fresh| <= eps regardless of the baseline value
+        # (the baseline of a delta metric is itself near zero).
+        if eps is not None and abs(fresh_value) > eps:
+            failures.append(
+                f"{name}: {path} = {fresh_value:.6g} exceeds the absolute "
+                f"cap |x| <= {eps:.6g}")
+        if direction is None:
             continue
         if base_value == 0:
             continue  # ratio undefined; overhead metrics near 0 are noise
@@ -195,7 +253,8 @@ def compare_report(name, baseline, fresh, threshold):
     return failures
 
 
-def run(fresh_dir, baseline_dir, threshold, require_baselines=False):
+def run(fresh_dir, baseline_dir, threshold, require_baselines=False,
+        epsilons_only=False):
     baseline_paths = sorted(Path(baseline_dir).glob("perf_*.json"))
     if not baseline_paths:
         # In CI the baselines are committed, so an empty directory means
@@ -212,6 +271,15 @@ def run(fresh_dir, baseline_dir, threshold, require_baselines=False):
     rc = 0
     compared = 0
     for baseline_path in baseline_paths:
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"FAIL {baseline_path.name}: {err}", file=sys.stderr)
+            return 2
+        if epsilons_only and not epsilons_of(baseline):
+            # Only reports with absolute caps participate; a portable-build
+            # run has no business producing the others.
+            continue
         fresh_path = Path(fresh_dir) / baseline_path.name
         if not fresh_path.exists():
             print(f"FAIL {baseline_path.name}: no fresh report at "
@@ -219,15 +287,16 @@ def run(fresh_dir, baseline_dir, threshold, require_baselines=False):
             rc = 1
             continue
         try:
-            baseline = json.loads(baseline_path.read_text())
             fresh = json.loads(fresh_path.read_text())
         except (OSError, json.JSONDecodeError) as err:
             print(f"FAIL {baseline_path.name}: {err}", file=sys.stderr)
             return 2
         failures = compare_report(baseline_path.name, baseline, fresh,
-                                  threshold)
+                                  threshold, epsilons_only)
         gated = sum(1 for p in flatten(baseline)
-                    if direction_for(p, directions_of(baseline)))
+                    if (not epsilons_only and
+                        direction_for(p, directions_of(baseline))) or
+                    epsilon_for(p, epsilons_of(baseline)) is not None)
         compared += gated
         if failures:
             rc = 1
@@ -348,6 +417,79 @@ def self_test(threshold):
               file=sys.stderr)
         return 1
 
+    # _epsilons: an absolute cap must pass in-band fresh values (either
+    # sign), fail out-of-band ones (either sign), never compare the block
+    # itself, and validate its keys/caps loudly.
+    capped = json.loads(json.dumps(baseline))
+    capped["arms"][0]["mae_delta_kmh"] = 0.02
+    capped["_epsilons"] = {"mae_delta_kmh": 0.5}
+    for fresh_delta in (0.3, -0.3):
+        ok = json.loads(json.dumps(capped))
+        ok["arms"][0]["mae_delta_kmh"] = fresh_delta
+        if compare_report("eps-ok", capped, ok, threshold):
+            print(f"self-test FAIL: in-cap delta {fresh_delta} flagged",
+                  file=sys.stderr)
+            return 1
+    for fresh_delta in (0.8, -0.8):
+        bad = json.loads(json.dumps(capped))
+        bad["arms"][0]["mae_delta_kmh"] = fresh_delta
+        failures = compare_report("eps-bad", capped, bad, threshold)
+        if not any("absolute cap" in f and "mae_delta_kmh" in f
+                   for f in failures):
+            print(f"self-test FAIL: out-of-cap delta {fresh_delta} not "
+                  "caught", file=sys.stderr)
+            return 1
+        if any("_epsilons" in f and "absolute cap" in f for f in failures):
+            print("self-test FAIL: _epsilons block compared as a metric",
+                  file=sys.stderr)
+            return 1
+    ghost_eps = json.loads(json.dumps(baseline))
+    ghost_eps["_epsilons"] = {"no_such_metric": 0.5}
+    failures = compare_report("eps-ghost", ghost_eps,
+                              json.loads(json.dumps(ghost_eps)), threshold)
+    if not any("matches no metric" in f and "no_such_metric" in f
+               for f in failures):
+        print("self-test FAIL: _epsilons ghost key not caught",
+              file=sys.stderr)
+        return 1
+    for bad_cap in (0, -0.5, "0.5", True):
+        invalid = json.loads(json.dumps(capped))
+        invalid["_epsilons"] = {"mae_delta_kmh": bad_cap}
+        failures = compare_report("eps-invalid", invalid,
+                                  json.loads(json.dumps(invalid)),
+                                  threshold)
+        if not any("invalid cap" in f for f in failures):
+            print(f"self-test FAIL: invalid epsilon cap {bad_cap!r} not "
+                  "caught", file=sys.stderr)
+            return 1
+    vanished_eps = json.loads(json.dumps(capped))
+    del vanished_eps["arms"][0]["mae_delta_kmh"]
+    failures = compare_report("eps-vanished", capped, vanished_eps,
+                              threshold)
+    if not any("vanished" in f and "mae_delta_kmh" in f for f in failures):
+        print("self-test FAIL: epsilon-gated metric vanishing not caught",
+              file=sys.stderr)
+        return 1
+
+    # --epsilons-only: a huge relative regression must pass (the portable
+    # build's timings are not comparable) while a blown accuracy cap must
+    # still fail.
+    slow_but_accurate = json.loads(json.dumps(capped))
+    slow_but_accurate["arms"][0]["anchors_per_sec"] = 1.0  # -99.9%
+    if compare_report("eps-only-slow", capped, slow_but_accurate, threshold,
+                      epsilons_only=True):
+        print("self-test FAIL: --epsilons-only still gated a relative "
+              "regression", file=sys.stderr)
+        return 1
+    slow_and_wrong = json.loads(json.dumps(slow_but_accurate))
+    slow_and_wrong["arms"][0]["mae_delta_kmh"] = 0.8
+    failures = compare_report("eps-only-wrong", capped, slow_and_wrong,
+                              threshold, epsilons_only=True)
+    if not any("absolute cap" in f for f in failures):
+        print("self-test FAIL: --epsilons-only missed a blown cap",
+              file=sys.stderr)
+        return 1
+
     # Arm order must not matter, and a vanished arm must fail.
     reordered = json.loads(json.dumps(baseline))
     reordered["arms"].reverse()
@@ -377,8 +519,10 @@ def self_test(threshold):
     print("self-test PASS: identical ok, -20% throughput and +20% latency "
           "caught, band drift caught both ways, _directions annotations "
           "honored and validated (ghost keys and unknown directions fail "
-          "loudly), arm order ignored, vanished arm caught, missing "
-          "baselines fail under --require-baselines")
+          "loudly), _epsilons absolute caps enforced both ways and "
+          "validated, --epsilons-only skips relative gates but keeps caps, "
+          "arm order ignored, vanished arm caught, missing baselines fail "
+          "under --require-baselines")
     return 0
 
 
@@ -395,6 +539,11 @@ def main():
                              "is empty or missing instead of passing; CI "
                              "uses this so a bad checkout cannot silently "
                              "disable the gate")
+    parser.add_argument("--epsilons-only", action="store_true",
+                        help="gate only the _epsilons absolute caps and "
+                             "skip the relative (direction) comparisons; "
+                             "for portable-ISA CI builds whose timings are "
+                             "not comparable to the committed baselines")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the comparator catches a synthetic "
                              "20%% regression, then exit")
@@ -404,7 +553,7 @@ def main():
     if args.self_test:
         return self_test(args.threshold)
     return run(args.fresh, args.baselines, args.threshold,
-               args.require_baselines)
+               args.require_baselines, args.epsilons_only)
 
 
 if __name__ == "__main__":

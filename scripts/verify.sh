@@ -11,9 +11,11 @@
 #   lane 2 — sanitized: ASan+UBSan build of the robustness-critical suites
 #            (fault injection / imputation, the training guard, the
 #            checkpoint/serialization layer, the serving stack + front door,
-#            and the parallel execution layer), which exercise the code paths
-#            that write through masks, restore checkpointed tensors, parse
-#            untrusted checkpoint bytes, and share work across pool threads.
+#            the parallel execution layer, and the SIMD/quantized kernel
+#            layer), which exercise the code paths that write through masks,
+#            restore checkpointed tensors, parse untrusted checkpoint bytes,
+#            share work across pool threads, and write packed panels at
+#            ragged tile edges.
 #   lane 3 — TSan: -DAPOTS_SANITIZE=thread build of the thread-pool,
 #            parallel-determinism, serving-watchdog, MPSC-queue, and
 #            frontend suites (the code that runs more than one thread), plus
@@ -58,6 +60,11 @@ fi
 # The thread-pool and data-parallel trainer suites, shared by the sanitizer
 # lanes.
 parallel_regex='ThreadPool|GlobalPool|PoolSizeSweep'
+# The SIMD/quantized kernel layer: packed-panel writes at ragged tile
+# edges, the int8/fp16 pack+compute scratch arenas, and the forced-ISA
+# dispatch ladder — the code most likely to read or write one lane past a
+# panel boundary.
+kernel_regex='KernelEquivalence|QuantKernel'
 # The observability layer's concurrent suites: counters/histograms written
 # from many threads, trace buffers racing snapshot/emit.
 obs_regex='CounterTest|GaugeTest|HistogramTest|RegistryTest|MetricsEnabled|TraceSpan|TraceRecorder'
@@ -82,9 +89,9 @@ if [[ ${lane_asan} -eq 1 ]]; then
   cmake --build build-asan -j --target fault_injector_test train_guard_test \
     thread_pool_test parallel_determinism_test checkpoint_test \
     feature_cache_stream_test serve_test obs_metrics_test obs_trace_test \
-    mpsc_queue_test frontend_test
+    mpsc_queue_test frontend_test kernel_equivalence_test quant_kernel_test
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R "FaultInjector|FaultKinds|ValidityMask|Imputation|FeatureAssemblerMask|TrafficDatasetBounds|TrainGuard|GuardedTraining|SerializeV2|CheckpointStore|KillRestore|FeatureCacheKey|FeatureCacheStream|FaultyFeed|StreamIngestor|ServeWatchdog|Supervisor|Harness|${parallel_regex}|${obs_regex}|${frontdoor_regex}"
+    -R "FaultInjector|FaultKinds|ValidityMask|Imputation|FeatureAssemblerMask|TrafficDatasetBounds|TrainGuard|GuardedTraining|SerializeV2|CheckpointStore|KillRestore|FeatureCacheKey|FeatureCacheStream|FaultyFeed|StreamIngestor|ServeWatchdog|Supervisor|Harness|${parallel_regex}|${obs_regex}|${frontdoor_regex}|${kernel_regex}"
 fi
 
 if [[ ${lane_tsan} -eq 1 ]]; then
@@ -92,9 +99,12 @@ if [[ ${lane_tsan} -eq 1 ]]; then
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPOTS_SANITIZE=thread
   cmake --build build-tsan -j --target thread_pool_test parallel_determinism_test \
     serve_test serve_soak obs_metrics_test obs_trace_test \
-    mpsc_queue_test frontend_test frontend_qps
+    mpsc_queue_test frontend_test frontend_qps kernel_equivalence_test \
+    quant_kernel_test
+  # The kernel suites ride along under TSan because the blocked/SIMD panel
+  # loops and the int8 pack+compute path all fan out across the global pool.
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R "${parallel_regex}|ServeWatchdog|Supervisor|${obs_regex}|${frontdoor_regex}"
+    -R "${parallel_regex}|ServeWatchdog|Supervisor|${obs_regex}|${frontdoor_regex}|${kernel_regex}"
   # One quick soak under TSan: the watchdog sampler thread races the
   # serving thread's arm/disarm window on every neural batch.
   ./build-tsan/bench/serve_soak --quick --perf_json=build-tsan/perf_pr4_tsan.json

@@ -63,15 +63,25 @@ void ApotsModel::SetInferenceConfig(const InferenceConfig& config) {
                                                 config_.inference);
 }
 
+void ApotsModel::RefreshQuantizedWeights() {
+  if (config_.inference.quantize != apots::tensor::QuantMode::kOff) {
+    predictor_->PrepareQuantized(config_.inference.quantize);
+  }
+}
+
 EpochStats ApotsModel::Train(const std::vector<long>& train_anchors) {
   FitFallback(train_anchors);
-  return trainer_->Train(train_anchors);
+  EpochStats stats = trainer_->Train(train_anchors);
+  RefreshQuantizedWeights();
+  return stats;
 }
 
 Result<TrainReport> ApotsModel::TrainGuarded(
     const std::vector<long>& train_anchors) {
   FitFallback(train_anchors);
-  return trainer_->TrainGuarded(train_anchors);
+  Result<TrainReport> result = trainer_->TrainGuarded(train_anchors);
+  RefreshQuantizedWeights();
+  return result;
 }
 
 void ApotsModel::SetValidityMask(const apots::traffic::ValidityMask* mask) {
@@ -161,6 +171,7 @@ Status ApotsModel::CopyWeightsFrom(ApotsModel& other) {
   for (size_t i = 0; i < dst.size(); ++i) {
     dst[i]->value = src[i]->value;
   }
+  RefreshQuantizedWeights();
   return Status::Ok();
 }
 
@@ -187,7 +198,9 @@ Status ApotsModel::Save(const std::string& path) {
 }
 
 Status ApotsModel::Load(const std::string& path) {
-  return apots::nn::LoadParameters(TrainableParameters(), path);
+  const Status status = apots::nn::LoadParameters(TrainableParameters(), path);
+  if (status.ok()) RefreshQuantizedWeights();
+  return status;
 }
 
 size_t ApotsModel::NumWeights() {

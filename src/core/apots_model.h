@@ -119,6 +119,10 @@ class ApotsModel {
   size_t NumWeights();
 
  private:
+  /// Re-packs quantized inference weights after a weight mutation (train,
+  /// copy, load). No-op when `config_.inference.quantize` is kOff.
+  void RefreshQuantizedWeights();
+
   const apots::traffic::TrafficDataset* dataset_;  // not owned
   ApotsConfig config_;
   apots::data::FeatureAssembler assembler_;

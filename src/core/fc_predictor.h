@@ -21,6 +21,9 @@ class FcPredictor : public Predictor {
   const Tensor* Forward(const Tensor& batch, bool training,
                         apots::tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void PrepareQuantized(apots::tensor::QuantMode mode) override {
+    net_.PrepareQuantized(mode);
+  }
   std::vector<Parameter*> Parameters() override;
   PredictorType type() const override { return PredictorType::kFc; }
   std::string Name() const override;

@@ -23,6 +23,10 @@ class HybridPredictor : public Predictor {
   const Tensor* Forward(const Tensor& batch, bool training,
                         apots::tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void PrepareQuantized(apots::tensor::QuantMode mode) override {
+    conv_.PrepareQuantized(mode);  // conv layers no-op; Dense head packs
+    lstm_head_.PrepareQuantized(mode);
+  }
   std::vector<Parameter*> Parameters() override;
   PredictorType type() const override { return PredictorType::kHybrid; }
   std::string Name() const override;

@@ -47,6 +47,13 @@ Status ValidateInferenceConfig(const InferenceConfig& config) {
         "use_feature_cache is set (an LRU of capacity 0 cannot hold any "
         "column); either raise it or disable the cache");
   }
+  if (config.quantize != apots::tensor::QuantMode::kOff &&
+      !config.use_workspace) {
+    return Status::InvalidArgument(
+        "InferenceConfig.quantize requires use_workspace (only the "
+        "workspace forward consults packed weights; the allocating "
+        "forward would silently serve fp32 under a quantized label)");
+  }
   return Status::Ok();
 }
 
@@ -60,6 +67,14 @@ InferenceConfig SanitizeInferenceConfig(InferenceConfig config) {
     APOTS_LOG(Warning) << "InferenceConfig.cache_capacity of 0 disables the "
                           "feature cache";
     config.use_feature_cache = false;
+  }
+  if (config.quantize != apots::tensor::QuantMode::kOff &&
+      !config.use_workspace) {
+    APOTS_LOG(Warning)
+        << "InferenceConfig.quantize="
+        << apots::tensor::QuantModeName(config.quantize)
+        << " needs use_workspace; falling back to fp32 (quantize=off)";
+    config.quantize = apots::tensor::QuantMode::kOff;
   }
   return config;
 }
@@ -76,6 +91,11 @@ InferenceRuntime::InferenceRuntime(
     cache_ = std::make_unique<apots::data::FeatureCache>(
         config_.cache_capacity);
   }
+  // Apply the precision mode unconditionally: packing for kInt8/kFp16,
+  // dropping any packed copies for kOff. A predictor follows the most
+  // recently constructed runtime — leaving stale packs active would serve
+  // quantized math under an fp32 label.
+  predictor_->PrepareQuantized(config_.quantize);
 }
 
 size_t InferenceRuntime::NumBatches(size_t count) const {

@@ -15,8 +15,10 @@ namespace apots::core {
 
 /// Knobs of the batched inference path. The defaults are the fast
 /// configuration; the bench arms toggle them off to reproduce the
-/// per-anchor baseline. Every combination produces bitwise identical
-/// predictions — the switches trade only speed and memory.
+/// per-anchor baseline. Every combination with `quantize == kOff`
+/// produces bitwise identical predictions — those switches trade only
+/// speed and memory. Reduced-precision modes trade bitwise equality for
+/// a benched accuracy band (MAE delta vs fp32 gated in CI).
 struct InferenceConfig {
   /// Anchors packed into one predictor forward. 1 reproduces the
   /// per-anchor baseline shape.
@@ -34,17 +36,25 @@ struct InferenceConfig {
   bool use_feature_cache = true;
   /// Cache entries (per-interval columns) kept before LRU eviction.
   size_t cache_capacity = 8192;
+  /// Inference weight precision (tensor::QuantMode). Non-kOff modes pack
+  /// the predictor's matmul weights at runtime construction and require
+  /// `use_workspace` (only the workspace forward consults packed
+  /// weights; silently serving fp32 under a quantized label would be
+  /// worse than rejecting).
+  apots::tensor::QuantMode quantize = apots::tensor::QuantMode::kOff;
 };
 
 /// Rejects configurations the runtime cannot honor as written:
-/// `batch_size == 0` (the batch grid divides by it) and
-/// `cache_capacity == 0` with the cache enabled (an LRU that can hold
-/// nothing). Returns InvalidArgument naming the offending field.
+/// `batch_size == 0` (the batch grid divides by it), `cache_capacity == 0`
+/// with the cache enabled (an LRU that can hold nothing), and a non-kOff
+/// `quantize` with `use_workspace` off (the allocating forward has no
+/// quantized path). Returns InvalidArgument naming the offending field.
 Status ValidateInferenceConfig(const InferenceConfig& config);
 
 /// Clamps edge values to the nearest working configuration instead of
-/// rejecting: `batch_size` 0 → 1, and `cache_capacity` 0 disables the
-/// feature cache. The result always passes ValidateInferenceConfig.
+/// rejecting: `batch_size` 0 → 1, `cache_capacity` 0 disables the
+/// feature cache, and a non-kOff `quantize` without `use_workspace`
+/// falls back to kOff. The result always passes ValidateInferenceConfig.
 InferenceConfig SanitizeInferenceConfig(InferenceConfig config);
 
 /// Batched multi-anchor inference engine: packs anchor windows into

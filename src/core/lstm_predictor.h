@@ -22,6 +22,9 @@ class LstmPredictor : public Predictor {
   const Tensor* Forward(const Tensor& batch, bool training,
                         apots::tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void PrepareQuantized(apots::tensor::QuantMode mode) override {
+    net_.PrepareQuantized(mode);
+  }
   std::vector<Parameter*> Parameters() override;
   PredictorType type() const override { return PredictorType::kLstm; }
   std::string Name() const override;

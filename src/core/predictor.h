@@ -65,6 +65,16 @@ class Predictor {
   /// batch (usually discarded) and accumulates parameter gradients.
   virtual Tensor Backward(const Tensor& grad_output) = 0;
 
+  /// Packs the predictor's frozen weights for reduced-precision inference
+  /// (see nn::Layer::PrepareQuantized): only the workspace inference
+  /// Forward consults the packed copies, training always runs fp32, and
+  /// the packed copies snapshot the weights at call time — call again
+  /// after training steps, or with kOff to return to exact fp32. Conv
+  /// layers have no quantized path and stay fp32 in every mode.
+  virtual void PrepareQuantized(apots::tensor::QuantMode mode) {
+    (void)mode;
+  }
+
   virtual std::vector<Parameter*> Parameters() = 0;
   virtual PredictorType type() const = 0;
   virtual std::string Name() const = 0;

@@ -32,9 +32,29 @@ const Tensor* Dense::Forward(const Tensor& input, bool training,
   APOTS_CHECK_EQ(input.rank(), 2u);
   APOTS_CHECK_EQ(input.cols(), in_features_);
   Tensor* out = ws->Acquire({input.rows(), out_features_});
-  apots::tensor::MatmulInto(input, weight_.value, out);
+  switch (quant_mode_) {
+    case tensor::QuantMode::kInt8:
+      apots::tensor::Int8MatmulInto(input, int8_weight_, out, ws);
+      break;
+    case tensor::QuantMode::kFp16:
+      apots::tensor::Fp16MatmulInto(input, fp16_weight_, out);
+      break;
+    case tensor::QuantMode::kOff:
+      apots::tensor::MatmulInto(input, weight_.value, out);
+      break;
+  }
   apots::tensor::AddRowBias(out, bias_.value);
   return out;
+}
+
+void Dense::PrepareQuantized(tensor::QuantMode mode) {
+  quant_mode_ = mode;
+  int8_weight_ = mode == tensor::QuantMode::kInt8
+                     ? apots::tensor::PackInt8Weights(weight_.value)
+                     : tensor::Int8Matrix{};
+  fp16_weight_ = mode == tensor::QuantMode::kFp16
+                     ? apots::tensor::PackFp16Weights(weight_.value)
+                     : tensor::Fp16Matrix{};
 }
 
 Tensor Dense::Backward(const Tensor& grad_output) {

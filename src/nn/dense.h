@@ -21,6 +21,7 @@ class Dense : public Layer {
   const Tensor* Forward(const Tensor& input, bool training,
                         tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void PrepareQuantized(tensor::QuantMode mode) override;
   std::vector<Parameter*> Parameters() override;
   std::string Name() const override;
 
@@ -33,6 +34,11 @@ class Dense : public Layer {
   Parameter weight_;
   Parameter bias_;
   Tensor cached_input_;
+  // Packed weight copies for reduced-precision inference; consulted only
+  // by the workspace inference Forward (see Layer::PrepareQuantized).
+  tensor::QuantMode quant_mode_ = tensor::QuantMode::kOff;
+  tensor::Int8Matrix int8_weight_;
+  tensor::Fp16Matrix fp16_weight_;
 };
 
 }  // namespace apots::nn

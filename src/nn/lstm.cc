@@ -132,8 +132,20 @@ const Tensor* Lstm::Forward(const Tensor& input, bool training,
       const float* src = input.data() + (n * time + t) * input_size_;
       std::copy(src, src + input_size_, x_t->data() + n * input_size_);
     }
-    ops::MatmulInto(*x_t, weight_x_.value, gates);
-    ops::MatmulInto(*h, weight_h_.value, gates_h);
+    switch (quant_mode_) {
+      case tensor::QuantMode::kInt8:
+        ops::Int8MatmulInto(*x_t, int8_wx_, gates, ws);
+        ops::Int8MatmulInto(*h, int8_wh_, gates_h, ws);
+        break;
+      case tensor::QuantMode::kFp16:
+        ops::Fp16MatmulInto(*x_t, fp16_wx_, gates);
+        ops::Fp16MatmulInto(*h, fp16_wh_, gates_h);
+        break;
+      case tensor::QuantMode::kOff:
+        ops::MatmulInto(*x_t, weight_x_.value, gates);
+        ops::MatmulInto(*h, weight_h_.value, gates_h);
+        break;
+    }
     ops::AddInPlace(gates, *gates_h);
     ops::AddRowBias(gates, bias_.value);
 
@@ -160,6 +172,20 @@ const Tensor* Lstm::Forward(const Tensor& input, bool training,
     }
   }
   return return_sequences_ ? sequence_out : h;
+}
+
+void Lstm::PrepareQuantized(tensor::QuantMode mode) {
+  quant_mode_ = mode;
+  const bool int8 = mode == tensor::QuantMode::kInt8;
+  const bool fp16 = mode == tensor::QuantMode::kFp16;
+  int8_wx_ = int8 ? ops::PackInt8Weights(weight_x_.value)
+                  : tensor::Int8Matrix{};
+  int8_wh_ = int8 ? ops::PackInt8Weights(weight_h_.value)
+                  : tensor::Int8Matrix{};
+  fp16_wx_ = fp16 ? ops::PackFp16Weights(weight_x_.value)
+                  : tensor::Fp16Matrix{};
+  fp16_wh_ = fp16 ? ops::PackFp16Weights(weight_h_.value)
+                  : tensor::Fp16Matrix{};
 }
 
 Tensor Lstm::Backward(const Tensor& grad_output) {

@@ -27,6 +27,7 @@ class Lstm : public Layer {
   const Tensor* Forward(const Tensor& input, bool training,
                         tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void PrepareQuantized(tensor::QuantMode mode) override;
   std::vector<Parameter*> Parameters() override;
   std::string Name() const override;
 
@@ -40,6 +41,11 @@ class Lstm : public Layer {
   Parameter weight_x_;  ///< [input, 4*hidden]
   Parameter weight_h_;  ///< [hidden, 4*hidden]
   Parameter bias_;      ///< [4*hidden]
+  // Packed gate-matmul weights for reduced-precision inference; consulted
+  // only by the workspace inference Forward (see Layer::PrepareQuantized).
+  tensor::QuantMode quant_mode_ = tensor::QuantMode::kOff;
+  tensor::Int8Matrix int8_wx_, int8_wh_;
+  tensor::Fp16Matrix fp16_wx_, fp16_wh_;
 
   // Per-timestep caches for BPTT.
   struct StepCache {

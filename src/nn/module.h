@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 #include "tensor/workspace.h"
 
@@ -62,6 +63,15 @@ class Layer {
   /// output), accumulating into parameter grads, and returns the gradient
   /// w.r.t. the layer's input. Must be called after a matching Forward.
   virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// Packs this layer's frozen weights for reduced-precision inference
+  /// (tensor::QuantMode). Only the workspace inference Forward consults the
+  /// packed weights; training and the allocating Forward always run fp32,
+  /// so gradients are unaffected. The packed copy snapshots the weights at
+  /// call time — call again after any weight mutation, or with kOff to
+  /// drop the packed copy and return to exact fp32 inference. Default:
+  /// no-op (layers without matmul weights have nothing to quantize).
+  virtual void PrepareQuantized(tensor::QuantMode mode) { (void)mode; }
 
   /// Trainable parameters (empty for stateless layers). Pointers remain
   /// valid for the layer's lifetime.

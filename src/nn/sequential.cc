@@ -32,6 +32,10 @@ Tensor Sequential::Backward(const Tensor& grad_output) {
   return current;
 }
 
+void Sequential::PrepareQuantized(tensor::QuantMode mode) {
+  for (auto& layer : layers_) layer->PrepareQuantized(mode);
+}
+
 std::vector<Parameter*> Sequential::Parameters() {
   std::vector<Parameter*> params;
   for (auto& layer : layers_) {

@@ -31,6 +31,7 @@ class Sequential : public Layer {
   const Tensor* Forward(const Tensor& input, bool training,
                         tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void PrepareQuantized(tensor::QuantMode mode) override;
   std::vector<Parameter*> Parameters() override;
   std::string Name() const override;
 

@@ -119,6 +119,7 @@ void SimulationHarness::BuildStack(uint64_t model_seed) {
   cfg.training.epochs = config_.train_epochs;
   cfg.training.verbose = false;
   cfg.fallback.enabled = false;  // the supervisor owns degradation
+  cfg.inference = config_.inference;
   cfg.seed = model_seed;
   model_ = std::make_unique<ApotsModel>(&live_, cfg);
   target_road_ = model_->assembler().target_road();

@@ -1,0 +1,123 @@
+#include "tensor/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace apots::tensor {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+#define APOTS_X86 1
+#else
+#define APOTS_X86 0
+#endif
+
+struct CpuCaps {
+  bool avx2 = false;
+  bool avx512 = false;
+  bool vnni = false;
+  bool f16c = false;
+};
+
+CpuCaps QueryCpu() {
+  CpuCaps caps;
+#if APOTS_X86
+  caps.avx2 = __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  caps.f16c = caps.avx2 && __builtin_cpu_supports("f16c");
+  caps.avx512 = __builtin_cpu_supports("avx512f") &&
+                __builtin_cpu_supports("avx512bw") &&
+                __builtin_cpu_supports("avx512vl");
+  caps.vnni = caps.avx512 && __builtin_cpu_supports("avx512vnni");
+#endif
+  return caps;
+}
+
+const CpuCaps& RealCaps() {
+  static const CpuCaps caps = QueryCpu();
+  return caps;
+}
+
+SimdIsa RealIsa() {
+  const CpuCaps& caps = RealCaps();
+  if (caps.avx512) return SimdIsa::kAvx512;
+  if (caps.avx2) return SimdIsa::kAvx2;
+  return SimdIsa::kScalar;
+}
+
+SimdIsa ClampToReal(SimdIsa isa) {
+  return static_cast<int>(isa) < static_cast<int>(RealIsa()) ? isa : RealIsa();
+}
+
+/// APOTS_FORCE_ISA, read once at first dispatch. Unknown values warn and
+/// fall back to full native dispatch rather than silently changing kernels.
+SimdIsa EnvClampedIsa() {
+  const char* force = std::getenv("APOTS_FORCE_ISA");
+  if (force == nullptr || force[0] == '\0') return RealIsa();
+  if (std::strcmp(force, "scalar") == 0) return SimdIsa::kScalar;
+  if (std::strcmp(force, "avx2") == 0) return ClampToReal(SimdIsa::kAvx2);
+  if (std::strcmp(force, "avx512") == 0) return ClampToReal(SimdIsa::kAvx512);
+  if (std::strcmp(force, "native") != 0) {
+    APOTS_LOG(Warning) << "APOTS_FORCE_ISA=" << force
+                       << " not one of scalar|avx2|avx512|native; using native"
+                       << " dispatch (" << IsaName(RealIsa()) << ")";
+  }
+  return RealIsa();
+}
+
+/// -1 = no override; otherwise a SimdIsa value forced by tests.
+std::atomic<int> g_isa_override{-1};
+
+}  // namespace
+
+SimdIsa DetectedIsa() {
+  static const SimdIsa env_isa = EnvClampedIsa();
+  const int override_isa = g_isa_override.load(std::memory_order_relaxed);
+  if (override_isa >= 0) {
+    return ClampToReal(static_cast<SimdIsa>(override_isa));
+  }
+  return env_isa;
+}
+
+bool HasVnni() {
+  return DetectedIsa() == SimdIsa::kAvx512 && RealCaps().vnni;
+}
+
+bool HasF16c() {
+  return static_cast<int>(DetectedIsa()) >= static_cast<int>(SimdIsa::kAvx2) &&
+         RealCaps().f16c;
+}
+
+const char* IsaName(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return "scalar";
+    case SimdIsa::kAvx2:
+      return "avx2";
+    case SimdIsa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+const char* ActiveIsaLabel() {
+  if (HasVnni()) return "avx512+vnni";
+  return IsaName(DetectedIsa());
+}
+
+namespace internal {
+
+void OverrideIsaForTesting(SimdIsa isa) {
+  g_isa_override.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void ClearIsaOverrideForTesting() {
+  g_isa_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+}  // namespace apots::tensor

@@ -1,0 +1,47 @@
+#ifndef APOTS_TENSOR_CPU_FEATURES_H_
+#define APOTS_TENSOR_CPU_FEATURES_H_
+
+namespace apots::tensor {
+
+/// Instruction-set ladder the SIMD GEMM kernels dispatch over. The per-ISA
+/// translation units are always compiled with their target flags (the rest
+/// of the library keeps the build's baseline arch), and a kernel is only
+/// ever *called* after the runtime check below says the host executes it —
+/// so one binary runs correctly from plain x86-64 up to AVX-512 servers.
+enum class SimdIsa { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Highest rung of the ladder this process will dispatch to. Detected once
+/// via CPUID (AVX-512 requires F+BW+VL; AVX2 requires AVX2+FMA) and cached.
+/// The APOTS_FORCE_ISA environment variable (scalar|avx2|avx512|native,
+/// read once) clamps the ladder *down* for fallback testing — it can never
+/// enable an ISA the CPU lacks.
+SimdIsa DetectedIsa();
+
+/// True when the int8 kernels may use AVX-512 VNNI dot products. Requires
+/// DetectedIsa() == kAvx512 plus the VNNI CPUID bit; without it the int8
+/// path runs the scalar kernel (bit-identical results — the integer
+/// accumulation is exact either way).
+bool HasVnni();
+
+/// True when fp16 packing may use F16C hardware conversions. Both the F16C
+/// and the software conversion round to nearest-even, so this only selects
+/// speed, never bits.
+bool HasF16c();
+
+/// "scalar" / "avx2" / "avx512".
+const char* IsaName(SimdIsa isa);
+
+/// Dispatch label for bench/CLI output, e.g. "avx512+vnni".
+const char* ActiveIsaLabel();
+
+namespace internal {
+/// Test hooks: clamp dispatch to `isa` (still never above the real CPU)
+/// without relying on process-start environment. Not thread-safe against
+/// concurrent kernels; tests flip it between runs only.
+void OverrideIsaForTesting(SimdIsa isa);
+void ClearIsaOverrideForTesting();
+}  // namespace internal
+
+}  // namespace apots::tensor
+
+#endif  // APOTS_TENSOR_CPU_FEATURES_H_

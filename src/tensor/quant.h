@@ -1,0 +1,65 @@
+#ifndef APOTS_TENSOR_QUANT_H_
+#define APOTS_TENSOR_QUANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace apots::tensor {
+
+class Workspace;
+
+/// Inference weight/activation precision. kOff is exact fp32; kFp16 stores
+/// weights as IEEE binary16 (activations stay fp32, panels are dequantized
+/// at matmul time); kInt8 quantizes weights per-column and activations
+/// per-row (absmax, symmetric) with exact int32 accumulation. Both reduced
+/// modes trade bitwise equality for an accuracy band — the benches gate
+/// the MAE delta vs fp32 (DESIGN.md §15).
+enum class QuantMode { kOff, kFp16, kInt8 };
+
+const char* QuantModeName(QuantMode mode);
+
+/// A weight matrix pre-packed for the int8 kernels: signed codes laid out
+/// in VPDPBUSD panel order (see simd::kNrInt8), per-column absmax scales,
+/// and per-column code sums (compensating the affine activation offset
+/// exactly: a ~= min + s_a * u => dot = s_a*s_b*acc + min*s_b*zsum).
+struct Int8Matrix {
+  std::vector<int8_t, AlignedAllocator<int8_t>> panels;
+  std::vector<float> col_scale;   // [n]
+  std::vector<int32_t> col_zsum;  // [n] sum over k of the signed codes
+  size_t k = 0;                   // logical reduction depth
+  size_t kp = 0;                  // k rounded up to a multiple of 4
+  size_t n = 0;
+};
+
+/// Packs a row-major [k, n] weight matrix. Rounding is scalar
+/// nearest-even, so the packed codes are host-independent.
+Int8Matrix PackInt8Weights(const Tensor& w);
+
+/// A weight matrix stored as row-major binary16 bits (half the bytes of
+/// fp32; conversion rounds to nearest-even on every host).
+struct Fp16Matrix {
+  std::vector<uint16_t, AlignedAllocator<uint16_t>> half;  // [k, n]
+  size_t k = 0;
+  size_t n = 0;
+};
+
+Fp16Matrix PackFp16Weights(const Tensor& w);
+
+/// out[m,n] = a[m,k] x w. Activations are quantized per row (asymmetric
+/// min/max affine -> u8, full code range even for one-sided ReLU rows)
+/// into `ws` scratch when given (the zero-alloc inference path) or
+/// thread-local scratch otherwise; accumulation is exact int32 (VNNI or
+/// scalar — bit-identical), dequantized via simd::DequantInt8Acc. `out`
+/// must be preshaped to [m, n].
+void Int8MatmulInto(const Tensor& a, const Int8Matrix& w, Tensor* out,
+                    Workspace* ws);
+
+/// out[m,n] = a[m,k] x w with binary16 B panels dequantized at pack time;
+/// runs the fp32 SIMD microkernels. `out` must be preshaped to [m, n].
+void Fp16MatmulInto(const Tensor& a, const Fp16Matrix& w, Tensor* out);
+
+}  // namespace apots::tensor
+
+#endif  // APOTS_TENSOR_QUANT_H_

@@ -1,0 +1,278 @@
+#include "tensor/simd_kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/cpu_features.h"
+#include "tensor/tensor.h"
+#include "util/thread_pool.h"
+
+namespace apots::tensor::simd {
+
+namespace {
+
+/// Same work-per-chunk target as the blocked kernels in tensor_ops.cc:
+/// row grains are derived from it so small matrices stay on the caller.
+constexpr size_t kGemmGrainFma = 1 << 15;
+
+size_t RowGrain(size_t fma_per_row) {
+  return std::max<size_t>(1, kGemmGrainFma / std::max<size_t>(1, fma_per_row));
+}
+
+/// Packs fp32 panel `p` (columns [j0, j0+width)) of a strided B into
+/// `panel` ([k][nr], zero-padded to nr columns).
+void PackPanelFp32(const float* b, size_t b_rs, size_t b_cs, size_t k,
+                   size_t j0, size_t width, size_t nr, float* panel) {
+  for (size_t kk = 0; kk < k; ++kk) {
+    const float* src = b + kk * b_rs + j0 * b_cs;
+    float* dst = panel + kk * nr;
+    if (b_cs == 1) {
+      std::memcpy(dst, src, width * sizeof(float));
+    } else {
+      for (size_t c = 0; c < width; ++c) dst[c] = src[c * b_cs];
+    }
+    for (size_t c = width; c < nr; ++c) dst[c] = 0.0f;
+  }
+}
+
+/// Packs panel `p` of a row-major binary16 B, dequantizing at pack time.
+void PackPanelHalf(const uint16_t* b, size_t k, size_t n, size_t j0,
+                   size_t width, size_t nr, float* panel) {
+  for (size_t kk = 0; kk < k; ++kk) {
+    float* dst = panel + kk * nr;
+    HalfToFloat(b + kk * n + j0, dst, width);
+    for (size_t c = width; c < nr; ++c) dst[c] = 0.0f;
+  }
+}
+
+using AlignedByteVector = std::vector<uint8_t, AlignedAllocator<uint8_t>>;
+
+/// Shared driver body for the fp32 / fp16 entry points: panels are already
+/// packed into `packed`; sweep output row ranges in parallel. Rows are
+/// independent, so the chunking (and thus the result) is identical for any
+/// pool size.
+void RunPanels(const float* a, size_t a_rs, size_t a_cs, const float* packed,
+               size_t m, size_t k, size_t n, float* out) {
+  const GemmKernel kernel = PickGemmKernel();
+  const size_t nr = kernel.nr;
+  const size_t num_panels = (n + nr - 1) / nr;
+  apots::GlobalPool().ParallelFor(
+      0, m, RowGrain(k * n), [&](size_t r0, size_t r1, size_t) {
+        for (size_t p = 0; p < num_panels; ++p) {
+          const size_t j0 = p * nr;
+          const size_t width = std::min(nr, n - j0);
+          kernel.fn(a, a_rs, a_cs, packed + p * k * nr, k, nr, out + j0, n,
+                    r0, r1, width);
+        }
+      });
+}
+
+}  // namespace
+
+float* PackBufferFp32(size_t floats) {
+  thread_local AlignedFloatVector buffer;
+  // Grow-only: steady-state shapes stop touching the heap after warm-up,
+  // and a non-empty floor keeps `data() + 0` valid for k==0 calls.
+  if (buffer.size() < std::max<size_t>(floats, 16)) {
+    buffer.resize(std::max<size_t>(floats, 16));
+  }
+  return buffer.data();
+}
+
+uint8_t* PackBufferBytes(size_t bytes) {
+  thread_local AlignedByteVector buffer;
+  if (buffer.size() < std::max<size_t>(bytes, 64)) {
+    buffer.resize(std::max<size_t>(bytes, 64));
+  }
+  return buffer.data();
+}
+
+void GemmPanelScalar(const float* a, size_t a_rs, size_t a_cs,
+                     const float* panel, size_t k, size_t nr, float* out,
+                     size_t out_ld, size_t r0, size_t r1, size_t width) {
+  for (size_t i = r0; i < r1; ++i) {
+    float acc[kNrMax] = {};
+    const float* a_row = a + i * a_rs;
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float a_ik = a_row[kk * a_cs];
+      const float* b_row = panel + kk * nr;
+      for (size_t c = 0; c < nr; ++c) acc[c] += a_ik * b_row[c];
+    }
+    float* out_row = out + i * out_ld;
+    for (size_t c = 0; c < width; ++c) out_row[c] = acc[c];
+  }
+}
+
+GemmKernel PickGemmKernel() {
+  switch (DetectedIsa()) {
+    case SimdIsa::kAvx512:
+      return {GemmPanelAvx512, kNrAvx512};
+    case SimdIsa::kAvx2:
+      return {GemmPanelAvx2, kNrAvx2};
+    case SimdIsa::kScalar:
+      break;
+  }
+  return {GemmPanelScalar, kNrAvx2};
+}
+
+void Int8PanelScalar(const uint8_t* qa, size_t qa_ld, const float* row_scale,
+                     const float* row_min, const int8_t* panel, size_t kp,
+                     const float* col_scale, const int32_t* col_zsum,
+                     float* out, size_t out_ld, size_t r0, size_t r1,
+                     size_t width) {
+  const size_t groups = kp / 4;
+  for (size_t i = r0; i < r1; ++i) {
+    int32_t acc[kNrInt8] = {};
+    const uint8_t* a_row = qa + i * qa_ld;
+    for (size_t g = 0; g < groups; ++g) {
+      const int8_t* blk = panel + g * kNrInt8 * 4;
+      const uint8_t* a4 = a_row + g * 4;
+      for (size_t c = 0; c < kNrInt8; ++c) {
+        const int8_t* b4 = blk + c * 4;
+        acc[c] += static_cast<int32_t>(a4[0]) * b4[0] +
+                  static_cast<int32_t>(a4[1]) * b4[1] +
+                  static_cast<int32_t>(a4[2]) * b4[2] +
+                  static_cast<int32_t>(a4[3]) * b4[3];
+      }
+    }
+    float* out_row = out + i * out_ld;
+    for (size_t c = 0; c < width; ++c) {
+      out_row[c] = DequantInt8Acc(acc[c], col_zsum[c], row_scale[i],
+                                  row_min[i], col_scale[c]);
+    }
+  }
+}
+
+Int8PanelFn PickInt8Kernel() {
+  return HasVnni() ? Int8PanelVnni : Int8PanelScalar;
+}
+
+namespace {
+
+/// Software IEEE binary16 -> binary32: exact for every half bit pattern
+/// (subnormals, infinities, NaN payload top bits preserved).
+inline float HalfBitsToFloat(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1Fu;
+  uint32_t mant = h & 0x3FFu;
+  uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // +-0
+    } else {
+      // Subnormal half: normalize into the float exponent range.
+      int shift = 0;
+      while ((mant & 0x400u) == 0) {
+        mant <<= 1;
+        ++shift;
+      }
+      mant &= 0x3FFu;
+      bits = sign | ((127 - 15 - shift + 1) << 23) | (mant << 13);
+    }
+  } else if (exp == 31) {
+    bits = sign | 0x7F800000u | (mant << 13);  // inf / NaN
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+/// Software binary32 -> binary16, round to nearest, ties to even — the
+/// same rounding VCVTPS2PH uses, so packed weights are host-independent.
+inline uint16_t FloatToHalfBits(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  const uint16_t sign = static_cast<uint16_t>((bits >> 16) & 0x8000u);
+  const uint32_t abs = bits & 0x7FFFFFFFu;
+  if (abs >= 0x7F800000u) {  // inf / NaN (preserve the quiet bit)
+    const uint16_t mant = abs > 0x7F800000u ? 0x200u : 0u;
+    return static_cast<uint16_t>(sign | 0x7C00u | mant);
+  }
+  if (abs >= 0x47800000u) {  // >= 2^16 overflows to infinity
+    return static_cast<uint16_t>(sign | 0x7C00u);
+  }
+  if (abs < 0x33000000u) {  // < 2^-25 underflows to zero
+    return sign;
+  }
+  const uint32_t exp = abs >> 23;
+  if (abs >= 0x38800000u) {
+    // Normal half. Rebias and shift out 13 mantissa bits with RNE; a
+    // mantissa carry ripples into the exponent field (and, at the very
+    // top, rolls cleanly into the infinity encoding).
+    uint32_t h = ((exp - 112u) << 10) | ((abs & 0x7FFFFFu) >> 13);
+    const uint32_t rem = abs & 0x1FFFu;
+    if (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) ++h;
+    return static_cast<uint16_t>(sign | h);
+  }
+  // Subnormal half: shift the full 24-bit significand down to a 2^-24 ulp.
+  const uint32_t mant = (abs & 0x7FFFFFu) | 0x800000u;
+  const int shift = 126 - static_cast<int>(exp);  // in [14, 24] here
+  uint32_t h = mant >> shift;
+  const uint32_t rem = mant & ((1u << shift) - 1u);
+  const uint32_t halfway = 1u << (shift - 1);
+  if (rem > halfway || (rem == halfway && (h & 1u))) ++h;
+  return static_cast<uint16_t>(sign | h);  // overflow -> smallest normal
+}
+
+}  // namespace
+
+void HalfToFloatScalar(const uint16_t* src, float* dst, size_t count) {
+  for (size_t i = 0; i < count; ++i) dst[i] = HalfBitsToFloat(src[i]);
+}
+
+void FloatToHalfScalar(const float* src, uint16_t* dst, size_t count) {
+  for (size_t i = 0; i < count; ++i) dst[i] = FloatToHalfBits(src[i]);
+}
+
+void HalfToFloat(const uint16_t* src, float* dst, size_t count) {
+  if (HasF16c()) {
+    HalfToFloatF16c(src, dst, count);
+  } else {
+    HalfToFloatScalar(src, dst, count);
+  }
+}
+
+void FloatToHalf(const float* src, uint16_t* dst, size_t count) {
+  if (HasF16c()) {
+    FloatToHalfF16c(src, dst, count);
+  } else {
+    FloatToHalfScalar(src, dst, count);
+  }
+}
+
+void GemmStrided(const float* a, size_t a_rs, size_t a_cs, const float* b,
+                 size_t b_rs, size_t b_cs, float* out, size_t m, size_t k,
+                 size_t n) {
+  if (m == 0 || n == 0) return;
+  const GemmKernel kernel = PickGemmKernel();
+  const size_t nr = kernel.nr;
+  const size_t num_panels = (n + nr - 1) / nr;
+  // Pack B once on the calling thread (O(k*n), trivial next to the O(m*k*n)
+  // multiply); workers only read the packed panels.
+  float* packed = PackBufferFp32(num_panels * k * nr);
+  for (size_t p = 0; p < num_panels; ++p) {
+    const size_t j0 = p * nr;
+    PackPanelFp32(b, b_rs, b_cs, k, j0, std::min(nr, n - j0), nr,
+                  packed + p * k * nr);
+  }
+  RunPanels(a, a_rs, a_cs, packed, m, k, n, out);
+}
+
+void GemmHalfB(const float* a, size_t a_rs, size_t a_cs, const uint16_t* b,
+               float* out, size_t m, size_t k, size_t n) {
+  if (m == 0 || n == 0) return;
+  const GemmKernel kernel = PickGemmKernel();
+  const size_t nr = kernel.nr;
+  const size_t num_panels = (n + nr - 1) / nr;
+  float* packed = PackBufferFp32(num_panels * k * nr);
+  for (size_t p = 0; p < num_panels; ++p) {
+    const size_t j0 = p * nr;
+    PackPanelHalf(b, k, n, j0, std::min(nr, n - j0), nr,
+                  packed + p * k * nr);
+  }
+  RunPanels(a, a_rs, a_cs, packed, m, k, n, out);
+}
+
+}  // namespace apots::tensor::simd

@@ -1,0 +1,145 @@
+#ifndef APOTS_TENSOR_SIMD_KERNELS_H_
+#define APOTS_TENSOR_SIMD_KERNELS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace apots::tensor::simd {
+
+/// Internal microkernel interface behind KernelMode::kSimd and the
+/// quantized inference paths. The drivers here pack the right-hand operand
+/// into zero-padded column panels once per call, then sweep row ranges of
+/// the output through an ISA-dispatched register-tiled kernel (see
+/// cpu_features.h for the dispatch ladder and DESIGN.md §15 for the
+/// numerics contract).
+///
+/// Panel layout (fp32): panel `p` covers output columns [p*nr, p*nr+width)
+/// and stores k rows of nr floats, `panel[kk*nr + c]` = B(kk, p*nr + c),
+/// columns beyond `width` zero-padded. nr is an ISA choice: 16 floats (two
+/// ymm) for AVX2 and the scalar fallback, 32 (two zmm) for AVX-512. Pack
+/// buffers are 64-byte aligned so full panel rows take aligned loads.
+inline constexpr size_t kNrAvx2 = 16;
+inline constexpr size_t kNrAvx512 = 32;
+inline constexpr size_t kNrMax = 32;
+
+/// int8 panels use a fixed nr of 16 columns with the k dimension grouped in
+/// fours: element (g, c, t) of a panel — column c, kk = 4*g + t — lives at
+/// `panel[(g*kNrInt8 + c)*4 + t]`, matching the VPDPBUSD operand layout.
+inline constexpr size_t kNrInt8 = 16;
+
+/// fp32 GEMM over one packed panel. The left operand is strided:
+/// A(i, kk) = a[i*a_rs + kk*a_cs], which expresses both plain (rs=k, cs=1)
+/// and transposed (rs=1, cs=m) operands without materializing anything.
+/// Writes out rows [r0, r1) x panel columns [0, width); `out` points at the
+/// panel's first output column of row 0 and has leading dimension out_ld.
+/// Every output element accumulates its k products in ascending-k order in
+/// a single FMA chain, so results are identical across row partitions (and
+/// therefore across thread counts) for a fixed ISA.
+using GemmPanelFn = void (*)(const float* a, size_t a_rs, size_t a_cs,
+                             const float* panel, size_t k, size_t nr,
+                             float* out, size_t out_ld, size_t r0, size_t r1,
+                             size_t width);
+
+void GemmPanelScalar(const float* a, size_t a_rs, size_t a_cs,
+                     const float* panel, size_t k, size_t nr, float* out,
+                     size_t out_ld, size_t r0, size_t r1, size_t width);
+/// Defined in simd_kernels_avx2.cc / simd_kernels_avx512.cc; those TUs are
+/// compiled with their ISA flags and forward to the scalar kernel when the
+/// toolchain cannot target the ISA at all (non-x86). Call only when
+/// DetectedIsa() admits the ISA.
+void GemmPanelAvx2(const float* a, size_t a_rs, size_t a_cs,
+                   const float* panel, size_t k, size_t nr, float* out,
+                   size_t out_ld, size_t r0, size_t r1, size_t width);
+void GemmPanelAvx512(const float* a, size_t a_rs, size_t a_cs,
+                     const float* panel, size_t k, size_t nr, float* out,
+                     size_t out_ld, size_t r0, size_t r1, size_t width);
+
+/// The fp32 kernel + panel width the current dispatch ladder selects.
+struct GemmKernel {
+  GemmPanelFn fn;
+  size_t nr;
+};
+GemmKernel PickGemmKernel();
+
+/// int8 GEMM over one packed panel. `qa` holds unsigned asymmetric
+/// (min/max affine) row-major quantized activations with leading dimension
+/// qa_ld >= kp (kp = k rounded up to a multiple of 4, zero weight codes in
+/// the pad); row i dequantizes as a ~= row_min[i] + row_scale[i] * code.
+/// col_scale / col_zsum point at this panel's per-column weight scale and
+/// column sum of the signed weight codes (the affine activation offset is
+/// compensated exactly via the row_min * zsum term). Integer accumulation
+/// is exact, so the scalar and VNNI kernels produce bit-identical floats.
+using Int8PanelFn = void (*)(const uint8_t* qa, size_t qa_ld,
+                             const float* row_scale, const float* row_min,
+                             const int8_t* panel, size_t kp,
+                             const float* col_scale, const int32_t* col_zsum,
+                             float* out, size_t out_ld, size_t r0, size_t r1,
+                             size_t width);
+
+void Int8PanelScalar(const uint8_t* qa, size_t qa_ld, const float* row_scale,
+                     const float* row_min, const int8_t* panel, size_t kp,
+                     const float* col_scale, const int32_t* col_zsum,
+                     float* out, size_t out_ld, size_t r0, size_t r1,
+                     size_t width);
+/// AVX-512 VNNI (VPDPBUSD). No AVX2 variant on purpose: VPMADDUBSW
+/// saturates its 16-bit intermediate sums (2*255*128 > 32767), which would
+/// silently corrupt accumulators — non-VNNI hosts take the scalar kernel.
+void Int8PanelVnni(const uint8_t* qa, size_t qa_ld, const float* row_scale,
+                   const float* row_min, const int8_t* panel, size_t kp,
+                   const float* col_scale, const int32_t* col_zsum, float* out,
+                   size_t out_ld, size_t r0, size_t r1, size_t width);
+
+Int8PanelFn PickInt8Kernel();
+
+/// Shared dequantization of one int8 accumulator — a single expression so
+/// every kernel produces identical floats from identical accumulators:
+/// sum_k a*w = sum_k (min + s_a*u) * (s_b*q) = s_a*s_b*acc + min*s_b*zsum.
+/// The multiply-add is an explicit std::fma, not a contraction candidate:
+/// this header is inlined into TUs built with different target flags (the
+/// generic library may lack FMA while the per-ISA kernel TUs have it), and
+/// letting the compiler contract in some TUs but not others breaks the
+/// scalar==VNNI bitwise guarantee. std::fma is correctly rounded whether it
+/// lowers to vfmadd or libm, so every build produces the same bits.
+inline float DequantInt8Acc(int32_t acc, int32_t col_zsum, float row_scale,
+                            float row_min, float col_scale) {
+  return std::fma(row_scale * col_scale, static_cast<float>(acc),
+                  row_min * col_scale * static_cast<float>(col_zsum));
+}
+
+/// IEEE binary16 conversions. Half -> float is exact in any implementation;
+/// float -> half rounds to nearest-even in both the software and the F16C
+/// path, so packed bits never depend on the host ISA.
+void HalfToFloatScalar(const uint16_t* src, float* dst, size_t count);
+void FloatToHalfScalar(const float* src, uint16_t* dst, size_t count);
+void HalfToFloatF16c(const uint16_t* src, float* dst, size_t count);
+void FloatToHalfF16c(const float* src, uint16_t* dst, size_t count);
+
+/// Converts with the F16C units when the host has them, else in software.
+void HalfToFloat(const uint16_t* src, float* dst, size_t count);
+void FloatToHalf(const float* src, uint16_t* dst, size_t count);
+
+/// out[m,n] = A x B with both operands strided: A(i,kk) = a[i*a_rs +
+/// kk*a_cs], B(kk,j) = b[kk*b_rs + j*b_cs]. Packs B into panels on the
+/// calling thread, then parallelizes disjoint output row ranges over the
+/// global pool. This is the KernelMode::kSimd entry point for Matmul
+/// (b_rs=n, b_cs=1), MatmulTransposeA (a_rs=1, a_cs=m), and
+/// MatmulTransposeB (b_rs=1, b_cs=k).
+void GemmStrided(const float* a, size_t a_rs, size_t a_cs, const float* b,
+                 size_t b_rs, size_t b_cs, float* out, size_t m, size_t k,
+                 size_t n);
+
+/// out[m,n] = A x B where B is a row-major [k,n] matrix of binary16 bits.
+/// Panels are dequantized into the fp32 pack buffer at pack time and the
+/// fp32 microkernels run unchanged.
+void GemmHalfB(const float* a, size_t a_rs, size_t a_cs, const uint16_t* b,
+               float* out, size_t m, size_t k, size_t n);
+
+/// Grow-only, 64-byte-aligned thread-local scratch used by the drivers for
+/// packed panels (exposed for the quantized drivers in quant.cc).
+float* PackBufferFp32(size_t floats);
+uint8_t* PackBufferBytes(size_t bytes);
+
+}  // namespace apots::tensor::simd
+
+#endif  // APOTS_TENSOR_SIMD_KERNELS_H_

@@ -1,0 +1,158 @@
+// AVX2/FMA microkernels. This translation unit is compiled with
+// -mavx2 -mfma -mf16c regardless of the build's baseline arch; nothing in
+// it runs unless cpu_features.h saw the matching CPUID bits, so the binary
+// stays safe on plain x86-64 hosts.
+
+#include "tensor/simd_kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__) && defined(__F16C__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace apots::tensor::simd {
+
+namespace {
+
+/// 6x16 register tile: 12 ymm accumulators + 2 panel vectors + 1 broadcast
+/// leaves headroom in the 16-register file. The k loop is load-b /
+/// broadcast-a / fma with no output traffic; each output element is one
+/// k-ascending FMA chain.
+constexpr size_t kMr = 6;
+
+template <size_t kRows>
+void Kernel6x16Full(const float* a, size_t a_rs, size_t a_cs,
+                    const float* panel, size_t k, float* out, size_t out_ld,
+                    size_t i0) {
+  __m256 acc[kRows][2];
+  for (size_t r = 0; r < kRows; ++r) {
+    acc[r][0] = _mm256_setzero_ps();
+    acc[r][1] = _mm256_setzero_ps();
+  }
+  for (size_t kk = 0; kk < k; ++kk) {
+    const __m256 b0 = _mm256_load_ps(panel + kk * kNrAvx2);
+    const __m256 b1 = _mm256_load_ps(panel + kk * kNrAvx2 + 8);
+    for (size_t r = 0; r < kRows; ++r) {
+      const __m256 av = _mm256_broadcast_ss(a + (i0 + r) * a_rs + kk * a_cs);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  for (size_t r = 0; r < kRows; ++r) {
+    float* out_row = out + (i0 + r) * out_ld;
+    _mm256_storeu_ps(out_row, acc[r][0]);
+    _mm256_storeu_ps(out_row + 8, acc[r][1]);
+  }
+}
+
+/// Remainder tile: < kMr rows and/or a ragged panel (width < 16). Narrow
+/// stores go through an aligned spill so no lane past `width` is touched.
+void Kernel6x16Tail(const float* a, size_t a_rs, size_t a_cs,
+                    const float* panel, size_t k, float* out, size_t out_ld,
+                    size_t i0, size_t rows, size_t width) {
+  __m256 acc[kMr][2];
+  for (size_t r = 0; r < rows; ++r) {
+    acc[r][0] = _mm256_setzero_ps();
+    acc[r][1] = _mm256_setzero_ps();
+  }
+  for (size_t kk = 0; kk < k; ++kk) {
+    const __m256 b0 = _mm256_load_ps(panel + kk * kNrAvx2);
+    const __m256 b1 = _mm256_load_ps(panel + kk * kNrAvx2 + 8);
+    for (size_t r = 0; r < rows; ++r) {
+      const __m256 av = _mm256_broadcast_ss(a + (i0 + r) * a_rs + kk * a_cs);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  if (width == kNrAvx2) {
+    for (size_t r = 0; r < rows; ++r) {
+      float* out_row = out + (i0 + r) * out_ld;
+      _mm256_storeu_ps(out_row, acc[r][0]);
+      _mm256_storeu_ps(out_row + 8, acc[r][1]);
+    }
+    return;
+  }
+  alignas(32) float spill[kNrAvx2];
+  for (size_t r = 0; r < rows; ++r) {
+    _mm256_store_ps(spill, acc[r][0]);
+    _mm256_store_ps(spill + 8, acc[r][1]);
+    std::memcpy(out + (i0 + r) * out_ld, spill, width * sizeof(float));
+  }
+}
+
+}  // namespace
+
+void GemmPanelAvx2(const float* a, size_t a_rs, size_t a_cs,
+                   const float* panel, size_t k, size_t nr, float* out,
+                   size_t out_ld, size_t r0, size_t r1, size_t width) {
+  (void)nr;  // the AVX2 panel width is kNrAvx2 by construction
+  for (size_t i = r0; i < r1; i += kMr) {
+    const size_t rows = std::min(kMr, r1 - i);
+    if (rows == kMr && width == kNrAvx2) {
+      Kernel6x16Full<kMr>(a, a_rs, a_cs, panel, k, out, out_ld, i);
+    } else {
+      Kernel6x16Tail(a, a_rs, a_cs, panel, k, out, out_ld, i, rows, width);
+    }
+  }
+}
+
+void HalfToFloatF16c(const uint16_t* src, float* dst, size_t count) {
+  size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+  if (i < count) {
+    alignas(16) uint16_t hin[8] = {};
+    alignas(32) float fout[8];
+    std::memcpy(hin, src + i, (count - i) * sizeof(uint16_t));
+    _mm256_store_ps(
+        fout, _mm256_cvtph_ps(_mm_load_si128(reinterpret_cast<__m128i*>(hin))));
+    std::memcpy(dst + i, fout, (count - i) * sizeof(float));
+  }
+}
+
+void FloatToHalfF16c(const float* src, uint16_t* dst, size_t count) {
+  size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m128i h = _mm256_cvtps_ph(_mm256_loadu_ps(src + i),
+                                      _MM_FROUND_TO_NEAREST_INT);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  }
+  if (i < count) {
+    alignas(32) float fin[8] = {};
+    alignas(16) uint16_t hout[8];
+    std::memcpy(fin, src + i, (count - i) * sizeof(float));
+    _mm_store_si128(
+        reinterpret_cast<__m128i*>(hout),
+        _mm256_cvtps_ph(_mm256_load_ps(fin), _MM_FROUND_TO_NEAREST_INT));
+    std::memcpy(dst + i, hout, (count - i) * sizeof(uint16_t));
+  }
+}
+
+}  // namespace apots::tensor::simd
+
+#else  // toolchain cannot target AVX2+FMA+F16C: forward to the scalar path.
+
+namespace apots::tensor::simd {
+
+void GemmPanelAvx2(const float* a, size_t a_rs, size_t a_cs,
+                   const float* panel, size_t k, size_t nr, float* out,
+                   size_t out_ld, size_t r0, size_t r1, size_t width) {
+  GemmPanelScalar(a, a_rs, a_cs, panel, k, nr, out, out_ld, r0, r1, width);
+}
+
+void HalfToFloatF16c(const uint16_t* src, float* dst, size_t count) {
+  HalfToFloatScalar(src, dst, count);
+}
+
+void FloatToHalfF16c(const float* src, uint16_t* dst, size_t count) {
+  FloatToHalfScalar(src, dst, count);
+}
+
+}  // namespace apots::tensor::simd
+
+#endif

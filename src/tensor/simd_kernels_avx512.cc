@@ -1,0 +1,188 @@
+// AVX-512 microkernels (fp32 8x32 FMA tile, int8 VPDPBUSD tile). Compiled
+// with -mavx512{f,bw,vl,vnni} regardless of the build's baseline arch and
+// dispatched only behind the CPUID checks in cpu_features.h.
+
+#include "tensor/simd_kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__) && \
+    defined(__AVX512VNNI__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace apots::tensor::simd {
+
+namespace {
+
+/// 8x32 register tile: 16 zmm accumulators + 2 panel vectors + 1 broadcast
+/// out of 32 architectural registers; 16 independent FMA chains hide the
+/// FMA latency on two ports.
+constexpr size_t kMr = 8;
+
+inline __mmask16 LaneMask(size_t live) {
+  return live >= 16 ? static_cast<__mmask16>(0xFFFFu)
+                    : static_cast<__mmask16>((1u << live) - 1u);
+}
+
+template <size_t kRows>
+void Kernel8x32Full(const float* a, size_t a_rs, size_t a_cs,
+                    const float* panel, size_t k, float* out, size_t out_ld,
+                    size_t i0) {
+  __m512 acc[kRows][2];
+  for (size_t r = 0; r < kRows; ++r) {
+    acc[r][0] = _mm512_setzero_ps();
+    acc[r][1] = _mm512_setzero_ps();
+  }
+  for (size_t kk = 0; kk < k; ++kk) {
+    const __m512 b0 = _mm512_load_ps(panel + kk * kNrAvx512);
+    const __m512 b1 = _mm512_load_ps(panel + kk * kNrAvx512 + 16);
+    for (size_t r = 0; r < kRows; ++r) {
+      const __m512 av = _mm512_set1_ps(a[(i0 + r) * a_rs + kk * a_cs]);
+      acc[r][0] = _mm512_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm512_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  for (size_t r = 0; r < kRows; ++r) {
+    float* out_row = out + (i0 + r) * out_ld;
+    _mm512_storeu_ps(out_row, acc[r][0]);
+    _mm512_storeu_ps(out_row + 16, acc[r][1]);
+  }
+}
+
+/// Remainder tile: < kMr rows and/or width < 32, finished with masked
+/// stores — no lane past `width` is written.
+void Kernel8x32Tail(const float* a, size_t a_rs, size_t a_cs,
+                    const float* panel, size_t k, float* out, size_t out_ld,
+                    size_t i0, size_t rows, size_t width) {
+  __m512 acc[kMr][2];
+  for (size_t r = 0; r < rows; ++r) {
+    acc[r][0] = _mm512_setzero_ps();
+    acc[r][1] = _mm512_setzero_ps();
+  }
+  for (size_t kk = 0; kk < k; ++kk) {
+    const __m512 b0 = _mm512_load_ps(panel + kk * kNrAvx512);
+    const __m512 b1 = _mm512_load_ps(panel + kk * kNrAvx512 + 16);
+    for (size_t r = 0; r < rows; ++r) {
+      const __m512 av = _mm512_set1_ps(a[(i0 + r) * a_rs + kk * a_cs]);
+      acc[r][0] = _mm512_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm512_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  const __mmask16 m0 = LaneMask(width);
+  const __mmask16 m1 = width > 16 ? LaneMask(width - 16) : 0;
+  for (size_t r = 0; r < rows; ++r) {
+    float* out_row = out + (i0 + r) * out_ld;
+    _mm512_mask_storeu_ps(out_row, m0, acc[r][0]);
+    if (m1 != 0) _mm512_mask_storeu_ps(out_row + 16, m1, acc[r][1]);
+  }
+}
+
+}  // namespace
+
+void GemmPanelAvx512(const float* a, size_t a_rs, size_t a_cs,
+                     const float* panel, size_t k, size_t nr, float* out,
+                     size_t out_ld, size_t r0, size_t r1, size_t width) {
+  (void)nr;  // the AVX-512 panel width is kNrAvx512 by construction
+  for (size_t i = r0; i < r1; i += kMr) {
+    const size_t rows = std::min(kMr, r1 - i);
+    if (rows == kMr && width == kNrAvx512) {
+      Kernel8x32Full<kMr>(a, a_rs, a_cs, panel, k, out, out_ld, i);
+    } else {
+      Kernel8x32Tail(a, a_rs, a_cs, panel, k, out, out_ld, i, rows, width);
+    }
+  }
+}
+
+namespace {
+
+/// Loads one 4-byte k-group of a quantized activation row as a broadcast
+/// dword (unaligned-safe).
+inline __m512i BroadcastA4(const uint8_t* a4) {
+  uint32_t dword;
+  std::memcpy(&dword, a4, sizeof(dword));
+  return _mm512_set1_epi32(static_cast<int>(dword));
+}
+
+}  // namespace
+
+void Int8PanelVnni(const uint8_t* qa, size_t qa_ld, const float* row_scale,
+                   const float* row_min, const int8_t* panel, size_t kp,
+                   const float* col_scale, const int32_t* col_zsum, float* out,
+                   size_t out_ld, size_t r0, size_t r1, size_t width) {
+  const size_t groups = kp / 4;
+  // 4 rows x 16 columns per step: 4 VPDPBUSD chains per panel load. The
+  // integer accumulation is exact, so this matches Int8PanelScalar bit for
+  // bit (same accumulators, same shared dequantization expression).
+  size_t i = r0;
+  for (; i + 4 <= r1; i += 4) {
+    __m512i acc0 = _mm512_setzero_si512();
+    __m512i acc1 = _mm512_setzero_si512();
+    __m512i acc2 = _mm512_setzero_si512();
+    __m512i acc3 = _mm512_setzero_si512();
+    const uint8_t* a0 = qa + i * qa_ld;
+    const uint8_t* a1 = a0 + qa_ld;
+    const uint8_t* a2 = a1 + qa_ld;
+    const uint8_t* a3 = a2 + qa_ld;
+    for (size_t g = 0; g < groups; ++g) {
+      const __m512i bv = _mm512_load_si512(panel + g * kNrInt8 * 4);
+      acc0 = _mm512_dpbusd_epi32(acc0, BroadcastA4(a0 + g * 4), bv);
+      acc1 = _mm512_dpbusd_epi32(acc1, BroadcastA4(a1 + g * 4), bv);
+      acc2 = _mm512_dpbusd_epi32(acc2, BroadcastA4(a2 + g * 4), bv);
+      acc3 = _mm512_dpbusd_epi32(acc3, BroadcastA4(a3 + g * 4), bv);
+    }
+    alignas(64) int32_t lanes[4][kNrInt8];
+    _mm512_store_si512(lanes[0], acc0);
+    _mm512_store_si512(lanes[1], acc1);
+    _mm512_store_si512(lanes[2], acc2);
+    _mm512_store_si512(lanes[3], acc3);
+    for (size_t r = 0; r < 4; ++r) {
+      float* out_row = out + (i + r) * out_ld;
+      for (size_t c = 0; c < width; ++c) {
+        out_row[c] = DequantInt8Acc(lanes[r][c], col_zsum[c],
+                                    row_scale[i + r], row_min[i + r],
+                                    col_scale[c]);
+      }
+    }
+  }
+  for (; i < r1; ++i) {
+    __m512i acc = _mm512_setzero_si512();
+    const uint8_t* a_row = qa + i * qa_ld;
+    for (size_t g = 0; g < groups; ++g) {
+      const __m512i bv = _mm512_load_si512(panel + g * kNrInt8 * 4);
+      acc = _mm512_dpbusd_epi32(acc, BroadcastA4(a_row + g * 4), bv);
+    }
+    alignas(64) int32_t lanes[kNrInt8];
+    _mm512_store_si512(lanes, acc);
+    float* out_row = out + i * out_ld;
+    for (size_t c = 0; c < width; ++c) {
+      out_row[c] = DequantInt8Acc(lanes[c], col_zsum[c], row_scale[i],
+                                  row_min[i], col_scale[c]);
+    }
+  }
+}
+
+}  // namespace apots::tensor::simd
+
+#else  // toolchain cannot target AVX-512: forward to the scalar paths.
+
+namespace apots::tensor::simd {
+
+void GemmPanelAvx512(const float* a, size_t a_rs, size_t a_cs,
+                     const float* panel, size_t k, size_t nr, float* out,
+                     size_t out_ld, size_t r0, size_t r1, size_t width) {
+  GemmPanelScalar(a, a_rs, a_cs, panel, k, nr, out, out_ld, r0, r1, width);
+}
+
+void Int8PanelVnni(const uint8_t* qa, size_t qa_ld, const float* row_scale,
+                   const float* row_min, const int8_t* panel, size_t kp,
+                   const float* col_scale, const int32_t* col_zsum, float* out,
+                   size_t out_ld, size_t r0, size_t r1, size_t width) {
+  Int8PanelScalar(qa, qa_ld, row_scale, row_min, panel, kp, col_scale,
+                  col_zsum, out, out_ld, r0, r1, width);
+}
+
+}  // namespace apots::tensor::simd
+
+#endif

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "tensor/simd_kernels.h"
 #include "util/thread_pool.h"
 
 namespace apots::tensor {
@@ -145,6 +146,18 @@ void SetKernelMode(KernelMode mode) {
 
 KernelMode GetKernelMode() {
   return g_kernel_mode.load(std::memory_order_relaxed);
+}
+
+const char* KernelModeName(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kBlocked:
+      return "blocked";
+    case KernelMode::kReference:
+      return "reference";
+    case KernelMode::kSimd:
+      return "simd";
+  }
+  return "unknown";
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
@@ -298,6 +311,10 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
+  if (GetKernelMode() == KernelMode::kSimd) {
+    simd::GemmStrided(pa, k, 1, pb, n, 1, po, m, k, n);
+    return out;
+  }
   GlobalPool().ParallelFor(0, m, RowGrain(k * n),
                            [&](size_t r0, size_t r1, size_t) {
                              MatmulRowRange(pa, pb, po, r0, r1, k, n);
@@ -317,6 +334,12 @@ Tensor MatmulTransposeA(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
+  if (GetKernelMode() == KernelMode::kSimd) {
+    // The strided left operand (rs=1, cs=m) expresses a^T without
+    // materializing it; broadcast loads don't care about the stride.
+    simd::GemmStrided(pa, 1, m, pb, n, 1, po, m, k, n);
+    return out;
+  }
   // Parallel over output rows (columns of a): each worker owns a disjoint
   // row panel of `out` and walks all of k, so the k-ascending accumulation
   // order per element matches the reference kernel exactly.
@@ -337,6 +360,13 @@ Tensor MatmulTransposeB(const Tensor& a, const Tensor& b) {
   APOTS_CHECK_EQ(b.rank(), 2u);
   APOTS_CHECK_EQ(a.cols(), b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (GetKernelMode() == KernelMode::kSimd) {
+    // Panels are packed straight from b's rows (B(kk, j) = b[j*k + kk]),
+    // so no b^T materialization is needed on this path.
+    Tensor out({m, n});
+    simd::GemmStrided(a.data(), k, 1, b.data(), 1, k, out.data(), m, k, n);
+    return out;
+  }
   // Materialize b^T once ([n,k] -> [k,n]) and run the streaming ikj loop.
   // The reference kernel's scalar dot product is a single latency-bound
   // dependency chain; streaming over b^T rows vectorizes while adding the
@@ -377,6 +407,10 @@ void MatmulInto(const Tensor& a, const Tensor& b, Tensor* out) {
   if (GetKernelMode() == KernelMode::kReference) {
     out->Fill(0.0f);
     ReferenceMatmulAccumulate(pa, pb, po, m, k, n);
+    return;
+  }
+  if (GetKernelMode() == KernelMode::kSimd) {
+    simd::GemmStrided(pa, k, 1, pb, n, 1, po, m, k, n);
     return;
   }
   GlobalPool().ParallelFor(0, m, RowGrain(k * n),
@@ -526,7 +560,9 @@ void Im2ColInto(const Tensor& input, size_t kh, size_t kw, size_t pad,
   const float* pi = input.data();
   const size_t col_width = out_h * out_w;
   // Each output row is the sweep of one (channel, ki, kj) tap: disjoint
-  // writes, so rows parallelize freely.
+  // writes, so rows parallelize freely. kSimd shares this path: im2col is
+  // a pure copy kernel, so there is no arithmetic for vector units to win
+  // on and the copies below already saturate memory bandwidth.
   GlobalPool().ParallelFor(
       0, channels * kh * kw, RowGrain(col_width),
       [&](size_t row0, size_t row1, size_t) {

@@ -29,9 +29,20 @@ void Axpy(Tensor* a, const Tensor& b, float scalar);
 /// the pre-parallel baseline arm of the perf benches. The blocked
 /// kernels preserve the reference per-element accumulation order, so
 /// results are bit-identical across modes and across pool sizes.
-enum class KernelMode { kBlocked, kReference };
+///
+/// kSimd routes the matmul family through explicit packed-panel
+/// microkernels with runtime CPUID dispatch (AVX-512 > AVX2 > scalar; see
+/// cpu_features.h). Each output element is still one k-ascending FMA
+/// chain, so kSimd is bit-reproducible across pool sizes and row
+/// partitions for a fixed ISA — but FMA contraction differences vs the
+/// scalar chains mean kSimd matches the other modes only within a small
+/// relative epsilon (DESIGN.md §15). Im2Col is a copy kernel with no
+/// arithmetic; kSimd uses the blocked path for it unchanged.
+enum class KernelMode { kBlocked, kReference, kSimd };
 void SetKernelMode(KernelMode mode);
 KernelMode GetKernelMode();
+/// "blocked" / "reference" / "simd".
+const char* KernelModeName(KernelMode mode);
 
 /// Matrix product of rank-2 tensors: [m,k] x [k,n] -> [m,n]. Blocked inner
 /// loop over k for cache friendliness; this is the hot path of training.
@@ -56,7 +67,7 @@ Tensor Im2Col(const Tensor& input, size_t kh, size_t kw, size_t pad);
 
 /// Workspace-friendly kernel variants: write into a preallocated output of
 /// the correct shape instead of returning a fresh tensor. Bitwise identical
-/// to the allocating forms in both kernel modes; `out` contents may be
+/// to the allocating forms in every kernel mode; `out` contents may be
 /// dirty (every element is overwritten).
 void MatmulInto(const Tensor& a, const Tensor& b, Tensor* out);
 void Im2ColInto(const Tensor& input, size_t kh, size_t kw, size_t pad,

@@ -26,14 +26,30 @@ Tensor* Workspace::Materialize(Tensor&& t) {
   return slot;
 }
 
+void* Workspace::AcquireBytes(size_t bytes) {
+  if (byte_cursor_ == byte_slots_.size()) {
+    byte_slots_.push_back(std::make_unique<ByteBuffer>());
+  }
+  ByteBuffer* slot = byte_slots_[byte_cursor_++].get();
+  if (slot->size() < bytes) slot->resize(std::max<size_t>(bytes, 64));
+  return slot->data();
+}
+
 void Workspace::Reset() {
   cursor_ = 0;
+  byte_cursor_ = 0;
   ++generation_;
 }
 
 size_t Workspace::capacity_floats() const {
   size_t total = 0;
   for (const auto& slot : slots_) total += slot->size();
+  return total;
+}
+
+size_t Workspace::capacity_bytes() const {
+  size_t total = 0;
+  for (const auto& slot : byte_slots_) total += slot->size();
   return total;
 }
 

@@ -2,6 +2,7 @@
 #define APOTS_TENSOR_WORKSPACE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -44,6 +45,12 @@ class Workspace {
   /// Acquire.
   Tensor* Materialize(Tensor&& t);
 
+  /// Borrows a raw 64-byte-aligned scratch buffer of at least `bytes`
+  /// (quantized-inference activation codes and similar non-float
+  /// scratch). Same contract as Acquire: bump order, grow-only slots,
+  /// contents dirty, invalidated by Reset.
+  void* AcquireBytes(size_t bytes);
+
   /// Starts a new generation: previously borrowed tensors become invalid,
   /// storage is retained for reuse.
   void Reset();
@@ -59,11 +66,20 @@ class Workspace {
   /// Reset count (diagnostics; one generation ≈ one forward pass).
   size_t generation() const { return generation_; }
 
+  /// Byte slots handed out since the last Reset.
+  size_t byte_slots_in_use() const { return byte_cursor_; }
+  /// Total bytes currently resident across all byte-slot buffers.
+  size_t capacity_bytes() const;
+
  private:
+  using ByteBuffer = std::vector<uint8_t, AlignedAllocator<uint8_t>>;
+
   Tensor* NextSlot();
 
   std::vector<std::unique_ptr<Tensor>> slots_;
+  std::vector<std::unique_ptr<ByteBuffer>> byte_slots_;
   size_t cursor_ = 0;
+  size_t byte_cursor_ = 0;
   size_t generation_ = 0;
   size_t high_water_floats_ = 0;
 };

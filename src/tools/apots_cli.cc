@@ -25,6 +25,10 @@
 //                      [--defend 0|1] [--defense-rounds N]
 //                      [--finetune-epochs N]
 //
+// Every model command also accepts --kernel-mode {reference,blocked,simd}
+// (process-wide matmul dispatch) and --quantize {off,fp16,int8} (inference
+// weight precision); serve and attack print the dispatched kernel and ISA.
+//
 // `attack` trains a model, perturbs its speed inputs under the
 // sensor-plausibility budget (white-box PGD or black-box SPSA), and
 // reports clean vs attacked accuracy — with `--defend 1`, also after
@@ -59,6 +63,9 @@
 #include "eval/experiment.h"
 #include "metrics/metrics.h"
 #include "serve/harness.h"
+#include "tensor/cpu_features.h"
+#include "tensor/quant.h"
+#include "tensor/tensor_ops.h"
 #include "traffic/dataset_generator.h"
 #include "traffic/fault_injector.h"
 #include "util/csv.h"
@@ -91,6 +98,54 @@ core::PredictorType ParsePredictor(const std::string& name) {
   if (name == "C") return core::PredictorType::kCnn;
   if (name == "H") return core::PredictorType::kHybrid;
   return core::PredictorType::kFc;
+}
+
+// Applies --kernel-mode to the process-wide matmul dispatch switch.
+// Unknown values are rejected (after printing the valid set), mirroring
+// --fault-kinds. Absent flag keeps the library default (blocked).
+bool ApplyKernelModeFlag(const std::map<std::string, std::string>& flags) {
+  const std::string name = Flag(flags, "kernel-mode", "");
+  if (name.empty()) return true;
+  if (name == "reference") {
+    tensor::SetKernelMode(tensor::KernelMode::kReference);
+  } else if (name == "blocked") {
+    tensor::SetKernelMode(tensor::KernelMode::kBlocked);
+  } else if (name == "simd") {
+    tensor::SetKernelMode(tensor::KernelMode::kSimd);
+  } else {
+    std::fprintf(stderr,
+                 "bad --kernel-mode: %s (valid: reference, blocked, simd)\n",
+                 name.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Reads --quantize into `mode`; rejects unknown values like --fault-kinds.
+bool ParseQuantizeFlag(const std::map<std::string, std::string>& flags,
+                       tensor::QuantMode* mode) {
+  const std::string name = Flag(flags, "quantize", "off");
+  if (name == "off") {
+    *mode = tensor::QuantMode::kOff;
+  } else if (name == "fp16") {
+    *mode = tensor::QuantMode::kFp16;
+  } else if (name == "int8") {
+    *mode = tensor::QuantMode::kInt8;
+  } else {
+    std::fprintf(stderr, "bad --quantize: %s (valid: off, fp16, int8)\n",
+                 name.c_str());
+    return false;
+  }
+  return true;
+}
+
+// One-line dispatch summary: which kernel family the matmuls route
+// through, the ISA rung runtime dispatch lands on, and the inference
+// weight precision.
+void PrintDispatch(tensor::QuantMode quantize) {
+  std::printf("kernels: %s (isa %s), quantize %s\n",
+              tensor::KernelModeName(tensor::GetKernelMode()),
+              tensor::ActiveIsaLabel(), tensor::QuantModeName(quantize));
 }
 
 int Generate(const std::map<std::string, std::string>& flags) {
@@ -225,6 +280,9 @@ int LoadSession(const std::map<std::string, std::string>& flags,
   session->config.training.adv_weight = 0.05f;
   if (ParseInt64(Flag(flags, "epochs", ""), &value)) {
     session->config.training.epochs = static_cast<int>(value);
+  }
+  if (!ParseQuantizeFlag(flags, &session->config.inference.quantize)) {
+    return 1;
   }
   traffic::FaultSpec fault_spec;
   if (!ParseFaultSpec(flags, &fault_spec)) return 1;
@@ -373,6 +431,9 @@ int Robustness(const std::map<std::string, std::string>& flags) {
     if (ParseInt64(Flag(flags, "epochs", ""), &value)) {
       session.config.training.epochs = static_cast<int>(value);
     }
+    if (!ParseQuantizeFlag(flags, &session.config.inference.quantize)) {
+      return 1;
+    }
     session.split = data::MakeSplit(session.dataset, 12, 3, 0.2,
                                     data::SplitStrategy::kBlockedByDay, 42);
   }
@@ -511,10 +572,12 @@ int Attack(const std::map<std::string, std::string>& flags) {
     session.config.training.epochs = static_cast<int>(value);
   }
   session.config.training.guard.enabled = true;
+  if (!ParseQuantizeFlag(flags, &session.config.inference.quantize)) return 1;
   session.split = data::MakeSplit(session.dataset, 12, 3, 0.2,
                                   data::SplitStrategy::kBlockedByDay, 42);
 
   core::ApotsModel model(&session.dataset, session.config);
+  PrintDispatch(session.config.inference.quantize);
   std::printf("training %s on %zu anchors (%zu weights)...\n",
               session.config.Tag().c_str(), session.split.train.size(),
               model.NumWeights());
@@ -692,6 +755,7 @@ int Serve(const std::map<std::string, std::string>& flags) {
   if (ParseDouble(Flag(flags, "watchdog-ms", ""), &ms)) {
     hc.serve.watchdog_timeout_ms = ms;
   }
+  if (!ParseQuantizeFlag(flags, &hc.inference.quantize)) return 1;
   hc.serve.checkpoint_dir = Flag(flags, "checkpoint-dir", "");
   if (ParseInt64(Flag(flags, "checkpoint-every", ""), &value)) {
     hc.serve.checkpoint_every = value;
@@ -737,6 +801,7 @@ int Serve(const std::map<std::string, std::string>& flags) {
               spec.num_roads, harness.truth().num_intervals(),
               harness.warmup_end(),
               Flag(flags, "storm", "1") == "1" ? "storm" : "clean");
+  PrintDispatch(harness.model().config().inference.quantize);
 
   double abs_err[serve::kNumServeTiers] = {0, 0, 0, 0};
   uint64_t err_count[serve::kNumServeTiers] = {0, 0, 0, 0};
@@ -889,7 +954,12 @@ int Usage() {
       "           [--defense-rounds N] [--finetune-epochs N]\n"
       "  every command also takes --metrics-json PATH (dump the metrics\n"
       "           registry as JSON on exit) and --trace PATH (record\n"
-      "           chrome://tracing spans; open the file in a trace viewer)\n");
+      "           chrome://tracing spans; open the file in a trace viewer)\n"
+      "  model commands also take --kernel-mode reference|blocked|simd\n"
+      "           (matmul dispatch; simd picks the best ISA at runtime)\n"
+      "           and --quantize off|fp16|int8 (inference weight\n"
+      "           precision; serve/attack print the dispatched kernel,\n"
+      "           ISA, and precision)\n");
   return 2;
 }
 
@@ -931,6 +1001,7 @@ int main(int argc, char** argv) {
   if (!Flag(flags, "trace", "").empty()) {
     obs::TraceRecorder::Default().Enable({});
   }
+  if (!ApplyKernelModeFlag(flags)) return 1;
   int rc = -1;
   if (command == "generate") rc = Generate(flags);
   else if (command == "train") rc = Train(flags);

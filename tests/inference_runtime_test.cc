@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "core/apots_model.h"
@@ -217,6 +218,70 @@ TEST(InferenceRuntimeTest, FallbackCountIndependentOfBatchGridAndThreads) {
   ResetGlobalPool(1);
 }
 
+double MeanAbsDiff(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+TEST(InferenceRuntimeTest, QuantizedPredictTracksFp32WithinMae) {
+  // End-to-end accuracy contract (DESIGN.md §15): quantized serving must
+  // cost at most 0.5 km/h of true MAE vs the fp32 arm — quantization
+  // noise is near-zero-mean, so the accuracy delta stays far below the
+  // raw prediction drift — and stay deterministic across pool sizes.
+  Env& env = GetEnv();
+  const PredictorType types[] = {PredictorType::kFc, PredictorType::kLstm};
+  for (PredictorType type : types) {
+    ApotsModel model(&env.dataset, ConfigFor(type));
+    const std::vector<double> truth = model.TrueKmh(env.test);
+    const std::vector<double> fp32 = model.PredictKmh(env.test);
+    const double fp32_mae = MeanAbsDiff(fp32, truth);
+    for (tensor::QuantMode mode :
+         {tensor::QuantMode::kInt8, tensor::QuantMode::kFp16}) {
+      InferenceConfig cfg;
+      cfg.quantize = mode;
+      model.SetInferenceConfig(cfg);
+      const std::vector<double> quant = model.PredictKmh(env.test);
+      EXPECT_LE(std::fabs(MeanAbsDiff(quant, truth) - fp32_mae), 0.5)
+          << PredictorTypeLabel(type) << " " << tensor::QuantModeName(mode);
+      // Coarse drift bound: a broken kernel diverges by whole km/h.
+      EXPECT_LE(MeanAbsDiff(quant, fp32), 2.0)
+          << PredictorTypeLabel(type) << " " << tensor::QuantModeName(mode);
+      ResetGlobalPool(4);
+      ExpectIdentical(model.PredictKmh(env.test), quant,
+                      tensor::QuantModeName(mode));
+      ResetGlobalPool(1);
+    }
+    // Returning to kOff must drop the packed copies: predictions revert
+    // to the exact fp32 stream, not quantized math under an fp32 label.
+    model.SetInferenceConfig(InferenceConfig());
+    ExpectIdentical(model.PredictKmh(env.test), fp32, "back to fp32");
+  }
+}
+
+TEST(InferenceRuntimeTest, QuantizedPacksRefreshOnWeightMutation) {
+  // Weights arriving via CopyWeightsFrom must re-pack the quantized
+  // copies; serving stale packs from the old weights would diverge by the
+  // across-seed prediction gap, far beyond quantization noise.
+  Env& env = GetEnv();
+  ApotsConfig src_cfg = ConfigFor(PredictorType::kFc);
+  src_cfg.seed = 7;
+  ApotsModel source(&env.dataset, src_cfg);
+  const std::vector<double> fp32 = source.PredictKmh(env.test);
+
+  ApotsConfig dst_cfg = ConfigFor(PredictorType::kFc);
+  dst_cfg.seed = 1234;  // different init: stale packs would show
+  dst_cfg.inference.quantize = tensor::QuantMode::kInt8;
+  ApotsModel dest(&env.dataset, dst_cfg);
+  const std::vector<double> before_copy = dest.PredictKmh(env.test);
+  // The discrimination premise: the two seeds actually predict apart by
+  // more than the stale-pack tolerance below.
+  ASSERT_GT(MeanAbsDiff(before_copy, fp32), 2.0);
+  ASSERT_TRUE(dest.CopyWeightsFrom(source).ok());
+  EXPECT_LE(MeanAbsDiff(dest.PredictKmh(env.test), fp32), 2.0);
+}
+
 TEST(InferenceConfigGuardTest, ValidateRejectsDegenerateConfigs) {
   InferenceConfig zero_batch;
   zero_batch.batch_size = 0;
@@ -228,6 +293,14 @@ TEST(InferenceConfigGuardTest, ValidateRejectsDegenerateConfigs) {
   zero_cache.cache_capacity = 0;
   EXPECT_EQ(ValidateInferenceConfig(zero_cache).code(),
             StatusCode::kInvalidArgument);
+
+  InferenceConfig quant_no_ws;
+  quant_no_ws.quantize = tensor::QuantMode::kInt8;
+  quant_no_ws.use_workspace = false;
+  EXPECT_EQ(ValidateInferenceConfig(quant_no_ws).code(),
+            StatusCode::kInvalidArgument);
+  quant_no_ws.use_workspace = true;
+  EXPECT_TRUE(ValidateInferenceConfig(quant_no_ws).ok());
 
   // Capacity 0 is fine when the cache is off, and defaults are valid.
   zero_cache.use_feature_cache = false;
@@ -244,6 +317,13 @@ TEST(InferenceConfigGuardTest, SanitizeClampsInsteadOfCrashing) {
   EXPECT_EQ(fixed.batch_size, 1u);
   EXPECT_FALSE(fixed.use_feature_cache);
   EXPECT_TRUE(ValidateInferenceConfig(fixed).ok());
+
+  InferenceConfig quant_no_ws;
+  quant_no_ws.quantize = tensor::QuantMode::kFp16;
+  quant_no_ws.use_workspace = false;
+  const InferenceConfig fixed_quant = SanitizeInferenceConfig(quant_no_ws);
+  EXPECT_EQ(fixed_quant.quantize, tensor::QuantMode::kOff);
+  EXPECT_TRUE(ValidateInferenceConfig(fixed_quant).ok());
 }
 
 TEST(InferenceConfigGuardTest, DegenerateConfigStillPredictsIdentically) {
