@@ -4,7 +4,8 @@
 #            Test tiers (tests/CMakeLists.txt + bench/CMakeLists.txt):
 #              tier1  every gtest suite + the perf-comparator self-test;
 #                     the PR lane, run here and in ci.yml via `ctest -L tier1`
-#              soak   quick arms of serve_soak / attack_robustness
+#              soak   quick arms of serve_soak / attack_robustness /
+#                     chaos_soak
 #              bench  quick arm of frontend_qps
 #            The non-tier1 labels are nightly material; pass --all-tests to
 #            run the whole label set locally (what ci-nightly.yml does).
@@ -71,6 +72,11 @@ obs_regex='CounterTest|GaugeTest|HistogramTest|RegistryTest|MetricsEnabled|Trace
 # The front-door request path: the lock-free MPSC ring and the frontend's
 # producers racing the background serving thread.
 frontdoor_regex='MpscQueue|Frontend'
+# The sharded serving plane: road-graph partitions, the replicated
+# shard/router/boundary-exchange stack (whose replicas each run a watchdog
+# sampler thread against the shared VirtualClock), and the chaos
+# scheduler/driver that tears replicas down mid-serve.
+sharded_regex='RoadGraph|PartitionTest|ShardedService|ParseChaosKinds|ChaosScheduler|ChaosDriver'
 
 if [[ ${lane_tier1} -eq 1 ]]; then
   echo "=== lane 1: tier-1 (Release build + labeled ctest) ==="
@@ -89,9 +95,10 @@ if [[ ${lane_asan} -eq 1 ]]; then
   cmake --build build-asan -j --target fault_injector_test train_guard_test \
     thread_pool_test parallel_determinism_test checkpoint_test \
     feature_cache_stream_test serve_test obs_metrics_test obs_trace_test \
-    mpsc_queue_test frontend_test kernel_equivalence_test quant_kernel_test
+    mpsc_queue_test frontend_test kernel_equivalence_test quant_kernel_test \
+    road_graph_test sharded_service_test chaos_test
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R "FaultInjector|FaultKinds|ValidityMask|Imputation|FeatureAssemblerMask|TrafficDatasetBounds|TrainGuard|GuardedTraining|SerializeV2|CheckpointStore|KillRestore|FeatureCacheKey|FeatureCacheStream|FaultyFeed|StreamIngestor|ServeWatchdog|Supervisor|Harness|${parallel_regex}|${obs_regex}|${frontdoor_regex}|${kernel_regex}"
+    -R "FaultInjector|FaultKinds|ValidityMask|Imputation|FeatureAssemblerMask|TrafficDatasetBounds|TrainGuard|GuardedTraining|SerializeV2|CheckpointStore|KillRestore|FeatureCacheKey|FeatureCacheStream|FaultyFeed|StreamIngestor|ServeWatchdog|Supervisor|Harness|${parallel_regex}|${obs_regex}|${frontdoor_regex}|${kernel_regex}|${sharded_regex}"
 fi
 
 if [[ ${lane_tsan} -eq 1 ]]; then
@@ -100,17 +107,21 @@ if [[ ${lane_tsan} -eq 1 ]]; then
   cmake --build build-tsan -j --target thread_pool_test parallel_determinism_test \
     serve_test serve_soak obs_metrics_test obs_trace_test \
     mpsc_queue_test frontend_test frontend_qps kernel_equivalence_test \
-    quant_kernel_test
+    quant_kernel_test sharded_service_test chaos_test chaos_soak
   # The kernel suites ride along under TSan because the blocked/SIMD panel
   # loops and the int8 pack+compute path all fan out across the global pool.
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R "${parallel_regex}|ServeWatchdog|Supervisor|${obs_regex}|${frontdoor_regex}|${kernel_regex}"
+    -R "${parallel_regex}|ServeWatchdog|Supervisor|${obs_regex}|${frontdoor_regex}|${kernel_regex}|ShardedService|ChaosDriver"
   # One quick soak under TSan: the watchdog sampler thread races the
   # serving thread's arm/disarm window on every neural batch.
   ./build-tsan/bench/serve_soak --quick --perf_json=build-tsan/perf_pr4_tsan.json
   # One quick frontend load run under TSan: closed-loop producers, the
   # open-loop dispatcher, and overload shedding all race the consumer.
   ./build-tsan/bench/frontend_qps --quick --perf_json=build-tsan/perf_frontend_tsan.json
+  # One quick chaos soak under TSan: 2x2 replicas' watchdog samplers read
+  # the shared VirtualClock while the chaos driver kills, stalls, and
+  # clock-skews replicas mid-serve.
+  ./build-tsan/bench/chaos_soak --quick --perf_json=build-tsan/perf_chaos_tsan.json
 fi
 
 echo "verify: all requested lanes passed"

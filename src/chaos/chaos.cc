@@ -1,0 +1,323 @@
+#include "chaos/chaos.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace apots::chaos {
+
+Result<unsigned> ParseChaosKinds(const std::string& spec) {
+  unsigned kinds = 0;
+  for (const std::string& token : Split(spec, ',')) {
+    const std::string name = ToLower(Trim(token));
+    if (name.empty()) continue;
+    if (name == "all") {
+      kinds |= kChaosAll;
+    } else if (name == "kill") {
+      kinds |= kChaosKill;
+    } else if (name == "stall") {
+      kinds |= kChaosStall;
+    } else if (name == "partition") {
+      kinds |= kChaosPartition;
+    } else if (name == "skew") {
+      kinds |= kChaosSkew;
+    } else if (name == "corrupt") {
+      kinds |= kChaosCorrupt;
+    } else {
+      return Status::InvalidArgument(
+          "unknown chaos kind: " + name +
+          " (valid kinds: kill, stall, partition, skew, corrupt, all)");
+    }
+  }
+  if (kinds == 0) {
+    return Status::InvalidArgument(
+        "no chaos kinds in: " + spec +
+        " (valid kinds: kill, stall, partition, skew, corrupt, all)");
+  }
+  return kinds;
+}
+
+std::string ChaosKindsToString(unsigned kinds) {
+  std::string out;
+  const auto append = [&out](const char* name) {
+    if (!out.empty()) out += ",";
+    out += name;
+  };
+  if (kinds & kChaosKill) append("kill");
+  if (kinds & kChaosStall) append("stall");
+  if (kinds & kChaosPartition) append("partition");
+  if (kinds & kChaosSkew) append("skew");
+  if (kinds & kChaosCorrupt) append("corrupt");
+  if (out.empty()) out = "none";
+  return out;
+}
+
+const char* ChaosActionName(ChaosAction action) {
+  switch (action) {
+    case ChaosAction::kKill:
+      return "kill";
+    case ChaosAction::kRestart:
+      return "restart";
+    case ChaosAction::kStall:
+      return "stall";
+    case ChaosAction::kPartition:
+      return "partition";
+    case ChaosAction::kClockSkew:
+      return "clock-skew";
+    case ChaosAction::kCorruptCheckpoint:
+      return "corrupt-checkpoint";
+  }
+  return "unknown";
+}
+
+ChaosSpec ChaosSpec::Off() {
+  ChaosSpec spec;
+  spec.kinds = 0;
+  spec.kill_prob = 0.0;
+  spec.stall_prob = 0.0;
+  spec.partition_prob = 0.0;
+  spec.skew_prob = 0.0;
+  spec.corrupt_prob = 0.0;
+  return spec;
+}
+
+ChaosSpec ChaosSpec::Storm(uint64_t seed) {
+  ChaosSpec spec;
+  spec.seed = seed;
+  spec.kill_prob = 0.02;
+  spec.stall_prob = 0.04;
+  spec.partition_prob = 0.02;
+  spec.skew_prob = 0.02;
+  spec.corrupt_prob = 0.01;
+  return spec;
+}
+
+ChaosScheduler::ChaosScheduler(ChaosSpec spec, int num_shards,
+                               int replicas_per_shard)
+    : spec_(spec),
+      num_shards_(num_shards),
+      replicas_per_shard_(replicas_per_shard),
+      rng_(spec.seed) {
+  APOTS_CHECK_GE(num_shards_, 1);
+  APOTS_CHECK_GE(replicas_per_shard_, 1);
+  states_.resize(static_cast<size_t>(num_shards_ * replicas_per_shard_));
+}
+
+ChaosScheduler::ReplicaState& ChaosScheduler::At(int shard, int replica) {
+  return states_[static_cast<size_t>(shard * replicas_per_shard_ + replica)];
+}
+
+int ChaosScheduler::HealthyCount(int shard, long tick) {
+  int healthy = 0;
+  for (int r = 0; r < replicas_per_shard_; ++r) {
+    const ReplicaState& state = At(shard, r);
+    if (state.down_until >= 0 && tick < state.down_until) continue;
+    if (state.unreachable_until >= 0 && tick < state.unreachable_until) {
+      continue;
+    }
+    if (state.stalled_until >= 0 && tick < state.stalled_until) continue;
+    ++healthy;
+  }
+  return healthy;
+}
+
+std::vector<ChaosEvent> ChaosScheduler::Step(long tick) {
+  std::vector<ChaosEvent> events;
+
+  // Due restarts first, so a replica can be back before new faults draw.
+  auto due = std::stable_partition(
+      pending_restarts_.begin(), pending_restarts_.end(),
+      [tick](const ChaosEvent& event) { return event.tick <= tick; });
+  for (auto it = pending_restarts_.begin(); it != due; ++it) {
+    ChaosEvent restart = *it;
+    restart.tick = tick;
+    At(restart.shard, restart.replica).down_until = -1;
+    ++stats_.restarts;
+    events.push_back(restart);
+  }
+  pending_restarts_.erase(pending_restarts_.begin(), due);
+
+  // Fault draws in fixed (shard, replica, kind) order — determinism needs
+  // a stable RNG consumption sequence, so every probability is drawn even
+  // when an earlier draw already fired.
+  for (int s = 0; s < num_shards_; ++s) {
+    for (int r = 0; r < replicas_per_shard_; ++r) {
+      const bool kill_draw =
+          (spec_.kinds & kChaosKill) && rng_.Bernoulli(spec_.kill_prob);
+      const bool stall_draw =
+          (spec_.kinds & kChaosStall) && rng_.Bernoulli(spec_.stall_prob);
+      const double stall_ms =
+          rng_.Uniform(spec_.stall_ms_min, spec_.stall_ms_max);
+      const long stall_ticks = static_cast<long>(
+          spec_.stall_ticks_min +
+          static_cast<int>(rng_.UniformInt(static_cast<uint64_t>(
+              spec_.stall_ticks_max - spec_.stall_ticks_min + 1))));
+      const bool partition_draw = (spec_.kinds & kChaosPartition) &&
+                                  rng_.Bernoulli(spec_.partition_prob);
+      const long partition_ticks = static_cast<long>(
+          spec_.partition_min +
+          static_cast<int>(rng_.UniformInt(static_cast<uint64_t>(
+              spec_.partition_max - spec_.partition_min + 1))));
+      const bool skew_draw =
+          (spec_.kinds & kChaosSkew) && rng_.Bernoulli(spec_.skew_prob);
+      const double skew_ms =
+          rng_.Uniform(-spec_.skew_ms_max, spec_.skew_ms_max);
+      const bool corrupt_draw = (spec_.kinds & kChaosCorrupt) &&
+                                rng_.Bernoulli(spec_.corrupt_prob);
+      const long down_ticks = static_cast<long>(
+          spec_.down_min + static_cast<int>(rng_.UniformInt(
+                               static_cast<uint64_t>(spec_.down_max -
+                                                     spec_.down_min + 1))));
+
+      ReplicaState& state = At(s, r);
+      const bool is_down = state.down_until >= 0 && tick < state.down_until;
+      if (is_down) continue;  // nothing to do to a dead replica
+
+      // The spare-last-healthy guard asks whether taking THIS replica out
+      // would leave the shard with no healthy one. A victim that is
+      // already partitioned or stalled is not healthy, so removing it
+      // cannot reduce the healthy count.
+      const auto victim_healthy = [&state, tick] {
+        return !(state.unreachable_until >= 0 &&
+                 tick < state.unreachable_until) &&
+               !(state.stalled_until >= 0 && tick < state.stalled_until);
+      };
+      const auto would_strand = [this, s, tick, &victim_healthy] {
+        return HealthyCount(s, tick) - (victim_healthy() ? 1 : 0) < 1;
+      };
+
+      // Corruption composes the full drill: corrupt the newest
+      // checkpoint, kill, and recover through the fallback on restart.
+      const bool wants_kill = kill_draw || corrupt_draw;
+      if (wants_kill || partition_draw) {
+        if (spec_.spare_last_healthy && would_strand()) {
+          ++stats_.spared;
+        } else if (wants_kill) {
+          if (corrupt_draw) {
+            ChaosEvent corrupt;
+            corrupt.tick = tick;
+            corrupt.action = ChaosAction::kCorruptCheckpoint;
+            corrupt.shard = s;
+            corrupt.replica = r;
+            events.push_back(corrupt);
+            ++stats_.corruptions;
+          }
+          ChaosEvent kill;
+          kill.tick = tick;
+          kill.action = ChaosAction::kKill;
+          kill.shard = s;
+          kill.replica = r;
+          events.push_back(kill);
+          ++stats_.kills;
+          state.down_until = tick + down_ticks;
+          ChaosEvent restart;
+          restart.tick = tick + down_ticks;
+          restart.action = ChaosAction::kRestart;
+          restart.shard = s;
+          restart.replica = r;
+          pending_restarts_.push_back(restart);
+          continue;  // no further faults on a replica killed this tick
+        } else {
+          ChaosEvent partition;
+          partition.tick = tick;
+          partition.action = ChaosAction::kPartition;
+          partition.shard = s;
+          partition.replica = r;
+          partition.duration_ticks = partition_ticks;
+          events.push_back(partition);
+          ++stats_.partitions;
+          state.unreachable_until = tick + partition_ticks;
+        }
+      }
+      if (stall_draw) {
+        // A stall can exceed the router timeout, so it threatens the
+        // availability promise the same way a partition does: guard it.
+        if (spec_.spare_last_healthy && would_strand()) {
+          ++stats_.spared;
+        } else {
+          ChaosEvent stall;
+          stall.tick = tick;
+          stall.action = ChaosAction::kStall;
+          stall.shard = s;
+          stall.replica = r;
+          stall.param_ms = stall_ms;
+          stall.duration_ticks = stall_ticks;
+          events.push_back(stall);
+          ++stats_.stalls;
+          state.stalled_until = tick + stall_ticks;
+        }
+      }
+      if (skew_draw) {
+        ChaosEvent skew;
+        skew.tick = tick;
+        skew.action = ChaosAction::kClockSkew;
+        skew.shard = s;
+        skew.replica = r;
+        skew.param_ms = skew_ms;
+        events.push_back(skew);
+        ++stats_.skews;
+      }
+      // Heal expired partitions/stalls in the model (the service heals by
+      // tick comparison on its own).
+      if (state.unreachable_until >= 0 && tick >= state.unreachable_until) {
+        state.unreachable_until = -1;
+      }
+      if (state.stalled_until >= 0 && tick >= state.stalled_until) {
+        state.stalled_until = -1;
+      }
+    }
+  }
+  return events;
+}
+
+ChaosDriver::ChaosDriver(apots::serve::ShardedService* service,
+                         ChaosScheduler* scheduler)
+    : service_(service), scheduler_(scheduler) {
+  APOTS_CHECK(service != nullptr);
+  APOTS_CHECK(scheduler != nullptr);
+}
+
+int ChaosDriver::Step(long tick) {
+  int applied = 0;
+  for (const ChaosEvent& event : scheduler_->Step(tick)) {
+    Status status;
+    switch (event.action) {
+      case ChaosAction::kKill:
+        status = service_->KillReplica(event.shard, event.replica);
+        break;
+      case ChaosAction::kRestart:
+        status = service_->RestartReplica(event.shard, event.replica);
+        break;
+      case ChaosAction::kStall:
+        status = service_->StallReplica(event.shard, event.replica,
+                                        event.param_ms,
+                                        event.duration_ticks);
+        break;
+      case ChaosAction::kPartition:
+        status = service_->PartitionReplica(event.shard, event.replica,
+                                            event.duration_ticks);
+        break;
+      case ChaosAction::kClockSkew:
+        status = service_->SkewReplicaClock(event.shard, event.replica,
+                                            event.param_ms);
+        break;
+      case ChaosAction::kCorruptCheckpoint:
+        status =
+            service_->CorruptNewestCheckpoint(event.shard, event.replica);
+        break;
+    }
+    if (status.ok()) {
+      ++applied;
+      ++stats_.applied;
+    } else {
+      // A refused event (e.g. corrupting before the first checkpoint
+      // exists) is part of the drill, not an error: count and move on.
+      ++stats_.rejected;
+    }
+  }
+  return applied;
+}
+
+}  // namespace apots::chaos

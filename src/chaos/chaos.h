@@ -1,0 +1,152 @@
+#ifndef APOTS_CHAOS_CHAOS_H_
+#define APOTS_CHAOS_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/sharded_service.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace apots::chaos {
+
+/// Fault kinds the scheduler can inject, as a bitmask (mirrors
+/// traffic::ParseFaultKinds / the CLI's --fault-kinds convention).
+constexpr unsigned kChaosKill = 1u << 0;       ///< kill + later restart
+constexpr unsigned kChaosStall = 1u << 1;      ///< slow replies
+constexpr unsigned kChaosPartition = 1u << 2;  ///< unreachable, still alive
+constexpr unsigned kChaosSkew = 1u << 3;       ///< mid-inference clock jump
+constexpr unsigned kChaosCorrupt = 1u << 4;    ///< corrupt newest ckpt,
+                                               ///< then kill + restart
+constexpr unsigned kChaosAll = kChaosKill | kChaosStall | kChaosPartition |
+                               kChaosSkew | kChaosCorrupt;
+
+/// Parses "kill,stall" / "all" (case-insensitive). Unknown names return
+/// InvalidArgument listing the valid kinds.
+Result<unsigned> ParseChaosKinds(const std::string& spec);
+std::string ChaosKindsToString(unsigned kinds);
+
+enum class ChaosAction {
+  kKill,
+  kRestart,
+  kStall,
+  kPartition,
+  kClockSkew,
+  kCorruptCheckpoint,
+};
+const char* ChaosActionName(ChaosAction action);
+
+/// One scheduled fault.
+struct ChaosEvent {
+  long tick = 0;
+  ChaosAction action = ChaosAction::kKill;
+  int shard = 0;
+  int replica = 0;
+  double param_ms = 0.0;    ///< stall cost / clock jump
+  long duration_ticks = 0;  ///< stall / partition length
+};
+
+struct ChaosSpec {
+  unsigned kinds = kChaosAll;
+  uint64_t seed = 2024;
+  /// Per-(replica, tick) probabilities of each fault starting.
+  double kill_prob = 0.01;
+  double stall_prob = 0.02;
+  double partition_prob = 0.01;
+  double skew_prob = 0.01;
+  double corrupt_prob = 0.005;
+  /// Kill downtime (restart scheduled this many ticks later, uniform).
+  int down_min = 4;
+  int down_max = 16;
+  int stall_ticks_min = 1;
+  int stall_ticks_max = 4;
+  double stall_ms_min = 10.0;
+  double stall_ms_max = 120.0;
+  int partition_min = 2;
+  int partition_max = 8;
+  double skew_ms_max = 80.0;  ///< jump drawn uniform in [-max, max]
+  /// Never take down (kill, partition, or stall) a shard's last healthy
+  /// replica. Stalls count: a stall can exceed the router timeout, which
+  /// is indistinguishable from a partition to callers. This is what lets
+  /// the storm arm gate replica availability at 0.999: chaos breaks
+  /// replicas, not the promise behind the replication factor.
+  bool spare_last_healthy = true;
+
+  static ChaosSpec Off();
+  static ChaosSpec Storm(uint64_t seed);
+};
+
+/// Seeded, deterministic fault scheduler. Step(tick) must be called with
+/// strictly increasing ticks; equal (spec, shards, replicas) schedules
+/// emit bit-identical event streams. The scheduler tracks its own view of
+/// which replicas it has taken down so kill events always pair with a
+/// later restart and `spare_last_healthy` can hold.
+class ChaosScheduler {
+ public:
+  ChaosScheduler(ChaosSpec spec, int num_shards, int replicas_per_shard);
+
+  /// Events to apply at `tick`, in deterministic order.
+  std::vector<ChaosEvent> Step(long tick);
+
+  struct Stats {
+    uint64_t kills = 0;
+    uint64_t restarts = 0;
+    uint64_t stalls = 0;
+    uint64_t partitions = 0;
+    uint64_t skews = 0;
+    uint64_t corruptions = 0;
+    uint64_t spared = 0;  ///< kills/partitions withheld by the guard
+  };
+  const Stats& stats() const { return stats_; }
+  const ChaosSpec& spec() const { return spec_; }
+
+ private:
+  struct ReplicaState {
+    long down_until = -1;         ///< killed through this tick (exclusive)
+    long unreachable_until = -1;  ///< partitioned through this tick
+    long stalled_until = -1;      ///< stalled through this tick
+  };
+  ReplicaState& At(int shard, int replica);
+  /// Healthy-and-reachable replicas of `shard` in the scheduler's model
+  /// (not down, not partitioned, not stalled).
+  int HealthyCount(int shard, long tick);
+
+  ChaosSpec spec_;
+  int num_shards_;
+  int replicas_per_shard_;
+  apots::Rng rng_;
+  std::vector<ReplicaState> states_;
+  std::vector<ChaosEvent> pending_restarts_;  ///< sorted by tick
+  Stats stats_;
+};
+
+/// Applies scheduled events to a ShardedService's admin surface. Corrupt
+/// events compose the full drill: corrupt the newest checkpoint, kill the
+/// replica, and let the paired restart exercise the fall-back-a-generation
+/// recovery path mid-serve.
+class ChaosDriver {
+ public:
+  /// Both borrowed; must outlive the driver.
+  ChaosDriver(apots::serve::ShardedService* service,
+              ChaosScheduler* scheduler);
+
+  /// Draws and applies this tick's events. Call once per tick *before*
+  /// ShardedService::RunTick. Returns the number of events applied.
+  int Step(long tick);
+
+  struct Stats {
+    uint64_t applied = 0;
+    uint64_t rejected = 0;  ///< admin call refused (e.g. already dead)
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  apots::serve::ShardedService* service_;  // not owned
+  ChaosScheduler* scheduler_;              // not owned
+  Stats stats_;
+};
+
+}  // namespace apots::chaos
+
+#endif  // APOTS_CHAOS_CHAOS_H_

@@ -50,7 +50,8 @@ FeatureAssembler::FeatureAssembler(const TrafficDataset* dataset,
   APOTS_CHECK_GE(config.beta, 0);
   APOTS_CHECK_GE(config.num_adjacent, 0);
   APOTS_CHECK_GE(dataset->num_roads(), 2 * config.num_adjacent + 1);
-  target_road_ = dataset->num_roads() / 2;
+  target_road_ =
+      config.target_road >= 0 ? config.target_road : dataset->num_roads() / 2;
   APOTS_CHECK_GE(target_road_ - config.num_adjacent, 0);
   APOTS_CHECK_LT(target_road_ + config.num_adjacent, dataset->num_roads());
 }

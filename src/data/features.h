@@ -21,8 +21,14 @@ struct FeatureConfig {
   int beta = 1;    ///< prediction horizon in intervals
 
   /// m: number of upstream and of downstream roads around the target. The
-  /// dataset must have at least 2m+1 roads; the target is the middle one.
+  /// dataset must have at least 2m+1 roads; the target is the middle one
+  /// unless `target_road` overrides it.
   int num_adjacent = 2;
+
+  /// Target road index, or -1 for the dataset's middle road. Sharded
+  /// serving points per-shard models at roads other than the corridor
+  /// center; [target_road - m, target_road + m] must stay in range.
+  int target_road = -1;
 
   bool use_adjacent = true;  ///< adjacent-speed rows (other than target)
   bool use_event = true;     ///< accident/construction flag row

@@ -82,6 +82,12 @@ Frontend::Frontend(ServingSupervisor* supervisor, FrontendConfig config)
       queue_(config_.queue_capacity) {
   APOTS_CHECK(supervisor != nullptr);
   beta_ = supervisor_->model().assembler().beta();
+  // Inherit the supervisor's injected clock so the admission-deadline path
+  // and the serving path agree on "now" under chaos clock skew; an explicit
+  // set_clock_for_test still overrides this.
+  if (!clock_ && supervisor_->config().now_ns) {
+    clock_ = supervisor_->config().now_ns;
+  }
   if (config_.background) {
     thread_ = std::thread([this] { Run(); });
   }

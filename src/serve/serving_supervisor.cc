@@ -7,7 +7,6 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
-#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace apots::serve {
@@ -80,7 +79,7 @@ void ServeReport::MergeFrom(const ServeReport& other) {
 
 namespace {
 
-int64_t NowNs() {
+int64_t SteadyNowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
@@ -88,9 +87,15 @@ int64_t NowNs() {
 
 }  // namespace
 
-ServeWatchdog::ServeWatchdog(double timeout_ms) : timeout_ms_(timeout_ms) {
+ServeWatchdog::ServeWatchdog(double timeout_ms,
+                             std::function<int64_t()> now_ns)
+    : timeout_ms_(timeout_ms), now_ns_(std::move(now_ns)) {
   APOTS_CHECK(timeout_ms_ > 0.0);
   thread_ = std::thread([this] { Run(); });
+}
+
+int64_t ServeWatchdog::Now() const {
+  return now_ns_ ? now_ns_() : SteadyNowNs();
 }
 
 ServeWatchdog::~ServeWatchdog() {
@@ -99,7 +104,7 @@ ServeWatchdog::~ServeWatchdog() {
 }
 
 void ServeWatchdog::Arm() {
-  armed_at_ns_.store(NowNs(), std::memory_order_release);
+  armed_at_ns_.store(Now(), std::memory_order_release);
   tripped_this_flight_.store(false, std::memory_order_release);
   in_flight_.store(true, std::memory_order_release);
 }
@@ -122,7 +127,7 @@ void ServeWatchdog::Run() {
     if (!in_flight_.load(std::memory_order_acquire)) continue;
     if (tripped_this_flight_.load(std::memory_order_acquire)) continue;
     const double elapsed_ms =
-        static_cast<double>(NowNs() -
+        static_cast<double>(Now() -
                             armed_at_ns_.load(std::memory_order_acquire)) /
         1e6;
     if (elapsed_ms > timeout_ms_) {
@@ -136,7 +141,8 @@ void ServeWatchdog::Run() {
 
 ServingSupervisor::ServingSupervisor(
     apots::core::ApotsModel* model, StreamIngestor* ingestor,
-    const apots::baseline::HistoricalAverage* fallback, ServeConfig config)
+    const apots::baseline::HistoricalAverage* fallback, ServeConfig config,
+    const apots::traffic::RoadGraph* graph)
     : model_(model),
       ingestor_(ingestor),
       fallback_(fallback),
@@ -151,15 +157,27 @@ ServingSupervisor::ServingSupervisor(
   const int target = model_->assembler().target_road();
   const int roads = model_->assembler().dataset().num_roads();
   const int m = features.use_adjacent ? features.num_adjacent : 0;
-  window_lo_road_ = std::max(0, target - m);
-  window_hi_road_ = std::min(roads - 1, target + m);
+  if (graph != nullptr) {
+    APOTS_CHECK_EQ(graph->num_roads(), roads);
+    window_roads_ = graph->WithinHops(target, m);
+  } else {
+    for (int road = std::max(0, target - m);
+         road <= std::min(roads - 1, target + m); ++road) {
+      window_roads_.push_back(road);
+    }
+  }
   if (!config_.checkpoint_dir.empty()) {
     store_ = std::make_unique<apots::nn::CheckpointStore>(
         config_.checkpoint_dir, config_.checkpoint_keep);
   }
   if (config_.watchdog_timeout_ms > 0.0) {
-    watchdog_ = std::make_unique<ServeWatchdog>(config_.watchdog_timeout_ms);
+    watchdog_ = std::make_unique<ServeWatchdog>(config_.watchdog_timeout_ms,
+                                                config_.now_ns);
   }
+}
+
+int64_t ServingSupervisor::Now() const {
+  return config_.now_ns ? config_.now_ns() : SteadyNowNs();
 }
 
 long ServingSupervisor::WindowStaleness(long anchor) const {
@@ -167,7 +185,7 @@ long ServingSupervisor::WindowStaleness(long anchor) const {
   // backfill anchors (older than the watermark) are not over-penalized.
   const long shift = anchor - ingestor_->watermark();
   long worst = 0;
-  for (int road = window_lo_road_; road <= window_hi_road_; ++road) {
+  for (const int road : window_roads_) {
     worst = std::max(worst, ingestor_->Staleness(road) + shift);
   }
   return std::max(0L, worst);
@@ -200,7 +218,9 @@ std::vector<ServeResponse> ServingSupervisor::Predict(
 
 std::vector<ServeResponse> ServingSupervisor::Predict(
     const std::vector<long>& anchors, double deadline_ms) {
-  Stopwatch call_watch;
+  // Deadline accounting reads the injectable clock (not Stopwatch) so
+  // chaos clock-skew drills observe deterministic elapsed times.
+  const int64_t call_start_ns = Now();
   obs::TraceSpan span("serve.predict");
   obs::ScopedTimer call_timer(ServeMetrics::Get().predict_ms);
   ServeMetrics::Get().requests.Add(anchors.size());
@@ -268,13 +288,13 @@ std::vector<ServeResponse> ServingSupervisor::Predict(
   }
 
   if (!neural_anchors.empty()) {
-    Stopwatch neural_watch;
+    const int64_t neural_start_ns = Now();
     if (watchdog_ != nullptr) watchdog_->Arm();
     if (inference_delay_for_test_) inference_delay_for_test_();
     const Tensor scaled = model_->inference_runtime().Predict(neural_anchors);
     if (watchdog_ != nullptr) watchdog_->Disarm();
     const double per_anchor =
-        neural_watch.ElapsedMillis() /
+        static_cast<double>(Now() - neural_start_ns) / 1e6 /
         static_cast<double>(neural_anchors.size());
     ema_ms_per_anchor_ = ema_ms_per_anchor_ == 0.0
                              ? per_anchor
@@ -326,7 +346,8 @@ std::vector<ServeResponse> ServingSupervisor::Predict(
     lkg_interval_ = target;
   }
 
-  const double elapsed = call_watch.ElapsedMillis();
+  const double elapsed =
+      static_cast<double>(Now() - call_start_ns) / 1e6;
   if (deadline_ms > 0.0 && elapsed > deadline_ms) {
     ++report_.deadline_misses;
     ServeMetrics::Get().deadline_misses.Add();

@@ -13,6 +13,7 @@
 #include "core/apots_model.h"
 #include "nn/checkpoint.h"
 #include "serve/stream_ingestor.h"
+#include "traffic/road_graph.h"
 #include "util/status.h"
 
 namespace apots::serve {
@@ -55,6 +56,14 @@ struct ServeConfig {
 
   /// Last-known-good residual decay per tick of age.
   double lkg_decay = 0.9;
+
+  /// Injectable monotonic clock in nanoseconds; null means
+  /// std::chrono::steady_clock. Every time read on the serving path — the
+  /// per-call deadline measurement, the EMA cost model, the watchdog's
+  /// armed-at stamps, and the frontend's admission deadlines — goes
+  /// through this, so chaos clock-skew drills can shift one replica's
+  /// notion of time deterministically.
+  std::function<int64_t()> now_ns;
 };
 
 /// One served prediction.
@@ -91,7 +100,10 @@ struct ServeReport {
 /// only) so the hot path never blocks on the watchdog.
 class ServeWatchdog {
  public:
-  explicit ServeWatchdog(double timeout_ms);
+  /// `now_ns` must match the clock the serving thread stamps Arm() with;
+  /// null means steady_clock (the production default).
+  explicit ServeWatchdog(double timeout_ms,
+                         std::function<int64_t()> now_ns = nullptr);
   ~ServeWatchdog();
 
   ServeWatchdog(const ServeWatchdog&) = delete;
@@ -105,8 +117,10 @@ class ServeWatchdog {
 
  private:
   void Run();
+  int64_t Now() const;
 
   const double timeout_ms_;
+  const std::function<int64_t()> now_ns_;
   std::atomic<bool> quit_{false};
   std::atomic<bool> in_flight_{false};
   std::atomic<bool> tripped_this_flight_{false};
@@ -135,10 +149,15 @@ class ServeWatchdog {
 class ServingSupervisor {
  public:
   /// All borrowed; must outlive the supervisor. `fallback` must be fitted
-  /// (it backs the historical and last-known-good tiers).
+  /// (it backs the historical and last-known-good tiers). With a `graph`,
+  /// the staleness window is the set of roads within `num_adjacent` hops
+  /// of the target — on a corridor graph that is exactly the legacy
+  /// contiguous index range, so behavior (and the clean path) is
+  /// unchanged; null keeps the index-range computation.
   ServingSupervisor(apots::core::ApotsModel* model, StreamIngestor* ingestor,
                     const apots::baseline::HistoricalAverage* fallback,
-                    ServeConfig config);
+                    ServeConfig config,
+                    const apots::traffic::RoadGraph* graph = nullptr);
 
   /// Serves one batch of anchors. Never throws and never aborts on a
   /// servable anchor; anchors whose window or target falls outside the
@@ -193,13 +212,15 @@ class ServingSupervisor {
 
  private:
   double LastKnownGood(long target_interval);
+  int64_t Now() const;
 
   apots::core::ApotsModel* model_;                          // not owned
   StreamIngestor* ingestor_;                                // not owned
   const apots::baseline::HistoricalAverage* fallback_;      // not owned
   ServeConfig config_;
-  int window_lo_road_;
-  int window_hi_road_;
+  /// Roads feeding the target's input window (sorted). Graph-derived when
+  /// a RoadGraph is supplied, else the contiguous [target-m, target+m].
+  std::vector<int> window_roads_;
   std::unique_ptr<apots::nn::CheckpointStore> store_;
   std::unique_ptr<ServeWatchdog> watchdog_;
   mutable ServeReport report_;

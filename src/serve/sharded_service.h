@@ -1,0 +1,332 @@
+#ifndef APOTS_SERVE_SHARDED_SERVICE_H_
+#define APOTS_SERVE_SHARDED_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/historical_average.h"
+#include "core/apots_model.h"
+#include "serve/feed.h"
+#include "serve/serving_supervisor.h"
+#include "serve/stream_ingestor.h"
+#include "traffic/dataset_generator.h"
+#include "traffic/road_graph.h"
+#include "util/status.h"
+
+namespace apots::serve {
+
+/// Monotonic simulated time shared by every replica of a ShardedService.
+/// Time advances only when the service says so (per-tick progression,
+/// per-attempt call costs, retry backoffs), which makes every timeout,
+/// quarantine expiry, and failover latency measurement deterministic —
+/// the property the chaos drills and their CI gates rely on. Thread-safe:
+/// watchdog sampler threads read it concurrently with the serving loop.
+class VirtualClock {
+ public:
+  int64_t now_ns() const { return ns_.load(std::memory_order_acquire); }
+  void Advance(double ms) {
+    ns_.fetch_add(static_cast<int64_t>(ms * 1e6),
+                  std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<int64_t> ns_{0};
+};
+
+/// Retry/failover policy of the ShardRouter.
+struct RouterConfig {
+  /// Per-attempt budget: an attempt on a partitioned (or stalled past
+  /// this) replica costs the full timeout before the router moves on.
+  double timeout_ms = 50.0;
+  /// A refused connection (killed replica) fails fast at this cost.
+  double probe_cost_ms = 0.1;
+  /// Nominal cost of a healthy replica call.
+  double call_cost_ms = 0.5;
+  /// Bounded exponential backoff between retry attempts.
+  double backoff_base_ms = 1.0;
+  double backoff_mult = 2.0;
+  double backoff_max_ms = 16.0;
+  /// Full passes over the replica set before declaring the shard down.
+  int max_rounds = 2;
+  /// A replica that failed an attempt is skipped for this long.
+  double quarantine_ms = 200.0;
+};
+
+/// Cross-shard routing + failover counters (anchors, not batches, except
+/// where noted).
+struct RouterStats {
+  uint64_t requests = 0;         ///< anchors routed
+  uint64_t attempts = 0;         ///< replica call attempts (batches)
+  uint64_t replica_served = 0;   ///< anchors answered by a live replica
+  uint64_t ladder_answers = 0;   ///< anchors answered by the router's
+                                 ///< profile ladder (whole shard down)
+  uint64_t failovers = 0;        ///< batches answered off the preferred
+                                 ///< replica
+  uint64_t retries = 0;          ///< failed attempts
+  uint64_t quarantine_skips = 0; ///< replicas skipped while quarantined
+};
+
+/// Boundary feature-exchange counters. `stale_epoch_serves` is the
+/// cross-shard consistency invariant (full-tier responses must never ride
+/// an epoch older than the freshness tolerance) and is CI-gated to zero;
+/// `epoch_lag_serves` counts serves that *observed* a lagging epoch at
+/// any tier — the detection signal the outage drills assert is non-zero.
+struct ExchangeStats {
+  uint64_t snapshots_published = 0;
+  uint64_t publishes_skipped = 0;  ///< source shard had no live replica
+  uint64_t records_shipped = 0;    ///< snapshot records offered to consumers
+  uint64_t stale_epoch_serves = 0;
+  uint64_t epoch_lag_serves = 0;
+};
+
+/// One routed prediction: the replica's ServeResponse plus routing facts.
+struct ShardedResponse {
+  ServeResponse serve;
+  int shard = 0;
+  int replica = -1;        ///< -1: answered by the router ladder
+  int attempts = 1;
+  bool failover = false;   ///< not answered by the preferred replica
+  double latency_ms = 0.0; ///< virtual admission-to-answer latency
+};
+
+/// Aggregate health of a ShardedService run.
+struct ShardedReport {
+  ServeReport serve;       ///< merged across shards, replicas, restarts
+  RouterStats router;
+  ExchangeStats exchange;
+  double failover_p50_ms = 0.0;
+  double failover_p99_ms = 0.0;
+  /// Chaos admin counters (kills/restarts applied via the admin API).
+  uint64_t kills = 0;
+  uint64_t restarts = 0;
+  uint64_t stalls = 0;
+  uint64_t partitions = 0;
+  uint64_t clock_skews = 0;
+  uint64_t checkpoint_corruptions = 0;
+
+  /// Fraction of routed anchors answered by anything (replica or ladder).
+  double availability() const {
+    return router.requests == 0
+               ? 1.0
+               : static_cast<double>(router.replica_served +
+                                     router.ladder_answers) /
+                     static_cast<double>(router.requests);
+  }
+  /// Fraction answered by a live replica — the stricter SLO the
+  /// one-replica-killed chaos gate holds at >= 0.999: failover must reach
+  /// a live replica, not the ladder.
+  double replica_availability() const {
+    return router.requests == 0
+               ? 1.0
+               : static_cast<double>(router.replica_served) /
+                     static_cast<double>(router.requests);
+  }
+};
+
+struct ShardedConfig {
+  apots::traffic::DatasetSpec spec = apots::traffic::DatasetSpec::Small();
+  double warmup_fraction = 0.5;
+  apots::core::PredictorType predictor = apots::core::PredictorType::kFc;
+  size_t width_divisor = 16;
+  int train_epochs = 0;
+  uint64_t model_seed = 42;
+  int alpha = 12;
+  int beta = 3;
+  /// Feature-window half-width m. -1 picks the widest m <= 2 that keeps
+  /// every shard target's window inside the dataset.
+  int num_adjacent = -1;
+  int num_shards = 2;
+  int replicas_per_shard = 2;
+  /// Trailing anchors served per shard per tick.
+  int anchors_per_tick = 2;
+  FeedFaultSpec feed = FeedFaultSpec::Clean();
+  ServeConfig serve;  ///< per-replica supervisor knobs (clock is overridden)
+  apots::core::InferenceConfig inference;
+  RouterConfig router;
+  /// "" disables checkpoints; else replica r of shard s checkpoints under
+  /// <root>/shard<s>_replica<r>.
+  std::string checkpoint_root;
+  /// Trailing intervals re-published in every boundary snapshot; >1 lets
+  /// consumers pick up records the publisher itself received late.
+  long exchange_depth = 2;
+  /// Virtual ms the clock advances per stream tick (lets quarantines and
+  /// failure backoffs expire as the simulation progresses).
+  double tick_advance_ms = 50.0;
+};
+
+/// N-shard, R-replica serving plane over one simulated road network.
+///
+/// The road graph is partitioned contiguously; each shard serves one
+/// target road near its cut (so feature windows genuinely span shards)
+/// with R identical replicas, each owning a full stack: live dataset,
+/// model, StreamIngestor, ServingSupervisor, and its own deterministic
+/// FaultyFeed (same seed -> replicas see bit-identical streams). Replicas
+/// ingest only the roads their shard owns; roads their feature window
+/// borrows from neighbor shards arrive through the boundary exchange —
+/// versioned snapshots (sequence-numbered, epoch = publishing tick)
+/// published each tick by the first live replica of the owning shard.
+/// A stalled exchange is not masked: halo staleness climbs and the
+/// supervisor's ladder degrades honestly, and the router tracks epoch lag
+/// so full-tier serves over a stale epoch (the cross-shard inconsistency)
+/// can be gated to zero.
+///
+/// Requests route through a health-checked ShardRouter: round-robin
+/// preferred replica, per-attempt timeout, bounded exponential-backoff
+/// retries, quarantine of failed replicas, failover across the replica
+/// set, and the historical-profile ladder only when the whole shard is
+/// down. All timing is virtual (see VirtualClock), so failover latency
+/// percentiles are bit-stable across machines.
+///
+/// The admin API (Kill/Restart/Stall/Partition/Skew/Corrupt) is the
+/// surface the chaos:: driver manipulates mid-serve.
+class ShardedService {
+ public:
+  explicit ShardedService(ShardedConfig config);
+  ~ShardedService();
+
+  ShardedService(const ShardedService&) = delete;
+  ShardedService& operator=(const ShardedService&) = delete;
+
+  /// One stream tick: every live replica polls its feed and ingests its
+  /// shard's records, boundary snapshots are published and applied, every
+  /// live replica advances its watermark, each shard serves the tick's
+  /// anchors through the router, and checkpoint schedules fire. Returns
+  /// false once every servable tick has run.
+  bool RunTick();
+
+  /// Routed prediction against `shard` (anchors served for its target
+  /// road). Public so drills can probe specific shards outside RunTick.
+  std::vector<ShardedResponse> Predict(int shard,
+                                       const std::vector<long>& anchors);
+
+  /// The bitwise-identity arm: the first live replica's direct
+  /// InferenceRuntime::Predict path (ApotsModel::PredictKmh). Empty when
+  /// the shard has no live replica.
+  std::vector<double> PredictDirect(int shard,
+                                    const std::vector<long>& anchors);
+
+  /// Anchors RunTick serves at `tick` (same for every shard).
+  std::vector<long> TickAnchors(long tick) const;
+
+  // --- chaos admin surface -------------------------------------------
+  /// Tears the replica's whole stack down (model, ingestor, supervisor,
+  /// feed). Subsequent router attempts fail fast.
+  Status KillReplica(int shard, int replica);
+  /// Rebuilds the stack; recovers from the replica's checkpoint dir when
+  /// configured (newest readable generation), else replays the stream
+  /// from the warmup boundary.
+  Status RestartReplica(int shard, int replica);
+  /// The replica answers, but each call costs `stall_ms` for the next
+  /// `ticks` stream ticks; past the router timeout that is a failed
+  /// attempt.
+  Status StallReplica(int shard, int replica, double stall_ms, long ticks);
+  /// The replica is unreachable (attempts burn the full timeout) for
+  /// `ticks` stream ticks; it keeps ingesting its feed (the network to
+  /// the router is what broke, not the replica).
+  Status PartitionReplica(int shard, int replica, long ticks);
+  /// Skews the replica's injected clock by `skew_ms`, applied *inside*
+  /// its next neural inference section — a deterministic mid-inference
+  /// clock jump, the worst case for deadline accounting.
+  Status SkewReplicaClock(int shard, int replica, double skew_ms);
+  /// Flips one byte in the middle of the replica's newest checkpoint
+  /// file; the next restart must fall back a generation.
+  Status CorruptNewestCheckpoint(int shard, int replica);
+
+  bool ReplicaAlive(int shard, int replica) const;
+
+  // --- introspection -------------------------------------------------
+  long next_tick() const { return next_tick_; }
+  long warmup_end() const { return warm_end_; }
+  long last_servable_tick() const;
+  int num_shards() const { return config_.num_shards; }
+  int replicas_per_shard() const { return config_.replicas_per_shard; }
+  int num_adjacent() const { return num_adjacent_; }
+  int target_road(int shard) const;
+  const apots::traffic::RoadGraph& graph() const { return graph_; }
+  const apots::traffic::Partition& partition() const { return partition_; }
+  const apots::traffic::TrafficDataset& truth() const { return truth_; }
+  VirtualClock& clock() { return clock_; }
+  const ShardedConfig& config() const { return config_; }
+  /// Responses of the most recent RunTick, per shard.
+  const std::vector<ShardedResponse>& last_responses(int shard) const;
+  const std::vector<long>& last_anchors() const { return last_anchors_; }
+  /// Per-source applied exchange epoch of a replica (-1 = never).
+  long applied_epoch(int shard, int replica, int source_shard) const;
+
+  /// Aggregated report (includes torn-down replicas' serve reports).
+  ShardedReport report() const;
+
+ private:
+  struct Replica {
+    std::unique_ptr<apots::traffic::TrafficDataset> live;
+    std::unique_ptr<apots::core::ApotsModel> model;
+    std::unique_ptr<StreamIngestor> ingestor;
+    std::unique_ptr<ServingSupervisor> supervisor;
+    std::unique_ptr<FaultyFeed> feed;
+    bool alive = false;
+    long partitioned_until = -1;  ///< tick (exclusive) the partition heals
+    long stalled_until = -1;
+    double stall_ms = 0.0;
+    std::atomic<int64_t> skew_ns{0};
+    int64_t pending_jump_ns = 0;
+    int64_t quarantined_until_ns = -1;
+    std::string checkpoint_dir;
+    /// source shard -> newest boundary epoch applied.
+    std::map<int, long> applied_epoch;
+  };
+  struct Shard {
+    int target_road = 0;
+    std::vector<int> window_roads;   ///< own + halo roads of the window
+    std::vector<int> halo_roads;     ///< window roads owned elsewhere
+    std::vector<int> spanning_shards;///< owners of halo_roads (!= this)
+    std::vector<int> publish_roads;  ///< own roads some consumer imports
+    int preferred = 0;               ///< round-robin cursor
+    std::vector<std::unique_ptr<Replica>> replicas;
+  };
+  /// Latest boundary snapshot per source shard.
+  struct BoundarySnapshot {
+    long epoch = -1;
+    uint64_t seq = 0;
+    std::vector<FeedRecord> records;
+  };
+
+  void BuildReplica(int shard, int replica);
+  /// Whether the router may try the replica right now (alive and not
+  /// partitioned; stalls are discovered by the attempt itself).
+  bool Reachable(const Replica& rep, long tick) const;
+  int FirstLiveReplica(int shard) const;
+  void PublishBoundary(int shard, long tick);
+  void ApplyBoundary(int shard, int replica, long tick);
+  void IngestTickInto(int shard, int replica, long tick);
+  std::vector<ShardedResponse> LadderAnswer(int shard,
+                                            const std::vector<long>& anchors);
+
+  ShardedConfig config_;
+  apots::traffic::TrafficDataset truth_;
+  apots::traffic::RoadGraph graph_;
+  apots::traffic::Partition partition_;
+  long warm_end_ = 0;
+  int num_adjacent_ = 0;
+  std::vector<apots::baseline::HistoricalAverage> profiles_;
+  std::vector<Shard> shards_;
+  std::vector<BoundarySnapshot> bus_;
+  uint64_t next_snapshot_seq_ = 0;
+  VirtualClock clock_;
+  long next_tick_ = 0;
+  std::vector<long> last_anchors_;
+  std::vector<std::vector<ShardedResponse>> last_responses_;
+  mutable RouterStats router_stats_;
+  ExchangeStats exchange_stats_;
+  std::vector<double> failover_latency_ms_;
+  ServeReport dead_replica_reports_;  ///< reports of torn-down stacks
+  uint64_t kills_ = 0, restarts_ = 0, stalls_ = 0, partitions_ = 0,
+           clock_skews_ = 0, checkpoint_corruptions_ = 0;
+};
+
+}  // namespace apots::serve
+
+#endif  // APOTS_SERVE_SHARDED_SERVICE_H_

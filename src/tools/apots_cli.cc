@@ -16,6 +16,9 @@
 //                      [--deadline-ms MS] [--watchdog-ms MS]
 //                      [--checkpoint-dir D] [--checkpoint-every N]
 //                      [--kill-at TICK] [--ticks N]
+//                      [--shards N] [--replicas R]
+//                      [--chaos off|kill,stall,partition,skew,corrupt|all]
+//                      [--chaos-seed S]
 //                      [--attack 0|1] [--attack-method pgd|spsa]
 //                      [--eps-kmh E] [--smooth-kmh S] [--attack-steps N]
 //   apots_cli attack   [--days N] [--roads N] [--seed S]
@@ -39,6 +42,10 @@
 // outages, torn ticks) into the StreamIngestor + ServingSupervisor, which
 // degrades per-road through full -> imputed -> historical ->
 // last-known-good tiers and can checkpoint + kill + recover mid-stream.
+// With --shards/--replicas (or --chaos) it runs the sharded plane
+// instead: N shards x R replicas behind the health-checked failover
+// router with cross-shard boundary exchange, optionally under the seeded
+// chaos scheduler.
 //
 // `train` fits on the day-blocked 80% split and reports test metrics;
 // `evaluate` reloads saved weights and reproduces them. All three data
@@ -51,10 +58,12 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "attack/attacker.h"
 #include "attack/defense.h"
+#include "chaos/chaos.h"
 #include "core/apots_model.h"
 #include "data/imputation.h"
 #include "obs/metrics.h"
@@ -63,6 +72,7 @@
 #include "eval/experiment.h"
 #include "metrics/metrics.h"
 #include "serve/harness.h"
+#include "serve/sharded_service.h"
 #include "tensor/cpu_features.h"
 #include "tensor/quant.h"
 #include "tensor/tensor_ops.h"
@@ -710,16 +720,246 @@ int Attack(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Sharded serving: N shards x R replicas of the supervisor stack behind
+// the health-checked router, with cross-shard boundary exchange and an
+// optional seeded chaos storm (--chaos kill,stall,partition,skew,corrupt
+// or all; off by default).
+int ServeSharded(const std::map<std::string, std::string>& flags,
+                 int shards, int replicas) {
+  serve::ShardedConfig sc;
+  traffic::DatasetSpec spec;
+  spec.num_days = 7;
+  spec.num_roads = 8;
+  spec.hyundai_calendar = false;
+  int64_t value = 0;
+  if (ParseInt64(Flag(flags, "days", ""), &value)) {
+    spec.num_days = static_cast<int>(value);
+  }
+  if (ParseInt64(Flag(flags, "roads", ""), &value)) {
+    spec.num_roads = static_cast<int>(value);
+  }
+  if (ParseInt64(Flag(flags, "seed", ""), &value)) {
+    spec.seed = static_cast<uint64_t>(value);
+  }
+  if (shards > spec.num_roads / 2) {
+    std::fprintf(stderr,
+                 "bad --shards: %d (valid: 1..%d with --roads %d; each "
+                 "shard needs at least two roads)\n",
+                 shards, spec.num_roads / 2, spec.num_roads);
+    return 1;
+  }
+  sc.spec = spec;
+  sc.num_shards = shards;
+  sc.replicas_per_shard = replicas;
+  double warmup = 0.5;
+  if (ParseDouble(Flag(flags, "warmup", ""), &warmup)) {
+    sc.warmup_fraction = warmup;
+  }
+  sc.predictor = ParsePredictor(Flag(flags, "predictor", "F"));
+  if (ParseInt64(Flag(flags, "divisor", ""), &value) && value > 0) {
+    sc.width_divisor = static_cast<size_t>(value);
+  }
+  if (ParseInt64(Flag(flags, "epochs", ""), &value)) {
+    sc.train_epochs = static_cast<int>(value);
+  }
+  uint64_t feed_seed = 99;
+  if (ParseInt64(Flag(flags, "feed-seed", ""), &value)) {
+    feed_seed = static_cast<uint64_t>(value);
+  }
+  sc.feed = Flag(flags, "storm", "1") == "1"
+                ? serve::FeedFaultSpec::Storm(feed_seed)
+                : serve::FeedFaultSpec::Clean();
+  double ms = 0.0;
+  if (ParseDouble(Flag(flags, "deadline-ms", ""), &ms)) {
+    sc.serve.deadline_ms = ms;
+  }
+  if (ParseDouble(Flag(flags, "watchdog-ms", ""), &ms)) {
+    sc.serve.watchdog_timeout_ms = ms;
+  }
+  if (!ParseQuantizeFlag(flags, &sc.inference.quantize)) return 1;
+  sc.checkpoint_root = Flag(flags, "checkpoint-dir", "");
+  if (ParseInt64(Flag(flags, "checkpoint-every", ""), &value)) {
+    sc.serve.checkpoint_every = value;
+  }
+  if (ParseInt64(Flag(flags, "anchors-per-tick", ""), &value) && value > 0) {
+    sc.anchors_per_tick = static_cast<int>(value);
+  }
+  long max_ticks = 0;  // 0 = run the whole stream
+  if (ParseInt64(Flag(flags, "ticks", ""), &value)) max_ticks = value;
+
+  // --chaos names the fault kinds the seeded scheduler may inject;
+  // unknown names are rejected after listing the valid set, matching the
+  // --fault-kinds convention.
+  unsigned chaos_kinds = 0;
+  const std::string chaos_flag = Flag(flags, "chaos", "off");
+  if (chaos_flag != "off") {
+    auto parsed = chaos::ParseChaosKinds(chaos_flag);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --chaos: %s (or: off)\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    chaos_kinds = parsed.value();
+  }
+  uint64_t chaos_seed = 2024;
+  if (ParseInt64(Flag(flags, "chaos-seed", ""), &value)) {
+    chaos_seed = static_cast<uint64_t>(value);
+  }
+
+  serve::ShardedService service(std::move(sc));
+  std::unique_ptr<chaos::ChaosScheduler> scheduler;
+  std::unique_ptr<chaos::ChaosDriver> driver;
+  if (chaos_kinds != 0) {
+    chaos::ChaosSpec cs = chaos::ChaosSpec::Storm(chaos_seed);
+    cs.kinds = chaos_kinds;
+    scheduler = std::make_unique<chaos::ChaosScheduler>(
+        cs, service.num_shards(), service.replicas_per_shard());
+    driver = std::make_unique<chaos::ChaosDriver>(&service, scheduler.get());
+  }
+
+  const int beta = service.config().beta;
+  std::printf(
+      "serving %d roads x %ld intervals over %d shards x %d replicas, "
+      "warmup %ld, %s feed, chaos %s\n",
+      spec.num_roads, service.truth().num_intervals(), shards, replicas,
+      service.warmup_end(),
+      Flag(flags, "storm", "1") == "1" ? "storm" : "clean",
+      chaos_kinds == 0 ? "off"
+                       : chaos::ChaosKindsToString(chaos_kinds).c_str());
+  PrintDispatch(service.config().inference.quantize);
+
+  std::vector<double> abs_err(static_cast<size_t>(shards), 0.0);
+  std::vector<uint64_t> err_count(static_cast<size_t>(shards), 0);
+  long ticks_run = 0;
+  bool more = true;
+  while (more) {
+    if (driver) driver->Step(service.next_tick());
+    more = service.RunTick();
+    ++ticks_run;
+    const auto& anchors = service.last_anchors();
+    for (int s = 0; s < shards; ++s) {
+      const int target = service.target_road(s);
+      const auto& responses = service.last_responses(s);
+      for (size_t i = 0; i < anchors.size(); ++i) {
+        abs_err[static_cast<size_t>(s)] +=
+            std::abs(responses[i].serve.kmh -
+                     service.truth().Speed(target, anchors[i] + beta));
+        ++err_count[static_cast<size_t>(s)];
+      }
+    }
+    if (max_ticks > 0 && ticks_run >= max_ticks) break;
+  }
+
+  TablePrinter shard_table(
+      {"shard", "target", "owned", "boundary", "live", "MAE km/h"});
+  for (int s = 0; s < shards; ++s) {
+    const auto& owned = service.partition().roads(s);
+    int live = 0;
+    for (int r = 0; r < replicas; ++r) {
+      if (service.ReplicaAlive(s, r)) ++live;
+    }
+    shard_table.AddRow(
+        {StrFormat("%d", s), StrFormat("%d", service.target_road(s)),
+         StrFormat("%d..%d", owned.front(), owned.back()),
+         StrFormat("%zu", service.partition().boundary(s).size()),
+         StrFormat("%d/%d", live, replicas),
+         err_count[static_cast<size_t>(s)] == 0
+             ? std::string("-")
+             : StrFormat("%.2f",
+                         abs_err[static_cast<size_t>(s)] /
+                             static_cast<double>(
+                                 err_count[static_cast<size_t>(s)]))});
+  }
+  shard_table.Print();
+
+  const serve::ShardedReport report = service.report();
+  TablePrinter tier_table({"tier", "served", "share"});
+  for (int tier = 0; tier < serve::kNumServeTiers; ++tier) {
+    const uint64_t n = report.serve.tier_counts[tier];
+    tier_table.AddRow(
+        {serve::ServeTierName(static_cast<serve::ServeTier>(tier)),
+         StrFormat("%llu", static_cast<unsigned long long>(n)),
+         StrFormat("%.1f%%",
+                   report.serve.requests == 0
+                       ? 0.0
+                       : 100.0 * static_cast<double>(n) /
+                             static_cast<double>(report.serve.requests))});
+  }
+  tier_table.Print();
+  std::printf(
+      "availability %.4f (replica %.4f) over %llu routed anchors; "
+      "%llu ladder answers\n",
+      report.availability(), report.replica_availability(),
+      static_cast<unsigned long long>(report.router.requests),
+      static_cast<unsigned long long>(report.router.ladder_answers));
+  std::printf(
+      "router: %llu attempts, %llu retries, %llu failovers "
+      "(p50 %.2fms p99 %.2fms), %llu quarantine skips\n",
+      static_cast<unsigned long long>(report.router.attempts),
+      static_cast<unsigned long long>(report.router.retries),
+      static_cast<unsigned long long>(report.router.failovers),
+      report.failover_p50_ms, report.failover_p99_ms,
+      static_cast<unsigned long long>(report.router.quarantine_skips));
+  std::printf(
+      "exchange: %llu snapshots (%llu skipped), %llu records shipped, "
+      "%llu epoch-lag serves, %llu stale-epoch full-tier serves\n",
+      static_cast<unsigned long long>(report.exchange.snapshots_published),
+      static_cast<unsigned long long>(report.exchange.publishes_skipped),
+      static_cast<unsigned long long>(report.exchange.records_shipped),
+      static_cast<unsigned long long>(report.exchange.epoch_lag_serves),
+      static_cast<unsigned long long>(report.exchange.stale_epoch_serves));
+  if (scheduler) {
+    std::printf(
+        "chaos: %llu kills, %llu restarts, %llu stalls, %llu partitions, "
+        "%llu clock skews, %llu corruptions; %llu spared, %llu rejected\n",
+        static_cast<unsigned long long>(report.kills),
+        static_cast<unsigned long long>(report.restarts),
+        static_cast<unsigned long long>(report.stalls),
+        static_cast<unsigned long long>(report.partitions),
+        static_cast<unsigned long long>(report.clock_skews),
+        static_cast<unsigned long long>(report.checkpoint_corruptions),
+        static_cast<unsigned long long>(scheduler->stats().spared),
+        static_cast<unsigned long long>(driver->stats().rejected));
+  }
+  return 0;
+}
+
 // Online-serving simulation: streams a synthetic corridor through the
 // delivery-fault model into the supervisor stack and reports per-tier
 // volume and accuracy, plus ingestion and checkpoint health.
 int Serve(const std::map<std::string, std::string>& flags) {
+  // --shards/--replicas/--chaos select the sharded serving plane; the
+  // classic single-stack simulation remains the default.
+  int64_t value = 0;
+  int shards = 1;
+  int replicas = 1;
+  const std::string shards_flag = Flag(flags, "shards", "");
+  if (!shards_flag.empty()) {
+    if (!ParseInt64(shards_flag, &value) || value < 1) {
+      std::fprintf(stderr, "bad --shards: %s (valid: integer >= 1)\n",
+                   shards_flag.c_str());
+      return 1;
+    }
+    shards = static_cast<int>(value);
+  }
+  const std::string replicas_flag = Flag(flags, "replicas", "");
+  if (!replicas_flag.empty()) {
+    if (!ParseInt64(replicas_flag, &value) || value < 1) {
+      std::fprintf(stderr, "bad --replicas: %s (valid: integer >= 1)\n",
+                   replicas_flag.c_str());
+      return 1;
+    }
+    replicas = static_cast<int>(value);
+  }
+  if (shards > 1 || replicas > 1 || Flag(flags, "chaos", "off") != "off") {
+    return ServeSharded(flags, shards, replicas);
+  }
+
   serve::HarnessConfig hc;
   traffic::DatasetSpec spec;
   spec.num_days = 7;
   spec.num_roads = 5;
   spec.hyundai_calendar = false;
-  int64_t value = 0;
   if (ParseInt64(Flag(flags, "days", ""), &value)) {
     spec.num_days = static_cast<int>(value);
   }
@@ -943,6 +1183,9 @@ int Usage() {
       "           [--watchdog-ms MS] [--checkpoint-dir D]\n"
       "           [--checkpoint-every N] [--kill-at TICK] [--ticks N]\n"
       "           [--anchors-per-tick N] [--attack 0|1]\n"
+      "           [--shards N] [--replicas R] [--chaos off|K] [--chaos-seed S]\n"
+      "           (K from kill,stall,partition,skew,corrupt or all;\n"
+      "           --shards/--replicas/--chaos run the sharded plane)\n"
       "           [--frontend 0|1] [--frontend-queue N]\n"
       "           [--frontend-batch N] [--frontend-deadline-ms MS]\n"
       "           [--attack-method pgd|spsa] [--eps-kmh E]\n"

@@ -1,0 +1,300 @@
+#include "traffic/road_graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace apots::traffic {
+
+RoadGraph RoadGraph::Corridor(int num_roads) {
+  APOTS_CHECK_GE(num_roads, 0);
+  RoadGraph graph;
+  graph.num_roads_ = num_roads;
+  graph.adjacency_.resize(static_cast<size_t>(num_roads));
+  for (int i = 0; i + 1 < num_roads; ++i) {
+    graph.adjacency_[static_cast<size_t>(i)].push_back(i + 1);
+    graph.adjacency_[static_cast<size_t>(i + 1)].push_back(i);
+    ++graph.num_edges_;
+  }
+  for (auto& neighbors : graph.adjacency_) {
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+  return graph;
+}
+
+RoadGraph RoadGraph::Grid(int rows, int cols) {
+  APOTS_CHECK_GE(rows, 0);
+  APOTS_CHECK_GE(cols, 0);
+  std::vector<std::pair<int, int>> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int id = r * cols + c;
+      if (c + 1 < cols) edges.emplace_back(id, id + 1);
+      if (r + 1 < rows) edges.emplace_back(id, id + cols);
+    }
+  }
+  auto graph = FromEdges(rows * cols, edges);
+  APOTS_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+Result<RoadGraph> RoadGraph::FromEdges(
+    int num_roads, const std::vector<std::pair<int, int>>& edges) {
+  if (num_roads < 0) {
+    return Status::InvalidArgument("num_roads must be >= 0");
+  }
+  std::vector<std::set<int>> adjacency(static_cast<size_t>(num_roads));
+  for (const auto& [a, b] : edges) {
+    if (a < 0 || a >= num_roads || b < 0 || b >= num_roads) {
+      return Status::InvalidArgument(apots::StrFormat(
+          "edge (%d, %d) out of range for %d roads", a, b, num_roads));
+    }
+    if (a == b) {
+      return Status::InvalidArgument(
+          apots::StrFormat("self-loop on road %d", a));
+    }
+    adjacency[static_cast<size_t>(a)].insert(b);
+    adjacency[static_cast<size_t>(b)].insert(a);
+  }
+  RoadGraph graph;
+  graph.num_roads_ = num_roads;
+  graph.adjacency_.reserve(adjacency.size());
+  for (const auto& neighbors : adjacency) {
+    graph.adjacency_.emplace_back(neighbors.begin(), neighbors.end());
+    graph.num_edges_ += static_cast<long>(neighbors.size());
+  }
+  graph.num_edges_ /= 2;  // each undirected edge counted from both ends
+  return graph;
+}
+
+const std::vector<int>& RoadGraph::Neighbors(int road) const {
+  APOTS_CHECK_GE(road, 0);
+  APOTS_CHECK_LT(road, num_roads_);
+  return adjacency_[static_cast<size_t>(road)];
+}
+
+bool RoadGraph::AreAdjacent(int a, int b) const {
+  const std::vector<int>& neighbors = Neighbors(a);
+  APOTS_CHECK_GE(b, 0);
+  APOTS_CHECK_LT(b, num_roads_);
+  return std::binary_search(neighbors.begin(), neighbors.end(), b);
+}
+
+std::vector<int> RoadGraph::WithinHops(int road, int hops) const {
+  APOTS_CHECK_GE(road, 0);
+  APOTS_CHECK_LT(road, num_roads_);
+  APOTS_CHECK_GE(hops, 0);
+  std::vector<int> depth(static_cast<size_t>(num_roads_), -1);
+  std::queue<int> frontier;
+  depth[static_cast<size_t>(road)] = 0;
+  frontier.push(road);
+  std::vector<int> reached;
+  while (!frontier.empty()) {
+    const int current = frontier.front();
+    frontier.pop();
+    reached.push_back(current);
+    if (depth[static_cast<size_t>(current)] == hops) continue;
+    for (int next : Neighbors(current)) {
+      if (depth[static_cast<size_t>(next)] >= 0) continue;
+      depth[static_cast<size_t>(next)] = depth[static_cast<size_t>(current)] + 1;
+      frontier.push(next);
+    }
+  }
+  std::sort(reached.begin(), reached.end());
+  return reached;
+}
+
+Result<Partition> Partition::Contiguous(const RoadGraph& graph,
+                                        int num_shards) {
+  const int roads = graph.num_roads();
+  if (num_shards < 1 || num_shards > roads) {
+    return Status::InvalidArgument(apots::StrFormat(
+        "num_shards %d out of range for %d roads", num_shards, roads));
+  }
+  std::vector<int> shard_of(static_cast<size_t>(roads));
+  // Near-equal ranges; the first (roads % num_shards) shards get the
+  // extra road so sizes differ by at most one.
+  const int base = roads / num_shards;
+  const int extra = roads % num_shards;
+  int next = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    const int size = base + (s < extra ? 1 : 0);
+    for (int i = 0; i < size; ++i) {
+      shard_of[static_cast<size_t>(next++)] = s;
+    }
+  }
+  return FromAssignment(graph, num_shards, shard_of);
+}
+
+Result<Partition> Partition::FromAssignment(const RoadGraph& graph,
+                                            int num_shards,
+                                            const std::vector<int>& shard_of) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (static_cast<int>(shard_of.size()) != graph.num_roads()) {
+    return Status::InvalidArgument(apots::StrFormat(
+        "assignment covers %zu roads, graph has %d", shard_of.size(),
+        graph.num_roads()));
+  }
+  for (size_t road = 0; road < shard_of.size(); ++road) {
+    if (shard_of[road] < 0 || shard_of[road] >= num_shards) {
+      return Status::InvalidArgument(
+          apots::StrFormat("road %zu assigned to shard %d, valid range "
+                           "[0, %d)",
+                           road, shard_of[road], num_shards));
+    }
+  }
+  Partition partition;
+  partition.num_shards_ = num_shards;
+  partition.shard_of_ = shard_of;
+  partition.BuildDerivedSets(graph);
+  Status valid = partition.Validate(graph);
+  if (!valid.ok()) return valid;
+  return partition;
+}
+
+int Partition::shard_of(int road) const {
+  APOTS_CHECK_GE(road, 0);
+  APOTS_CHECK_LT(road, num_roads());
+  return shard_of_[static_cast<size_t>(road)];
+}
+
+const std::vector<int>& Partition::roads(int shard) const {
+  APOTS_CHECK_GE(shard, 0);
+  APOTS_CHECK_LT(shard, num_shards_);
+  return roads_[static_cast<size_t>(shard)];
+}
+
+const std::vector<int>& Partition::boundary(int shard) const {
+  APOTS_CHECK_GE(shard, 0);
+  APOTS_CHECK_LT(shard, num_shards_);
+  return boundary_[static_cast<size_t>(shard)];
+}
+
+const std::vector<int>& Partition::frontier(int shard) const {
+  APOTS_CHECK_GE(shard, 0);
+  APOTS_CHECK_LT(shard, num_shards_);
+  return frontier_[static_cast<size_t>(shard)];
+}
+
+void Partition::BuildDerivedSets(const RoadGraph& graph) {
+  roads_.assign(static_cast<size_t>(num_shards_), {});
+  boundary_.assign(static_cast<size_t>(num_shards_), {});
+  frontier_.assign(static_cast<size_t>(num_shards_), {});
+  std::vector<std::set<int>> frontier_sets(static_cast<size_t>(num_shards_));
+  for (int road = 0; road < num_roads(); ++road) {
+    const int owner = shard_of_[static_cast<size_t>(road)];
+    roads_[static_cast<size_t>(owner)].push_back(road);
+    bool on_boundary = false;
+    for (int neighbor : graph.Neighbors(road)) {
+      const int other = shard_of_[static_cast<size_t>(neighbor)];
+      if (other == owner) continue;
+      on_boundary = true;
+      frontier_sets[static_cast<size_t>(other)].insert(road);
+    }
+    if (on_boundary) {
+      boundary_[static_cast<size_t>(owner)].push_back(road);
+    }
+  }
+  for (int s = 0; s < num_shards_; ++s) {
+    frontier_[static_cast<size_t>(s)].assign(
+        frontier_sets[static_cast<size_t>(s)].begin(),
+        frontier_sets[static_cast<size_t>(s)].end());
+  }
+}
+
+Status Partition::Validate(const RoadGraph& graph) const {
+  if (static_cast<int>(shard_of_.size()) != graph.num_roads()) {
+    return Status::FailedPrecondition("partition/graph road count mismatch");
+  }
+  // Every road in exactly one shard: shard_of_ is total by construction,
+  // so the check is that the per-shard road lists tile [0, num_roads)
+  // without overlap or omission.
+  std::vector<int> seen(shard_of_.size(), 0);
+  for (int s = 0; s < num_shards_; ++s) {
+    for (int road : roads_[static_cast<size_t>(s)]) {
+      if (road < 0 || road >= num_roads()) {
+        return Status::FailedPrecondition(
+            apots::StrFormat("shard %d lists out-of-range road %d", s, road));
+      }
+      if (shard_of_[static_cast<size_t>(road)] != s) {
+        return Status::FailedPrecondition(apots::StrFormat(
+            "road %d listed by shard %d but assigned to shard %d", road, s,
+            shard_of_[static_cast<size_t>(road)]));
+      }
+      if (++seen[static_cast<size_t>(road)] > 1) {
+        return Status::FailedPrecondition(
+            apots::StrFormat("road %d owned by more than one shard", road));
+      }
+    }
+  }
+  for (size_t road = 0; road < seen.size(); ++road) {
+    if (seen[road] != 1) {
+      return Status::FailedPrecondition(
+          apots::StrFormat("road %zu owned by no shard", road));
+    }
+  }
+  // No empty shards: a shard with no roads could never ingest, publish a
+  // boundary snapshot, or serve a target.
+  for (int s = 0; s < num_shards_; ++s) {
+    if (roads_[static_cast<size_t>(s)].empty()) {
+      return Status::FailedPrecondition(
+          apots::StrFormat("shard %d owns no roads", s));
+    }
+  }
+  // Boundary/frontier symmetry: walk every cut edge in both directions.
+  for (int road = 0; road < num_roads(); ++road) {
+    const int owner = shard_of_[static_cast<size_t>(road)];
+    for (int neighbor : graph.Neighbors(road)) {
+      const int other = shard_of_[static_cast<size_t>(neighbor)];
+      if (other == owner) continue;
+      const auto& own_boundary = boundary_[static_cast<size_t>(owner)];
+      if (!std::binary_search(own_boundary.begin(), own_boundary.end(),
+                              road)) {
+        return Status::FailedPrecondition(apots::StrFormat(
+            "cut road %d missing from boundary(%d)", road, owner));
+      }
+      const auto& their_frontier = frontier_[static_cast<size_t>(other)];
+      if (!std::binary_search(their_frontier.begin(), their_frontier.end(),
+                              road)) {
+        return Status::FailedPrecondition(apots::StrFormat(
+            "cut road %d missing from frontier(%d)", road, other));
+      }
+    }
+  }
+  // No stale extras: every boundary road must have a cut edge, every
+  // frontier road must touch the importing shard.
+  for (int s = 0; s < num_shards_; ++s) {
+    for (int road : boundary_[static_cast<size_t>(s)]) {
+      bool has_cut = false;
+      for (int neighbor : graph.Neighbors(road)) {
+        if (shard_of_[static_cast<size_t>(neighbor)] != s) has_cut = true;
+      }
+      if (!has_cut) {
+        return Status::FailedPrecondition(apots::StrFormat(
+            "boundary(%d) road %d has no cross-shard edge", s, road));
+      }
+    }
+    for (int road : frontier_[static_cast<size_t>(s)]) {
+      if (shard_of_[static_cast<size_t>(road)] == s) {
+        return Status::FailedPrecondition(apots::StrFormat(
+            "frontier(%d) contains own road %d", s, road));
+      }
+      bool touches = false;
+      for (int neighbor : graph.Neighbors(road)) {
+        if (shard_of_[static_cast<size_t>(neighbor)] == s) touches = true;
+      }
+      if (!touches) {
+        return Status::FailedPrecondition(apots::StrFormat(
+            "frontier(%d) road %d not adjacent to the shard", s, road));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace apots::traffic

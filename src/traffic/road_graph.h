@@ -1,0 +1,120 @@
+#ifndef APOTS_TRAFFIC_ROAD_GRAPH_H_
+#define APOTS_TRAFFIC_ROAD_GRAPH_H_
+
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace apots::traffic {
+
+/// Undirected adjacency over road segments. The corridor datasets used so
+/// far are the special case of a path graph (road i touches i-1 and i+1);
+/// METR-LA-style sensor networks are arbitrary sparse graphs. The graph
+/// carries *topology only* — speeds, weather, and calendar stay in
+/// TrafficDataset, keyed by the same road ids.
+///
+/// Neighbor lists are kept sorted so every traversal (and therefore every
+/// partition, boundary set, and feature window derived from one) is
+/// deterministic regardless of edge insertion order.
+class RoadGraph {
+ public:
+  /// Empty graph (0 roads). Useful as a "no graph supplied" default.
+  RoadGraph() = default;
+
+  /// Path graph over `num_roads` segments: i ~ i+1. Matches the implicit
+  /// topology of the corridor simulator and of FeatureAssembler's
+  /// index-contiguous adjacency window.
+  static RoadGraph Corridor(int num_roads);
+
+  /// 4-connected grid with `rows * cols` roads, id = r * cols + c. A cheap
+  /// stand-in for urban mesh topologies in tests.
+  static RoadGraph Grid(int rows, int cols);
+
+  /// Arbitrary topology from an undirected edge list. Rejects self-loops
+  /// and out-of-range endpoints; duplicate edges collapse to one.
+  static Result<RoadGraph> FromEdges(
+      int num_roads, const std::vector<std::pair<int, int>>& edges);
+
+  int num_roads() const { return num_roads_; }
+  long num_edges() const { return num_edges_; }
+
+  /// Sorted neighbor ids of `road`.
+  const std::vector<int>& Neighbors(int road) const;
+
+  bool AreAdjacent(int a, int b) const;
+
+  /// All roads within `hops` BFS hops of `road` (including `road`),
+  /// sorted ascending. On a corridor this is exactly the contiguous range
+  /// [road - hops, road + hops] clamped to the graph — the invariant that
+  /// keeps graph-derived serving windows bitwise identical to the legacy
+  /// index-window plumbing.
+  std::vector<int> WithinHops(int road, int hops) const;
+
+ private:
+  int num_roads_ = 0;
+  long num_edges_ = 0;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+/// A disjoint cover of a RoadGraph's roads by `num_shards` shards, plus the
+/// derived cross-shard boundary structure that sharded serving needs:
+///
+///   boundary(s)  roads owned by s with at least one edge leaving s — the
+///                roads whose observations s must publish.
+///   frontier(s)  roads NOT owned by s but adjacent to a road of s — the
+///                roads s must import from its neighbors.
+///
+/// The two sets are views of the same cut edges, so for any road r owned by
+/// shard u: r ∈ frontier(s) ⇔ r ∈ boundary(u) and some edge (r, x) has
+/// x owned by s. Validate() checks that symmetry plus the exactly-one-shard
+/// cover; tests drive it as the partition invariant suite.
+class Partition {
+ public:
+  /// Contiguous split of road ids into `num_shards` near-equal ranges —
+  /// the natural partition for corridor graphs (cut edges only between
+  /// range ends). Requires 1 <= num_shards <= num_roads.
+  static Result<Partition> Contiguous(const RoadGraph& graph, int num_shards);
+
+  /// Arbitrary assignment: `shard_of[road]` in [0, num_shards). Rejects
+  /// out-of-range shards and a size mismatch with the graph.
+  static Result<Partition> FromAssignment(const RoadGraph& graph,
+                                          int num_shards,
+                                          const std::vector<int>& shard_of);
+
+  int num_shards() const { return num_shards_; }
+  int num_roads() const { return static_cast<int>(shard_of_.size()); }
+
+  int shard_of(int road) const;
+
+  /// Sorted road ids owned by `shard`.
+  const std::vector<int>& roads(int shard) const;
+
+  /// Sorted owned roads of `shard` with an edge into another shard.
+  const std::vector<int>& boundary(int shard) const;
+
+  /// Sorted foreign roads adjacent to `shard` (its import set / halo).
+  const std::vector<int>& frontier(int shard) const;
+
+  /// Re-checks the structural invariants (every road in exactly one shard,
+  /// boundary/frontier symmetry across every cut edge). Ok for any
+  /// Partition built by the factories; exposed so tests can assert it and
+  /// future hand-built partitions can be vetted.
+  Status Validate(const RoadGraph& graph) const;
+
+ private:
+  Partition() = default;
+
+  /// Fills roads_/boundary_/frontier_ from shard_of_ + the graph.
+  void BuildDerivedSets(const RoadGraph& graph);
+
+  int num_shards_ = 0;
+  std::vector<int> shard_of_;
+  std::vector<std::vector<int>> roads_;
+  std::vector<std::vector<int>> boundary_;
+  std::vector<std::vector<int>> frontier_;
+};
+
+}  // namespace apots::traffic
+
+#endif  // APOTS_TRAFFIC_ROAD_GRAPH_H_

@@ -1,0 +1,307 @@
+// Chaos scheduler + driver invariants: kind-spec parsing, seeded
+// determinism of the event stream, the spare-last-healthy guard (kills,
+// partitions, AND stalls — a stall past the router timeout is a partition
+// as far as callers can tell), kill/restart pairing, the corrupt drill's
+// event composition, and end-to-end driver determinism against a real
+// ShardedService.
+
+#include "chaos/chaos.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/sharded_service.h"
+
+namespace apots::chaos {
+namespace {
+
+TEST(ParseChaosKindsTest, AcceptsNamesCombosAndCase) {
+  EXPECT_EQ(ParseChaosKinds("kill").value(), kChaosKill);
+  EXPECT_EQ(ParseChaosKinds("Kill, STALL").value(),
+            kChaosKill | kChaosStall);
+  EXPECT_EQ(ParseChaosKinds("all").value(), kChaosAll);
+  EXPECT_EQ(ParseChaosKinds("corrupt,corrupt").value(), kChaosCorrupt);
+  EXPECT_EQ(ParseChaosKinds("skew,partition").value(),
+            kChaosSkew | kChaosPartition);
+}
+
+TEST(ParseChaosKindsTest, RejectsUnknownAndEmpty) {
+  auto bogus = ParseChaosKinds("bogus");
+  ASSERT_FALSE(bogus.ok());
+  EXPECT_EQ(bogus.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bogus.status().message().find("unknown chaos kind: bogus"),
+            std::string::npos);
+  EXPECT_FALSE(ParseChaosKinds("").ok());
+  EXPECT_FALSE(ParseChaosKinds(",,").ok());
+  EXPECT_FALSE(ParseChaosKinds("kill,bogus").ok());
+}
+
+TEST(ParseChaosKindsTest, RoundTripsThroughToString) {
+  for (unsigned kinds = 1; kinds <= kChaosAll; ++kinds) {
+    EXPECT_EQ(ParseChaosKinds(ChaosKindsToString(kinds)).value(), kinds);
+  }
+  EXPECT_EQ(ChaosKindsToString(0), "none");
+  EXPECT_EQ(ChaosKindsToString(kChaosAll),
+            "kill,stall,partition,skew,corrupt");
+}
+
+TEST(ChaosSchedulerTest, SameSeedEmitsIdenticalStreams) {
+  ChaosScheduler a(ChaosSpec::Storm(7), 2, 2);
+  ChaosScheduler b(ChaosSpec::Storm(7), 2, 2);
+  uint64_t events = 0;
+  for (long tick = 0; tick < 600; ++tick) {
+    const std::vector<ChaosEvent> ea = a.Step(tick);
+    const std::vector<ChaosEvent> eb = b.Step(tick);
+    ASSERT_EQ(ea.size(), eb.size()) << "tick " << tick;
+    for (size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i].tick, eb[i].tick);
+      EXPECT_EQ(ea[i].action, eb[i].action);
+      EXPECT_EQ(ea[i].shard, eb[i].shard);
+      EXPECT_EQ(ea[i].replica, eb[i].replica);
+      EXPECT_EQ(ea[i].param_ms, eb[i].param_ms);  // bitwise
+      EXPECT_EQ(ea[i].duration_ticks, eb[i].duration_ticks);
+    }
+    events += ea.size();
+  }
+  EXPECT_GT(events, 0u);
+  EXPECT_EQ(a.stats().kills, b.stats().kills);
+  EXPECT_EQ(a.stats().spared, b.stats().spared);
+  EXPECT_GT(a.stats().kills, 0u);
+}
+
+// External mirror of the scheduler's health model, driven purely by the
+// emitted events.
+struct ModelReplica {
+  bool down = false;
+  long unreachable_until = -1;
+  long stalled_until = -1;
+  bool healthy(long tick) const {
+    return !down && !(unreachable_until >= 0 && tick < unreachable_until) &&
+           !(stalled_until >= 0 && tick < stalled_until);
+  }
+};
+
+TEST(ChaosSchedulerTest, NeverLeavesShardWithoutHealthyReplica) {
+  // Crank every disruptive probability well past Storm so the guard is
+  // the only thing standing between the shard and a total outage.
+  ChaosSpec spec = ChaosSpec::Storm(13);
+  spec.kill_prob = 0.10;
+  spec.stall_prob = 0.15;
+  spec.partition_prob = 0.10;
+  spec.corrupt_prob = 0.05;
+  const int shards = 2;
+  const int replicas = 3;
+  ChaosScheduler scheduler(spec, shards, replicas);
+  std::vector<ModelReplica> model(shards * replicas);
+
+  for (long tick = 0; tick < 500; ++tick) {
+    for (const ChaosEvent& event : scheduler.Step(tick)) {
+      ModelReplica& m = model[event.shard * replicas + event.replica];
+      switch (event.action) {
+        case ChaosAction::kKill:
+          EXPECT_FALSE(m.down) << "kill of dead replica at tick " << tick;
+          m.down = true;
+          break;
+        case ChaosAction::kRestart:
+          EXPECT_TRUE(m.down) << "restart of live replica at tick " << tick;
+          m.down = false;
+          break;
+        case ChaosAction::kStall:
+          EXPECT_FALSE(m.down);
+          m.stalled_until = tick + event.duration_ticks;
+          break;
+        case ChaosAction::kPartition:
+          EXPECT_FALSE(m.down);
+          m.unreachable_until = tick + event.duration_ticks;
+          break;
+        case ChaosAction::kClockSkew:
+        case ChaosAction::kCorruptCheckpoint:
+          EXPECT_FALSE(m.down);
+          break;
+      }
+    }
+    for (int s = 0; s < shards; ++s) {
+      int healthy = 0;
+      for (int r = 0; r < replicas; ++r) {
+        if (model[s * replicas + r].healthy(tick)) ++healthy;
+      }
+      EXPECT_GE(healthy, 1) << "shard " << s << " stranded at tick " << tick;
+    }
+  }
+  EXPECT_GT(scheduler.stats().kills, 0u);
+  EXPECT_GT(scheduler.stats().stalls, 0u);
+  EXPECT_GT(scheduler.stats().partitions, 0u);
+  EXPECT_GT(scheduler.stats().spared, 0u);
+}
+
+TEST(ChaosSchedulerTest, KillsPairWithLaterRestarts) {
+  ChaosSpec spec = ChaosSpec::Storm(21);
+  spec.kill_prob = 0.08;
+  ChaosScheduler scheduler(spec, 2, 2);
+  std::vector<long> killed_at(4, -1);
+  uint64_t kills = 0;
+  uint64_t restarts = 0;
+  for (long tick = 0; tick < 400; ++tick) {
+    for (const ChaosEvent& event : scheduler.Step(tick)) {
+      const size_t idx =
+          static_cast<size_t>(event.shard * 2 + event.replica);
+      if (event.action == ChaosAction::kKill) {
+        EXPECT_LT(killed_at[idx], 0) << "double kill at tick " << tick;
+        killed_at[idx] = tick;
+        ++kills;
+      } else if (event.action == ChaosAction::kRestart) {
+        EXPECT_GE(killed_at[idx], 0) << "orphan restart at tick " << tick;
+        EXPECT_GT(tick, killed_at[idx]);
+        killed_at[idx] = -1;
+        ++restarts;
+      }
+    }
+  }
+  EXPECT_GT(kills, 0u);
+  // Every restart follows a kill; at most one kill per replica can still
+  // be waiting on its restart when the horizon ends.
+  EXPECT_LE(kills - restarts, 4u);
+  EXPECT_EQ(scheduler.stats().kills, kills);
+  EXPECT_EQ(scheduler.stats().restarts, restarts);
+}
+
+TEST(ChaosSchedulerTest, SingleReplicaShardsOnlySeeSkews) {
+  // With one replica per shard every kill/stall/partition would strand
+  // the shard, so the guard must spare all of them; clock skews do not
+  // affect health and still fire.
+  ChaosSpec spec = ChaosSpec::Storm(31);
+  spec.kill_prob = 0.2;
+  spec.stall_prob = 0.2;
+  spec.partition_prob = 0.2;
+  spec.corrupt_prob = 0.1;
+  spec.skew_prob = 0.1;
+  ChaosScheduler scheduler(spec, 2, 1);
+  for (long tick = 0; tick < 300; ++tick) {
+    for (const ChaosEvent& event : scheduler.Step(tick)) {
+      EXPECT_EQ(event.action, ChaosAction::kClockSkew)
+          << ChaosActionName(event.action) << " at tick " << tick;
+    }
+  }
+  EXPECT_EQ(scheduler.stats().kills, 0u);
+  EXPECT_EQ(scheduler.stats().stalls, 0u);
+  EXPECT_EQ(scheduler.stats().partitions, 0u);
+  EXPECT_EQ(scheduler.stats().corruptions, 0u);
+  EXPECT_GT(scheduler.stats().spared, 0u);
+  EXPECT_GT(scheduler.stats().skews, 0u);
+}
+
+TEST(ChaosSchedulerTest, OffSpecEmitsNothing) {
+  ChaosScheduler scheduler(ChaosSpec::Off(), 2, 2);
+  for (long tick = 0; tick < 100; ++tick) {
+    EXPECT_TRUE(scheduler.Step(tick).empty());
+  }
+}
+
+TEST(ChaosSchedulerTest, CorruptionComposesWithKill) {
+  ChaosSpec spec = ChaosSpec::Storm(41);
+  spec.kinds = kChaosCorrupt;
+  spec.corrupt_prob = 0.15;
+  ChaosScheduler scheduler(spec, 2, 2);
+  uint64_t corruptions = 0;
+  for (long tick = 0; tick < 300; ++tick) {
+    const std::vector<ChaosEvent> events = scheduler.Step(tick);
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (events[i].action != ChaosAction::kCorruptCheckpoint) continue;
+      ++corruptions;
+      // The drill: corrupt is immediately followed by the kill of the
+      // same replica, whose restart later recovers through the fallback.
+      ASSERT_LT(i + 1, events.size());
+      EXPECT_EQ(events[i + 1].action, ChaosAction::kKill);
+      EXPECT_EQ(events[i + 1].shard, events[i].shard);
+      EXPECT_EQ(events[i + 1].replica, events[i].replica);
+    }
+  }
+  EXPECT_GT(corruptions, 0u);
+  EXPECT_EQ(scheduler.stats().corruptions, corruptions);
+  EXPECT_EQ(scheduler.stats().kills, corruptions);
+}
+
+serve::ShardedConfig SmallConfig() {
+  serve::ShardedConfig config;
+  traffic::DatasetSpec spec;
+  spec.num_roads = 8;
+  spec.num_days = 2;
+  spec.intervals_per_day = 96;
+  spec.seed = 4242;
+  spec.hyundai_calendar = false;
+  config.spec = spec;
+  config.warmup_fraction = 0.5;
+  config.predictor = core::PredictorType::kFc;
+  config.width_divisor = 16;
+  config.train_epochs = 0;
+  config.model_seed = 7;
+  config.num_shards = 2;
+  config.replicas_per_shard = 2;
+  config.anchors_per_tick = 2;
+  config.serve.deadline_ms = 0.0;  // chaos clock jumps poison latency EMAs
+  return config;
+}
+
+TEST(ChaosDriverTest, EndToEndRunsAreDeterministic) {
+  auto run = [] {
+    serve::ShardedService service(SmallConfig());
+    ChaosScheduler scheduler(ChaosSpec::Storm(11), service.num_shards(),
+                             service.replicas_per_shard());
+    ChaosDriver driver(&service, &scheduler);
+    std::vector<double> kmh;
+    while (true) {
+      driver.Step(service.next_tick());
+      if (!service.RunTick()) break;
+      for (int s = 0; s < service.num_shards(); ++s) {
+        for (const auto& resp : service.last_responses(s)) {
+          kmh.push_back(resp.serve.kmh);
+        }
+      }
+    }
+    return std::make_pair(service.report(), kmh);
+  };
+  const auto [report_a, kmh_a] = run();
+  const auto [report_b, kmh_b] = run();
+  EXPECT_GT(report_a.kills, 0u);
+  EXPECT_EQ(report_a.kills, report_b.kills);
+  EXPECT_EQ(report_a.restarts, report_b.restarts);
+  EXPECT_EQ(report_a.stalls, report_b.stalls);
+  EXPECT_EQ(report_a.partitions, report_b.partitions);
+  EXPECT_EQ(report_a.clock_skews, report_b.clock_skews);
+  EXPECT_EQ(report_a.router.requests, report_b.router.requests);
+  EXPECT_EQ(report_a.router.failovers, report_b.router.failovers);
+  EXPECT_EQ(report_a.router.retries, report_b.router.retries);
+  EXPECT_EQ(report_a.router.ladder_answers, report_b.router.ladder_answers);
+  EXPECT_EQ(report_a.failover_p50_ms, report_b.failover_p50_ms);  // bitwise
+  EXPECT_EQ(report_a.failover_p99_ms, report_b.failover_p99_ms);
+  ASSERT_EQ(kmh_a.size(), kmh_b.size());
+  for (size_t i = 0; i < kmh_a.size(); ++i) {
+    ASSERT_EQ(kmh_a[i], kmh_b[i]) << "response " << i;  // bitwise
+  }
+}
+
+TEST(ChaosDriverTest, CountsRefusedAdminCallsAsRejected) {
+  // Without a checkpoint root every corrupt event is refused by the admin
+  // surface; the driver records the refusal and carries on with the kill.
+  serve::ShardedService service(SmallConfig());
+  ChaosSpec spec = ChaosSpec::Storm(51);
+  spec.kinds = kChaosCorrupt;
+  spec.corrupt_prob = 0.1;
+  ChaosScheduler scheduler(spec, service.num_shards(),
+                           service.replicas_per_shard());
+  ChaosDriver driver(&service, &scheduler);
+  while (true) {
+    driver.Step(service.next_tick());
+    if (!service.RunTick()) break;
+  }
+  EXPECT_GT(scheduler.stats().corruptions, 0u);
+  EXPECT_EQ(driver.stats().rejected, scheduler.stats().corruptions);
+  EXPECT_EQ(service.report().kills, scheduler.stats().kills);
+  EXPECT_EQ(service.report().checkpoint_corruptions, 0u);
+}
+
+}  // namespace
+}  // namespace apots::chaos

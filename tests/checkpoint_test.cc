@@ -241,6 +241,72 @@ TEST(CheckpointStoreTest, AllGenerationsCorruptIsIoError) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(CheckpointStoreTest, MidRenameCrashLeavesStoreConsistent) {
+  // Crash drill for the temp-file + rename protocol: the process died
+  // after fully writing generation 2's temp file but before the rename.
+  // The orphaned ".tmp" must be invisible to listing and recovery, and
+  // the next Save must claim generation 2 anyway (the trunc-open reuses
+  // the stray temp) and leave the directory clean.
+  const std::string dir = TempDir("apots_ckpt_midrename");
+  CheckpointStore store(dir);
+  apots::Rng rng_a(15);
+  Dense source(3, 2, &rng_a);
+  ASSERT_TRUE(store.Save(source.Parameters(), "gen-one").ok());
+  WriteFile(store.GenerationPath(2) + ".tmp",
+            ReadFile(store.GenerationPath(1)));
+
+  EXPECT_EQ(store.ListGenerations(), (std::vector<uint64_t>{1}));
+  EXPECT_EQ(store.LatestGeneration(), 1u);
+  apots::Rng rng_b(16);
+  Dense target(3, 2, &rng_b);
+  auto recovered = store.Recover(target.Parameters());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value().generation, 1u);
+  EXPECT_FALSE(recovered.value().fell_back());
+
+  source.Parameters()[0]->value.data()[0] += 1.0f;
+  auto gen = store.Save(source.Parameters(), "gen-two");
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen.value(), 2u);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().extension(), ".apot") << entry.path();
+  }
+  recovered = store.Recover(target.Parameters());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value().generation, 2u);
+  EXPECT_EQ(recovered.value().aux, "gen-two");
+  EXPECT_EQ(SnapshotValues(target.Parameters()),
+            SnapshotValues(source.Parameters()));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointStoreTest, TruncatedNewestFallsBackOneGeneration) {
+  // The other mid-write crash shape: the rename happened but the image is
+  // short (e.g. the disk filled). The CRC footer catches it and recovery
+  // falls back, same as a bit flip.
+  const std::string dir = TempDir("apots_ckpt_truncated");
+  CheckpointStore store(dir);
+  apots::Rng rng_a(17);
+  Dense source(3, 2, &rng_a);
+  ASSERT_TRUE(store.Save(source.Parameters(), "gen-one").ok());
+  const auto gen1_values = SnapshotValues(source.Parameters());
+  source.Parameters()[0]->value.data()[0] += 1.0f;
+  ASSERT_TRUE(store.Save(source.Parameters(), "gen-two").ok());
+  const std::string bytes = ReadFile(store.GenerationPath(2));
+  WriteFile(store.GenerationPath(2), bytes.substr(0, bytes.size() / 2));
+
+  apots::Rng rng_b(18);
+  Dense target(3, 2, &rng_b);
+  auto recovered = store.Recover(target.Parameters());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value().generation, 1u);
+  EXPECT_EQ(recovered.value().aux, "gen-one");
+  EXPECT_TRUE(recovered.value().fell_back());
+  ASSERT_EQ(recovered.value().skipped.size(), 1u);
+  EXPECT_EQ(SnapshotValues(target.Parameters()), gen1_values);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(TrainGuardTest, SnapshotSpillsToDisk) {
   const std::string dir = TempDir("apots_guard_spill");
   apots::core::GuardConfig config;

@@ -1,0 +1,221 @@
+// RoadGraph + Partition invariants: topology factories, edge-list
+// validation, BFS windows (and their corridor == contiguous-range
+// identity, which the sharded serving plane's bitwise gates rest on),
+// contiguous and arbitrary partitions, and the boundary/frontier
+// symmetry that the cross-shard exchange assumes.
+
+#include "traffic/road_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace apots::traffic {
+namespace {
+
+TEST(RoadGraphTest, CorridorIsAPathGraph) {
+  const RoadGraph graph = RoadGraph::Corridor(5);
+  EXPECT_EQ(graph.num_roads(), 5);
+  EXPECT_EQ(graph.num_edges(), 4);
+  EXPECT_EQ(graph.Neighbors(0), (std::vector<int>{1}));
+  EXPECT_EQ(graph.Neighbors(2), (std::vector<int>{1, 3}));
+  EXPECT_EQ(graph.Neighbors(4), (std::vector<int>{3}));
+  EXPECT_TRUE(graph.AreAdjacent(1, 2));
+  EXPECT_TRUE(graph.AreAdjacent(2, 1));
+  EXPECT_FALSE(graph.AreAdjacent(0, 2));
+  EXPECT_FALSE(graph.AreAdjacent(3, 3));
+}
+
+TEST(RoadGraphTest, GridHasFourConnectedNeighbors) {
+  const RoadGraph graph = RoadGraph::Grid(3, 4);  // id = r * 4 + c
+  EXPECT_EQ(graph.num_roads(), 12);
+  // rows * (cols-1) horizontal + cols * (rows-1) vertical edges.
+  EXPECT_EQ(graph.num_edges(), 3 * 3 + 4 * 2);
+  EXPECT_EQ(graph.Neighbors(0), (std::vector<int>{1, 4}));       // corner
+  EXPECT_EQ(graph.Neighbors(5), (std::vector<int>{1, 4, 6, 9})); // interior
+  EXPECT_EQ(graph.Neighbors(11), (std::vector<int>{7, 10}));     // corner
+}
+
+TEST(RoadGraphTest, FromEdgesRejectsSelfLoopsAndOutOfRange) {
+  EXPECT_EQ(RoadGraph::FromEdges(3, {{0, 0}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RoadGraph::FromEdges(3, {{0, 3}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RoadGraph::FromEdges(3, {{-1, 1}}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RoadGraphTest, FromEdgesDeduplicatesAndSorts) {
+  // The same edge three times (both orientations) collapses to one, and
+  // neighbor lists come back sorted regardless of insertion order.
+  auto graph = RoadGraph::FromEdges(4, {{2, 1}, {1, 2}, {2, 1}, {3, 1}});
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().num_edges(), 2);
+  EXPECT_EQ(graph.value().Neighbors(1), (std::vector<int>{2, 3}));
+  EXPECT_EQ(graph.value().Neighbors(0), (std::vector<int>{}));
+}
+
+TEST(RoadGraphTest, WithinHopsOnCorridorEqualsClampedContiguousRange) {
+  // The identity the serving plane relies on: on a path graph the BFS
+  // window is exactly the legacy [target - m, target + m] index window.
+  const int n = 9;
+  const RoadGraph graph = RoadGraph::Corridor(n);
+  for (int target = 0; target < n; ++target) {
+    for (int m = 0; m <= 4; ++m) {
+      std::vector<int> want;
+      for (int r = std::max(0, target - m); r <= std::min(n - 1, target + m);
+           ++r) {
+        want.push_back(r);
+      }
+      EXPECT_EQ(graph.WithinHops(target, m), want)
+          << "target " << target << " m " << m;
+    }
+  }
+}
+
+TEST(RoadGraphTest, WithinHopsOnGridIsBfsBall) {
+  const RoadGraph graph = RoadGraph::Grid(3, 3);
+  // Center of a 3x3 grid, one hop: the + shape.
+  EXPECT_EQ(graph.WithinHops(4, 1), (std::vector<int>{1, 3, 4, 5, 7}));
+  // Two hops reaches everything but the far corners' diagonal? No — on a
+  // 3x3 grid every road is within two hops of the center.
+  EXPECT_EQ(graph.WithinHops(4, 2),
+            (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8}));
+  EXPECT_EQ(graph.WithinHops(0, 0), (std::vector<int>{0}));
+}
+
+TEST(PartitionTest, ContiguousCoversEveryRoadExactlyOnce) {
+  const RoadGraph graph = RoadGraph::Corridor(10);
+  for (int shards = 1; shards <= 4; ++shards) {
+    auto partition = Partition::Contiguous(graph, shards);
+    ASSERT_TRUE(partition.ok()) << shards << " shards";
+    const Partition& p = partition.value();
+    EXPECT_TRUE(p.Validate(graph).ok());
+    std::set<int> seen;
+    for (int s = 0; s < shards; ++s) {
+      for (int road : p.roads(s)) {
+        EXPECT_TRUE(seen.insert(road).second) << "road " << road << " twice";
+        EXPECT_EQ(p.shard_of(road), s);
+      }
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), graph.num_roads());
+  }
+}
+
+TEST(PartitionTest, ContiguousSplitsNearEqually) {
+  const RoadGraph graph = RoadGraph::Corridor(10);
+  auto partition = Partition::Contiguous(graph, 3);
+  ASSERT_TRUE(partition.ok());
+  // 10 roads over 3 shards: the first (10 % 3) = 1 shard takes the extra.
+  EXPECT_EQ(partition.value().roads(0).size(), 4u);
+  EXPECT_EQ(partition.value().roads(1).size(), 3u);
+  EXPECT_EQ(partition.value().roads(2).size(), 3u);
+}
+
+TEST(PartitionTest, ContiguousRejectsBadShardCounts) {
+  const RoadGraph graph = RoadGraph::Corridor(4);
+  EXPECT_FALSE(Partition::Contiguous(graph, 0).ok());
+  EXPECT_FALSE(Partition::Contiguous(graph, 5).ok());
+}
+
+// Every cut edge must appear symmetrically: its owned endpoint in the
+// owner's boundary, its foreign endpoint in the importer's frontier.
+void CheckBoundarySymmetry(const RoadGraph& graph, const Partition& p) {
+  for (int road = 0; road < graph.num_roads(); ++road) {
+    for (int other : graph.Neighbors(road)) {
+      const int s = p.shard_of(road);
+      const int u = p.shard_of(other);
+      if (s == u) continue;
+      const auto& boundary = p.boundary(s);
+      const auto& frontier = p.frontier(s);
+      EXPECT_TRUE(
+          std::binary_search(boundary.begin(), boundary.end(), road))
+          << "road " << road << " missing from boundary(" << s << ")";
+      EXPECT_TRUE(
+          std::binary_search(frontier.begin(), frontier.end(), other))
+          << "road " << other << " missing from frontier(" << s << ")";
+    }
+  }
+  // And nothing extra: every boundary road really has a cut edge, every
+  // frontier road really touches the shard.
+  for (int s = 0; s < p.num_shards(); ++s) {
+    for (int road : p.boundary(s)) {
+      EXPECT_EQ(p.shard_of(road), s);
+      bool cut = false;
+      for (int other : graph.Neighbors(road)) {
+        if (p.shard_of(other) != s) cut = true;
+      }
+      EXPECT_TRUE(cut) << "boundary road " << road << " has no cut edge";
+    }
+    for (int road : p.frontier(s)) {
+      EXPECT_NE(p.shard_of(road), s);
+      bool touches = false;
+      for (int other : graph.Neighbors(road)) {
+        if (p.shard_of(other) == s) touches = true;
+      }
+      EXPECT_TRUE(touches) << "frontier road " << road << " never touches "
+                           << s;
+    }
+  }
+}
+
+TEST(PartitionTest, BoundaryAndFrontierAreSymmetricOnCorridor) {
+  const RoadGraph graph = RoadGraph::Corridor(8);
+  auto partition = Partition::Contiguous(graph, 2);
+  ASSERT_TRUE(partition.ok());
+  const Partition& p = partition.value();
+  // The single cut edge 3~4: exactly one boundary road per side.
+  EXPECT_EQ(p.boundary(0), (std::vector<int>{3}));
+  EXPECT_EQ(p.frontier(0), (std::vector<int>{4}));
+  EXPECT_EQ(p.boundary(1), (std::vector<int>{4}));
+  EXPECT_EQ(p.frontier(1), (std::vector<int>{3}));
+  CheckBoundarySymmetry(graph, p);
+}
+
+TEST(PartitionTest, BoundaryAndFrontierAreSymmetricOnGrid) {
+  const RoadGraph graph = RoadGraph::Grid(4, 4);
+  for (int shards = 2; shards <= 4; ++shards) {
+    auto partition = Partition::Contiguous(graph, shards);
+    ASSERT_TRUE(partition.ok());
+    EXPECT_TRUE(partition.value().Validate(graph).ok());
+    CheckBoundarySymmetry(graph, partition.value());
+  }
+}
+
+TEST(PartitionTest, FromAssignmentAcceptsInterleavedShards) {
+  // A deliberately non-contiguous assignment: odds and evens. Every road
+  // of a corridor then sits on a cut, so boundary == owned roads and
+  // frontier == the other shard's roads (minus ends).
+  const RoadGraph graph = RoadGraph::Corridor(6);
+  auto partition =
+      Partition::FromAssignment(graph, 2, {0, 1, 0, 1, 0, 1});
+  ASSERT_TRUE(partition.ok());
+  const Partition& p = partition.value();
+  EXPECT_TRUE(p.Validate(graph).ok());
+  EXPECT_EQ(p.roads(0), (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(p.boundary(0), (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(p.frontier(0), (std::vector<int>{1, 3, 5}));
+  CheckBoundarySymmetry(graph, p);
+}
+
+TEST(PartitionTest, FromAssignmentRejectsBadInput) {
+  const RoadGraph graph = RoadGraph::Corridor(4);
+  // Size mismatch with the graph.
+  EXPECT_FALSE(Partition::FromAssignment(graph, 2, {0, 1, 0}).ok());
+  // Out-of-range shard id.
+  EXPECT_FALSE(Partition::FromAssignment(graph, 2, {0, 1, 2, 0}).ok());
+  EXPECT_FALSE(Partition::FromAssignment(graph, 2, {0, -1, 1, 0}).ok());
+}
+
+TEST(PartitionTest, FromAssignmentRejectsEmptyShard) {
+  // Every shard must own at least one road — an empty shard could never
+  // publish and would serve nothing.
+  const RoadGraph graph = RoadGraph::Corridor(4);
+  EXPECT_FALSE(Partition::FromAssignment(graph, 3, {0, 0, 1, 1}).ok());
+}
+
+}  // namespace
+}  // namespace apots::traffic

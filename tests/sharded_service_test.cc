@@ -1,0 +1,303 @@
+// ShardedService invariants: topology/partition wiring, the clean-path
+// bitwise identity between routed serving and the direct model path,
+// failover on kill/stall/partition (and healing afterwards), whole-shard
+// outages riding the ladder while the neighbor detects the lagging
+// boundary epoch, checkpointed crash recovery, boundary-epoch tracking,
+// and the admin surface's error contract.
+
+#include "serve/sharded_service.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace apots::serve {
+namespace {
+
+ShardedConfig SmallConfig() {
+  ShardedConfig config;
+  traffic::DatasetSpec spec;
+  spec.num_roads = 8;  // 2 shards x 4 roads; targets hug the cut
+  spec.num_days = 2;
+  spec.intervals_per_day = 96;
+  spec.seed = 4242;
+  spec.hyundai_calendar = false;
+  config.spec = spec;
+  config.warmup_fraction = 0.5;
+  config.predictor = core::PredictorType::kFc;
+  config.width_divisor = 16;
+  config.train_epochs = 0;
+  config.model_seed = 7;
+  config.num_shards = 2;
+  config.replicas_per_shard = 2;
+  config.anchors_per_tick = 2;
+  return config;
+}
+
+TEST(ShardedServiceTest, PartitionsTargetsAcrossTheCut) {
+  ShardedService service(SmallConfig());
+  EXPECT_EQ(service.num_shards(), 2);
+  EXPECT_EQ(service.replicas_per_shard(), 2);
+  EXPECT_TRUE(service.partition().Validate(service.graph()).ok());
+  // Targets hug the cut so the feature windows genuinely span shards.
+  EXPECT_EQ(service.target_road(0), 3);
+  EXPECT_EQ(service.target_road(1), 4);
+  EXPECT_GE(service.num_adjacent(), 1);
+  for (int r = 0; r < service.replicas_per_shard(); ++r) {
+    EXPECT_TRUE(service.ReplicaAlive(0, r));
+    EXPECT_TRUE(service.ReplicaAlive(1, r));
+  }
+}
+
+TEST(ShardedServiceTest, CleanPathIsFullTierAndBitwise) {
+  ShardedService service(SmallConfig());
+  for (int t = 0; t < 12; ++t) {
+    ASSERT_TRUE(service.RunTick());
+    const std::vector<long>& anchors = service.last_anchors();
+    for (int s = 0; s < service.num_shards(); ++s) {
+      const std::vector<double> direct = service.PredictDirect(s, anchors);
+      const auto& responses = service.last_responses(s);
+      ASSERT_EQ(responses.size(), anchors.size());
+      for (size_t i = 0; i < anchors.size(); ++i) {
+        EXPECT_EQ(responses[i].serve.tier, ServeTier::kFull);
+        EXPECT_GE(responses[i].replica, 0);
+        // The router round-robins replicas, so a sustained match also
+        // proves sibling replicas are bitwise interchangeable.
+        EXPECT_EQ(responses[i].serve.kmh, direct[i]);
+      }
+    }
+  }
+  const ShardedReport report = service.report();
+  EXPECT_EQ(report.router.failovers, 0u);
+  EXPECT_EQ(report.router.ladder_answers, 0u);
+  EXPECT_EQ(report.exchange.stale_epoch_serves, 0u);
+  EXPECT_EQ(report.exchange.epoch_lag_serves, 0u);
+  EXPECT_EQ(report.availability(), 1.0);
+}
+
+TEST(ShardedServiceTest, KilledReplicaFailsOverBitwise) {
+  ShardedService service(SmallConfig());
+  for (int t = 0; t < 2; ++t) ASSERT_TRUE(service.RunTick());
+  ASSERT_TRUE(service.KillReplica(0, 0).ok());
+  EXPECT_FALSE(service.ReplicaAlive(0, 0));
+  for (int t = 0; t < 6; ++t) {
+    ASSERT_TRUE(service.RunTick());
+    const std::vector<double> direct =
+        service.PredictDirect(0, service.last_anchors());
+    const auto& responses = service.last_responses(0);
+    for (size_t i = 0; i < responses.size(); ++i) {
+      // The survivor answers, at full tier, bitwise equal to its direct
+      // model path.
+      EXPECT_EQ(responses[i].replica, 1);
+      EXPECT_EQ(responses[i].serve.tier, ServeTier::kFull);
+      EXPECT_EQ(responses[i].serve.kmh, direct[i]);
+    }
+  }
+  const ShardedReport report = service.report();
+  EXPECT_EQ(report.kills, 1u);
+  // Half the round-robin picks preferred the dead replica and had to
+  // fail over; nothing fell to the ladder.
+  EXPECT_GT(report.router.failovers, 0u);
+  EXPECT_EQ(report.router.ladder_answers, 0u);
+  EXPECT_EQ(report.replica_availability(), 1.0);
+}
+
+TEST(ShardedServiceTest, WholeShardOutageRidesLadderThenRecovers) {
+  ShardedService service(SmallConfig());
+  for (int t = 0; t < 4; ++t) ASSERT_TRUE(service.RunTick());
+  for (int r = 0; r < service.replicas_per_shard(); ++r) {
+    ASSERT_TRUE(service.KillReplica(0, r).ok());
+  }
+  for (int t = 0; t < 10; ++t) {
+    ASSERT_TRUE(service.RunTick());
+    for (const auto& resp : service.last_responses(0)) {
+      EXPECT_EQ(resp.replica, -1);  // router ladder
+      EXPECT_NE(resp.serve.tier, ServeTier::kFull);
+    }
+    for (const auto& resp : service.last_responses(1)) {
+      EXPECT_GE(resp.replica, 0);  // neighbor keeps serving replicas
+    }
+  }
+  ShardedReport report = service.report();
+  EXPECT_GT(report.router.ladder_answers, 0u);
+  // Shard 0 had no live replica to publish from, and the neighbor
+  // *detected* the lagging boundary epoch instead of masking it.
+  EXPECT_GT(report.exchange.publishes_skipped, 0u);
+  EXPECT_GT(report.exchange.epoch_lag_serves, 0u);
+  // Everything was still answered by someone.
+  EXPECT_EQ(report.availability(), 1.0);
+
+  for (int r = 0; r < service.replicas_per_shard(); ++r) {
+    ASSERT_TRUE(service.RestartReplica(0, r).ok());
+  }
+  for (int t = 0; t < 6; ++t) ASSERT_TRUE(service.RunTick());
+  for (const auto& resp : service.last_responses(0)) {
+    EXPECT_GE(resp.replica, 0);
+    EXPECT_EQ(resp.serve.tier, ServeTier::kFull);
+  }
+}
+
+TEST(ShardedServiceTest, StallPastTimeoutFailsOverUnderTimeoutServes) {
+  ShardedService service(SmallConfig());
+  for (int t = 0; t < 2; ++t) ASSERT_TRUE(service.RunTick());
+
+  // Past the router timeout (50ms): attempts on the stalled replica burn
+  // the budget and fail over; the shard never touches the ladder.
+  ASSERT_TRUE(service.StallReplica(0, 0, 80.0, 4).ok());
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_TRUE(service.RunTick());
+    for (const auto& resp : service.last_responses(0)) {
+      EXPECT_GE(resp.replica, 0);
+      EXPECT_EQ(resp.serve.tier, ServeTier::kFull);
+    }
+  }
+  const ShardedReport mid = service.report();
+  EXPECT_EQ(mid.stalls, 1u);
+  EXPECT_GT(mid.router.retries, 0u);
+  EXPECT_GT(mid.router.failovers, 0u);
+  EXPECT_EQ(mid.router.ladder_answers, 0u);
+
+  // Under the timeout: the stalled replica still answers, just slowly —
+  // the latency shows up in the routed response.
+  for (int t = 0; t < 8; ++t) ASSERT_TRUE(service.RunTick());  // heal
+  const uint64_t retries_before = service.report().router.retries;
+  ASSERT_TRUE(service.StallReplica(0, 1, 10.0, 4).ok());
+  double max_latency = 0.0;
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_TRUE(service.RunTick());
+    for (const auto& resp : service.last_responses(0)) {
+      EXPECT_GE(resp.replica, 0);
+      max_latency = std::max(max_latency, resp.latency_ms);
+    }
+  }
+  EXPECT_GE(max_latency, 10.0);
+  EXPECT_EQ(service.report().router.retries, retries_before);
+}
+
+TEST(ShardedServiceTest, PartitionFailsOverThenHeals) {
+  ShardedService service(SmallConfig());
+  for (int t = 0; t < 2; ++t) ASSERT_TRUE(service.RunTick());
+  ASSERT_TRUE(service.PartitionReplica(0, 0, 3).ok());
+  EXPECT_TRUE(service.ReplicaAlive(0, 0));  // alive, just unreachable
+  for (int t = 0; t < 3; ++t) {
+    ASSERT_TRUE(service.RunTick());
+    for (const auto& resp : service.last_responses(0)) {
+      EXPECT_EQ(resp.replica, 1);
+      EXPECT_EQ(resp.serve.tier, ServeTier::kFull);
+    }
+  }
+  const uint64_t failovers_during = service.report().router.failovers;
+  EXPECT_GT(failovers_during, 0u);
+  // After the partition (and the survivor's quarantine bookkeeping)
+  // expires, the replica serves again: new responses name replica 0 too.
+  bool replica0_served = false;
+  for (int t = 0; t < 12; ++t) {
+    ASSERT_TRUE(service.RunTick());
+    for (const auto& resp : service.last_responses(0)) {
+      EXPECT_EQ(resp.serve.tier, ServeTier::kFull);
+      if (resp.replica == 0) replica0_served = true;
+    }
+  }
+  EXPECT_TRUE(replica0_served);
+  EXPECT_EQ(service.report().partitions, 1u);
+}
+
+TEST(ShardedServiceTest, AppliedBoundaryEpochsAdvanceInLockstep) {
+  ShardedService service(SmallConfig());
+  long prev = -1;
+  for (int t = 0; t < 6; ++t) {
+    const long tick = service.next_tick();
+    ASSERT_TRUE(service.RunTick());
+    // Shard 0's halo roads are owned by shard 1; every live replica must
+    // have applied this tick's snapshot (epoch == publishing tick) by the
+    // time the tick's predictions ran.
+    const long applied = service.applied_epoch(0, 0, 1);
+    EXPECT_EQ(applied, tick);
+    EXPECT_EQ(service.applied_epoch(0, 1, 1), applied);
+    EXPECT_EQ(service.applied_epoch(1, 0, 0), applied);
+    EXPECT_GT(applied, prev);  // monotone
+    prev = applied;
+  }
+  const ShardedReport report = service.report();
+  EXPECT_GT(report.exchange.snapshots_published, 0u);
+  EXPECT_GT(report.exchange.records_shipped, 0u);
+  EXPECT_EQ(report.exchange.publishes_skipped, 0u);
+}
+
+TEST(ShardedServiceTest, ClockSkewIsCountedAndSurvivable) {
+  ShardedConfig config = SmallConfig();
+  config.serve.deadline_ms = 0.0;  // skew jumps poison latency EMAs
+  ShardedService service(config);
+  for (int t = 0; t < 2; ++t) ASSERT_TRUE(service.RunTick());
+  ASSERT_TRUE(service.SkewReplicaClock(0, 0, 40.0).ok());
+  ASSERT_TRUE(service.SkewReplicaClock(0, 1, -40.0).ok());
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_TRUE(service.RunTick());
+    for (const auto& resp : service.last_responses(0)) {
+      EXPECT_GE(resp.replica, 0);
+      EXPECT_EQ(resp.serve.tier, ServeTier::kFull);
+    }
+  }
+  EXPECT_EQ(service.report().clock_skews, 2u);
+}
+
+TEST(ShardedServiceTest, RestartRecoversFromCorruptCheckpoint) {
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "apots_sharded_ckpt_test")
+          .string();
+  std::filesystem::remove_all(root);
+  ShardedConfig config = SmallConfig();
+  config.checkpoint_root = root;
+  config.serve.checkpoint_every = 4;
+  config.serve.checkpoint_keep = 3;
+  ShardedService service(config);
+  // Before any checkpoint fired there is nothing to corrupt.
+  EXPECT_EQ(service.CorruptNewestCheckpoint(0, 0).code(),
+            StatusCode::kNotFound);
+  for (int t = 0; t < 10; ++t) ASSERT_TRUE(service.RunTick());
+  ASSERT_TRUE(service.CorruptNewestCheckpoint(0, 0).ok());
+  ASSERT_TRUE(service.KillReplica(0, 0).ok());
+  ASSERT_TRUE(service.RestartReplica(0, 0).ok());
+  EXPECT_TRUE(service.ReplicaAlive(0, 0));
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_TRUE(service.RunTick());
+    for (const auto& resp : service.last_responses(0)) {
+      EXPECT_GE(resp.replica, 0);
+      EXPECT_EQ(resp.serve.tier, ServeTier::kFull);
+    }
+  }
+  EXPECT_EQ(service.report().checkpoint_corruptions, 1u);
+  std::filesystem::remove_all(root);
+}
+
+TEST(ShardedServiceTest, AdminSurfaceErrorContract) {
+  ShardedService service(SmallConfig());
+  // Out-of-range coordinates.
+  EXPECT_EQ(service.KillReplica(5, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.KillReplica(0, 9).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.KillReplica(-1, 0).code(),
+            StatusCode::kInvalidArgument);
+  // State machine: no double kills, no faults on the dead, no double
+  // restarts.
+  ASSERT_TRUE(service.KillReplica(0, 0).ok());
+  EXPECT_EQ(service.KillReplica(0, 0).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.StallReplica(0, 0, 10.0, 2).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.PartitionReplica(0, 0, 2).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.SkewReplicaClock(0, 0, 10.0).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(service.RestartReplica(0, 0).ok());
+  EXPECT_EQ(service.RestartReplica(0, 0).code(),
+            StatusCode::kFailedPrecondition);
+  // Checkpoints are not configured at all on this service.
+  EXPECT_EQ(service.CorruptNewestCheckpoint(0, 0).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace apots::serve
