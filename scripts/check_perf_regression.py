@@ -516,13 +516,38 @@ def self_test(threshold):
                   "baselines dir", file=sys.stderr)
             return 1
 
+    # A malformed (unparseable) baseline must fail loudly with the
+    # distinct exit code 2 — never be skipped as "nothing to gate" —
+    # whether the rot is in the committed baseline or the fresh report.
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh_dir = Path(tmp) / "fresh"
+        baseline_dir = Path(tmp) / "baselines"
+        fresh_dir.mkdir()
+        baseline_dir.mkdir()
+        (baseline_dir / "perf_broken.json").write_text("{not json",
+                                                       encoding="utf-8")
+        (fresh_dir / "perf_broken.json").write_text(
+            json.dumps(baseline), encoding="utf-8")
+        if run(fresh_dir, baseline_dir, threshold) != 2:
+            print("self-test FAIL: malformed baseline JSON did not exit 2",
+                  file=sys.stderr)
+            return 1
+        (baseline_dir / "perf_broken.json").write_text(
+            json.dumps(baseline), encoding="utf-8")
+        (fresh_dir / "perf_broken.json").write_text("[truncated",
+                                                    encoding="utf-8")
+        if run(fresh_dir, baseline_dir, threshold) != 2:
+            print("self-test FAIL: malformed fresh JSON did not exit 2",
+                  file=sys.stderr)
+            return 1
+
     print("self-test PASS: identical ok, -20% throughput and +20% latency "
           "caught, band drift caught both ways, _directions annotations "
           "honored and validated (ghost keys and unknown directions fail "
           "loudly), _epsilons absolute caps enforced both ways and "
           "validated, --epsilons-only skips relative gates but keeps caps, "
           "arm order ignored, vanished arm caught, missing baselines fail "
-          "under --require-baselines")
+          "under --require-baselines, malformed baseline/fresh JSON exits 2")
     return 0
 
 

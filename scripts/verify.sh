@@ -107,7 +107,7 @@ if [[ ${lane_tsan} -eq 1 ]]; then
   cmake --build build-tsan -j --target thread_pool_test parallel_determinism_test \
     serve_test serve_soak obs_metrics_test obs_trace_test \
     mpsc_queue_test frontend_test frontend_qps kernel_equivalence_test \
-    quant_kernel_test sharded_service_test chaos_test chaos_soak
+    quant_kernel_test sharded_service_test chaos_test chaos_soak whatif_fanout
   # The kernel suites ride along under TSan because the blocked/SIMD panel
   # loops and the int8 pack+compute path all fan out across the global pool.
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
@@ -122,6 +122,10 @@ if [[ ${lane_tsan} -eq 1 ]]; then
   # the shared VirtualClock while the chaos driver kills, stalls, and
   # clock-skews replicas mid-serve.
   ./build-tsan/bench/chaos_soak --quick --perf_json=build-tsan/perf_chaos_tsan.json
+  # One quick what-if fan-out under TSan: heterogeneous (anchor, context)
+  # batches shard across the pool while context specs are shared through
+  # the table's shared_ptr handoff.
+  ./build-tsan/bench/whatif_fanout --quick --perf_json=build-tsan/perf_whatif_tsan.json
 fi
 
 echo "verify: all requested lanes passed"

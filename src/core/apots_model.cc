@@ -61,6 +61,24 @@ void ApotsModel::SetInferenceConfig(const InferenceConfig& config) {
   config_.inference = config;
   runtime_ = std::make_unique<InferenceRuntime>(predictor_.get(), &assembler_,
                                                 config_.inference);
+  // The rebuilt runtime must keep answering registered contexts — bench
+  // arms swap inference configs on a serving model mid-run.
+  runtime_->SetContextTable(context_table_);
+}
+
+void ApotsModel::SetContextTable(const apots::data::ContextTable* table) {
+  context_table_ = table;
+  runtime_->SetContextTable(table);
+}
+
+std::vector<double> ApotsModel::PredictKmhItems(
+    const std::vector<WorkItem>& items) {
+  const Tensor scaled = runtime_->PredictItems(items);
+  std::vector<double> out(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    out[i] = assembler_.UnscaleSpeed(scaled[i]);
+  }
+  return out;
 }
 
 void ApotsModel::RefreshQuantizedWeights() {

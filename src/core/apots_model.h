@@ -79,6 +79,20 @@ class ApotsModel {
   /// historical-average baseline instead of the predictor.
   std::vector<double> PredictKmh(const std::vector<long>& anchors);
 
+  /// Counterfactual what-if fan-out: km/h predictions for heterogeneous
+  /// (anchor, context) items through the batched runtime. No fallback
+  /// substitution — counterfactual queries are an explanation workload,
+  /// not fault-masked serving — and an all-context-0 item set is bitwise
+  /// identical to PredictKmh with fallback disabled.
+  std::vector<double> PredictKmhItems(const std::vector<WorkItem>& items);
+
+  /// Attaches the counterfactual context registry (borrowed, may be null
+  /// to detach). Survives SetInferenceConfig runtime rebuilds.
+  void SetContextTable(const apots::data::ContextTable* table);
+  const apots::data::ContextTable* context_table() const {
+    return context_table_;
+  }
+
   /// How many of the last PredictKmh anchors used the fallback.
   size_t last_fallback_count() const { return last_fallback_count_; }
 
@@ -124,6 +138,7 @@ class ApotsModel {
   void RefreshQuantizedWeights();
 
   const apots::traffic::TrafficDataset* dataset_;  // not owned
+  const apots::data::ContextTable* context_table_ = nullptr;  // not owned
   ApotsConfig config_;
   apots::data::FeatureAssembler assembler_;
   apots::Rng rng_;

@@ -122,7 +122,47 @@ size_t InferenceRuntime::workspace_high_water_floats() const {
 }
 
 Tensor InferenceRuntime::Predict(const std::vector<long>& anchors) {
-  const size_t count = anchors.size();
+  return PredictImpl(anchors.data(), /*contexts=*/nullptr, anchors.size());
+}
+
+Tensor InferenceRuntime::PredictItems(const std::vector<WorkItem>& items) {
+  std::vector<long> anchors(items.size());
+  std::vector<apots::data::ResolvedContext> contexts(items.size());
+  // Keep resolved specs alive across the whole call: Find hands out
+  // shared ownership so a concurrent re-registration cannot free a spec
+  // mid-assembly.
+  std::vector<std::shared_ptr<const apots::data::ContextSpec>> pins;
+  pins.reserve(items.size());
+  bool any_context = false;
+  for (size_t i = 0; i < items.size(); ++i) {
+    anchors[i] = items[i].anchor;
+    contexts[i].id = 0;
+    if (items[i].context != 0) {
+      auto spec = context_table_ == nullptr
+                      ? nullptr
+                      : context_table_->Find(items[i].context);
+      if (spec == nullptr) {
+        // Unknown (or table-less) context: degrade to base, loudly in the
+        // counter but never by failing the request.
+        ++unknown_context_items_;
+      } else {
+        contexts[i].id = items[i].context;
+        contexts[i].spec = spec.get();
+        pins.push_back(std::move(spec));
+        any_context = true;
+      }
+    }
+  }
+  // A pure-base item set takes the exact Predict code path (null contexts
+  // array), so live traffic through this entry point stays bitwise
+  // unchanged — the context-0 identity the serving gates enforce.
+  return PredictImpl(anchors.data(), any_context ? contexts.data() : nullptr,
+                     items.size());
+}
+
+Tensor InferenceRuntime::PredictImpl(
+    const long* anchors, const apots::data::ResolvedContext* contexts,
+    size_t count) {
   Tensor out({count, 1});
   if (count == 0) return out;
   obs::TraceSpan span("infer.predict");
@@ -142,8 +182,9 @@ Tensor InferenceRuntime::Predict(const std::vector<long>& anchors) {
       obs::ScopedTimer batch_timer(InferMetrics::Get().batch_ms);
       InferMetrics::Get().batches.Add();
       Tensor inputs({hi - lo, rows, alpha});
-      assembler_->AssembleBatchInto(anchors.data() + lo, hi - lo,
-                                    cache_.get(), &inputs);
+      assembler_->AssembleBatchInto(
+          anchors + lo, contexts == nullptr ? nullptr : contexts + lo,
+          hi - lo, cache_.get(), &inputs);
       const Tensor outputs = predictor_->Forward(inputs, /*training=*/false);
       std::copy(outputs.data(), outputs.data() + (hi - lo),
                 out.data() + lo);
@@ -168,8 +209,9 @@ Tensor InferenceRuntime::Predict(const std::vector<long>& anchors) {
     Workspace* ws = workspaces_[worker].get();
     ws->Reset();
     Tensor* inputs = ws->Acquire({hi - lo, rows, alpha});
-    assembler_->AssembleBatchInto(anchors.data() + lo, hi - lo, cache_.get(),
-                                  inputs);
+    assembler_->AssembleBatchInto(
+        anchors + lo, contexts == nullptr ? nullptr : contexts + lo,
+        hi - lo, cache_.get(), inputs);
     const Tensor* outputs =
         predictor_->Forward(*inputs, /*training=*/false, ws);
     // Disjoint output range per batch: writes never race and land at the

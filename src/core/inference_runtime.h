@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/predictor.h"
+#include "data/context.h"
 #include "data/feature_cache.h"
 #include "data/features.h"
 #include "tensor/workspace.h"
@@ -57,6 +58,16 @@ Status ValidateInferenceConfig(const InferenceConfig& config);
 /// falls back to kOff. The result always passes ValidateInferenceConfig.
 InferenceConfig SanitizeInferenceConfig(InferenceConfig config);
 
+/// One inference work item: an anchor plus the counterfactual context it
+/// should be evaluated under. Context 0 (the default) is the live/base
+/// stream; nonzero ids resolve through the attached data::ContextTable
+/// (unknown ids fall back to base and are counted, never rejected — the
+/// serving plane must degrade, not fail, on a stale registration).
+struct WorkItem {
+  long anchor = 0;
+  uint64_t context = 0;
+};
+
 /// Batched multi-anchor inference engine: packs anchor windows into
 /// [batch_size, rows, alpha] tensors, forwards whole batches through the
 /// tiled kernels on workspace arenas, and shards batches across the
@@ -77,6 +88,27 @@ class InferenceRuntime {
 
   /// Scaled predictions for `anchors` as an [N, 1] tensor.
   Tensor Predict(const std::vector<long>& anchors);
+
+  /// Heterogeneous (anchor, context) batch — the counterfactual what-if
+  /// fan-out path. Items ride the identical deterministic batch grid and
+  /// per-worker arenas as Predict (disjoint output rows, zero-alloc in
+  /// steady state); a batch simply mixes contexts at assembly time. A
+  /// batch whose items are all context 0 takes the exact Predict code
+  /// path, so enabling what-if wiring leaves live serving bitwise
+  /// unchanged.
+  Tensor PredictItems(const std::vector<WorkItem>& items);
+
+  /// Attaches the counterfactual context registry (borrowed, may be null
+  /// to detach). Without a table every nonzero context resolves to base.
+  void SetContextTable(const apots::data::ContextTable* table) {
+    context_table_ = table;
+  }
+  const apots::data::ContextTable* context_table() const {
+    return context_table_;
+  }
+  /// Items whose nonzero context id found no registration and fell back
+  /// to base (cumulative).
+  uint64_t unknown_context_items() const { return unknown_context_items_; }
 
   /// Number of batches the deterministic grid carves `count` anchors into.
   size_t NumBatches(size_t count) const;
@@ -100,8 +132,16 @@ class InferenceRuntime {
   size_t workspace_high_water_floats() const;
 
  private:
+  /// Shared batched-inference core: `contexts` is either null (pure base
+  /// batch) or one ResolvedContext per anchor.
+  Tensor PredictImpl(const long* anchors,
+                     const apots::data::ResolvedContext* contexts,
+                     size_t count);
+
   Predictor* predictor_;                            // not owned
   const apots::data::FeatureAssembler* assembler_;  // not owned
+  const apots::data::ContextTable* context_table_ = nullptr;  // not owned
+  uint64_t unknown_context_items_ = 0;
   InferenceConfig config_;
   std::unique_ptr<apots::data::FeatureCache> cache_;
   /// Per-ThreadPool-worker arenas, grown on the main thread before any

@@ -1,0 +1,113 @@
+#include "data/context.h"
+
+#include "util/string_util.h"
+
+namespace apots::data {
+
+const char* PerturbationKindName(PerturbationKind kind) {
+  switch (kind) {
+    case PerturbationKind::kClearEvent:
+      return "clear-event";
+    case PerturbationKind::kSetEvent:
+      return "set-event";
+    case PerturbationKind::kRainDelta:
+      return "rain-delta";
+    case PerturbationKind::kDayTypeOverride:
+      return "day-type-override";
+  }
+  return "unknown";
+}
+
+bool ContextSpec::TouchesColumn(long t) const {
+  for (const ContextPerturbation& p : perturbations) {
+    if (p.kind == PerturbationKind::kDayTypeOverride) continue;
+    if (p.AppliesTo(t)) return true;
+  }
+  return false;
+}
+
+int ContextSpec::DayTypeOverrideFor(long anchor) const {
+  int day_type = -1;
+  for (const ContextPerturbation& p : perturbations) {
+    if (p.kind == PerturbationKind::kDayTypeOverride && p.AppliesTo(anchor)) {
+      day_type = static_cast<int>(p.value);
+    }
+  }
+  return day_type;
+}
+
+ContextSpec& ContextSpec::ClearEvent(long begin, long end) {
+  perturbations.push_back(
+      {PerturbationKind::kClearEvent, begin, end, 0.0f});
+  return *this;
+}
+
+ContextSpec& ContextSpec::SetEvent(long begin, long end) {
+  perturbations.push_back({PerturbationKind::kSetEvent, begin, end, 0.0f});
+  return *this;
+}
+
+ContextSpec& ContextSpec::RainDelta(float delta_mm, long begin, long end) {
+  perturbations.push_back(
+      {PerturbationKind::kRainDelta, begin, end, delta_mm});
+  return *this;
+}
+
+ContextSpec& ContextSpec::DayType(int day_type) {
+  perturbations.push_back({PerturbationKind::kDayTypeOverride, 0,
+                           std::numeric_limits<long>::max(),
+                           static_cast<float>(day_type)});
+  return *this;
+}
+
+Status ContextTable::Register(uint64_t id, ContextSpec spec) {
+  if (id == 0) {
+    return Status::InvalidArgument(
+        "context id 0 is reserved for the live/base stream");
+  }
+  for (const ContextPerturbation& p : spec.perturbations) {
+    if (p.begin > p.end) {
+      return Status::InvalidArgument(
+          StrFormat("context %llu: perturbation window [%ld, %ld) is "
+                    "inverted",
+                    static_cast<unsigned long long>(id), p.begin, p.end));
+    }
+    if (p.kind == PerturbationKind::kDayTypeOverride) {
+      const int day_type = static_cast<int>(p.value);
+      if (day_type < 0 || day_type > 3) {
+        return Status::InvalidArgument(
+            StrFormat("context %llu: day-type override %d outside 0..3",
+                      static_cast<unsigned long long>(id), day_type));
+      }
+    }
+  }
+  auto shared = std::make_shared<const ContextSpec>(std::move(spec));
+  std::lock_guard<std::mutex> lock(mu_);
+  map_[id] = std::move(shared);
+  return Status::Ok();
+}
+
+std::shared_ptr<const ContextSpec> ContextTable::Find(uint64_t id) const {
+  if (id == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(id);
+  return it == map_.end() ? nullptr : it->second;
+}
+
+size_t ContextTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+std::vector<std::pair<uint64_t, ContextSpec>> ContextTable::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<uint64_t, ContextSpec>> out;
+  out.reserve(map_.size());
+  for (const auto& [id, spec] : map_) {
+    out.emplace_back(id, *spec);
+  }
+  return out;
+}
+
+}  // namespace apots::data

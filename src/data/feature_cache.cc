@@ -35,7 +35,7 @@ FeatureCache::FeatureCache(size_t capacity) : capacity_(capacity) {
 }
 
 uint64_t FeatureCache::CurrentGeneration(const Key& key) const {
-  auto it = generations_.find(key);
+  auto it = generations_.find(Key{key.road, key.interval, 0});
   return it == generations_.end() ? 0 : it->second;
 }
 
@@ -90,7 +90,9 @@ void FeatureCache::Invalidate() {
 
 void FeatureCache::InvalidateKey(const Key& key) {
   std::lock_guard<std::mutex> lock(mu_);
-  ++generations_[key];
+  // Normalized to context 0: every context variant of this (road,
+  // interval) reads the same underlying cells, so one bump stales all.
+  ++generations_[Key{key.road, key.interval, 0}];
   ++stats_.key_invalidations;
 }
 

@@ -32,13 +32,46 @@ namespace apots::data {
 /// resident and is recomputed in place on its next lookup. Streaming
 /// ingestion uses the latter so one late record does not evict thousands
 /// of unrelated warm columns.
+///
+/// Counterfactual what-if queries key their perturbed columns with a
+/// nonzero `context` id, so base and counterfactual variants of the same
+/// (road, interval) coexist. Generations stay keyed by (road, interval)
+/// alone: one late record invalidates *every* context's variant of that
+/// column, and the base context's generation bookkeeping is bit-identical
+/// to the pre-context cache.
 class FeatureCache {
  public:
   struct Key {
     int road;       ///< target road id the assembler is configured for
     long interval;  ///< dataset interval index of the column
+    /// Counterfactual context id; 0 = live/base. Only columns a context's
+    /// perturbations actually touch carry its id — untouched columns are
+    /// keyed 0 and shared with base assembly.
+    uint64_t context = 0;
     bool operator==(const Key& other) const {
-      return road == other.road && interval == other.interval;
+      return road == other.road && interval == other.interval &&
+             context == other.context;
+    }
+  };
+
+  /// splitmix64 over the packed key fields. The previous
+  /// `interval * 31 + road` collided pathologically — (t, r) and
+  /// (t - 1, r + 31) shared a bucket, and a context id would have aliased
+  /// whole column families — while splitmix64's full-avalanche mixing
+  /// spreads every field across all 64 bits.
+  struct KeyHash {
+    static uint64_t SplitMix64(uint64_t x) {
+      x += 0x9e3779b97f4a7c15ULL;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return x ^ (x >> 31);
+    }
+    size_t operator()(const Key& key) const {
+      uint64_t h = SplitMix64(static_cast<uint64_t>(key.interval));
+      h = SplitMix64(h ^ static_cast<uint64_t>(
+                             static_cast<uint32_t>(key.road)));
+      h = SplitMix64(h ^ key.context);
+      return static_cast<size_t>(h);
     }
   };
 
@@ -64,7 +97,9 @@ class FeatureCache {
   /// fault injection). Stats are preserved.
   void Invalidate();
 
-  /// Marks one key's cached column stale. O(1): the entry (if resident)
+  /// Marks one (road, interval)'s cached column stale — across *every*
+  /// context variant, since all of them read the same underlying interval
+  /// (the key's `context` field is ignored here). O(1): a resident entry
   /// is recomputed in place on its next GetOrCompute instead of being
   /// erased now. Safe to call for keys never cached.
   void InvalidateKey(const Key& key);
@@ -74,18 +109,14 @@ class FeatureCache {
   Stats stats() const;
 
  private:
-  struct KeyHash {
-    size_t operator()(const Key& key) const {
-      return std::hash<long>()(key.interval * 31 + key.road);
-    }
-  };
   struct Entry {
     Key key;
     uint64_t generation;
     std::vector<float> column;
   };
 
-  /// Current generation for `key`; 0 for keys never invalidated.
+  /// Current generation for `key`'s (road, interval) — context-agnostic;
+  /// 0 for keys never invalidated.
   uint64_t CurrentGeneration(const Key& key) const;
 
   const size_t capacity_;
@@ -94,6 +125,8 @@ class FeatureCache {
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
   /// Only keys that have been invalidated at least once appear here, so
   /// the map stays proportional to churn rather than to cache traffic.
+  /// Keys are normalized to context 0: a generation covers every context
+  /// variant of its (road, interval).
   std::unordered_map<Key, uint64_t, KeyHash> generations_;
   Stats stats_;
 };

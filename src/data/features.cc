@@ -149,7 +149,8 @@ Tensor FeatureAssembler::BatchMatrix(const std::vector<long>& anchors) const {
   return batch;
 }
 
-void FeatureAssembler::FillIntervalColumn(long t, float* column) const {
+void FeatureAssembler::FillIntervalColumn(long t, float* column,
+                                          const ContextSpec* spec) const {
   const int m = config_.num_adjacent;
   for (int offset = -m; offset <= m; ++offset) {
     const int row = offset + m;
@@ -158,15 +159,35 @@ void FeatureAssembler::FillIntervalColumn(long t, float* column) const {
                                dataset_->Speed(target_road_ + offset, t))
                          : 0.0f;
   }
+  // Counterfactual overlay on the raw values, before scaling: the column
+  // is exactly what the base fill would produce had the world carried
+  // these values. Perturbations apply in order (last writer wins).
+  float event = dataset_->EventFlag(target_road_, t);
+  float rain = dataset_->Weather(t).precipitation_mm;
+  if (spec != nullptr) {
+    for (const ContextPerturbation& p : spec->perturbations) {
+      if (!p.AppliesTo(t)) continue;
+      switch (p.kind) {
+        case PerturbationKind::kClearEvent:
+          event = 0.0f;
+          break;
+        case PerturbationKind::kSetEvent:
+          event = 1.0f;
+          break;
+        case PerturbationKind::kRainDelta:
+          rain = std::max(0.0f, rain + p.value);
+          break;
+        case PerturbationKind::kDayTypeOverride:
+          break;  // anchor-keyed: applied at the day-type broadcast
+      }
+    }
+  }
   const int base = 2 * m + 1;
-  column[base + 0] = config_.use_event
-                         ? dataset_->EventFlag(target_road_, t)
-                         : 0.0f;
+  column[base + 0] = config_.use_event ? event : 0.0f;
   if (config_.use_weather) {
     column[base + 1] =
         temperature_scaler_.Transform(dataset_->Weather(t).temperature_c);
-    column[base + 2] = precipitation_scaler_.Transform(
-        dataset_->Weather(t).precipitation_mm);
+    column[base + 2] = precipitation_scaler_.Transform(rain);
   } else {
     column[base + 1] = 0.0f;
     column[base + 2] = 0.0f;
@@ -179,6 +200,13 @@ void FeatureAssembler::FillIntervalColumn(long t, float* column) const {
 
 void FeatureAssembler::AssembleBatchInto(const long* anchors, size_t count,
                                          FeatureCache* cache,
+                                         Tensor* out) const {
+  AssembleBatchInto(anchors, /*contexts=*/nullptr, count, cache, out);
+}
+
+void FeatureAssembler::AssembleBatchInto(const long* anchors,
+                                         const ResolvedContext* contexts,
+                                         size_t count, FeatureCache* cache,
                                          Tensor* out) const {
   APOTS_CHECK(speed_scaler_.fitted());
   const size_t rows = static_cast<size_t>(NumRows());
@@ -193,17 +221,27 @@ void FeatureAssembler::AssembleBatchInto(const long* anchors, size_t count,
   std::vector<float> column(column_size);
   for (size_t n = 0; n < count; ++n) {
     const long anchor = anchors[n];
+    const ContextSpec* spec =
+        contexts == nullptr ? nullptr : contexts[n].spec;
+    const uint64_t context_id = contexts == nullptr ? 0 : contexts[n].id;
     APOTS_CHECK_GE(anchor - config_.alpha, 0);
     APOTS_CHECK_LT(anchor + config_.beta, dataset_->num_intervals());
     float* sample = out->data() + n * rows * alpha;
     for (size_t i = 0; i < alpha; ++i) {
       const long t = anchor - config_.alpha + static_cast<long>(i);
+      // Effective-context keying: a column the spec does not touch is
+      // bitwise the base column, so key (and fill) it as context 0 —
+      // interleaved base/counterfactual traffic shares those entries.
+      const bool touched = spec != nullptr && spec->TouchesColumn(t);
+      const ContextSpec* column_spec = touched ? spec : nullptr;
       if (cache != nullptr) {
         cache->GetOrCompute(
-            {target_road_, t}, column_size, column.data(),
-            [this, t](float* dst) { FillIntervalColumn(t, dst); });
+            {target_road_, t, touched ? context_id : 0}, column_size,
+            column.data(), [this, t, column_spec](float* dst) {
+              FillIntervalColumn(t, dst, column_spec);
+            });
       } else {
-        FillIntervalColumn(t, column.data());
+        FillIntervalColumn(t, column.data(), column_spec);
       }
       for (size_t r = 0; r < column_size; ++r) {
         sample[r * alpha + i] = column[r];
@@ -211,7 +249,15 @@ void FeatureAssembler::AssembleBatchInto(const long* anchors, size_t count,
     }
     if (config_.use_time) {
       const DayInfo day = dataset_->Day(anchor);
-      const std::array<float, 4> type = day.TypeVector();
+      std::array<float, 4> type = day.TypeVector();
+      if (spec != nullptr) {
+        const int override_type = spec->DayTypeOverrideFor(anchor);
+        if (override_type >= 0) {
+          // One-hot at the override index: "as if it were a holiday".
+          type = {0.0f, 0.0f, 0.0f, 0.0f};
+          type[static_cast<size_t>(override_type)] = 1.0f;
+        }
+      }
       const size_t base = 2 * static_cast<size_t>(config_.num_adjacent) + 1;
       for (size_t k = 0; k < 4; ++k) {
         float* row = sample + (base + 4 + k) * alpha;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "data/context.h"
 #include "data/feature_cache.h"
 #include "data/scaler.h"
 #include "tensor/tensor.h"
@@ -94,6 +95,19 @@ class FeatureAssembler {
                          FeatureCache* cache,
                          apots::tensor::Tensor* out) const;
 
+  /// Context-overlay variant for counterfactual what-if batches:
+  /// `contexts[n]` binds item n to a resolved context (id + spec; a null
+  /// spec means base). Perturbed raw values are overlaid *before* scaling
+  /// inside the column fill, and cache keys carry the context id only for
+  /// the intervals the spec actually touches — untouched columns are
+  /// keyed context 0 and shared with base assembly, so an interleaved
+  /// base/counterfactual stream stays warm. `contexts == nullptr` (or a
+  /// row of all-null specs) is byte-for-byte the base path above.
+  void AssembleBatchInto(const long* anchors,
+                         const ResolvedContext* contexts, size_t count,
+                         FeatureCache* cache,
+                         apots::tensor::Tensor* out) const;
+
   /// Scaled target value s_{t+beta} of the target road.
   float Target(long anchor) const;
 
@@ -149,8 +163,12 @@ class FeatureAssembler {
  private:
   /// Writes the NumRows()-4 anchor-independent feature values of interval
   /// `t` (speed rows, event, temperature, precipitation, hour; inactive
-  /// rows as zeros). This is the unit the FeatureCache stores.
-  void FillIntervalColumn(long t, float* column) const;
+  /// rows as zeros). This is the unit the FeatureCache stores. A non-null
+  /// `spec` overlays its perturbations on the raw values before scaling;
+  /// callers pass it only when the spec touches `t`, so the null path is
+  /// the base context bit for bit.
+  void FillIntervalColumn(long t, float* column,
+                          const ContextSpec* spec = nullptr) const;
 
   const apots::traffic::TrafficDataset* dataset_;  // not owned
   const apots::traffic::ValidityMask* validity_mask_ = nullptr;  // not owned

@@ -200,8 +200,10 @@ size_t Frontend::RunCycle() {
   // Deadline propagation, half one: a request already past its deadline
   // is answered from the ladder instead of occupying a batch slot.
   // Coalescing: first-arrival order of (anchor, context) keys; duplicates
-  // attach to their key's group and share the inference below.
-  std::vector<long> anchors;
+  // attach to their key's group and share the inference below. Contexts
+  // ride the same machinery — a counterfactual request simply carries its
+  // context id into the supervisor's heterogeneous batch.
+  std::vector<apots::core::WorkItem> work;
   std::vector<std::vector<std::shared_ptr<PendingResponse>>> groups;
   std::map<std::pair<long, uint64_t>, size_t> key_index;
   int64_t tightest_deadline_ns = 0;
@@ -224,18 +226,19 @@ size_t Frontend::RunCycle() {
     if (config_.coalesce) {
       auto [it, inserted] = key_index.try_emplace(key, groups.size());
       if (inserted) {
-        anchors.push_back(pending->request_.anchor);
+        work.push_back(
+            {pending->request_.anchor, pending->request_.context});
         groups.emplace_back();
       }
       groups[it->second].push_back(std::move(pending));
     } else {
-      anchors.push_back(pending->request_.anchor);
+      work.push_back({pending->request_.anchor, pending->request_.context});
       groups.emplace_back();
       groups.back().push_back(std::move(pending));
     }
   }
 
-  if (!anchors.empty()) {
+  if (!work.empty()) {
     // Deadline propagation, half two: the batch runs under the tightest
     // surviving request budget so the supervisor's EMA pre-degradation
     // can keep the whole batch honest. No request deadlines -> the
@@ -245,12 +248,12 @@ size_t Frontend::RunCycle() {
       const double remaining_ms = std::max(
           0.001,
           static_cast<double>(tightest_deadline_ns - drained_ns) / 1e6);
-      responses = supervisor_->Predict(anchors, remaining_ms);
+      responses = supervisor_->PredictItems(work, remaining_ms);
     } else {
-      responses = supervisor_->Predict(anchors);
+      responses = supervisor_->PredictItems(work);
     }
     inference_calls_.fetch_add(1, std::memory_order_relaxed);
-    inferred_keys_.fetch_add(anchors.size(), std::memory_order_relaxed);
+    inferred_keys_.fetch_add(work.size(), std::memory_order_relaxed);
     metrics.inference_calls.Add();
     const int64_t done_ns = NowNs();
     for (size_t g = 0; g < groups.size(); ++g) {

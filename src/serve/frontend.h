@@ -50,11 +50,12 @@ enum class RequestOutcome {
 constexpr int kNumRequestOutcomes = 4;
 const char* RequestOutcomeName(RequestOutcome outcome);
 
-/// One client query. `context` is an opaque key that scopes coalescing —
-/// requests merge only within the same context. Context 0 is the live
-/// stream; nonzero values are reserved for counterfactual what-if
-/// contexts (ROADMAP item 4) and are currently answered on the live
-/// stream too.
+/// One client query. `context` scopes both coalescing (requests merge
+/// only within the same context) and evaluation: context 0 is the live
+/// stream, and a nonzero id is answered under the counterfactual context
+/// registered on the supervisor (DESIGN.md §17) — its deadline sheds fall
+/// back to the same context-agnostic ladder as live traffic. An
+/// unregistered nonzero id degrades to the live answer.
 struct FrontendRequest {
   long anchor = 0;
   uint64_t context = 0;

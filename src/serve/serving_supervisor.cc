@@ -174,6 +174,20 @@ ServingSupervisor::ServingSupervisor(
     watchdog_ = std::make_unique<ServeWatchdog>(config_.watchdog_timeout_ms,
                                                 config_.now_ns);
   }
+  // Contexts registered on this supervisor resolve inside the model's
+  // runtime (and survive SetInferenceConfig rebuilds via the model).
+  model_->SetContextTable(&context_table_);
+}
+
+ServingSupervisor::~ServingSupervisor() {
+  // The model outlives the supervisor by contract; drop the borrow so a
+  // later direct PredictItems on the model cannot read freed table state.
+  model_->SetContextTable(nullptr);
+}
+
+Status ServingSupervisor::RegisterContext(uint64_t id,
+                                          apots::data::ContextSpec spec) {
+  return context_table_.Register(id, std::move(spec));
 }
 
 int64_t ServingSupervisor::Now() const {
@@ -218,32 +232,46 @@ std::vector<ServeResponse> ServingSupervisor::Predict(
 
 std::vector<ServeResponse> ServingSupervisor::Predict(
     const std::vector<long>& anchors, double deadline_ms) {
+  std::vector<apots::core::WorkItem> items(anchors.size());
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    items[i].anchor = anchors[i];
+  }
+  return PredictItems(items, deadline_ms);
+}
+
+std::vector<ServeResponse> ServingSupervisor::PredictItems(
+    const std::vector<apots::core::WorkItem>& items) {
+  return PredictItems(items, config_.deadline_ms);
+}
+
+std::vector<ServeResponse> ServingSupervisor::PredictItems(
+    const std::vector<apots::core::WorkItem>& items, double deadline_ms) {
   // Deadline accounting reads the injectable clock (not Stopwatch) so
   // chaos clock-skew drills observe deterministic elapsed times.
   const int64_t call_start_ns = Now();
   obs::TraceSpan span("serve.predict");
   obs::ScopedTimer call_timer(ServeMetrics::Get().predict_ms);
-  ServeMetrics::Get().requests.Add(anchors.size());
+  ServeMetrics::Get().requests.Add(items.size());
   const auto& assembler = model_->assembler();
   const auto& dataset = assembler.dataset();
   const long intervals = dataset.num_intervals();
   const long alpha = assembler.alpha();
   const long beta = assembler.beta();
 
-  std::vector<ServeResponse> responses(anchors.size());
-  report_.requests += anchors.size();
+  std::vector<ServeResponse> responses(items.size());
+  report_.requests += items.size();
 
   // A watchdog trip reported since the last call means the inference path
   // stalled; protect this call by keeping it off the neural tiers.
   const bool stuck = watchdog_ != nullptr && watchdog_->ConsumeStuck();
 
   std::vector<size_t> neural_index;
-  std::vector<long> neural_anchors;
-  neural_index.reserve(anchors.size());
-  neural_anchors.reserve(anchors.size());
+  std::vector<apots::core::WorkItem> neural_items;
+  neural_index.reserve(items.size());
+  neural_items.reserve(items.size());
 
-  for (size_t i = 0; i < anchors.size(); ++i) {
-    const long anchor = anchors[i];
+  for (size_t i = 0; i < items.size(); ++i) {
+    const long anchor = items[i].anchor;
     ServeResponse& resp = responses[i];
     resp.staleness = WindowStaleness(anchor);
     report_.max_staleness = std::max(report_.max_staleness, resp.staleness);
@@ -265,7 +293,7 @@ std::vector<ServeResponse> ServingSupervisor::Predict(
     }
     if (resp.tier == ServeTier::kFull || resp.tier == ServeTier::kImputed) {
       neural_index.push_back(i);
-      neural_anchors.push_back(anchor);
+      neural_items.push_back(items[i]);
     }
   }
 
@@ -273,29 +301,32 @@ std::vector<ServeResponse> ServingSupervisor::Predict(
   // over budget, serve those anchors from the (cheap) historical tier
   // instead of blowing the deadline on a forward pass.
   if (deadline_ms > 0.0 && ema_ms_per_anchor_ > 0.0 &&
-      !neural_anchors.empty()) {
+      !neural_items.empty()) {
     const double projected =
-        ema_ms_per_anchor_ * static_cast<double>(neural_anchors.size());
+        ema_ms_per_anchor_ * static_cast<double>(neural_items.size());
     if (projected > deadline_ms) {
-      report_.deadline_degraded += neural_anchors.size();
-      ServeMetrics::Get().deadline_degraded.Add(neural_anchors.size());
+      report_.deadline_degraded += neural_items.size();
+      ServeMetrics::Get().deadline_degraded.Add(neural_items.size());
       for (const size_t i : neural_index) {
         responses[i].tier = ServeTier::kHistorical;
       }
       neural_index.clear();
-      neural_anchors.clear();
+      neural_items.clear();
     }
   }
 
-  if (!neural_anchors.empty()) {
+  if (!neural_items.empty()) {
     const int64_t neural_start_ns = Now();
     if (watchdog_ != nullptr) watchdog_->Arm();
     if (inference_delay_for_test_) inference_delay_for_test_();
-    const Tensor scaled = model_->inference_runtime().Predict(neural_anchors);
+    // An all-context-0 item set takes the exact Predict code path inside
+    // the runtime, so live serving stays bitwise unchanged.
+    const Tensor scaled =
+        model_->inference_runtime().PredictItems(neural_items);
     if (watchdog_ != nullptr) watchdog_->Disarm();
     const double per_anchor =
         static_cast<double>(Now() - neural_start_ns) / 1e6 /
-        static_cast<double>(neural_anchors.size());
+        static_cast<double>(neural_items.size());
     ema_ms_per_anchor_ = ema_ms_per_anchor_ == 0.0
                              ? per_anchor
                              : 0.7 * ema_ms_per_anchor_ + 0.3 * per_anchor;
@@ -309,12 +340,15 @@ std::vector<ServeResponse> ServingSupervisor::Predict(
 
   long freshest_full = -1;
   size_t freshest_idx = 0;
-  for (size_t i = 0; i < anchors.size(); ++i) {
+  for (size_t i = 0; i < items.size(); ++i) {
+    const long anchor = items[i].anchor;
     ServeResponse& resp = responses[i];
     switch (resp.tier) {
       case ServeTier::kFull:
-        if (anchors[i] > freshest_full) {
-          freshest_full = anchors[i];
+        // Only the live context feeds last-known-good: a counterfactual
+        // full-tier answer must never leak into base serving state.
+        if (items[i].context == 0 && anchor > freshest_full) {
+          freshest_full = anchor;
           freshest_idx = i;
         }
         break;
@@ -323,12 +357,12 @@ std::vector<ServeResponse> ServingSupervisor::Predict(
       case ServeTier::kHistorical:
         // Failure anchors (window/target out of range) already hold the
         // clamped profile value; in-range anchors get the real one.
-        if (anchors[i] - alpha >= 0 && anchors[i] + beta < intervals) {
-          resp.kmh = fallback_->Predict(dataset, anchors[i] + beta);
+        if (anchor - alpha >= 0 && anchor + beta < intervals) {
+          resp.kmh = fallback_->Predict(dataset, anchor + beta);
         }
         break;
       case ServeTier::kLastKnownGood:
-        resp.kmh = LastKnownGood(anchors[i] + beta);
+        resp.kmh = LastKnownGood(anchor + beta);
         break;
     }
     ++report_.tier_counts[static_cast<int>(resp.tier)];

@@ -11,6 +11,7 @@
 
 #include "baseline/historical_average.h"
 #include "core/apots_model.h"
+#include "data/context.h"
 #include "nn/checkpoint.h"
 #include "serve/stream_ingestor.h"
 #include "traffic/road_graph.h"
@@ -158,6 +159,7 @@ class ServingSupervisor {
                     const apots::baseline::HistoricalAverage* fallback,
                     ServeConfig config,
                     const apots::traffic::RoadGraph* graph = nullptr);
+  ~ServingSupervisor();
 
   /// Serves one batch of anchors. Never throws and never aborts on a
   /// servable anchor; anchors whose window or target falls outside the
@@ -173,6 +175,30 @@ class ServingSupervisor {
   /// config; the clean path stays bitwise unchanged).
   std::vector<ServeResponse> Predict(const std::vector<long>& anchors,
                                      double deadline_ms);
+
+  /// Heterogeneous (anchor, context) batch — the counterfactual what-if
+  /// serving path. The staleness ladder, deadline pre-degradation, and
+  /// watchdog apply per anchor exactly as in Predict (a counterfactual
+  /// reads the same live window); neural tiers evaluate under the item's
+  /// registered context, while the degraded tiers answer from the base
+  /// historical profile (counterfactuals perturb model inputs, not the
+  /// time-of-day climatology). Context-0 items are bitwise identical to
+  /// Predict, and only context-0 full-tier responses feed the
+  /// last-known-good state — counterfactual traffic never pollutes live
+  /// serving state.
+  std::vector<ServeResponse> PredictItems(
+      const std::vector<apots::core::WorkItem>& items);
+  std::vector<ServeResponse> PredictItems(
+      const std::vector<apots::core::WorkItem>& items, double deadline_ms);
+
+  /// Registers (or replaces) counterfactual context `id` on this
+  /// supervisor's table. The table is attached to the served model's
+  /// runtime at construction, so registered ids resolve on the next
+  /// PredictItems without any further wiring.
+  Status RegisterContext(uint64_t id, apots::data::ContextSpec spec);
+  const apots::data::ContextTable& context_table() const {
+    return context_table_;
+  }
 
   /// Tier the ladder would assign to `anchor` right now.
   ServeTier TierFor(long anchor) const;
@@ -218,6 +244,9 @@ class ServingSupervisor {
   StreamIngestor* ingestor_;                                // not owned
   const apots::baseline::HistoricalAverage* fallback_;      // not owned
   ServeConfig config_;
+  /// Registered counterfactual contexts; attached to the model's runtime
+  /// for the supervisor's lifetime (detached in the destructor).
+  apots::data::ContextTable context_table_;
   /// Roads feeding the target's input window (sorted). Graph-derived when
   /// a RoadGraph is supplied, else the contiguous [target-m, target+m].
   std::vector<int> window_roads_;

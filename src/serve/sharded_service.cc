@@ -250,6 +250,11 @@ void ShardedService::BuildReplica(int shard, int replica) {
       target.pending_jump_ns = 0;
     }
   });
+  // Re-apply every registered what-if context so a restarted replica
+  // resolves the same ids as its siblings (registration survives chaos).
+  for (const auto& [id, spec] : registered_contexts_) {
+    (void)rep.supervisor->RegisterContext(id, spec);
+  }
 
   // Recover from the replica's checkpoints when present; otherwise (or
   // when every generation is unreadable) replay the stream from the
@@ -280,6 +285,39 @@ bool ShardedService::ReplicaAlive(int shard, int replica) const {
   return shards_[static_cast<size_t>(shard)]
       .replicas[static_cast<size_t>(replica)]
       ->alive;
+}
+
+Status ShardedService::RegisterContext(uint64_t id,
+                                       apots::data::ContextSpec spec) {
+  // Validate once against a live replica (or remember-and-apply-later when
+  // everything is down — BuildReplica re-validates on restart).
+  for (auto& sh : shards_) {
+    for (auto& rep : sh.replicas) {
+      if (!rep->alive) continue;
+      Status s = rep->supervisor->RegisterContext(id, spec);
+      if (!s.ok()) return s;
+    }
+  }
+  registered_contexts_[id] = std::move(spec);
+  return Status::Ok();
+}
+
+Result<std::vector<ServeResponse>> ShardedService::PredictItemsOn(
+    int shard, int replica,
+    const std::vector<apots::core::WorkItem>& items) {
+  APOTS_CHECK_GE(shard, 0);
+  APOTS_CHECK_LT(shard, config_.num_shards);
+  APOTS_CHECK_GE(replica, 0);
+  APOTS_CHECK_LT(replica, config_.replicas_per_shard);
+  Replica& rep =
+      *shards_[static_cast<size_t>(shard)].replicas[static_cast<size_t>(
+          replica)];
+  if (!rep.alive) {
+    return Status::FailedPrecondition("replica is down: shard " +
+                               std::to_string(shard) + " replica " +
+                               std::to_string(replica));
+  }
+  return rep.supervisor->PredictItems(items);
 }
 
 bool ShardedService::Reachable(const Replica& rep, long tick) const {

@@ -212,6 +212,19 @@ class ShardedService {
   /// Anchors RunTick serves at `tick` (same for every shard).
   std::vector<long> TickAnchors(long tick) const;
 
+  /// Registers counterfactual context `id` on every live replica's
+  /// supervisor, and remembers it so rebuilt/restarted replicas re-apply
+  /// the full registration set — a what-if query keeps resolving across
+  /// failovers and chaos restarts.
+  Status RegisterContext(uint64_t id, apots::data::ContextSpec spec);
+
+  /// What-if fan-out against a specific live replica's supervisor (the
+  /// drill/bench surface; routed serving stays anchor-keyed). Fails when
+  /// the replica is down.
+  Result<std::vector<ServeResponse>> PredictItemsOn(
+      int shard, int replica,
+      const std::vector<apots::core::WorkItem>& items);
+
   // --- chaos admin surface -------------------------------------------
   /// Tears the replica's whole stack down (model, ingestor, supervisor,
   /// feed). Subsequent router attempts fail fast.
@@ -313,6 +326,9 @@ class ShardedService {
   int num_adjacent_ = 0;
   std::vector<apots::baseline::HistoricalAverage> profiles_;
   std::vector<Shard> shards_;
+  /// Registered what-if contexts, re-applied to every rebuilt replica
+  /// (ordered so re-application is deterministic).
+  std::map<uint64_t, apots::data::ContextSpec> registered_contexts_;
   std::vector<BoundarySnapshot> bus_;
   uint64_t next_snapshot_seq_ = 0;
   VirtualClock clock_;

@@ -27,6 +27,9 @@
 //                      [--steps N] [--spsa-samples N] [--attack-seed S]
 //                      [--defend 0|1] [--defense-rounds N]
 //                      [--finetune-epochs N]
+//   apots_cli whatif   [--days N] [--roads N] [--seed S] [--anchor A]
+//                      [--predictor F|L|C|H] [--epochs N] [--divisor N]
+//                      [--contexts "clear-event;rain+10;day=holiday"]
 //
 // Every model command also accepts --kernel-mode {reference,blocked,simd}
 // (process-wide matmul dispatch) and --quantize {off,fp16,int8} (inference
@@ -65,6 +68,7 @@
 #include "attack/defense.h"
 #include "chaos/chaos.h"
 #include "core/apots_model.h"
+#include "data/context.h"
 #include "data/imputation.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -924,6 +928,195 @@ int ServeSharded(const std::map<std::string, std::string>& flags,
   return 0;
 }
 
+// Parses one perturbation token of the --contexts mini-language:
+//   clear-event[@B:E]   force the event flag to 0 over [B, E)
+//   set-event[@B:E]     force the event flag to 1
+//   rain+X / rain-X[@B:E]  add X mm of precipitation (clamped >= 0)
+//   day=weekday|holiday|before-holiday|after-holiday|0..3
+// Windows default to every interval.
+bool ParsePerturbation(const std::string& token,
+                       data::ContextPerturbation* p) {
+  std::string body = Trim(token);
+  if (body.empty()) return false;
+  const size_t at = body.find('@');
+  if (at != std::string::npos) {
+    const auto range = Split(body.substr(at + 1), ':');
+    int64_t begin = 0, end = 0;
+    if (range.size() != 2 || !ParseInt64(range[0], &begin) ||
+        !ParseInt64(range[1], &end)) {
+      return false;
+    }
+    p->begin = begin;
+    p->end = end;
+    body = body.substr(0, at);
+  }
+  if (body == "clear-event") {
+    p->kind = data::PerturbationKind::kClearEvent;
+    return true;
+  }
+  if (body == "set-event") {
+    p->kind = data::PerturbationKind::kSetEvent;
+    return true;
+  }
+  if (StartsWith(body, "rain")) {
+    double delta = 0.0;
+    if (!ParseDouble(body.substr(4), &delta)) return false;
+    p->kind = data::PerturbationKind::kRainDelta;
+    p->value = static_cast<float>(delta);
+    return true;
+  }
+  if (StartsWith(body, "day=")) {
+    const std::string name = body.substr(4);
+    static const char* kNames[] = {"weekday", "holiday", "before-holiday",
+                                   "after-holiday"};
+    p->kind = data::PerturbationKind::kDayTypeOverride;
+    for (int i = 0; i < 4; ++i) {
+      if (name == kNames[i]) {
+        p->value = static_cast<float>(i);
+        return true;
+      }
+    }
+    int64_t index = 0;
+    if (ParseInt64(name, &index) && index >= 0 && index <= 3) {
+      p->value = static_cast<float>(index);
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+// One context = comma-separated perturbations (applied in order; last
+// writer wins on overlap).
+bool ParseContextSpec(const std::string& text, data::ContextSpec* spec) {
+  for (const std::string& token : Split(text, ',')) {
+    data::ContextPerturbation p;
+    if (!ParsePerturbation(token, &p)) {
+      std::fprintf(stderr,
+                   "bad perturbation: %s (valid: clear-event, set-event, "
+                   "rain+X, rain-X, day=weekday|holiday|before-holiday|"
+                   "after-holiday, each with optional @begin:end)\n",
+                   Trim(token).c_str());
+      return false;
+    }
+    spec->perturbations.push_back(p);
+  }
+  return !spec->perturbations.empty();
+}
+
+// Counterfactual what-if fan-out: trains a small model, registers the K
+// contexts parsed from --contexts (';'-separated), and answers one
+// heterogeneous (anchor, context) batch through the runtime — per-context
+// prediction plus delta vs the base context, in one batched forward pass.
+int Whatif(const std::map<std::string, std::string>& flags) {
+  traffic::DatasetSpec spec;
+  spec.num_days = 10;
+  spec.num_roads = 5;
+  spec.hyundai_calendar = false;
+  int64_t value = 0;
+  if (ParseInt64(Flag(flags, "days", ""), &value)) {
+    spec.num_days = static_cast<int>(value);
+  }
+  if (ParseInt64(Flag(flags, "roads", ""), &value)) {
+    spec.num_roads = static_cast<int>(value);
+  }
+  if (ParseInt64(Flag(flags, "seed", ""), &value)) {
+    spec.seed = static_cast<uint64_t>(value);
+  }
+  Session session;
+  session.dataset = traffic::GenerateDataset(spec);
+  size_t divisor = 16;
+  if (ParseInt64(Flag(flags, "divisor", ""), &value) && value > 0) {
+    divisor = static_cast<size_t>(value);
+  }
+  const core::PredictorType type =
+      ParsePredictor(Flag(flags, "predictor", "F"));
+  session.config.predictor =
+      divisor <= 1 ? core::PredictorHparams::Paper(type)
+                   : core::PredictorHparams::Scaled(type, divisor);
+  session.config.features = data::FeatureConfig::Both();
+  session.config.features.num_adjacent =
+      (session.dataset.num_roads() - 1) / 2;
+  session.config.features.beta = 3;
+  session.config.training.adversarial = false;
+  if (ParseInt64(Flag(flags, "epochs", ""), &value)) {
+    session.config.training.epochs = static_cast<int>(value);
+  }
+  if (!ParseQuantizeFlag(flags, &session.config.inference.quantize)) return 1;
+  session.split = data::MakeSplit(session.dataset, 12, 3, 0.2,
+                                  data::SplitStrategy::kBlockedByDay, 42);
+
+  core::ApotsModel model(&session.dataset, session.config);
+  PrintDispatch(session.config.inference.quantize);
+  std::printf("training %s on %zu anchors (%zu weights)...\n",
+              session.config.Tag().c_str(), session.split.train.size(),
+              model.NumWeights());
+  model.Train(session.split.train);
+
+  long anchor = session.split.test.empty()
+                    ? 12
+                    : session.split.test[session.split.test.size() / 2];
+  if (ParseInt64(Flag(flags, "anchor", ""), &value)) anchor = value;
+
+  const std::string contexts_flag =
+      Flag(flags, "contexts", "clear-event;set-event;rain+10;day=holiday");
+  std::vector<std::string> context_texts;
+  for (const std::string& text : Split(contexts_flag, ';')) {
+    if (!Trim(text).empty()) context_texts.push_back(Trim(text));
+  }
+  if (context_texts.empty()) {
+    std::fprintf(stderr, "--contexts parsed to zero contexts\n");
+    return 1;
+  }
+
+  data::ContextTable table;
+  for (size_t k = 0; k < context_texts.size(); ++k) {
+    data::ContextSpec context;
+    if (!ParseContextSpec(context_texts[k], &context)) return 1;
+    const Status st = table.Register(k + 1, std::move(context));
+    if (!st.ok()) {
+      std::fprintf(stderr, "register context %zu failed: %s\n", k + 1,
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  model.SetContextTable(&table);
+
+  // One heterogeneous batch: base first, then every counterfactual of the
+  // same anchor — they share every untouched feature column in the cache.
+  std::vector<core::WorkItem> items;
+  items.push_back({anchor, 0});
+  for (size_t k = 0; k < context_texts.size(); ++k) {
+    items.push_back({anchor, k + 1});
+  }
+  const std::vector<double> kmh = model.PredictKmhItems(items);
+
+  const std::vector<double> truth = model.TrueKmh({anchor});
+  std::printf("anchor %ld (true %.2f km/h), %zu contexts in one batch\n",
+              anchor, truth.empty() ? 0.0 : truth[0], context_texts.size());
+  TablePrinter out({"context", "spec", "pred km/h", "delta vs base"});
+  out.AddRow({"base", "live stream", FormatMetric(kmh[0]), "-"});
+  for (size_t k = 0; k < context_texts.size(); ++k) {
+    out.AddRow({StrFormat("%zu", k + 1), context_texts[k],
+                FormatMetric(kmh[k + 1]),
+                StrFormat("%+.2f", kmh[k + 1] - kmh[0])});
+  }
+  out.Print();
+
+  const auto stats = model.inference_runtime().feature_cache()->stats();
+  std::printf(
+      "feature cache: %zu hits, %zu misses (%.0f%% hit rate); "
+      "%llu unknown-context items\n",
+      stats.hits, stats.misses,
+      stats.hits + stats.misses == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(stats.hits) /
+                static_cast<double>(stats.hits + stats.misses),
+      static_cast<unsigned long long>(
+          model.inference_runtime().unknown_context_items()));
+  return 0;
+}
+
 // Online-serving simulation: streams a synthetic corridor through the
 // delivery-fault model into the supervisor stack and reports per-tier
 // volume and accuracy, plus ingestion and checkpoint health.
@@ -1164,7 +1357,8 @@ int Serve(const std::map<std::string, std::string>& flags) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: apots_cli <generate|train|evaluate|robustness|serve|attack>"
+      "usage: apots_cli "
+      "<generate|train|evaluate|robustness|serve|attack|whatif>"
       " [--flag value]\n"
       "  generate --out d.csv [--days N] [--roads N] [--seed S]\n"
       "  train    --data d.csv [--model m.bin] [--predictor F|L|C|H]\n"
@@ -1195,6 +1389,12 @@ int Usage() {
       "           [--eps-kmh E] [--smooth-kmh S] [--steps N]\n"
       "           [--spsa-samples N] [--attack-seed S] [--defend 0|1]\n"
       "           [--defense-rounds N] [--finetune-epochs N]\n"
+      "  whatif   [--days N] [--roads N] [--seed S] [--predictor F|L|C|H]\n"
+      "           [--epochs N] [--divisor N] [--anchor A]\n"
+      "           [--contexts \"SPEC;SPEC;...\"] where each SPEC is a\n"
+      "           comma list of clear-event | set-event | rain+X | rain-X\n"
+      "           | day=weekday|holiday|before-holiday|after-holiday,\n"
+      "           each with an optional @begin:end interval window\n"
       "  every command also takes --metrics-json PATH (dump the metrics\n"
       "           registry as JSON on exit) and --trace PATH (record\n"
       "           chrome://tracing spans; open the file in a trace viewer)\n"
@@ -1252,6 +1452,7 @@ int main(int argc, char** argv) {
   else if (command == "robustness") rc = Robustness(flags);
   else if (command == "serve") rc = Serve(flags);
   else if (command == "attack") rc = Attack(flags);
+  else if (command == "whatif") rc = Whatif(flags);
   if (rc < 0) return Usage();
   return EmitObservability(flags, rc);
 }

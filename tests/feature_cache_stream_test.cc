@@ -94,6 +94,79 @@ TEST(FeatureCacheKeyTest, WholesaleInvalidateResetsGenerations) {
   EXPECT_EQ(cache.stats().stale_rejects, 0u);
 }
 
+// Context-keyed entries: base and counterfactual variants of one
+// (road, interval) coexist as distinct cache lines, and the context field
+// defaults to 0 so pre-context call sites keep hitting the base entry.
+TEST(FeatureCacheContextTest, ContextVariantsCoexist) {
+  FeatureCache cache(8);
+  float out = 0.0f;
+  cache.GetOrCompute(Key{0, 5}, 1, &out, [](float* dst) { *dst = 1.0f; });
+  cache.GetOrCompute(Key{0, 5, 7}, 1, &out,
+                     [](float* dst) { *dst = 2.0f; });
+  EXPECT_EQ(out, 2.0f);
+  EXPECT_EQ(cache.size(), 2u);  // two lines, not one overwritten
+
+  // Each variant hits its own line and keeps its own bits.
+  cache.GetOrCompute(Key{0, 5}, 1, &out, [](float* dst) { *dst = 9.0f; });
+  EXPECT_EQ(out, 1.0f);
+  cache.GetOrCompute(Key{0, 5, 7}, 1, &out,
+                     [](float* dst) { *dst = 9.0f; });
+  EXPECT_EQ(out, 2.0f);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+// Generations are keyed (road, interval) alone: one InvalidateKey stales
+// the base AND every context variant of the column — a late record must
+// never leave a counterfactual serving stale inputs.
+TEST(FeatureCacheContextTest, InvalidateKeyCrossesContexts) {
+  FeatureCache cache(8);
+  float backing = 1.0f;
+  const auto fill = [&backing](float* dst) { *dst = backing; };
+  float out = 0.0f;
+  cache.GetOrCompute(Key{0, 5}, 1, &out, fill);
+  cache.GetOrCompute(Key{0, 5, 7}, 1, &out, fill);
+
+  backing = 3.0f;
+  cache.InvalidateKey(Key{0, 5});  // context field ignored: stales both
+  cache.GetOrCompute(Key{0, 5}, 1, &out, fill);
+  EXPECT_EQ(out, 3.0f);
+  cache.GetOrCompute(Key{0, 5, 7}, 1, &out, fill);
+  EXPECT_EQ(out, 3.0f);
+  EXPECT_EQ(cache.stats().stale_rejects, 2u);
+  // Unrelated contexts of other intervals stay warm.
+  EXPECT_EQ(cache.stats().key_invalidations, 1u);
+}
+
+// The splitmix64 key hash must separate the families the old
+// `interval * 31 + road` hash aliased — (t, r) vs (t - 1, r + 31)
+// collided for every t — and must spread the context field, which the
+// old packing had no room for at all.
+TEST(FeatureCacheKeyHashTest, SplitMixBreaksOldCollisionFamilies) {
+  const FeatureCache::KeyHash hash;
+  int old_collisions = 0;
+  int new_collisions = 0;
+  for (long t = 1; t < 200; ++t) {
+    for (int r = 0; r < 8; ++r) {
+      const Key a{r, t};
+      const Key b{r + 31, t - 1};
+      if (t * 31 + r == (t - 1) * 31 + (r + 31)) ++old_collisions;
+      if (hash(a) == hash(b)) ++new_collisions;
+    }
+  }
+  EXPECT_EQ(old_collisions, 199 * 8);  // the old hash aliased all of them
+  EXPECT_EQ(new_collisions, 0);
+
+  // Context variants of one column land in different buckets too.
+  int context_collisions = 0;
+  for (uint64_t context = 1; context < 64; ++context) {
+    if (hash(Key{0, 5, context}) == hash(Key{0, 5, 0})) {
+      ++context_collisions;
+    }
+  }
+  EXPECT_EQ(context_collisions, 0);
+}
+
 // End to end: a late record flowing through StreamIngestor must invalidate
 // exactly the touched intervals in the model's feature cache, and warm-
 // cache predictions afterwards must be bitwise identical to a model that

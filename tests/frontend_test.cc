@@ -19,7 +19,9 @@
 
 #include <gtest/gtest.h>
 
+#include "data/context.h"
 #include "serve/harness.h"
+#include "util/logging.h"
 
 namespace apots::serve {
 namespace {
@@ -156,6 +158,142 @@ TEST(FrontendTest, DistinctContextsDoNotCoalesce) {
   EXPECT_EQ(first->Wait().serve.kmh, second->Wait().serve.kmh);
 }
 
+struct ScheduledOutcome {
+  RequestOutcome outcome;
+  double kmh;
+};
+
+TEST(FrontendTest, SameContextCounterfactualsCoalesceWithSameBits) {
+  auto harness = IngestedHarness();
+  apots::data::ContextSpec spec;
+  spec.SetEvent();
+  ASSERT_TRUE(harness->supervisor().RegisterContext(1, spec).ok());
+  Frontend frontend(&harness->supervisor(), ManualConfig());
+
+  FrontendRequest base;
+  base.anchor = harness->warmup_end();
+  FrontendRequest what_if = base;
+  what_if.context = 1;
+  auto base_handle = frontend.SubmitAsync(base);
+  auto owner = frontend.SubmitAsync(what_if);
+  auto duplicate = frontend.SubmitAsync(what_if);
+  while (frontend.RunCycle() > 0) {
+  }
+
+  // Coalescing is keyed (anchor, context): the duplicate counterfactual
+  // merges into the owner's slot, the base request stays separate.
+  const FrontendStats stats = frontend.stats();
+  EXPECT_EQ(stats.inferred_keys, 2u);
+  EXPECT_EQ(stats.coalesce_hits, 1u);
+  const double owner_kmh = owner->Wait().serve.kmh;
+  const double duplicate_kmh = duplicate->Wait().serve.kmh;
+  EXPECT_EQ(std::memcmp(&owner_kmh, &duplicate_kmh, sizeof(double)), 0);
+  // With the context registered the counterfactual genuinely moves the
+  // answer, and the base request keeps the exact direct-path bits.
+  const double base_kmh = base_handle->Wait().serve.kmh;
+  EXPECT_NE(owner_kmh, base_kmh);
+  EXPECT_EQ(base_kmh, harness->DirectPredictKmh({base.anchor})[0]);
+}
+
+/// Submits 8 anchors x {base, set-event, holiday} interleaved, drains,
+/// and returns every (outcome, kmh) plus the direct base-path bits.
+std::vector<ScheduledOutcome> RunMixedContextDrain() {
+  auto harness = IngestedHarness();
+  apots::data::ContextSpec set_event;
+  set_event.SetEvent();
+  apots::data::ContextSpec holiday;
+  holiday.DayType(1);
+  APOTS_CHECK(harness->supervisor().RegisterContext(1, set_event).ok());
+  APOTS_CHECK(harness->supervisor().RegisterContext(2, holiday).ok());
+  FrontendConfig config = ManualConfig();
+  config.max_batch = 8;  // the mixed stream spans several batches
+  Frontend frontend(&harness->supervisor(), config);
+
+  std::vector<long> anchors;
+  std::vector<std::shared_ptr<PendingResponse>> handles;
+  for (int i = 0; i < 8; ++i) {
+    const long anchor = harness->warmup_end() + i;
+    anchors.push_back(anchor);
+    for (uint64_t context : {0ull, 1ull, 2ull}) {
+      FrontendRequest request;
+      request.anchor = anchor;
+      request.context = context;
+      handles.push_back(frontend.SubmitAsync(request));
+    }
+  }
+  while (frontend.RunCycle() > 0) {
+  }
+
+  // The base subset must keep direct-path bits even in a mixed drain.
+  const std::vector<double> direct = harness->DirectPredictKmh(anchors);
+  std::vector<ScheduledOutcome> outcomes;
+  for (size_t i = 0; i < handles.size(); ++i) {
+    const FrontendResponse& response = handles[i]->Wait();
+    APOTS_CHECK(response.serve.tier == ServeTier::kFull);
+    if (i % 3 == 0) {
+      APOTS_CHECK(response.serve.kmh == direct[i / 3]);
+    }
+    outcomes.push_back({response.outcome, response.serve.kmh});
+  }
+  return outcomes;
+}
+
+TEST(FrontendTest, MixedContextBatchDrainIsDeterministic) {
+  const std::vector<ScheduledOutcome> first = RunMixedContextDrain();
+  const std::vector<ScheduledOutcome> second = RunMixedContextDrain();
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].outcome, second[i].outcome) << "request " << i;
+    EXPECT_EQ(std::memcmp(&first[i].kmh, &second[i].kmh, sizeof(double)),
+              0)
+        << "request " << i;
+  }
+}
+
+TEST(FrontendTest, ExpiredCounterfactualShedsWithoutTouchingBaseState) {
+  auto harness = IngestedHarness();
+  apots::data::ContextSpec spec;
+  spec.SetEvent();
+  ASSERT_TRUE(harness->supervisor().RegisterContext(1, spec).ok());
+  Frontend frontend(&harness->supervisor(), ManualConfig());
+  int64_t now_ns = 0;
+  frontend.set_clock_for_test([&now_ns] { return now_ns; });
+
+  const long anchor = harness->warmup_end();
+  FrontendRequest tight_what_if;
+  tight_what_if.anchor = anchor;
+  tight_what_if.context = 1;
+  tight_what_if.deadline_ms = 10.0;
+  FrontendRequest base;
+  base.anchor = anchor;
+  auto expired = frontend.SubmitAsync(tight_what_if);
+  auto healthy = frontend.SubmitAsync(base);
+
+  now_ns = 20 * 1000 * 1000;  // the counterfactual's deadline is gone
+  while (frontend.RunCycle() > 0) {
+  }
+
+  // The expired counterfactual answers from the (base) ladder without
+  // taking an inference slot...
+  EXPECT_EQ(expired->Wait().outcome, RequestOutcome::kShedDeadline);
+  EXPECT_EQ(expired->Wait().serve.tier, ServeTier::kHistorical);
+  EXPECT_EQ(frontend.stats().inferred_keys, 1u);
+  // ...and the base request in the same drain keeps the exact
+  // direct-path bits: the shed left no mark on base-context state.
+  EXPECT_EQ(healthy->Wait().outcome, RequestOutcome::kServed);
+  EXPECT_EQ(healthy->Wait().serve.tier, ServeTier::kFull);
+  const double direct = harness->DirectPredictKmh({anchor})[0];
+  EXPECT_EQ(healthy->Wait().serve.kmh, direct);
+
+  // A fresh base request afterwards is still bitwise the direct path.
+  FrontendRequest again;
+  again.anchor = anchor;
+  auto later = frontend.SubmitAsync(again);
+  while (frontend.RunCycle() > 0) {
+  }
+  EXPECT_EQ(later->Wait().serve.kmh, direct);
+}
+
 TEST(FrontendTest, FullQueueShedsToLadderWithoutBlocking) {
   auto harness = IngestedHarness();
   FrontendConfig config = ManualConfig();
@@ -216,11 +354,6 @@ TEST(FrontendTest, ExpiredDeadlineAnsweredFromLadderNotBatch) {
   EXPECT_EQ(stats.shed_deadline, 1u);
   EXPECT_EQ(stats.inferred_keys, 1u);  // the expired one took no slot
 }
-
-struct ScheduledOutcome {
-  RequestOutcome outcome;
-  double kmh;
-};
 
 /// Replays a seeded arrival schedule (random anchors, a mix of absent,
 /// already-tight and generous deadlines, random arrival gaps) against a

@@ -1,0 +1,251 @@
+// Counterfactual what-if queries through the serving plane: the
+// supervisor's PredictItems keeps context-0 items bitwise identical to
+// Predict, serves counterfactuals at the full tier, never lets them feed
+// the last-known-good state, and degrades unknown ids to base; the
+// sharded service propagates context registrations to every replica and
+// re-applies them when a killed replica is rebuilt.
+
+#include "serve/serving_supervisor.h"
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/sharded_service.h"
+#include "serve/stream_ingestor.h"
+#include "traffic/dataset_generator.h"
+#include "util/logging.h"
+
+namespace apots::serve {
+namespace {
+
+apots::traffic::DatasetSpec TinySpec() {
+  apots::traffic::DatasetSpec spec;
+  spec.num_roads = 3;
+  spec.num_days = 2;
+  spec.intervals_per_day = 96;
+  spec.seed = 7;
+  spec.hyundai_calendar = false;
+  return spec;
+}
+
+/// A complete single-target serving stack (dataset, model, ingestor,
+/// supervisor) with deterministic construction, so two instances built
+/// from the same config are bitwise interchangeable.
+class Stack {
+ public:
+  static constexpr long kStart = 96;
+
+  explicit Stack(ServeConfig serve) {
+    dataset_ = apots::traffic::GenerateDataset(TinySpec());
+    std::vector<long> warmup;
+    for (long t = 0; t < kStart; ++t) warmup.push_back(t);
+    profile_ = apots::baseline::HistoricalAverage();
+    APOTS_CHECK(
+        profile_.Fit(dataset_, dataset_.num_roads() / 2, warmup).ok());
+
+    apots::core::ApotsConfig cfg;
+    cfg.predictor = apots::core::PredictorHparams::Scaled(
+        apots::core::PredictorType::kFc, 16);
+    cfg.features = apots::data::FeatureConfig::Both(12, 3);
+    cfg.features.num_adjacent = 1;
+    cfg.training.adversarial = false;
+    cfg.training.verbose = false;
+    cfg.fallback.enabled = false;
+    model_ = std::make_unique<apots::core::ApotsModel>(&dataset_, cfg);
+    ingestor_ = std::make_unique<StreamIngestor>(
+        &dataset_, kStart, apots::data::ImputationConfig(),
+        [this](int, long t) {
+          return static_cast<float>(profile_.Predict(dataset_, t));
+        });
+    supervisor_ = std::make_unique<ServingSupervisor>(
+        model_.get(), ingestor_.get(), &profile_, serve);
+  }
+
+  /// Delivers a real record for every road at `tick` and advances the
+  /// watermark there, keeping all roads fresh.
+  void FreshTick(long tick) {
+    for (int r = 0; r < dataset_.num_roads(); ++r) {
+      APOTS_CHECK(ingestor_->Ingest({tick, r, 60.0f, 0}).ok());
+    }
+    ingestor_->AdvanceWatermark(tick);
+  }
+
+  ServingSupervisor& supervisor() { return *supervisor_; }
+  StreamIngestor& ingestor() { return *ingestor_; }
+
+ private:
+  apots::traffic::TrafficDataset dataset_;
+  apots::baseline::HistoricalAverage profile_;
+  std::unique_ptr<apots::core::ApotsModel> model_;
+  std::unique_ptr<StreamIngestor> ingestor_;
+  std::unique_ptr<ServingSupervisor> supervisor_;
+};
+
+ServeConfig LadderConfig() {
+  ServeConfig serve;
+  serve.t1_fresh = 2;
+  serve.t2_imputed = 5;
+  serve.t3_outage = 10;
+  return serve;
+}
+
+apots::data::ContextSpec SetEventSpec() {
+  apots::data::ContextSpec spec;
+  spec.SetEvent();
+  return spec;
+}
+
+TEST(WhatifSupervisorTest, BaseItemsBitwiseAndCounterfactualsServed) {
+  Stack stack(LadderConfig());
+  stack.FreshTick(Stack::kStart);
+  auto& supervisor = stack.supervisor();
+  ASSERT_TRUE(supervisor.RegisterContext(1, SetEventSpec()).ok());
+  apots::data::ContextSpec clear;
+  clear.ClearEvent();
+  ASSERT_TRUE(supervisor.RegisterContext(2, clear).ok());
+
+  const long anchor = Stack::kStart;
+  const auto base = supervisor.Predict({anchor});
+  ASSERT_EQ(base.size(), 1u);
+  ASSERT_EQ(base[0].tier, ServeTier::kFull);
+
+  const auto mixed = supervisor.PredictItems(
+      {{anchor, 0}, {anchor, 1}, {anchor, 2}});
+  ASSERT_EQ(mixed.size(), 3u);
+  for (const auto& response : mixed) {
+    EXPECT_EQ(response.tier, ServeTier::kFull);
+  }
+  // Context 0 through the heterogeneous path: bitwise the Predict answer.
+  EXPECT_EQ(std::memcmp(&mixed[0].kmh, &base[0].kmh, sizeof(double)), 0);
+  // Forcing the event flag both ways cannot produce the same answer.
+  EXPECT_NE(mixed[1].kmh, mixed[2].kmh);
+}
+
+TEST(WhatifSupervisorTest, UnknownContextDegradesToBaseBits) {
+  Stack stack(LadderConfig());
+  stack.FreshTick(Stack::kStart);
+  const auto base = stack.supervisor().Predict({Stack::kStart});
+  const auto unknown =
+      stack.supervisor().PredictItems({{Stack::kStart, 424242}});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0].tier, ServeTier::kFull);
+  EXPECT_EQ(std::memcmp(&unknown[0].kmh, &base[0].kmh, sizeof(double)), 0);
+}
+
+/// Runs the LKG-capture scenario and returns the outage-tier answer.
+/// `with_counterfactual` interleaves counterfactual full-tier traffic
+/// between the base serve and the outage; if that traffic leaked into the
+/// last-known-good state, the outage answer would change.
+double LkgAnswer(bool with_counterfactual) {
+  Stack stack(LadderConfig());
+  stack.FreshTick(Stack::kStart);
+  auto& supervisor = stack.supervisor();
+  APOTS_CHECK(supervisor.RegisterContext(1, SetEventSpec()).ok());
+
+  const auto base = supervisor.Predict({Stack::kStart});
+  APOTS_CHECK(base[0].tier == ServeTier::kFull);
+  if (with_counterfactual) {
+    const auto what_if = supervisor.PredictItems({{Stack::kStart, 1}});
+    APOTS_CHECK(what_if[0].tier == ServeTier::kFull);
+    // The counterfactual genuinely answers differently — if it fed LKG,
+    // the pollution would be observable below.
+    APOTS_CHECK(what_if[0].kmh != base[0].kmh);
+  }
+
+  // Roads go silent far past t3: total outage, answered from LKG.
+  stack.ingestor().AdvanceWatermark(Stack::kStart + 20);
+  const auto outage = supervisor.Predict({Stack::kStart + 20});
+  APOTS_CHECK(outage[0].tier == ServeTier::kLastKnownGood);
+  return outage[0].kmh;
+}
+
+TEST(WhatifSupervisorTest, CounterfactualsNeverFeedLastKnownGood) {
+  const double clean = LkgAnswer(/*with_counterfactual=*/false);
+  const double interleaved = LkgAnswer(/*with_counterfactual=*/true);
+  EXPECT_EQ(std::memcmp(&clean, &interleaved, sizeof(double)), 0);
+}
+
+// --- ShardedService propagation ---------------------------------------
+
+ShardedConfig ShardedSmallConfig() {
+  ShardedConfig config;
+  traffic::DatasetSpec spec;
+  spec.num_roads = 8;
+  spec.num_days = 2;
+  spec.intervals_per_day = 96;
+  spec.seed = 4242;
+  spec.hyundai_calendar = false;
+  config.spec = spec;
+  config.warmup_fraction = 0.5;
+  config.predictor = core::PredictorType::kFc;
+  config.width_divisor = 16;
+  config.train_epochs = 0;
+  config.model_seed = 7;
+  config.num_shards = 2;
+  config.replicas_per_shard = 2;
+  config.anchors_per_tick = 2;
+  return config;
+}
+
+TEST(WhatifShardedTest, RegistrationReachesEveryReplica) {
+  ShardedService service(ShardedSmallConfig());
+  for (int t = 0; t < 4; ++t) ASSERT_TRUE(service.RunTick());
+  ASSERT_TRUE(service.RegisterContext(1, SetEventSpec()).ok());
+
+  const long anchor = service.last_anchors().front();
+  for (int s = 0; s < service.num_shards(); ++s) {
+    const double direct = service.PredictDirect(s, {anchor})[0];
+    for (int r = 0; r < service.replicas_per_shard(); ++r) {
+      const auto result =
+          service.PredictItemsOn(s, r, {{anchor, 0}, {anchor, 1}});
+      ASSERT_TRUE(result.ok()) << result.status().message();
+      const auto& responses = result.value();
+      ASSERT_EQ(responses.size(), 2u);
+      EXPECT_EQ(responses[0].tier, ServeTier::kFull);
+      EXPECT_EQ(responses[1].tier, ServeTier::kFull);
+      // Base item: bitwise the direct model path of that shard.
+      EXPECT_EQ(std::memcmp(&responses[0].kmh, &direct, sizeof(double)),
+                0);
+      // The counterfactual resolved (it moved the answer) on *every*
+      // replica, not just the one the router would have picked.
+      EXPECT_NE(responses[1].kmh, responses[0].kmh);
+    }
+  }
+}
+
+TEST(WhatifShardedTest, RebuiltReplicaReappliesRegistrations) {
+  ShardedService service(ShardedSmallConfig());
+  for (int t = 0; t < 2; ++t) ASSERT_TRUE(service.RunTick());
+
+  // Register while a replica is down: the live replicas take it now, the
+  // dead one must pick it up when its stack is rebuilt.
+  ASSERT_TRUE(service.KillReplica(0, 0).ok());
+  ASSERT_TRUE(service.RegisterContext(1, SetEventSpec()).ok());
+  const long anchor = service.last_anchors().front();
+  const auto down = service.PredictItemsOn(0, 0, {{anchor, 1}});
+  EXPECT_FALSE(down.ok());  // dead replicas answer with an error, not 0s
+
+  ASSERT_TRUE(service.RestartReplica(0, 0).ok());
+  for (int t = 0; t < 2; ++t) ASSERT_TRUE(service.RunTick());
+  const long fresh_anchor = service.last_anchors().front();
+  const auto rebuilt =
+      service.PredictItemsOn(0, 0, {{fresh_anchor, 0}, {fresh_anchor, 1}});
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().message();
+  const auto sibling =
+      service.PredictItemsOn(0, 1, {{fresh_anchor, 0}, {fresh_anchor, 1}});
+  ASSERT_TRUE(sibling.ok());
+  // The rebuilt replica resolves the context registered while it was
+  // dead — the counterfactual moves its answer, at full tier, just like
+  // on the sibling that was up for the registration. (The rebuilt model
+  // is reseeded, so the two replicas' bits legitimately differ.)
+  EXPECT_EQ(rebuilt.value()[0].tier, ServeTier::kFull);
+  EXPECT_EQ(rebuilt.value()[1].tier, ServeTier::kFull);
+  EXPECT_NE(rebuilt.value()[1].kmh, rebuilt.value()[0].kmh);
+  EXPECT_NE(sibling.value()[1].kmh, sibling.value()[0].kmh);
+}
+
+}  // namespace
+}  // namespace apots::serve
